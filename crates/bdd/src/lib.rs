@@ -1,0 +1,42 @@
+//! A from-scratch reduced ordered binary decision diagram (ROBDD) package
+//! for the `relogic` reliability-analysis suite.
+//!
+//! The DATE 2007 single-pass reliability algorithm needs three symbolic
+//! primitives, all provided here:
+//!
+//! 1. **Signal probabilities / weight vectors** — the joint error-free input
+//!    distribution at each gate, computed as weighted model counts
+//!    ([`BddManager::probability`]) of conjunctions of fanin literals.
+//! 2. **Observabilities** — via an auxiliary variable spliced in at a gate
+//!    ([`CircuitBdds::with_aux_at`]) and the Boolean difference
+//!    ([`BddManager::boolean_difference`]).
+//! 3. **Functional equivalence checks** — hash-consing makes equality of
+//!    [`BddRef`]s equality of functions, used to verify the synthesis
+//!    transforms in `relogic-gen`.
+//!
+//! # Examples
+//!
+//! ```
+//! use relogic_bdd::{BddManager, CircuitBdds, VarOrder};
+//! use relogic_netlist::Circuit;
+//!
+//! let mut c = Circuit::new("and2");
+//! let a = c.add_input("a");
+//! let b = c.add_input("b");
+//! let g = c.and([a, b]);
+//! c.add_output("y", g);
+//!
+//! let order = VarOrder::natural(&c);
+//! let mut m = BddManager::new(order.len());
+//! let bdds = CircuitBdds::build(&mut m, &c, &order);
+//! assert_eq!(m.probability_uniform(bdds.func(g)), 0.25);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod bridge;
+mod manager;
+
+pub use bridge::{CircuitBdds, VarOrder};
+pub use manager::{BddManager, BddOp, BddRef, Var};

@@ -1,0 +1,788 @@
+//! The ROBDD node manager: hash-consed nodes, Boolean operations, and
+//! structural queries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to a BDD node owned by a [`BddManager`].
+///
+/// Refs are plain indices; they are only meaningful relative to the manager
+/// that issued them. The two terminals are [`BddRef::FALSE`] and
+/// [`BddRef::TRUE`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BddRef(pub(crate) u32);
+
+impl BddRef {
+    /// The constant-false terminal.
+    pub const FALSE: BddRef = BddRef(0);
+    /// The constant-true terminal.
+    pub const TRUE: BddRef = BddRef(1);
+
+    /// Returns `true` if this is one of the two terminals.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        self.0 < 2
+    }
+
+    /// Returns `true` if this is the constant-true terminal.
+    #[must_use]
+    pub fn is_true(self) -> bool {
+        self == BddRef::TRUE
+    }
+
+    /// Returns `true` if this is the constant-false terminal.
+    #[must_use]
+    pub fn is_false(self) -> bool {
+        self == BddRef::FALSE
+    }
+}
+
+impl fmt::Debug for BddRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BddRef::FALSE => write!(f, "⊥"),
+            BddRef::TRUE => write!(f, "⊤"),
+            BddRef(i) => write!(f, "b{i}"),
+        }
+    }
+}
+
+/// Variable index within a manager's fixed variable order (0 is topmost).
+pub type Var = u32;
+
+const TERMINAL_VAR: Var = Var::MAX;
+
+#[derive(Clone, Copy)]
+struct Node {
+    var: Var,
+    low: BddRef,
+    high: BddRef,
+}
+
+/// Binary Boolean operations supported by [`BddManager::apply`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BddOp {
+    /// Conjunction.
+    And,
+    /// Disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+}
+
+impl BddOp {
+    fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BddOp::And => a && b,
+            BddOp::Or => a || b,
+            BddOp::Xor => a ^ b,
+        }
+    }
+
+    /// Short-circuit result when one operand is a terminal, if determined.
+    fn terminal_shortcut(self, t: BddRef, other: BddRef) -> Option<BddRef> {
+        match (self, t) {
+            (BddOp::And, BddRef::FALSE) => Some(BddRef::FALSE),
+            (BddOp::And, BddRef::TRUE) => Some(other),
+            (BddOp::Or, BddRef::TRUE) => Some(BddRef::TRUE),
+            (BddOp::Or, BddRef::FALSE) => Some(other),
+            (BddOp::Xor, BddRef::FALSE) => Some(other),
+            (BddOp::Xor, BddRef::TRUE) => None, // needs structural negation
+            _ => None,
+        }
+    }
+}
+
+/// A reduced ordered binary decision diagram manager.
+///
+/// All BDDs created through one manager share a global variable order
+/// (variable 0 is decided first) and a hash-consed node store, so
+/// structural equality of functions is pointer equality of [`BddRef`]s —
+/// `f == g` as functions iff the refs are equal.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_bdd::BddManager;
+///
+/// let mut m = BddManager::new(2);
+/// let a = m.var(0);
+/// let b = m.var(1);
+/// let f = m.and(a, b);
+/// let g = m.or(a, b);
+/// assert_ne!(f, g);
+/// assert!(m.eval(f, &[true, true]));
+/// assert!(!m.eval(f, &[true, false]));
+/// assert_eq!(m.probability_uniform(g), 0.75);
+/// ```
+pub struct BddManager {
+    nodes: Vec<Node>,
+    unique: HashMap<(Var, BddRef, BddRef), BddRef>,
+    apply_cache: HashMap<(BddOp, BddRef, BddRef), BddRef>,
+    not_cache: HashMap<BddRef, BddRef>,
+    ite_cache: HashMap<(BddRef, BddRef, BddRef), BddRef>,
+    var_count: usize,
+}
+
+impl fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BddManager")
+            .field("vars", &self.var_count)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl BddManager {
+    /// Creates a manager with `var_count` variables (indices `0..var_count`).
+    ///
+    /// More variables can be added later with [`BddManager::add_var`].
+    #[must_use]
+    pub fn new(var_count: usize) -> Self {
+        let nodes = vec![
+            Node {
+                var: TERMINAL_VAR,
+                low: BddRef::FALSE,
+                high: BddRef::FALSE,
+            },
+            Node {
+                var: TERMINAL_VAR,
+                low: BddRef::TRUE,
+                high: BddRef::TRUE,
+            },
+        ];
+        BddManager {
+            nodes,
+            unique: HashMap::new(),
+            apply_cache: HashMap::new(),
+            not_cache: HashMap::new(),
+            ite_cache: HashMap::new(),
+            var_count,
+        }
+    }
+
+    /// Number of variables in the order.
+    #[must_use]
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// Appends a fresh variable at the bottom of the order and returns its
+    /// index.
+    pub fn add_var(&mut self) -> Var {
+        let v = Var::try_from(self.var_count).expect("variable index overflow");
+        self.var_count += 1;
+        v
+    }
+
+    /// Total number of allocated nodes (including the two terminals); a
+    /// coarse memory metric.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from `f` (its BDD size), terminals excluded.
+    #[must_use]
+    pub fn size(&self, f: BddRef) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0;
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            count += 1;
+            let n = self.nodes[r.0 as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+
+    /// Drops all operation caches (the unique table is kept, so existing
+    /// refs stay valid). Useful to bound memory in long sweeps.
+    pub fn clear_op_caches(&mut self) {
+        self.apply_cache.clear();
+        self.not_cache.clear();
+        self.ite_cache.clear();
+    }
+
+    fn node(&self, r: BddRef) -> Node {
+        self.nodes[r.0 as usize]
+    }
+
+    /// The decision variable of `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    #[must_use]
+    pub fn topvar(&self, f: BddRef) -> Var {
+        assert!(!f.is_terminal(), "terminals have no decision variable");
+        self.node(f).var
+    }
+
+    /// The `(low, high)` cofactors of `f` with respect to its top variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is a terminal.
+    #[must_use]
+    pub fn cofactors(&self, f: BddRef) -> (BddRef, BddRef) {
+        assert!(!f.is_terminal(), "terminals have no cofactors");
+        let n = self.node(f);
+        (n.low, n.high)
+    }
+
+    fn var_of(&self, r: BddRef) -> Var {
+        self.node(r).var // TERMINAL_VAR for terminals, sorting below all vars
+    }
+
+    /// Returns the canonical node for `(var, low, high)`.
+    fn mk(&mut self, var: Var, low: BddRef, high: BddRef) -> BddRef {
+        if low == high {
+            return low;
+        }
+        debug_assert!(var < self.var_of(low) && var < self.var_of(high));
+        if let Some(&r) = self.unique.get(&(var, low, high)) {
+            return r;
+        }
+        let r = BddRef(u32::try_from(self.nodes.len()).expect("BDD node count overflow"));
+        self.nodes.push(Node { var, low, high });
+        self.unique.insert((var, low, high), r);
+        r
+    }
+
+    /// The single-variable function `x_v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var(&mut self, v: Var) -> BddRef {
+        assert!((v as usize) < self.var_count, "variable {v} out of range");
+        self.mk(v, BddRef::FALSE, BddRef::TRUE)
+    }
+
+    /// The negated single-variable function `¬x_v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn nvar(&mut self, v: Var) -> BddRef {
+        assert!((v as usize) < self.var_count, "variable {v} out of range");
+        self.mk(v, BddRef::TRUE, BddRef::FALSE)
+    }
+
+    /// A constant terminal as a `BddRef`.
+    #[must_use]
+    pub fn constant(value: bool) -> BddRef {
+        if value {
+            BddRef::TRUE
+        } else {
+            BddRef::FALSE
+        }
+    }
+
+    /// Applies a binary Boolean operation.
+    pub fn apply(&mut self, op: BddOp, a: BddRef, b: BddRef) -> BddRef {
+        if a.is_terminal() && b.is_terminal() {
+            return Self::constant(op.eval(a.is_true(), b.is_true()));
+        }
+        if a.is_terminal() {
+            if let Some(r) = op.terminal_shortcut(a, b) {
+                return r;
+            }
+        }
+        if b.is_terminal() {
+            if let Some(r) = op.terminal_shortcut(b, a) {
+                return r;
+            }
+        }
+        // Commutative ops: canonicalize operand order for cache hits.
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if a == b {
+            return match op {
+                BddOp::And | BddOp::Or => a,
+                BddOp::Xor => BddRef::FALSE,
+            };
+        }
+        if let Some(&r) = self.apply_cache.get(&(op, a, b)) {
+            return r;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let v = va.min(vb);
+        let (a0, a1) = if va == v {
+            let n = self.node(a);
+            (n.low, n.high)
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if vb == v {
+            let n = self.node(b);
+            (n.low, n.high)
+        } else {
+            (b, b)
+        };
+        let low = self.apply(op, a0, b0);
+        let high = self.apply(op, a1, b1);
+        let r = self.mk(v, low, high);
+        self.apply_cache.insert((op, a, b), r);
+        r
+    }
+
+    /// Conjunction `a ∧ b`.
+    pub fn and(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.apply(BddOp::And, a, b)
+    }
+
+    /// Disjunction `a ∨ b`.
+    pub fn or(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.apply(BddOp::Or, a, b)
+    }
+
+    /// Exclusive or `a ⊕ b`.
+    pub fn xor(&mut self, a: BddRef, b: BddRef) -> BddRef {
+        self.apply(BddOp::Xor, a, b)
+    }
+
+    /// Negation `¬f`.
+    pub fn not(&mut self, f: BddRef) -> BddRef {
+        if f.is_terminal() {
+            return Self::constant(f.is_false());
+        }
+        if let Some(&r) = self.not_cache.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let low = self.not(n.low);
+        let high = self.not(n.high);
+        let r = self.mk(n.var, low, high);
+        self.not_cache.insert(f, r);
+        self.not_cache.insert(r, f);
+        r
+    }
+
+    /// If-then-else `ite(f, g, h) = (f ∧ g) ∨ (¬f ∧ h)`.
+    pub fn ite(&mut self, f: BddRef, g: BddRef, h: BddRef) -> BddRef {
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if g.is_false() && h.is_true() {
+            return self.not(f);
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let v = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
+        let cof = |m: &Self, r: BddRef| -> (BddRef, BddRef) {
+            if !r.is_terminal() && m.var_of(r) == v {
+                let n = m.node(r);
+                (n.low, n.high)
+            } else {
+                (r, r)
+            }
+        };
+        let (f0, f1) = cof(self, f);
+        let (g0, g1) = cof(self, g);
+        let (h0, h1) = cof(self, h);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(v, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    /// n-ary conjunction over an iterator of functions (true for empty).
+    pub fn and_all(&mut self, fs: impl IntoIterator<Item = BddRef>) -> BddRef {
+        fs.into_iter()
+            .fold(BddRef::TRUE, |acc, f| self.and(acc, f))
+    }
+
+    /// n-ary disjunction over an iterator of functions (false for empty).
+    pub fn or_all(&mut self, fs: impl IntoIterator<Item = BddRef>) -> BddRef {
+        fs.into_iter().fold(BddRef::FALSE, |acc, f| self.or(acc, f))
+    }
+
+    /// Cofactor: `f` with variable `v` fixed to `value`.
+    pub fn restrict(&mut self, f: BddRef, v: Var, value: bool) -> BddRef {
+        let mut cache = HashMap::new();
+        self.restrict_rec(f, v, value, &mut cache)
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: BddRef,
+        v: Var,
+        value: bool,
+        cache: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        if f.is_terminal() || self.var_of(f) > v {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = if n.var == v {
+            if value {
+                n.high
+            } else {
+                n.low
+            }
+        } else {
+            let low = self.restrict_rec(n.low, v, value, cache);
+            let high = self.restrict_rec(n.high, v, value, cache);
+            self.mk(n.var, low, high)
+        };
+        cache.insert(f, r);
+        r
+    }
+
+    /// Functional composition: substitutes `g` for variable `v` in `f`.
+    pub fn compose(&mut self, f: BddRef, v: Var, g: BddRef) -> BddRef {
+        let mut cache = HashMap::new();
+        self.compose_rec(f, v, g, &mut cache)
+    }
+
+    fn compose_rec(
+        &mut self,
+        f: BddRef,
+        v: Var,
+        g: BddRef,
+        cache: &mut HashMap<BddRef, BddRef>,
+    ) -> BddRef {
+        if f.is_terminal() || self.var_of(f) > v {
+            return f;
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let n = self.node(f);
+        let r = if n.var == v {
+            self.ite(g, n.high, n.low)
+        } else {
+            let low = self.compose_rec(n.low, v, g, cache);
+            let high = self.compose_rec(n.high, v, g, cache);
+            let x = self.var(n.var);
+            self.ite(x, high, low)
+        };
+        cache.insert(f, r);
+        r
+    }
+
+    /// Existential quantification `∃v. f = f|_{v=0} ∨ f|_{v=1}`.
+    pub fn exists(&mut self, f: BddRef, v: Var) -> BddRef {
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        self.or(f0, f1)
+    }
+
+    /// Boolean difference `∂f/∂v = f|_{v=0} ⊕ f|_{v=1}`: the set of input
+    /// assignments where the value of `v` is observable at `f`.
+    pub fn boolean_difference(&mut self, f: BddRef, v: Var) -> BddRef {
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        self.xor(f0, f1)
+    }
+
+    /// The set of variables `f` structurally depends on, ascending.
+    #[must_use]
+    pub fn support(&self, f: BddRef) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![f];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            vars.insert(n.var);
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Evaluates `f` under a full variable assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable with index `>= assignment.len()`.
+    #[must_use]
+    pub fn eval(&self, f: BddRef, assignment: &[bool]) -> bool {
+        let mut r = f;
+        while !r.is_terminal() {
+            let n = self.node(r);
+            r = if assignment[n.var as usize] {
+                n.high
+            } else {
+                n.low
+            };
+        }
+        r.is_true()
+    }
+
+    /// Probability that `f` is true when each variable `v` is independently
+    /// true with probability `var_probs[v]`.
+    ///
+    /// Runs in `O(|f|)` via a memoized bottom-up sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` depends on a variable with index `>= var_probs.len()`.
+    #[must_use]
+    pub fn probability(&self, f: BddRef, var_probs: &[f64]) -> f64 {
+        let mut memo: HashMap<BddRef, f64> = HashMap::new();
+        self.probability_memo(f, var_probs, &mut memo)
+    }
+
+    /// Like [`BddManager::probability`] but reusing a caller-provided memo
+    /// table, so many related queries (e.g. weight-vector entries) share
+    /// work. The memo is only valid for one fixed `var_probs`.
+    pub fn probability_memo(
+        &self,
+        f: BddRef,
+        var_probs: &[f64],
+        memo: &mut HashMap<BddRef, f64>,
+    ) -> f64 {
+        if f.is_false() {
+            return 0.0;
+        }
+        if f.is_true() {
+            return 1.0;
+        }
+        if let Some(&p) = memo.get(&f) {
+            return p;
+        }
+        let n = self.node(f);
+        let p_hi = self.probability_memo(n.high, var_probs, memo);
+        let p_lo = self.probability_memo(n.low, var_probs, memo);
+        let pv = var_probs[n.var as usize];
+        let p = pv * p_hi + (1.0 - pv) * p_lo;
+        memo.insert(f, p);
+        p
+    }
+
+    /// Probability that `f` is true under the uniform input distribution.
+    #[must_use]
+    pub fn probability_uniform(&self, f: BddRef) -> f64 {
+        let probs = vec![0.5; self.var_count];
+        self.probability(f, &probs)
+    }
+
+    /// Number of satisfying assignments of `f` over all `var_count`
+    /// variables (as `f64`, exact for up to 2^52 models).
+    #[must_use]
+    pub fn sat_count(&self, f: BddRef) -> f64 {
+        self.probability_uniform(f) * (self.var_count as f64).exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_var() -> (BddManager, BddRef, BddRef) {
+        let mut m = BddManager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        (m, a, b)
+    }
+
+    #[test]
+    fn hash_consing_gives_canonical_forms() {
+        let (mut m, a, b) = two_var();
+        let f1 = m.and(a, b);
+        let f2 = m.and(b, a);
+        assert_eq!(f1, f2);
+        let n1 = m.not(f1);
+        let nand_direct = {
+            let na = m.not(a);
+            let nb = m.not(b);
+            m.or(na, nb)
+        };
+        assert_eq!(n1, nand_direct); // De Morgan, structurally
+    }
+
+    #[test]
+    fn terminals_and_constants() {
+        assert!(BddRef::TRUE.is_true());
+        assert!(BddRef::FALSE.is_false());
+        assert_eq!(BddManager::constant(true), BddRef::TRUE);
+        let (mut m, a, _) = two_var();
+        assert_eq!(m.and(a, BddRef::FALSE), BddRef::FALSE);
+        assert_eq!(m.and(a, BddRef::TRUE), a);
+        assert_eq!(m.or(a, BddRef::TRUE), BddRef::TRUE);
+        assert_eq!(m.xor(a, BddRef::FALSE), a);
+        let na = m.not(a);
+        assert_eq!(m.xor(a, BddRef::TRUE), na);
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let (mut m, a, b) = two_var();
+        let f = m.xor(a, b);
+        let nf = m.not(f);
+        assert_eq!(m.not(nf), f);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let (mut m, a, b) = two_var();
+        let f = m.xor(a, b);
+        assert!(!m.eval(f, &[false, false]));
+        assert!(m.eval(f, &[false, true]));
+        assert!(m.eval(f, &[true, false]));
+        assert!(!m.eval(f, &[true, true]));
+    }
+
+    #[test]
+    fn ite_identities() {
+        let (mut m, a, b) = two_var();
+        let f = m.ite(a, b, BddRef::FALSE);
+        let g = m.and(a, b);
+        assert_eq!(f, g);
+        let na = m.not(a);
+        assert_eq!(m.ite(a, BddRef::FALSE, BddRef::TRUE), na);
+        assert_eq!(m.ite(a, BddRef::TRUE, BddRef::FALSE), a);
+        assert_eq!(m.ite(BddRef::TRUE, a, b), a);
+        assert_eq!(m.ite(BddRef::FALSE, a, b), b);
+        assert_eq!(m.ite(b, a, a), a);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let (mut m, a, b) = two_var();
+        let f = m.and(a, b);
+        assert_eq!(m.restrict(f, 0, true), b);
+        assert_eq!(m.restrict(f, 0, false), BddRef::FALSE);
+        assert_eq!(m.restrict(f, 1, true), a);
+        // restricting a variable not in support is identity
+        let g = m.var(0);
+        assert_eq!(m.restrict(g, 1, true), g);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        // f = a & b; substitute b := (a ^ c)  =>  a & (a ^ c) = a & !c
+        let f = m.and(a, b);
+        let g = m.xor(a, c);
+        let h = m.compose(f, 1, g);
+        let nc = m.not(c);
+        let expect = m.and(a, nc);
+        assert_eq!(h, expect);
+        // composing a variable outside the support is identity
+        assert_eq!(m.compose(a, 2, b), a);
+    }
+
+    #[test]
+    fn exists_quantifies() {
+        let (mut m, a, b) = two_var();
+        let f = m.and(a, b);
+        assert_eq!(m.exists(f, 0), b);
+        let g = m.xor(a, b);
+        assert_eq!(m.exists(g, 0), BddRef::TRUE);
+    }
+
+    #[test]
+    fn boolean_difference_detects_observability() {
+        let (mut m, a, b) = two_var();
+        let f = m.and(a, b);
+        // a is observable iff b=1
+        assert_eq!(m.boolean_difference(f, 0), b);
+        let g = m.xor(a, b);
+        // xor always observes both inputs
+        assert_eq!(m.boolean_difference(g, 0), BddRef::TRUE);
+    }
+
+    #[test]
+    fn support_lists_dependencies() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.or(a, c);
+        assert_eq!(m.support(f), vec![0, 2]);
+        assert_eq!(m.support(BddRef::TRUE), Vec::<Var>::new());
+    }
+
+    #[test]
+    fn probability_weighted_and_uniform() {
+        let (mut m, a, b) = two_var();
+        let f = m.and(a, b);
+        assert!((m.probability(f, &[0.5, 0.5]) - 0.25).abs() < 1e-12);
+        assert!((m.probability(f, &[0.1, 0.9]) - 0.09).abs() < 1e-12);
+        let g = m.or(a, b);
+        assert!((m.probability(g, &[0.1, 0.9]) - (1.0 - 0.9 * 0.1)).abs() < 1e-12);
+        assert_eq!(m.sat_count(f), 1.0);
+        assert_eq!(m.sat_count(g), 3.0);
+    }
+
+    #[test]
+    fn size_and_node_count() {
+        let (mut m, a, b) = two_var();
+        let f = m.xor(a, b);
+        assert_eq!(m.size(f), 3); // root + two b-nodes
+        assert_eq!(m.size(BddRef::TRUE), 0);
+        assert!(m.node_count() >= 5);
+    }
+
+    #[test]
+    fn add_var_extends_order() {
+        let mut m = BddManager::new(1);
+        let v = m.add_var();
+        assert_eq!(v, 1);
+        let b = m.var(1);
+        let a = m.var(0);
+        let f = m.and(a, b);
+        assert!(m.eval(f, &[true, true]));
+    }
+
+    #[test]
+    fn clear_caches_preserves_refs() {
+        let (mut m, a, b) = two_var();
+        let f = m.and(a, b);
+        m.clear_op_caches();
+        let g = m.and(a, b);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_out_of_range_panics() {
+        let mut m = BddManager::new(1);
+        let _ = m.var(3);
+    }
+
+    #[test]
+    fn three_variable_majority() {
+        let mut m = BddManager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let bc = m.and(b, c);
+        let t = m.or(ab, ac);
+        let maj = m.or(t, bc);
+        assert_eq!(m.sat_count(maj), 4.0);
+        for p in 0..8u32 {
+            let asg: Vec<bool> = (0..3).map(|j| p >> j & 1 != 0).collect();
+            let expect = asg.iter().filter(|&&x| x).count() >= 2;
+            assert_eq!(m.eval(maj, &asg), expect);
+        }
+    }
+}

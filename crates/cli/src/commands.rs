@@ -1,0 +1,407 @@
+//! Command implementations.
+
+use crate::options::{Options, ParsedArgs};
+use relogic::{
+    GateEps, InputDistribution, ObservabilityMatrix, SinglePass, SinglePassOptions, Weights,
+};
+use relogic_netlist::structure::{output_cone_sizes, CircuitStats, FanoutMap};
+use relogic_netlist::{bench, blif, dot, verilog, Circuit};
+use relogic_sim::MonteCarloConfig;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (unknown command/flag, missing value).
+    Usage(String),
+    /// Could not read the input file.
+    Io(std::io::Error),
+    /// The netlist failed to parse or validate.
+    Netlist(relogic_netlist::NetlistError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Netlist(e) => write!(f, "netlist error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<relogic_netlist::NetlistError> for CliError {
+    fn from(e: relogic_netlist::NetlistError) -> Self {
+        CliError::Netlist(e)
+    }
+}
+
+/// Runs a parsed command line, returning the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for bad usage, unreadable files, or malformed
+/// netlists.
+pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => Ok(crate::USAGE.to_owned()),
+        "stats" => stats(&load(args)?),
+        "analyze" => analyze(&load(args)?, &args.options),
+        "sweep" => sweep(&load(args)?, &args.options),
+        "mc" => monte_carlo(&load(args)?, &args.options),
+        "rank" => rank(&load(args)?, &args.options),
+        "convert" => convert(&load(args)?, &args.options),
+        "gen" => gen(args),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}` (try `relogic-cli help`)"
+        ))),
+    }
+}
+
+fn load(args: &ParsedArgs) -> Result<Circuit, CliError> {
+    let path = args
+        .target
+        .as_deref()
+        .ok_or_else(|| CliError::Usage(format!("`{}` needs a netlist file", args.command)))?;
+    let text = std::fs::read_to_string(path)?;
+    parse_netlist(path, &text)
+}
+
+/// Parses netlist text, choosing the format from the file name
+/// (`*.bench` → ISCAS-85 bench, `*.v`/`*.verilog` → structural Verilog,
+/// anything else → BLIF).
+///
+/// # Errors
+///
+/// Returns the parser's [`CliError::Netlist`] on malformed input.
+pub fn parse_netlist(path: &str, text: &str) -> Result<Circuit, CliError> {
+    if path.ends_with(".bench") {
+        Ok(bench::parse(text)?)
+    } else if path.ends_with(".v") || path.ends_with(".verilog") {
+        Ok(verilog::parse(text)?)
+    } else {
+        Ok(blif::parse(text)?)
+    }
+}
+
+fn stats(c: &Circuit) -> Result<String, CliError> {
+    let s = CircuitStats::of(c);
+    let fan = FanoutMap::build(c);
+    let cones = output_cone_sizes(c);
+    let mut out = String::new();
+    out.push_str(&format!("model:            {}\n", c.name()));
+    out.push_str(&format!("inputs:           {}\n", s.inputs));
+    out.push_str(&format!("outputs:          {}\n", s.outputs));
+    out.push_str(&format!("gates:            {}\n", s.gates));
+    out.push_str(&format!("depth:            {}\n", s.depth));
+    out.push_str(&format!("total out levels: {}\n", s.total_output_levels));
+    out.push_str(&format!("max fanout:       {}\n", s.max_fanout));
+    out.push_str(&format!("fanout stems:     {}\n", s.stems));
+    out.push_str(&format!(
+        "largest cone:     {} gates\n",
+        cones.iter().max().copied().unwrap_or(0)
+    ));
+    out.push_str(&format!(
+        "dangling nodes:   {}\n",
+        fan.dangling_nodes().len()
+    ));
+    out.push_str("gate kinds:       ");
+    let kinds: Vec<String> = s
+        .kind_histogram
+        .iter()
+        .map(|(k, n)| format!("{k}:{n}"))
+        .collect();
+    out.push_str(&kinds.join(" "));
+    out.push('\n');
+    Ok(out)
+}
+
+fn analysis_weights(c: &Circuit, opts: &Options) -> Weights {
+    Weights::compute(c, &InputDistribution::Uniform, opts.backend())
+}
+
+fn engine_options(opts: &Options) -> SinglePassOptions {
+    if opts.no_correlations {
+        SinglePassOptions::without_correlations()
+    } else {
+        SinglePassOptions::default()
+    }
+}
+
+fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
+    let weights = analysis_weights(c, opts);
+    let engine = SinglePass::new(c, &weights, engine_options(opts));
+    let result = engine.run(&GateEps::uniform(c, opts.eps));
+    let mut out = format!(
+        "single-pass reliability at eps = {} ({} backend{})\n",
+        opts.eps,
+        match opts.backend {
+            crate::options::BackendKind::Bdd => "bdd",
+            crate::options::BackendKind::Sim => "sim",
+        },
+        if opts.no_correlations {
+            ", correlations off"
+        } else {
+            ""
+        }
+    );
+    for (k, o) in c.outputs().iter().enumerate() {
+        out.push_str(&format!(
+            "{:>24}  delta = {:.6}\n",
+            o.name(),
+            result.per_output()[k]
+        ));
+    }
+    if opts.per_node {
+        out.push_str("\nper-node error probabilities:\n");
+        for (id, node) in c.iter() {
+            if !node.kind().is_gate() {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>24}  p01 = {:.6}  p10 = {:.6}  delta = {:.6}\n",
+                c.display_name(id),
+                result.p01(id),
+                result.p10(id),
+                result.node_delta(id)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn sweep(c: &Circuit, opts: &Options) -> Result<String, CliError> {
+    let weights = analysis_weights(c, opts);
+    let grid = relogic::sweep::epsilon_grid(opts.points, 0.0, opts.max_eps);
+    let curves = relogic::sweep::sweep_single_pass(c, &weights, engine_options(opts), &grid);
+    let mut out = String::from("eps");
+    for o in c.outputs() {
+        out.push_str(&format!(",{}", o.name()));
+    }
+    out.push('\n');
+    for (i, &e) in grid.iter().enumerate() {
+        out.push_str(&format!("{e:.5}"));
+        for &d in &curves.delta[i] {
+            out.push_str(&format!(",{d:.6}"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
+    let eps = GateEps::uniform(c, opts.eps);
+    let r = relogic_sim::estimate(
+        c,
+        eps.as_slice(),
+        &MonteCarloConfig {
+            patterns: opts.patterns,
+            seed: opts.seed,
+            ..MonteCarloConfig::default()
+        },
+    );
+    let mut out = format!(
+        "monte carlo at eps = {} ({} patterns)\n",
+        opts.eps,
+        r.patterns()
+    );
+    for (k, o) in c.outputs().iter().enumerate() {
+        out.push_str(&format!(
+            "{:>24}  delta = {:.6}  (std err {:.6})\n",
+            o.name(),
+            r.per_output()[k],
+            r.std_error(k)
+        ));
+    }
+    out.push_str(&format!("{:>24}  any-output = {:.6}\n", "*", r.any_output()));
+    Ok(out)
+}
+
+fn rank(c: &Circuit, opts: &Options) -> Result<String, CliError> {
+    let obs = ObservabilityMatrix::compute(c, &InputDistribution::Uniform, opts.backend());
+    let eps = GateEps::uniform(c, opts.eps);
+    let mut rows: Vec<(relogic_netlist::NodeId, f64)> = c
+        .node_ids()
+        .filter(|&id| c.node(id).kind().is_gate())
+        .map(|id| (id, eps.get(id) * obs.any(id)))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = format!(
+        "top {} gates by soft-error criticality (eps * any-output observability):\n",
+        opts.top.min(rows.len())
+    );
+    for (id, crit) in rows.into_iter().take(opts.top) {
+        out.push_str(&format!(
+            "{:>24}  {:6}  criticality = {:.6}  observability = {:.4}\n",
+            c.display_name(id),
+            c.node(id).kind().to_string(),
+            crit,
+            obs.any(id)
+        ));
+    }
+    Ok(out)
+}
+
+fn convert(c: &Circuit, opts: &Options) -> Result<String, CliError> {
+    match opts.to.as_str() {
+        "bench" => Ok(bench::write(c)),
+        "blif" => Ok(blif::write(c)),
+        "verilog" | "v" => Ok(verilog::write(c)),
+        "dot" => Ok(dot::to_dot(c)),
+        other => Err(CliError::Usage(format!(
+            "unknown target format `{other}` (expected bench, blif, verilog, or dot)"
+        ))),
+    }
+}
+
+fn gen(args: &ParsedArgs) -> Result<String, CliError> {
+    let name = args
+        .target
+        .as_deref()
+        .ok_or_else(|| CliError::Usage("`gen` needs a suite circuit name".into()))?;
+    let circuit = relogic_gen::suite::build(name).ok_or_else(|| {
+        let names: Vec<&str> = relogic_gen::suite::entries().iter().map(|e| e.name).collect();
+        CliError::Usage(format!(
+            "unknown suite circuit `{name}` (available: {})",
+            names.join(", ")
+        ))
+    })?;
+    Ok(bench::write(&circuit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+t = NAND(a, b)
+y = NOT(t)
+";
+
+    fn run_on_file(command: &str, extra: &[&str]) -> String {
+        let dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{command}.bench"));
+        std::fs::write(&path, SMALL).unwrap();
+        let mut argv: Vec<String> = vec![command.to_owned(), path.display().to_string()];
+        argv.extend(extra.iter().map(|s| (*s).to_owned()));
+        let parsed = ParsedArgs::parse(argv).unwrap();
+        run(&parsed).unwrap()
+    }
+
+    #[test]
+    fn stats_command() {
+        let out = run_on_file("stats", &[]);
+        assert!(out.contains("gates:            2"));
+        assert!(out.contains("inputs:           2"));
+    }
+
+    #[test]
+    fn analyze_command() {
+        let out = run_on_file("analyze", &["--eps", "0.1", "--per-node"]);
+        assert!(out.contains("delta ="));
+        assert!(out.contains("p01 ="));
+        // Two noisy gates in series: delta = 2·0.1·0.9 = 0.18.
+        assert!(out.contains("0.180000"), "{out}");
+    }
+
+    #[test]
+    fn sweep_command_emits_csv() {
+        let out = run_on_file("sweep", &["--points", "3", "--max-eps", "0.5"]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "eps,y");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0.00000,0.000000"));
+    }
+
+    #[test]
+    fn mc_command() {
+        let out = run_on_file("mc", &["--patterns", "8192", "--eps", "0.1"]);
+        assert!(out.contains("8192 patterns"));
+        assert!(out.contains("any-output"));
+    }
+
+    #[test]
+    fn rank_command() {
+        let out = run_on_file("rank", &["--top", "1"]);
+        assert!(out.contains("criticality ="));
+        // The output inverter has observability 1 and must rank first.
+        assert!(out.contains("observability = 1.0000"));
+    }
+
+    #[test]
+    fn convert_roundtrip() {
+        let blif_text = run_on_file("convert", &["--to", "blif"]);
+        assert!(blif_text.contains(".model"));
+        let dot_text = run_on_file("convert", &["--to", "dot"]);
+        assert!(dot_text.contains("digraph"));
+        let bench_text = run_on_file("convert", &["--to", "bench"]);
+        assert!(bench_text.contains("NAND"));
+        let verilog_text = run_on_file("convert", &["--to", "verilog"]);
+        assert!(verilog_text.contains("module"));
+        assert!(verilog_text.contains("nand"));
+    }
+
+    #[test]
+    fn verilog_detection_by_extension() {
+        let dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.v");
+        std::fs::write(
+            &path,
+            "module t (a, y);\n input a;\n output y;\n not (y, a);\nendmodule\n",
+        )
+        .unwrap();
+        let parsed = ParsedArgs::parse(["stats", path.display().to_string().as_str()]).unwrap();
+        let out = run(&parsed).unwrap();
+        assert!(out.contains("gates:            1"), "{out}");
+    }
+
+    #[test]
+    fn gen_command() {
+        let parsed = ParsedArgs::parse(["gen", "x2"]).unwrap();
+        let out = run(&parsed).unwrap();
+        assert!(out.contains("INPUT(pi0)"));
+        let reparsed = bench::parse(&out).unwrap();
+        assert_eq!(reparsed.gate_count(), 56);
+        let bad = ParsedArgs::parse(["gen", "zzz"]).unwrap();
+        assert!(matches!(run(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        let parsed = ParsedArgs::parse(["frobnicate"]).unwrap();
+        let err = run(&parsed).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+        let parsed = ParsedArgs::parse(["analyze"]).unwrap();
+        assert!(matches!(run(&parsed), Err(CliError::Usage(_))));
+        let parsed = ParsedArgs::parse(["analyze", "/nonexistent/file.bench"]).unwrap();
+        assert!(matches!(run(&parsed), Err(CliError::Io(_))));
+        let parsed = ParsedArgs::parse(["help"]).unwrap();
+        assert!(run(&parsed).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn blif_detection_by_extension() {
+        let dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.blif");
+        std::fs::write(&path, ".model t\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n").unwrap();
+        let parsed =
+            ParsedArgs::parse(["stats", path.display().to_string().as_str()]).unwrap();
+        let out = run(&parsed).unwrap();
+        assert!(out.contains("model:            t"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Implementation of the `relogic-cli` command-line tool.
+//!
+//! Everything is in the library (commands take parsed options and return
+//! strings) so the test suite can drive the tool without spawning
+//! processes; `main.rs` is a thin shell.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod commands;
+mod options;
+
+pub use commands::{run, CliError};
+pub use options::{Options, ParsedArgs};
+
+/// The usage text printed by `relogic-cli help`.
+pub const USAGE: &str = "\
+relogic-cli — reliability analysis of logic circuits (DATE 2007 algorithms)
+
+USAGE:
+    relogic-cli <COMMAND> [ARGS] [OPTIONS]
+
+COMMANDS:
+    stats <FILE>            structural statistics of a netlist
+    analyze <FILE>          per-output error probabilities (single-pass engine)
+    sweep <FILE>            delta(eps) curves over an epsilon grid (CSV)
+    mc <FILE>               Monte Carlo fault-injection reference
+    rank <FILE>             gates ranked by soft-error criticality (eps * observability)
+    convert <FILE>          convert between bench / blif / dot
+    gen <NAME>              emit a benchmark-suite analogue as .bench text
+    help                    this message
+
+OPTIONS:
+    --eps <F>               uniform gate failure probability     [default: 0.05]
+    --backend <bdd|sim>     statistics backend                   [default: bdd]
+    --patterns <N>          patterns for sim backend / mc        [default: 65536]
+    --seed <N>              RNG seed                             [default: 1]
+    --points <N>            epsilon grid points for sweep        [default: 20]
+    --max-eps <F>           epsilon grid upper bound             [default: 0.5]
+    --no-correlations       disable reconvergent-fanout correction
+    --per-node              also print per-node error probabilities (analyze)
+    --to <bench|blif|verilog|dot>  target format for convert     [default: blif]
+    --top <N>               rows to print for rank               [default: 10]
+
+FILES:
+    *.bench parses as ISCAS-85 bench, *.v/*.verilog as structural Verilog,
+    everything else as BLIF.
+
+EXAMPLES:
+    relogic-cli gen b9 > b9.bench
+    relogic-cli analyze b9.bench --eps 0.1
+    relogic-cli sweep b9.bench --points 50 > curves.csv
+    relogic-cli rank b9.bench --top 5
+    relogic-cli convert b9.bench --to dot | dot -Tsvg > b9.svg
+";

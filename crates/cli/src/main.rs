@@ -1,0 +1,20 @@
+//! `relogic-cli`: reliability analysis of logic circuits from the shell.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match relogic_cli::ParsedArgs::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{}", relogic_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match relogic_cli::run(&parsed) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Command-line option parsing (dependency-free).
+
+use crate::commands::CliError;
+use relogic::Backend;
+
+/// Raw command line split into command, positional argument, and options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand name.
+    pub command: String,
+    /// The positional argument (netlist path or suite name), if present.
+    pub target: Option<String>,
+    /// Parsed flag values.
+    pub options: Options,
+}
+
+/// Typed option values with their defaults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Options {
+    /// Uniform gate failure probability.
+    pub eps: f64,
+    /// Backend selector (`bdd` exact or `sim` sampled).
+    pub backend: BackendKind,
+    /// Pattern budget for sampled statistics and Monte Carlo.
+    pub patterns: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// ε grid points for `sweep`.
+    pub points: usize,
+    /// ε grid upper bound for `sweep`.
+    pub max_eps: f64,
+    /// Disable the §4.1 correlation correction.
+    pub no_correlations: bool,
+    /// Print per-node detail in `analyze`.
+    pub per_node: bool,
+    /// Target format for `convert`.
+    pub to: String,
+    /// Row limit for `rank`.
+    pub top: usize,
+}
+
+/// Which statistics backend the user asked for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Exact symbolic backend.
+    Bdd,
+    /// Random-pattern sampling backend.
+    Sim,
+}
+
+impl Options {
+    /// The `relogic` backend implied by these options.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        match self.backend {
+            BackendKind::Bdd => Backend::Bdd,
+            BackendKind::Sim => Backend::Simulation {
+                patterns: self.patterns,
+                seed: self.seed,
+            },
+        }
+    }
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            eps: 0.05,
+            backend: BackendKind::Bdd,
+            patterns: 65_536,
+            seed: 1,
+            points: 20,
+            max_eps: 0.5,
+            no_correlations: false,
+            per_node: false,
+            to: "blif".to_owned(),
+            top: 10,
+        }
+    }
+}
+
+impl ParsedArgs {
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown flags, missing or malformed
+    /// values, or a missing command.
+    pub fn parse<I, S>(args: I) -> Result<ParsedArgs, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut args = args.into_iter().map(Into::into);
+        let command = args
+            .next()
+            .ok_or_else(|| CliError::Usage("missing command (try `relogic-cli help`)".into()))?;
+        let mut target = None;
+        let mut options = Options::default();
+
+        let mut iter = args;
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--eps" => options.eps = parse_value(&arg, iter.next())?,
+                "--patterns" => options.patterns = parse_value(&arg, iter.next())?,
+                "--seed" => options.seed = parse_value(&arg, iter.next())?,
+                "--points" => options.points = parse_value(&arg, iter.next())?,
+                "--max-eps" => options.max_eps = parse_value(&arg, iter.next())?,
+                "--top" => options.top = parse_value(&arg, iter.next())?,
+                "--backend" => {
+                    let v: String = parse_value(&arg, iter.next())?;
+                    options.backend = match v.as_str() {
+                        "bdd" => BackendKind::Bdd,
+                        "sim" => BackendKind::Sim,
+                        other => {
+                            return Err(CliError::Usage(format!(
+                                "unknown backend `{other}` (expected bdd or sim)"
+                            )))
+                        }
+                    };
+                }
+                "--to" => options.to = parse_value(&arg, iter.next())?,
+                "--no-correlations" => options.no_correlations = true,
+                "--per-node" => options.per_node = true,
+                flag if flag.starts_with("--") => {
+                    return Err(CliError::Usage(format!("unknown option `{flag}`")))
+                }
+                positional => {
+                    if target.is_some() {
+                        return Err(CliError::Usage(format!(
+                            "unexpected extra argument `{positional}`"
+                        )));
+                    }
+                    target = Some(positional.to_owned());
+                }
+            }
+        }
+        if !(0.0..=1.0).contains(&options.eps) {
+            return Err(CliError::Usage(format!(
+                "--eps {} out of [0, 1]",
+                options.eps
+            )));
+        }
+        Ok(ParsedArgs {
+            command,
+            target,
+            options,
+        })
+    }
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> Result<T, CliError> {
+    let v = value.ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))?;
+    v.parse()
+        .map_err(|_| CliError::Usage(format!("invalid value `{v}` for {flag}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_target_and_flags() {
+        let p = ParsedArgs::parse(["analyze", "c.bench", "--eps", "0.1", "--per-node"]).unwrap();
+        assert_eq!(p.command, "analyze");
+        assert_eq!(p.target.as_deref(), Some("c.bench"));
+        assert_eq!(p.options.eps, 0.1);
+        assert!(p.options.per_node);
+        assert!(!p.options.no_correlations);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = ParsedArgs::parse(["stats", "x.blif"]).unwrap();
+        assert_eq!(p.options.eps, 0.05);
+        assert_eq!(p.options.patterns, 65_536);
+        assert_eq!(p.options.backend, BackendKind::Bdd);
+    }
+
+    #[test]
+    fn backend_selection() {
+        let p = ParsedArgs::parse(["analyze", "x.bench", "--backend", "sim"]).unwrap();
+        assert_eq!(p.options.backend, BackendKind::Sim);
+        assert!(matches!(
+            p.options.backend(),
+            relogic::Backend::Simulation { .. }
+        ));
+        assert!(ParsedArgs::parse(["analyze", "x", "--backend", "magic"]).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_bad_values() {
+        assert!(ParsedArgs::parse(["analyze", "--frobnicate"]).is_err());
+        assert!(ParsedArgs::parse(["analyze", "--eps"]).is_err());
+        assert!(ParsedArgs::parse(["analyze", "--eps", "banana"]).is_err());
+        assert!(ParsedArgs::parse(["analyze", "--eps", "1.5"]).is_err());
+        assert!(ParsedArgs::parse(["analyze", "a", "b"]).is_err());
+        assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+    }
+}

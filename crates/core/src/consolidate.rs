@@ -1,0 +1,426 @@
+//! Multi-output error consolidation.
+//!
+//! The paper's application studies (Figs. 5 and 8) report the *consolidated
+//! output error*: the probability that **at least one** primary output is in
+//! error. Output error events are correlated — both through shared logic and
+//! through shared noise — so the naive `1 − Π(1 − δ_y)` is biased. Following
+//! §4.1, the single-pass correlation coefficients between output signals,
+//! combined with the joint fault-free value distribution of each output
+//! pair, give a pairwise-corrected estimate.
+
+use crate::{Backend, ErrorEvent, InputDistribution, SinglePassResult};
+use relogic_bdd::{BddManager, CircuitBdds, VarOrder};
+use relogic_netlist::{Circuit, NodeId};
+use std::collections::HashMap;
+
+/// Precomputed joint fault-free value distributions for output pairs.
+///
+/// Joint distributions are ε-independent, so one `Consolidator` serves an
+/// entire ε sweep.
+///
+/// # Examples
+///
+/// ```
+/// use relogic::{
+///     consolidate::Consolidator, Backend, GateEps, InputDistribution, SinglePass,
+///     SinglePassOptions, Weights,
+/// };
+/// use relogic_netlist::Circuit;
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let g = c.and([a, b]);
+/// let h = c.not(g);
+/// c.add_output("y1", g);
+/// c.add_output("y2", h);
+///
+/// let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+/// let r = SinglePass::new(&c, &w, SinglePassOptions::default()).run(&GateEps::uniform(&c, 0.1));
+/// let cons = Consolidator::new(&c, &InputDistribution::Uniform, Backend::Bdd);
+/// let any = cons.any_output_error(&r);
+/// assert!(any >= r.per_output()[0].max(r.per_output()[1]) - 1e-9);
+/// assert!(any <= r.per_output()[0] + r.per_output()[1] + 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct Consolidator {
+    output_nodes: Vec<NodeId>,
+    /// Joint value distribution per output pair `(a, b)` with `a < b`
+    /// (output indices): entry `vb << 1 | va`.
+    pair_values: HashMap<(usize, usize), [f64; 4]>,
+}
+
+impl Consolidator {
+    /// Builds joint value distributions for every pair of primary outputs.
+    ///
+    /// Cost is one symbolic circuit construction plus `O(outputs²)`
+    /// conjunction queries with [`Backend::Bdd`], or one sampling pass with
+    /// [`Backend::Simulation`]. For circuits with very many outputs prefer
+    /// [`Consolidator::for_pairs`].
+    #[must_use]
+    pub fn new(circuit: &Circuit, dist: &InputDistribution, backend: Backend) -> Self {
+        let m = circuit.output_count();
+        let pairs: Vec<(usize, usize)> = (0..m)
+            .flat_map(|a| ((a + 1)..m).map(move |b| (a, b)))
+            .collect();
+        Self::for_pairs(circuit, &pairs, dist, backend)
+    }
+
+    /// Builds joint value distributions for the given output-index pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair index is out of range or not strictly increasing.
+    #[must_use]
+    pub fn for_pairs(
+        circuit: &Circuit,
+        pairs: &[(usize, usize)],
+        dist: &InputDistribution,
+        backend: Backend,
+    ) -> Self {
+        let output_nodes: Vec<NodeId> = circuit.outputs().iter().map(|o| o.node()).collect();
+        for &(a, b) in pairs {
+            assert!(a < b && b < output_nodes.len(), "invalid output pair ({a},{b})");
+        }
+        let pair_values = match backend {
+            Backend::Bdd => {
+                let order = VarOrder::dfs(circuit);
+                let mut manager = BddManager::new(order.len());
+                let bdds = CircuitBdds::build(&mut manager, circuit, &order);
+                let var_probs =
+                    order.permute_probs(&dist.position_probs(circuit), order.len(), 0.5);
+                let mut memo: HashMap<relogic_bdd::BddRef, f64> = HashMap::new();
+                pairs
+                    .iter()
+                    .map(|&(a, b)| {
+                        let fa = bdds.func(output_nodes[a]);
+                        let fb = bdds.func(output_nodes[b]);
+                        let mut dist4 = [0.0f64; 4];
+                        for (combo, slot) in dist4.iter_mut().enumerate() {
+                            let la = if combo & 1 == 1 { fa } else { manager.not(fa) };
+                            let lb = if combo & 2 == 2 { fb } else { manager.not(fb) };
+                            let conj = manager.and(la, lb);
+                            *slot = manager.probability_memo(conj, &var_probs, &mut memo);
+                        }
+                        ((a, b), dist4)
+                    })
+                    .collect()
+            }
+            Backend::Simulation { patterns, seed } => {
+                use rand::SeedableRng;
+                let sampler =
+                    relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+                let mut sim = relogic_sim::PackedSim::new(circuit);
+                let blocks = patterns.div_ceil(64).max(1);
+                let mut counts: HashMap<(usize, usize), [u64; 4]> =
+                    pairs.iter().map(|&p| (p, [0u64; 4])).collect();
+                for _ in 0..blocks {
+                    sampler.fill(&mut sim, &mut rng);
+                    sim.propagate(circuit);
+                    for (&(a, b), slot) in &mut counts {
+                        let wa = sim.node_word(output_nodes[a]);
+                        let wb = sim.node_word(output_nodes[b]);
+                        slot[0b00] += u64::from((!wa & !wb).count_ones());
+                        slot[0b01] += u64::from((wa & !wb).count_ones());
+                        slot[0b10] += u64::from((!wa & wb).count_ones());
+                        slot[0b11] += u64::from((wa & wb).count_ones());
+                    }
+                }
+                #[allow(clippy::cast_precision_loss)]
+                let total = (blocks * 64) as f64;
+                #[allow(clippy::cast_precision_loss)]
+                counts
+                    .into_iter()
+                    .map(|(p, c)| (p, c.map(|x| x as f64 / total)))
+                    .collect()
+            }
+        };
+        Consolidator {
+            output_nodes,
+            pair_values,
+        }
+    }
+
+    /// Joint probability that outputs `a` and `b` are *both* in error, using
+    /// the single-pass error probabilities and correlation coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not precomputed.
+    #[must_use]
+    pub fn joint_error(&self, result: &SinglePassResult, a: usize, b: usize) -> f64 {
+        let (a, b) = (a.min(b), a.max(b));
+        let values = self
+            .pair_values
+            .get(&(a, b))
+            .unwrap_or_else(|| panic!("output pair ({a},{b}) was not precomputed"));
+        let na = self.output_nodes[a];
+        let nb = self.output_nodes[b];
+        let coeffs = result.correlation(na, nb);
+        let q = |node: NodeId, value: usize| -> (f64, ErrorEvent) {
+            if value == 0 {
+                (result.p01(node), ErrorEvent::Rise)
+            } else {
+                (result.p10(node), ErrorEvent::Fall)
+            }
+        };
+        let mut joint = 0.0f64;
+        for va in 0..2usize {
+            for vb in 0..2usize {
+                let w = values[vb << 1 | va];
+                if w <= 0.0 {
+                    continue;
+                }
+                let (pa, ev_a) = q(na, va);
+                let (pb, ev_b) = q(nb, vb);
+                let c = coeffs.map_or(1.0, |c| match (ev_a, ev_b) {
+                    (ErrorEvent::Rise, ErrorEvent::Rise) => c[0][0],
+                    (ErrorEvent::Rise, ErrorEvent::Fall) => c[0][1],
+                    (ErrorEvent::Fall, ErrorEvent::Rise) => c[1][0],
+                    (ErrorEvent::Fall, ErrorEvent::Fall) => c[1][1],
+                });
+                joint += w * (pa * pb * c).clamp(0.0, pa.min(pb));
+            }
+        }
+        let da = delta_of(result, na, values, true);
+        let db = delta_of(result, nb, values, false);
+        joint.clamp(0.0, da.min(db))
+    }
+
+    /// Probability that at least one of outputs `a`, `b` is in error — the
+    /// quantity plotted in the paper's Fig. 5.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not precomputed.
+    #[must_use]
+    pub fn pair_error(&self, result: &SinglePassResult, a: usize, b: usize) -> f64 {
+        let da = result.per_output()[a];
+        let db = result.per_output()[b];
+        (da + db - self.joint_error(result, a, b)).clamp(da.max(db), (da + db).min(1.0))
+    }
+
+    /// Probability that at least one primary output is in error (the
+    /// paper's "consolidated output error curve", Fig. 8), via a
+    /// pairwise-corrected product over outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the consolidator was built with [`Consolidator::for_pairs`]
+    /// and does not cover all output pairs.
+    #[must_use]
+    pub fn any_output_error(&self, result: &SinglePassResult) -> f64 {
+        let deltas = result.per_output();
+        let m = deltas.len();
+        if m == 0 {
+            return 0.0;
+        }
+        if m == 1 {
+            return deltas[0];
+        }
+        // ln P(no error) ≈ Σ ln(1−δ_k) + Σ_{a<b} ln θ_ab, the pairwise
+        // (Kirkwood superposition) correction.
+        let mut log_none = 0.0f64;
+        for &d in deltas {
+            if d >= 1.0 {
+                return 1.0;
+            }
+            log_none += (1.0 - d).ln();
+        }
+        for a in 0..m {
+            for b in (a + 1)..m {
+                let ok_a = 1.0 - deltas[a];
+                let ok_b = 1.0 - deltas[b];
+                if ok_a <= 0.0 || ok_b <= 0.0 {
+                    return 1.0;
+                }
+                let joint_err = self.joint_error(result, a, b);
+                let ok_both = (1.0 - deltas[a] - deltas[b] + joint_err).clamp(0.0, 1.0);
+                let theta = (ok_both / (ok_a * ok_b)).clamp(1e-6, 1e6);
+                log_none += theta.ln();
+            }
+        }
+        let lower = deltas.iter().cloned().fold(0.0, f64::max);
+        let upper = deltas.iter().sum::<f64>().min(1.0);
+        (1.0 - log_none.exp()).clamp(lower, upper)
+    }
+}
+
+/// Per-output δ recomputed from the pair's joint value marginals, for
+/// consistency with the stored joint distribution. Falls back to the
+/// result's value.
+fn delta_of(result: &SinglePassResult, node: NodeId, values: &[f64; 4], first: bool) -> f64 {
+    let p0 = if first {
+        values[0b00] + values[0b10]
+    } else {
+        values[0b00] + values[0b01]
+    };
+    (1.0 - p0).mul_add(result.p10(node), p0 * result.p01(node))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GateEps, SinglePass, SinglePassOptions, Weights};
+    use relogic_sim::{estimate, exact_reliability, MonteCarloConfig};
+
+    fn analyzed(
+        c: &Circuit,
+        eps: f64,
+    ) -> (SinglePassResult, Consolidator, GateEps) {
+        let w = Weights::compute(c, &InputDistribution::Uniform, Backend::Bdd);
+        let e = GateEps::uniform(c, eps);
+        let r = SinglePass::new(c, &w, SinglePassOptions::default()).run(&e);
+        let cons = Consolidator::new(c, &InputDistribution::Uniform, Backend::Bdd);
+        (r, cons, e)
+    }
+
+    fn two_output_reconvergent() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("x");
+        let s = c.nand([a, b]);
+        let o1 = c.or([s, x]);
+        let o2 = c.xor([s, x]);
+        c.add_output("y1", o1);
+        c.add_output("y2", o2);
+        c
+    }
+
+    #[test]
+    fn identical_outputs_err_together() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y1", g);
+        c.add_output("y2", g);
+        let (r, cons, _) = analyzed(&c, 0.2);
+        // Same node: joint error = δ (they always err together)... the
+        // correlation machinery reaches this via a perfectly correlated
+        // pair only when tracked; identical nodes share everything.
+        let j = cons.joint_error(&r, 0, 1);
+        assert!(j <= r.per_output()[0] + 1e-12);
+        let any = cons.any_output_error(&r);
+        assert!(any <= r.per_output()[0] + r.per_output()[1]);
+        assert!(any >= r.per_output()[0] - 1e-12);
+    }
+
+    #[test]
+    fn consolidated_error_close_to_exact() {
+        let c = two_output_reconvergent();
+        for &e in &[0.05, 0.15, 0.3] {
+            let (r, cons, eps) = analyzed(&c, e);
+            let exact = exact_reliability(&c, eps.as_slice());
+            let any = cons.any_output_error(&r);
+            assert!(
+                (any - exact.any_output).abs() < 0.05,
+                "ε={e}: consolidated {any} vs exact {}",
+                exact.any_output
+            );
+            let pair = cons.pair_error(&r, 0, 1);
+            assert!((pair - exact.any_output).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn correlation_correction_beats_independence_assumption() {
+        let c = two_output_reconvergent();
+        let mut corrected = 0.0f64;
+        let mut independent = 0.0f64;
+        for &e in &[0.05, 0.1, 0.2, 0.3] {
+            let (r, cons, eps) = analyzed(&c, e);
+            let exact = exact_reliability(&c, eps.as_slice()).any_output;
+            let any = cons.any_output_error(&r);
+            let naive = 1.0
+                - r.per_output()
+                    .iter()
+                    .map(|&d| 1.0 - d)
+                    .product::<f64>();
+            corrected += (any - exact).abs();
+            independent += (naive - exact).abs();
+        }
+        assert!(
+            corrected <= independent + 1e-9,
+            "corrected {corrected} vs independent {independent}"
+        );
+    }
+
+    #[test]
+    fn simulation_backend_agrees_with_bdd() {
+        let c = two_output_reconvergent();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let eps = GateEps::uniform(&c, 0.1);
+        let r = SinglePass::new(&c, &w, SinglePassOptions::default()).run(&eps);
+        let exact = Consolidator::new(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let sampled = Consolidator::new(
+            &c,
+            &InputDistribution::Uniform,
+            Backend::Simulation {
+                patterns: 1 << 15,
+                seed: 5,
+            },
+        );
+        assert!(
+            (exact.any_output_error(&r) - sampled.any_output_error(&r)).abs() < 0.02
+        );
+    }
+
+    #[test]
+    fn consolidated_matches_monte_carlo_any() {
+        let c = two_output_reconvergent();
+        let (r, cons, eps) = analyzed(&c, 0.12);
+        let mc = estimate(
+            &c,
+            eps.as_slice(),
+            &MonteCarloConfig {
+                patterns: 1 << 17,
+                ..MonteCarloConfig::default()
+            },
+        );
+        assert!(
+            (cons.any_output_error(&r) - mc.any_output()).abs() < 0.03,
+            "{} vs {}",
+            cons.any_output_error(&r),
+            mc.any_output()
+        );
+    }
+
+    #[test]
+    fn for_pairs_restricts_coverage() {
+        let c = two_output_reconvergent();
+        let cons = Consolidator::for_pairs(
+            &c,
+            &[(0, 1)],
+            &InputDistribution::Uniform,
+            Backend::Bdd,
+        );
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let r = SinglePass::new(&c, &w, SinglePassOptions::default())
+            .run(&GateEps::uniform(&c, 0.1));
+        let _ = cons.pair_error(&r, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid output pair")]
+    fn bad_pairs_rejected() {
+        let c = two_output_reconvergent();
+        let _ = Consolidator::for_pairs(
+            &c,
+            &[(1, 1)],
+            &InputDistribution::Uniform,
+            Backend::Bdd,
+        );
+    }
+
+    #[test]
+    fn empty_and_single_output_edge_cases() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let (r, cons, _) = analyzed(&c, 0.2);
+        assert!((cons.any_output_error(&r) - r.per_output()[0]).abs() < 1e-12);
+    }
+}

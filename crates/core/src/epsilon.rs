@@ -1,0 +1,219 @@
+//! Per-node gate failure probabilities (the ε⃗ vector of the paper).
+
+use rand::Rng;
+use relogic_netlist::{Circuit, NodeId};
+
+/// The vector of BSC crossover probabilities `ε⃗`, one entry per node.
+///
+/// Sources (primary inputs, constants) default to ε = 0 — the paper's
+/// setting, where noise originates at gates — but may be given nonzero
+/// values to model noisy inputs.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_netlist::Circuit;
+/// use relogic::GateEps;
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g = c.not(a);
+/// c.add_output("y", g);
+///
+/// let eps = GateEps::uniform(&c, 0.1);
+/// assert_eq!(eps.get(a), 0.0); // inputs are noise-free
+/// assert_eq!(eps.get(g), 0.1);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateEps {
+    values: Vec<f64>,
+}
+
+impl GateEps {
+    /// All nodes noise-free.
+    #[must_use]
+    pub fn zero(circuit: &Circuit) -> Self {
+        GateEps {
+            values: vec![0.0; circuit.len()],
+        }
+    }
+
+    /// Every logic gate fails with probability `eps`; sources are
+    /// noise-free. This is the configuration used throughout the paper's
+    /// Table 2 and figure sweeps ("the same value of ε has been used for
+    /// all the gates").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` is outside `[0, 1]`.
+    #[must_use]
+    pub fn uniform(circuit: &Circuit, eps: f64) -> Self {
+        assert!((0.0..=1.0).contains(&eps), "ε = {eps} out of [0,1]");
+        GateEps {
+            values: circuit
+                .iter()
+                .map(|(_, n)| if n.kind().is_gate() { eps } else { 0.0 })
+                .collect(),
+        }
+    }
+
+    /// Independent per-gate ε drawn uniformly from `[lo, hi]` — the Fig. 7
+    /// configuration ("ε for each gate was derived from a uniform random
+    /// distribution over the interval [0, 0.5]").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is invalid or outside `[0, 1]`.
+    #[must_use]
+    pub fn random_uniform<R: Rng + ?Sized>(circuit: &Circuit, lo: f64, hi: f64, rng: &mut R) -> Self {
+        assert!(0.0 <= lo && lo <= hi && hi <= 1.0, "invalid ε range [{lo}, {hi}]");
+        GateEps {
+            values: circuit
+                .iter()
+                .map(|(_, n)| {
+                    if n.kind().is_gate() {
+                        rng.gen_range(lo..=hi)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Builds an ε vector from a per-node closure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the closure returns a value outside `[0, 1]`.
+    #[must_use]
+    pub fn from_fn(circuit: &Circuit, mut f: impl FnMut(NodeId) -> f64) -> Self {
+        GateEps {
+            values: circuit
+                .node_ids()
+                .map(|id| {
+                    let e = f(id);
+                    assert!((0.0..=1.0).contains(&e), "ε({id}) = {e} out of [0,1]");
+                    e
+                })
+                .collect(),
+        }
+    }
+
+    /// ε of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn get(&self, node: NodeId) -> f64 {
+        self.values[node.index()]
+    }
+
+    /// Sets ε of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `eps` is outside `[0, 1]`.
+    pub fn set(&mut self, node: NodeId, eps: f64) {
+        assert!((0.0..=1.0).contains(&eps), "ε = {eps} out of [0,1]");
+        self.values[node.index()] = eps;
+    }
+
+    /// The raw per-node slice (indexed by [`NodeId::index`]), as consumed by
+    /// `relogic_sim::estimate`.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the vector covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterator over nodes with nonzero ε.
+    pub fn noisy_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e > 0.0)
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn circuit() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        let h = c.not(g);
+        c.add_output("y", h);
+        c
+    }
+
+    #[test]
+    fn uniform_skips_sources() {
+        let c = circuit();
+        let eps = GateEps::uniform(&c, 0.2);
+        assert_eq!(eps.as_slice(), &[0.0, 0.0, 0.2, 0.2]);
+        assert_eq!(eps.noisy_nodes().count(), 2);
+    }
+
+    #[test]
+    fn zero_is_all_zero() {
+        let c = circuit();
+        assert!(GateEps::zero(&c).noisy_nodes().next().is_none());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let c = circuit();
+        let mut eps = GateEps::zero(&c);
+        let g = NodeId::from_index(2);
+        eps.set(g, 0.5);
+        assert_eq!(eps.get(g), 0.5);
+        assert_eq!(eps.len(), 4);
+    }
+
+    #[test]
+    fn random_uniform_stays_in_range() {
+        let c = circuit();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let eps = GateEps::random_uniform(&c, 0.0, 0.5, &mut rng);
+        for id in c.node_ids() {
+            let e = eps.get(id);
+            assert!((0.0..=0.5).contains(&e));
+            if !c.node(id).kind().is_gate() {
+                assert_eq!(e, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_builds_arbitrary_vectors() {
+        let c = circuit();
+        let eps = GateEps::from_fn(&c, |id| if id.index() == 3 { 0.4 } else { 0.0 });
+        assert_eq!(eps.get(NodeId::from_index(3)), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_eps_rejected() {
+        let c = circuit();
+        let _ = GateEps::uniform(&c, 1.2);
+    }
+}

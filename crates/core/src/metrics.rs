@@ -1,0 +1,100 @@
+//! Accuracy metrics for comparing analytical estimates against a reference
+//! (Monte Carlo or exhaustive), matching how the paper reports Table 2:
+//! *"the error in δ(ε⃗) with respect to Monte Carlo simulation is measured,
+//! and the average error over all outputs is reported"* (in %).
+
+/// Relative error of `estimate` against `reference`, in percent.
+///
+/// When the reference is (numerically) zero, the absolute error in
+/// percentage points is reported instead, so noise-free configurations do
+/// not divide by zero.
+#[must_use]
+pub fn percent_error(estimate: f64, reference: f64) -> f64 {
+    const FLOOR: f64 = 1e-9;
+    if reference.abs() < FLOOR {
+        (estimate - reference).abs() * 100.0
+    } else {
+        (estimate - reference).abs() / reference.abs() * 100.0
+    }
+}
+
+/// Per-output percent errors.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn percent_errors(estimate: &[f64], reference: &[f64]) -> Vec<f64> {
+    assert_eq!(estimate.len(), reference.len());
+    estimate
+        .iter()
+        .zip(reference)
+        .map(|(&e, &r)| percent_error(e, r))
+        .collect()
+}
+
+/// Average percent error over all outputs — the Table 2 statistic.
+///
+/// Returns 0 for empty slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn average_percent_error(estimate: &[f64], reference: &[f64]) -> f64 {
+    let errs = percent_errors(estimate, reference);
+    if errs.is_empty() {
+        0.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        let n = errs.len() as f64;
+        errs.iter().sum::<f64>() / n
+    }
+}
+
+/// Maximum absolute error over all outputs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn max_abs_error(estimate: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(estimate.len(), reference.len());
+    estimate
+        .iter()
+        .zip(reference)
+        .map(|(&e, &r)| (e - r).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basics() {
+        assert!((percent_error(0.11, 0.1) - 10.0).abs() < 1e-9);
+        assert_eq!(percent_error(0.1, 0.1), 0.0);
+    }
+
+    #[test]
+    fn zero_reference_uses_absolute() {
+        assert!((percent_error(0.005, 0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(percent_error(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn averages_and_maxima() {
+        let est = [0.11, 0.2];
+        let refr = [0.1, 0.2];
+        assert!((average_percent_error(&est, &refr) - 5.0).abs() < 1e-9);
+        assert!((max_abs_error(&est, &refr) - 0.01).abs() < 1e-12);
+        assert_eq!(average_percent_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let _ = percent_errors(&[0.1], &[0.1, 0.2]);
+    }
+}

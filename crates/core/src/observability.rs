@@ -1,0 +1,311 @@
+//! Observability-based reliability analysis (§3 of the paper).
+//!
+//! The *observability* `o_i` of node `i` at output `y` is the probability
+//! (over the input distribution) that flipping node `i` changes `y` in the
+//! noise-free circuit. Given observabilities, the paper derives the closed
+//! form (Eq. 3)
+//!
+//! ```text
+//! δ_y(ε⃗) = ½ · (1 − Π_i (1 − 2 ε_i o_i))
+//! ```
+//!
+//! which is exact when at most one gate fails (hence its use for soft-error
+//! rate estimation) and accurate whenever multiple simultaneous failures
+//! are improbable.
+
+use crate::{Backend, GateEps, InputDistribution};
+use relogic_bdd::{BddManager, CircuitBdds, VarOrder};
+use relogic_netlist::{Circuit, NodeId};
+
+/// Per-node, per-output noiseless observabilities.
+#[derive(Clone, Debug)]
+pub struct ObservabilityMatrix {
+    per_output: Vec<Vec<f64>>, // [node][output]
+    any_output: Vec<f64>,
+}
+
+impl ObservabilityMatrix {
+    /// Computes observabilities for every node of `circuit`.
+    ///
+    /// With [`Backend::Bdd`] the computation is exact: an auxiliary
+    /// variable is spliced in at each node and the Boolean difference of
+    /// each output with respect to it is weighted by the input
+    /// distribution. With [`Backend::Simulation`] observabilities are
+    /// estimated by parallel-pattern fault simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input distribution does not match the circuit.
+    #[must_use]
+    pub fn compute(circuit: &Circuit, dist: &InputDistribution, backend: Backend) -> Self {
+        match backend {
+            Backend::Bdd => Self::compute_bdd(circuit, dist),
+            Backend::Simulation { patterns, seed } => {
+                let sampler =
+                    relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
+                let est =
+                    relogic_sim::observabilities_biased(circuit, &sampler, patterns, seed);
+                let per_output = circuit
+                    .node_ids()
+                    .map(|id| {
+                        (0..circuit.output_count())
+                            .map(|k| est.at_output(id, k))
+                            .collect()
+                    })
+                    .collect();
+                let any_output = circuit.node_ids().map(|id| est.any(id)).collect();
+                ObservabilityMatrix {
+                    per_output,
+                    any_output,
+                }
+            }
+        }
+    }
+
+    fn compute_bdd(circuit: &Circuit, dist: &InputDistribution) -> Self {
+        let order = VarOrder::dfs(circuit);
+        let mut manager = BddManager::new(order.len() + 1);
+        let aux = relogic_bdd::Var::try_from(order.len()).expect("var overflow");
+        let bdds = CircuitBdds::build(&mut manager, circuit, &order);
+        let var_probs = order.permute_probs(&dist.position_probs(circuit), order.len() + 1, 0.5);
+        let out_nodes: Vec<NodeId> = circuit.outputs().iter().map(|o| o.node()).collect();
+
+        let mut per_output: Vec<Vec<f64>> = Vec::with_capacity(circuit.len());
+        let mut any_output: Vec<f64> = Vec::with_capacity(circuit.len());
+        for id in circuit.node_ids() {
+            let funcs = bdds.with_aux_at(&mut manager, circuit, id, aux);
+            let mut row = Vec::with_capacity(out_nodes.len());
+            let mut any = relogic_bdd::BddRef::FALSE;
+            for &on in &out_nodes {
+                let diff = manager.boolean_difference(funcs[on.index()], aux);
+                row.push(manager.probability(diff, &var_probs));
+                any = manager.or(any, diff);
+            }
+            any_output.push(manager.probability(any, &var_probs));
+            per_output.push(row);
+            // Bound memory growth across the per-node rebuilds.
+            if manager.node_count() > 4_000_000 {
+                manager.clear_op_caches();
+            }
+        }
+        ObservabilityMatrix {
+            per_output,
+            any_output,
+        }
+    }
+
+    /// Observability of `node` at output `output_index`.
+    #[must_use]
+    pub fn at_output(&self, node: NodeId, output_index: usize) -> f64 {
+        self.per_output[node.index()][output_index]
+    }
+
+    /// Probability a flip at `node` changes at least one output.
+    #[must_use]
+    pub fn any(&self, node: NodeId) -> f64 {
+        self.any_output[node.index()]
+    }
+
+    /// Number of outputs covered.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.per_output.first().map_or(0, Vec::len)
+    }
+
+    /// Number of nodes covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.any_output.len()
+    }
+
+    /// Returns `true` if no nodes are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.any_output.is_empty()
+    }
+
+    /// The closed-form reliability (Eq. 3) of output `output_index`:
+    /// `δ_y = ½ (1 − Π_i (1 − 2 ε_i o_i))` over all noisy nodes.
+    #[must_use]
+    pub fn closed_form_output(&self, eps: &GateEps, output_index: usize) -> f64 {
+        let mut prod = 1.0f64;
+        for node in eps.noisy_nodes() {
+            prod *= 1.0 - 2.0 * eps.get(node) * self.at_output(node, output_index);
+        }
+        0.5 * (1.0 - prod)
+    }
+
+    /// Closed-form reliability for every output.
+    #[must_use]
+    pub fn closed_form(&self, eps: &GateEps) -> Vec<f64> {
+        (0..self.output_count())
+            .map(|k| self.closed_form_output(eps, k))
+            .collect()
+    }
+
+    /// Per-node *criticality* `ε_i · o_i` at a given output: the
+    /// single-failure contribution of each node, useful for ranking
+    /// soft-error hardening candidates (§5.1).
+    #[must_use]
+    pub fn criticality(&self, eps: &GateEps, output_index: usize) -> Vec<(NodeId, f64)> {
+        let mut v: Vec<(NodeId, f64)> = (0..self.len())
+            .map(NodeId::from_index)
+            .map(|id| (id, eps.get(id) * self.at_output(id, output_index)))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relogic_sim::{exact_reliability, flip_influence};
+
+    /// y = (a & b) | c.
+    fn aoi() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("c");
+        let g = c.and([a, b]);
+        let y = c.or([g, x]);
+        c.add_output("y", y);
+        c
+    }
+
+    #[test]
+    fn bdd_observabilities_match_flip_influence() {
+        let c = aoi();
+        let obs = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        for id in c.node_ids() {
+            let inf = flip_influence(&c, &[id]);
+            assert!(
+                (obs.at_output(id, 0) - inf[0]).abs() < 1e-12,
+                "{id}: {} vs {}",
+                obs.at_output(id, 0),
+                inf[0]
+            );
+        }
+    }
+
+    #[test]
+    fn sim_observabilities_converge_to_bdd() {
+        let c = aoi();
+        let exact = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let approx = ObservabilityMatrix::compute(
+            &c,
+            &InputDistribution::Uniform,
+            Backend::Simulation {
+                patterns: 1 << 15,
+                seed: 9,
+            },
+        );
+        for id in c.node_ids() {
+            assert!((exact.at_output(id, 0) - approx.at_output(id, 0)).abs() < 0.02);
+            assert!((exact.any(id) - approx.any(id)).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn closed_form_exact_for_single_noisy_gate() {
+        // With exactly one noisy gate the closed form is exact: δ = ε·o.
+        let c = aoi();
+        let obs = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let g = NodeId::from_index(3); // the AND gate, o = 1/2
+        for &e in &[0.05, 0.2, 0.45] {
+            let mut eps = GateEps::zero(&c);
+            eps.set(g, e);
+            let cf = obs.closed_form_output(&eps, 0);
+            let exact = exact_reliability(&c, eps.as_slice());
+            assert!(
+                (cf - exact.per_output[0]).abs() < 1e-12,
+                "ε={e}: closed form {cf} vs exact {}",
+                exact.per_output[0]
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_is_accurate_for_small_eps_on_all_gates() {
+        let c = aoi();
+        let obs = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let eps = GateEps::uniform(&c, 0.01);
+        let cf = obs.closed_form(&eps);
+        let exact = exact_reliability(&c, eps.as_slice());
+        assert!(
+            (cf[0] - exact.per_output[0]).abs() < 1e-4,
+            "closed form {} vs exact {}",
+            cf[0],
+            exact.per_output[0]
+        );
+    }
+
+    #[test]
+    fn closed_form_saturates_at_half() {
+        let c = aoi();
+        let obs = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let eps = GateEps::uniform(&c, 0.5);
+        for &d in &obs.closed_form(&eps) {
+            assert!(d <= 0.5 + 1e-12);
+        }
+        assert_eq!(obs.closed_form(&GateEps::zero(&c)), vec![0.0]);
+    }
+
+    #[test]
+    fn sim_backend_honours_input_distribution() {
+        // obs(AND gate) = Pr(c = 0); bias c to 0.9 → obs = 0.1, and the
+        // sampling backend must reproduce it.
+        let c = aoi();
+        let dist = InputDistribution::Independent(vec![0.5, 0.5, 0.9]);
+        let obs = ObservabilityMatrix::compute(
+            &c,
+            &dist,
+            Backend::Simulation {
+                patterns: 1 << 16,
+                seed: 12,
+            },
+        );
+        let g = NodeId::from_index(3);
+        assert!((obs.at_output(g, 0) - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn observability_weights_with_input_distribution() {
+        // obs(AND gate) = Pr(c = 0); bias c to 0.9 → obs = 0.1.
+        let c = aoi();
+        let dist = InputDistribution::Independent(vec![0.5, 0.5, 0.9]);
+        let obs = ObservabilityMatrix::compute(&c, &dist, Backend::Bdd);
+        let g = NodeId::from_index(3);
+        assert!((obs.at_output(g, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn criticality_ranks_by_single_failure_contribution() {
+        let c = aoi();
+        let obs = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let eps = GateEps::uniform(&c, 0.1);
+        let ranked = obs.criticality(&eps, 0);
+        // The OR gate is the output gate (o = 1): must rank first.
+        assert_eq!(ranked[0].0, NodeId::from_index(4));
+        assert!(ranked[0].1 >= ranked[1].1);
+        // Noise-free inputs have zero criticality.
+        assert_eq!(ranked.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn multi_output_any_observability() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.not(a);
+        let h = c.and([g, b]);
+        c.add_output("y1", g);
+        c.add_output("y2", h);
+        let obs = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        assert!((obs.at_output(g, 0) - 1.0).abs() < 1e-12);
+        assert!((obs.at_output(g, 1) - 0.5).abs() < 1e-12);
+        assert!((obs.any(g) - 1.0).abs() < 1e-12);
+        assert_eq!(obs.output_count(), 2);
+    }
+}

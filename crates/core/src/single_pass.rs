@@ -1,0 +1,950 @@
+//! Single-pass reliability analysis (§4 of the paper) with correlation
+//! coefficients for reconvergent fanout (§4.1).
+//!
+//! Gates are processed once, in topological order. Each signal carries two
+//! conditional error probabilities — `Pr(0→1 | fault-free value 0)` and
+//! `Pr(1→0 | fault-free value 1)`. At every gate, the *propagated* error
+//! component is computed by enumerating (error-free input combination,
+//! perturbed input combination) pairs weighted by the gate's weight vector
+//! (this generalizes the paper's Table 1, which spells out the 2-input AND
+//! case), and is then mixed with the gate's *local* BSC failure ε:
+//!
+//! ```text
+//! Pr(g_{b→¬b}) = (1−ε)·PW(b)/W(b) + ε·(1 − PW(b)/W(b))
+//! ```
+//!
+//! Reconvergent fanout makes fanin error events dependent. Following §4.1,
+//! every signal pair that shares a fanout stem carries four correlation
+//! coefficients `C_vw, C_vw̃, C_ṽw, C_ṽw̃` (one per combination of 0→1/1→0
+//! events), seeded at the stem (`C = 1/Pr`, cross terms 0) and propagated
+//! through each gate by re-running the propagation step conditioned on the
+//! partner's event (the paper's Fig. 4). At a reconvergence site the
+//! coefficients re-weight the propagation terms, e.g.
+//! `Pr(i_{0→1})·(1 − Pr(j_{1→0})·C_{ij̃})`.
+
+use crate::{GateEps, Weights};
+use relogic_netlist::structure::FanoutMap;
+use relogic_netlist::{Circuit, GateKind, NodeId};
+use std::collections::HashMap;
+
+/// A `0→1` or `1→0` error event on a signal.
+///
+/// Used to index the four correlation coefficients of a signal pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorEvent {
+    /// The signal's fault-free value is 0 and the noisy value is 1.
+    Rise,
+    /// The signal's fault-free value is 1 and the noisy value is 0.
+    Fall,
+}
+
+impl ErrorEvent {
+    /// Both events, for iteration.
+    pub const BOTH: [ErrorEvent; 2] = [ErrorEvent::Rise, ErrorEvent::Fall];
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            ErrorEvent::Rise => 0,
+            ErrorEvent::Fall => 1,
+        }
+    }
+
+    #[inline]
+    fn from_value(fault_free: bool) -> Self {
+        if fault_free {
+            ErrorEvent::Fall
+        } else {
+            ErrorEvent::Rise
+        }
+    }
+}
+
+/// Four correlation coefficients for a signal pair, indexed
+/// `[event on first][event on second]`. `1.0` everywhere means independent.
+pub type CorrCoeffs = [[f64; 2]; 2];
+
+const INDEPENDENT: CorrCoeffs = [[1.0, 1.0], [1.0, 1.0]];
+
+/// Tracked coefficients for a signal pair: the four §4.1 error-event
+/// coefficients plus four Ercolani-style *signal-value* coefficients
+/// `V[value on first][value on second]` (the paper's ref [8]), used to
+/// condition weight vectors on a partner's fault-free value.
+#[derive(Clone, Copy, Debug)]
+struct PairCoeffs {
+    err: CorrCoeffs,
+    val: CorrCoeffs,
+}
+
+const PAIR_INDEPENDENT: PairCoeffs = PairCoeffs {
+    err: INDEPENDENT,
+    val: INDEPENDENT,
+};
+
+/// Options controlling the single-pass engine.
+#[derive(Clone, Debug)]
+pub struct SinglePassOptions {
+    /// Track and apply correlation coefficients (§4.1). Without this, all
+    /// fanin error events are assumed independent — the plain §4 algorithm.
+    pub correlations: bool,
+    /// Maximum number of correlated partners retained per signal; `None`
+    /// keeps every partner. When trimming, the partners closest to
+    /// independence (smallest `max |C − 1|`) are dropped first.
+    pub partner_cap: Option<usize>,
+    /// Partners whose coefficients are all within this distance of 1 are
+    /// pruned (they carry no information).
+    pub prune_tolerance: f64,
+    /// Extension beyond the paper: condition weight vectors on the
+    /// partner's fault-free value using Ercolani-style signal-value
+    /// coefficients (the paper's ref [8]) while propagating error
+    /// coefficients. The Fig. 4 conditionals otherwise use the
+    /// unconditioned weight vector, which overestimates correlation where
+    /// the partner's value restricts the gate's input space. The
+    /// first-order product form implemented here helps modestly on control
+    /// logic and is neutral on the XOR lattices (see EXPERIMENTS.md), so
+    /// the default stays faithful to the paper: off.
+    pub value_conditioning: bool,
+}
+
+impl Default for SinglePassOptions {
+    fn default() -> Self {
+        SinglePassOptions {
+            correlations: true,
+            partner_cap: Some(64),
+            prune_tolerance: 1e-4,
+            value_conditioning: false,
+        }
+    }
+}
+
+impl SinglePassOptions {
+    /// The plain §4 algorithm, with no reconvergence correction.
+    #[must_use]
+    pub fn without_correlations() -> Self {
+        SinglePassOptions {
+            correlations: false,
+            ..SinglePassOptions::default()
+        }
+    }
+}
+
+/// Result of one single-pass run: per-node conditional error probabilities,
+/// per-node and per-output error probabilities, and the surviving
+/// correlation coefficients.
+#[derive(Clone, Debug)]
+pub struct SinglePassResult {
+    p01: Vec<f64>,
+    p10: Vec<f64>,
+    node_delta: Vec<f64>,
+    per_output: Vec<f64>,
+    partners: Vec<HashMap<u32, PairCoeffs>>,
+}
+
+impl SinglePassResult {
+    /// `Pr(0→1 error | fault-free value 0)` at `node`.
+    #[must_use]
+    pub fn p01(&self, node: NodeId) -> f64 {
+        self.p01[node.index()]
+    }
+
+    /// `Pr(1→0 error | fault-free value 1)` at `node`.
+    #[must_use]
+    pub fn p10(&self, node: NodeId) -> f64 {
+        self.p10[node.index()]
+    }
+
+    /// Unconditional error probability of `node`:
+    /// `Pr(n=0)·p01 + Pr(n=1)·p10`. For an output node this is the paper's
+    /// `δ_y`; the per-node values support selective-hardening studies
+    /// (§5.1).
+    #[must_use]
+    pub fn node_delta(&self, node: NodeId) -> f64 {
+        self.node_delta[node.index()]
+    }
+
+    /// `δ_y` for each primary output, in declaration order.
+    #[must_use]
+    pub fn per_output(&self) -> &[f64] {
+        &self.per_output
+    }
+
+    /// The tracked error-event correlation coefficients between two
+    /// signals, if the pair survived propagation (`None` means they are
+    /// treated as independent). Indexed `[event on a][event on b]`.
+    #[must_use]
+    pub fn correlation(&self, a: NodeId, b: NodeId) -> Option<CorrCoeffs> {
+        self.partners[a.index()]
+            .get(&u32::try_from(b.index()).expect("node index overflow"))
+            .map(|c| c.err)
+    }
+
+    /// The tracked signal-value correlation coefficients
+    /// `V[value on a][value on b]` for a pair, if tracked.
+    #[must_use]
+    pub fn value_correlation(&self, a: NodeId, b: NodeId) -> Option<CorrCoeffs> {
+        self.partners[a.index()]
+            .get(&u32::try_from(b.index()).expect("node index overflow"))
+            .map(|c| c.val)
+    }
+}
+
+/// The single-pass reliability engine.
+///
+/// Construction precomputes ε-independent structure; [`SinglePass::run`] is
+/// then `O(n · 4^arity)` per ε vector (plus correlation bookkeeping), which
+/// is what makes 50-point ε sweeps cheap compared to Monte Carlo.
+///
+/// # Examples
+///
+/// ```
+/// use relogic::{Backend, GateEps, InputDistribution, SinglePass, SinglePassOptions, Weights};
+/// use relogic_netlist::Circuit;
+///
+/// let mut c = Circuit::new("inv");
+/// let a = c.add_input("a");
+/// let g = c.not(a);
+/// c.add_output("y", g);
+///
+/// let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+/// let engine = SinglePass::new(&c, &w, SinglePassOptions::default());
+/// let r = engine.run(&GateEps::uniform(&c, 0.1));
+/// assert!((r.per_output()[0] - 0.1).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct SinglePass<'a> {
+    circuit: &'a Circuit,
+    weights: &'a Weights,
+    options: SinglePassOptions,
+    is_stem: Vec<bool>,
+}
+
+impl<'a> SinglePass<'a> {
+    /// Creates an engine over `circuit` with precomputed `weights`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` was computed for a different circuit (length
+    /// mismatch).
+    #[must_use]
+    pub fn new(circuit: &'a Circuit, weights: &'a Weights, options: SinglePassOptions) -> Self {
+        assert_eq!(
+            weights.len(),
+            circuit.len(),
+            "weights cover {} nodes, circuit has {}",
+            weights.len(),
+            circuit.len()
+        );
+        let fanout = FanoutMap::build(circuit);
+        let is_stem = circuit.node_ids().map(|id| fanout.is_stem(id)).collect();
+        SinglePass {
+            circuit,
+            weights,
+            options,
+            is_stem,
+        }
+    }
+
+    /// Runs the single topological pass for the failure probabilities `eps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eps` covers a different node count than the circuit.
+    #[must_use]
+    pub fn run(&self, eps: &GateEps) -> SinglePassResult {
+        assert_eq!(eps.len(), self.circuit.len());
+        let n = self.circuit.len();
+        let mut p01 = vec![0.0f64; n];
+        let mut p10 = vec![0.0f64; n];
+        let mut partners: Vec<HashMap<u32, PairCoeffs>> = vec![HashMap::new(); n];
+        let mut scratch = PropagationScratch::default();
+
+        for (id, node) in self.circuit.iter() {
+            let i = id.index();
+            let e = eps.get(id);
+            match node.kind() {
+                GateKind::Input | GateKind::Const(_) => {
+                    p01[i] = e;
+                    p10[i] = e;
+                }
+                kind => {
+                    let w = self.weights.vector(id);
+                    let fanins = node.fanins();
+                    scratch.load_fanins(fanins, &p01, &p10);
+                    let pair = PairLookup {
+                        fanins,
+                        partners: partners.as_slice(),
+                        p01: &p01,
+                        p10: &p10,
+                        enabled: self.options.correlations,
+                    };
+                    let (r0, r1) = propagated_ratios(kind, w, &scratch.base, &pair, None);
+                    p01[i] = e + (1.0 - 2.0 * e) * r0;
+                    p10[i] = e + (1.0 - 2.0 * e) * r1;
+
+                    if self.options.correlations {
+                        self.propagate_coefficients(
+                            id,
+                            kind,
+                            w,
+                            e,
+                            &mut scratch,
+                            &mut partners,
+                            &p01,
+                            &p10,
+                        );
+                    }
+                }
+            }
+        }
+
+        let node_delta: Vec<f64> = (0..n)
+            .map(|i| {
+                let sp = self.weights.signal_probs()[i];
+                (1.0 - sp) * p01[i] + sp * p10[i]
+            })
+            .collect();
+        let per_output: Vec<f64> = self
+            .circuit
+            .outputs()
+            .iter()
+            .map(|o| node_delta[o.node().index()])
+            .collect();
+        SinglePassResult {
+            p01,
+            p10,
+            node_delta,
+            per_output,
+            partners,
+        }
+    }
+
+    /// Computes the error-event coefficients `C_{id,k}` (and, when value
+    /// conditioning is enabled, the signal-value coefficients `V_{id,k}`)
+    /// for every partner `k` correlated with any fanin of `id` (plus fanins
+    /// that are stems), and registers them symmetrically.
+    #[allow(clippy::too_many_arguments)]
+    fn propagate_coefficients(
+        &self,
+        id: NodeId,
+        kind: GateKind,
+        w: &[f64],
+        e: f64,
+        scratch: &mut PropagationScratch,
+        partners: &mut [HashMap<u32, PairCoeffs>],
+        p01: &[f64],
+        p10: &[f64],
+    ) {
+        let i = id.index();
+        let node = self.circuit.node(id);
+        let fanins = node.fanins();
+
+        // Candidate partner set: everything correlated with a fanin, plus
+        // stem fanins themselves.
+        scratch.candidates.clear();
+        for &f in fanins {
+            for &k in partners[f.index()].keys() {
+                if k as usize != i && !scratch.candidates.contains(&k) {
+                    scratch.candidates.push(k);
+                }
+            }
+            let fi = u32::try_from(f.index()).expect("node index overflow");
+            if self.is_stem[f.index()] && !scratch.candidates.contains(&fi) {
+                scratch.candidates.push(fi);
+            }
+        }
+        if scratch.candidates.is_empty() {
+            return;
+        }
+
+        let candidates = std::mem::take(&mut scratch.candidates);
+        let sp_l = self.weights.signal_probs()[i];
+        let mut new_coeffs: Vec<(u32, PairCoeffs)> = Vec::with_capacity(candidates.len());
+        let mut w_ctx: Vec<f64> = Vec::with_capacity(w.len());
+        for &k in &candidates {
+            let k_node = NodeId::from_index(k as usize);
+            let mut coeffs = PAIR_INDEPENDENT;
+            for ctx in 0..2usize {
+                // Weight vector conditioned on the partner's fault-free
+                // value (Fig. 4's "the terms of the weight vector W include
+                // the signal probability of k", via the ref-[8] value
+                // coefficients). Any overall scale cancels in the ratios.
+                w_ctx.clear();
+                if self.options.value_conditioning {
+                    for (v, &wv) in w.iter().enumerate() {
+                        let mut factor = 1.0f64;
+                        for (j, &f) in fanins.iter().enumerate() {
+                            let vj = v >> j & 1;
+                            if f.index() == k as usize {
+                                if vj != ctx {
+                                    factor = 0.0;
+                                    break;
+                                }
+                            } else if let Some(c) = partners[f.index()].get(&k) {
+                                factor *= c.val[vj][ctx].max(0.0);
+                            }
+                        }
+                        w_ctx.push(wv * factor);
+                    }
+                } else {
+                    w_ctx.extend_from_slice(w);
+                }
+
+                // Signal-value coefficient V_{l,k}[·][ctx].
+                if self.options.value_conditioning {
+                    let mut mass = 0.0f64;
+                    let mut mass1 = 0.0f64;
+                    for (v, &wv) in w_ctx.iter().enumerate() {
+                        mass += wv;
+                        if kind.eval_combo(v, fanins.len()) {
+                            mass1 += wv;
+                        }
+                    }
+                    if mass > COEFF_EPS {
+                        let p1_ctx = mass1 / mass;
+                        coeffs.val[1][ctx] = ratio_or_one(p1_ctx, sp_l).max(0.0);
+                        coeffs.val[0][ctx] = ratio_or_one(1.0 - p1_ctx, 1.0 - sp_l).max(0.0);
+                    }
+                }
+
+                // Error-event coefficient for the event whose fault-free
+                // context is `ctx` (rise needs clean 0, fall clean 1).
+                let ev_k = if ctx == 0 {
+                    ErrorEvent::Rise
+                } else {
+                    ErrorEvent::Fall
+                };
+                let pk = match ev_k {
+                    ErrorEvent::Rise => p01[k as usize],
+                    ErrorEvent::Fall => p10[k as usize],
+                };
+                if pk <= COEFF_EPS {
+                    // Event never occurs; coefficients are irrelevant.
+                    continue;
+                }
+                // Condition every fanin's error probabilities on k's event.
+                scratch.cond.clear();
+                for &f in fanins {
+                    let fi = f.index();
+                    if fi == k as usize {
+                        scratch.cond.push(match ev_k {
+                            ErrorEvent::Rise => (1.0, 0.0),
+                            ErrorEvent::Fall => (0.0, 1.0),
+                        });
+                    } else {
+                        let c = partners[fi].get(&k).map_or(INDEPENDENT, |c| c.err);
+                        scratch.cond.push((
+                            (p01[fi] * c[0][ev_k.idx()]).clamp(0.0, 1.0),
+                            (p10[fi] * c[1][ev_k.idx()]).clamp(0.0, 1.0),
+                        ));
+                    }
+                }
+                let pair = PairLookup {
+                    fanins,
+                    partners: &*partners,
+                    p01,
+                    p10,
+                    enabled: true,
+                };
+                let (r0, r1) =
+                    propagated_ratios(kind, &w_ctx, &scratch.cond, &pair, Some(k_node));
+                let cond_p01 = (e + (1.0 - 2.0 * e) * r0).clamp(0.0, 1.0);
+                let cond_p10 = (e + (1.0 - 2.0 * e) * r1).clamp(0.0, 1.0);
+                coeffs.err[0][ev_k.idx()] = ratio_or_one(cond_p01, p01[i]);
+                coeffs.err[1][ev_k.idx()] = ratio_or_one(cond_p10, p10[i]);
+            }
+            if pair_strength(&coeffs) >= self.options.prune_tolerance {
+                new_coeffs.push((k, coeffs));
+            }
+        }
+        scratch.candidates = candidates;
+
+        // Enforce the partner cap, keeping the strongest correlations.
+        if let Some(cap) = self.options.partner_cap {
+            if new_coeffs.len() > cap {
+                new_coeffs.sort_by(|a, b| {
+                    pair_strength(&b.1)
+                        .partial_cmp(&pair_strength(&a.1))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                new_coeffs.truncate(cap);
+            }
+        }
+
+        let iu = u32::try_from(i).expect("node index overflow");
+        for (k, coeffs) in new_coeffs {
+            partners[i].insert(k, coeffs);
+            // Symmetric registration with transposed indices.
+            let transposed = PairCoeffs {
+                err: [
+                    [coeffs.err[0][0], coeffs.err[1][0]],
+                    [coeffs.err[0][1], coeffs.err[1][1]],
+                ],
+                val: [
+                    [coeffs.val[0][0], coeffs.val[1][0]],
+                    [coeffs.val[0][1], coeffs.val[1][1]],
+                ],
+            };
+            partners[k as usize].insert(iu, transposed);
+        }
+    }
+}
+
+const COEFF_EPS: f64 = 1e-15;
+
+fn ratio_or_one(num: f64, den: f64) -> f64 {
+    if den <= COEFF_EPS {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+fn coeff_strength(c: &CorrCoeffs) -> f64 {
+    c.iter()
+        .flatten()
+        .map(|&x| (x - 1.0).abs())
+        .fold(0.0, f64::max)
+}
+
+fn pair_strength(c: &PairCoeffs) -> f64 {
+    coeff_strength(&c.err).max(coeff_strength(&c.val))
+}
+
+#[derive(Default)]
+struct PropagationScratch {
+    base: Vec<(f64, f64)>,
+    cond: Vec<(f64, f64)>,
+    candidates: Vec<u32>,
+}
+
+impl std::fmt::Debug for PropagationScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PropagationScratch").finish_non_exhaustive()
+    }
+}
+
+impl PropagationScratch {
+    fn load_fanins(&mut self, fanins: &[NodeId], p01: &[f64], p10: &[f64]) {
+        self.base.clear();
+        self.base
+            .extend(fanins.iter().map(|f| (p01[f.index()], p10[f.index()])));
+    }
+}
+
+/// Lookup of pairwise correlation coefficients between two fanin positions.
+struct PairLookup<'b> {
+    fanins: &'b [NodeId],
+    partners: &'b [HashMap<u32, PairCoeffs>],
+    p01: &'b [f64],
+    p10: &'b [f64],
+    enabled: bool,
+}
+
+impl PairLookup<'_> {
+    /// Coefficient applied to fanin `a`'s event given fanin `b`'s event.
+    fn get(&self, a: usize, b: usize, ev_a: ErrorEvent, ev_b: ErrorEvent) -> f64 {
+        if !self.enabled {
+            return 1.0;
+        }
+        let na = self.fanins[a].index();
+        let nb = self.fanins[b].index();
+        if na == nb {
+            // Same physical signal: events coincide exactly.
+            if ev_a == ev_b {
+                let p = match ev_a {
+                    ErrorEvent::Rise => self.p01[na],
+                    ErrorEvent::Fall => self.p10[na],
+                };
+                return if p <= COEFF_EPS { 1.0 } else { 1.0 / p };
+            }
+            return 0.0;
+        }
+        self.partners[na]
+            .get(&u32::try_from(nb).expect("node index overflow"))
+            .map_or(1.0, |c| c.err[ev_a.idx()][ev_b.idx()])
+    }
+}
+
+/// Computes `(PW(0)/W(0), PW(1)/W(1))`: the propagated error ratios of a
+/// gate, generalizing Table 1 to arbitrary kinds and arities.
+///
+/// `probs[j]` is fanin `j`'s `(p01, p10)` (possibly conditioned on a
+/// partner event); `exclude` marks a fanin node that is the conditioning
+/// partner itself, whose pairwise coefficients with the other fanins are
+/// already folded into `probs` (so its chain factors are skipped).
+fn propagated_ratios(
+    kind: GateKind,
+    w: &[f64],
+    probs: &[(f64, f64)],
+    pair: &PairLookup<'_>,
+    exclude: Option<NodeId>,
+) -> (f64, f64) {
+    let k = probs.len();
+    debug_assert_eq!(w.len(), 1 << k);
+    let mut pw = [0.0f64; 2];
+    let mut wsum = [0.0f64; 2];
+    for (v, &wv) in w.iter().enumerate() {
+        let out_v = usize::from(kind.eval_combo(v, k));
+        wsum[out_v] += wv;
+        if wv <= 0.0 {
+            continue;
+        }
+        let mut flip_prob = 0.0f64;
+        for u in 0..1usize << k {
+            if usize::from(kind.eval_combo(u, k)) == out_v {
+                continue;
+            }
+            let diff = v ^ u;
+            let mut prob = 1.0f64;
+            #[allow(clippy::needless_range_loop)]
+            for j in 0..k {
+                let vj = v >> j & 1;
+                let flipped = diff >> j & 1 == 1;
+                let ev_j = ErrorEvent::from_value(vj == 1);
+                let mut q = if vj == 0 { probs[j].0 } else { probs[j].1 };
+                if q > 0.0 {
+                    // Condition on the flip set (§4.1's reweighting, e.g.
+                    // (1 − Pr(j₁₀)·C_ij̃)): a flipped fanin is chained on the
+                    // flipped fanins before it (so each pairwise coefficient
+                    // enters once), while a non-flipped fanin's flip
+                    // probability is conditioned on *every* flipped fanin.
+                    let upper = if flipped { j } else { k };
+                    for j2 in 0..upper {
+                        if j2 != j
+                            && diff >> j2 & 1 == 1
+                            && exclude != Some(pair.fanins[j2])
+                            && exclude != Some(pair.fanins[j])
+                        {
+                            let ev_j2 = ErrorEvent::from_value(v >> j2 & 1 == 1);
+                            q *= pair.get(j, j2, ev_j, ev_j2);
+                        }
+                    }
+                }
+                let q = q.clamp(0.0, 1.0);
+                prob *= if flipped { q } else { 1.0 - q };
+                if prob <= 0.0 {
+                    break;
+                }
+            }
+            flip_prob += prob;
+        }
+        pw[out_v] += wv * flip_prob.clamp(0.0, 1.0);
+    }
+    let r0 = if wsum[0] > COEFF_EPS { pw[0] / wsum[0] } else { 0.0 };
+    let r1 = if wsum[1] > COEFF_EPS { pw[1] / wsum[1] } else { 0.0 };
+    (r0.clamp(0.0, 1.0), r1.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, InputDistribution};
+    use relogic_sim::exact_reliability;
+
+    fn weights(c: &Circuit) -> Weights {
+        Weights::compute(c, &InputDistribution::Uniform, Backend::Bdd)
+    }
+
+    fn run(c: &Circuit, eps: &GateEps, opts: SinglePassOptions) -> SinglePassResult {
+        let w = weights(c);
+        SinglePass::new(c, &w, opts).run(eps)
+    }
+
+    #[test]
+    fn single_gate_delta_equals_eps() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.nand([a, b]);
+        c.add_output("y", g);
+        let r = run(&c, &GateEps::uniform(&c, 0.23), SinglePassOptions::default());
+        assert!((r.per_output()[0] - 0.23).abs() < 1e-12);
+        assert!((r.p01(g) - 0.23).abs() < 1e-12);
+        assert!((r.p10(g) - 0.23).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverter_chain_matches_exact() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g1 = c.not(a);
+        let g2 = c.not(g1);
+        let g3 = c.not(g2);
+        c.add_output("y", g3);
+        for &e in &[0.05, 0.15, 0.3, 0.5] {
+            let eps = GateEps::uniform(&c, e);
+            let r = run(&c, &eps, SinglePassOptions::default());
+            let exact = exact_reliability(&c, eps.as_slice());
+            assert!(
+                (r.per_output()[0] - exact.per_output[0]).abs() < 1e-12,
+                "ε={e}: {} vs {}",
+                r.per_output()[0],
+                exact.per_output[0]
+            );
+        }
+    }
+
+    #[test]
+    fn tree_circuit_is_exact_without_correlations() {
+        // No reconvergent fanout ⇒ the plain single pass is exact (§4).
+        let mut c = Circuit::new("tree");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let d = c.add_input("d");
+        let e_in = c.add_input("e");
+        let g1 = c.and([a, b]);
+        let g2 = c.or([d, e_in]);
+        let g3 = c.xor([g1, g2]);
+        c.add_output("y", g3);
+        for &e in &[0.02, 0.1, 0.25, 0.4] {
+            let eps = GateEps::uniform(&c, e);
+            let r = run(&c, &eps, SinglePassOptions::without_correlations());
+            let exact = exact_reliability(&c, eps.as_slice());
+            assert!(
+                (r.per_output()[0] - exact.per_output[0]).abs() < 1e-10,
+                "ε={e}: {} vs {}",
+                r.per_output()[0],
+                exact.per_output[0]
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_gate_kinds_tree_is_exact() {
+        let mut c = Circuit::new("tree2");
+        let ins: Vec<_> = (0..6).map(|i| c.add_input(format!("x{i}"))).collect();
+        let g1 = c.nand([ins[0], ins[1]]);
+        let g2 = c.nor([ins[2], ins[3]]);
+        let g3 = c.xnor([ins[4], ins[5]]);
+        let g4 = c.or([g1, g2]);
+        let g5 = c.and([g4, g3]);
+        c.add_output("y", g5);
+        let eps = GateEps::uniform(&c, 0.17);
+        let r = run(&c, &eps, SinglePassOptions::without_correlations());
+        let exact = exact_reliability(&c, eps.as_slice());
+        assert!(
+            (r.per_output()[0] - exact.per_output[0]).abs() < 1e-10,
+            "{} vs {}",
+            r.per_output()[0],
+            exact.per_output[0]
+        );
+    }
+
+    #[test]
+    fn duplicate_fanin_handled_by_self_correlation() {
+        // g = XOR(a', a') where a' = NOT(a) is noisy: the two fanins are the
+        // same wire, so their errors always cancel in the XOR; only g's own
+        // ε matters.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let inv = c.not(a);
+        let g = c.xor([inv, inv]);
+        c.add_output("y", g);
+        let eps = GateEps::uniform(&c, 0.2);
+        let r = run(&c, &eps, SinglePassOptions::default());
+        let exact = exact_reliability(&c, eps.as_slice());
+        assert!(
+            (r.per_output()[0] - exact.per_output[0]).abs() < 1e-10,
+            "{} vs {}",
+            r.per_output()[0],
+            exact.per_output[0]
+        );
+        assert!((r.per_output()[0] - 0.2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn correlations_improve_reconvergent_accuracy() {
+        // The hardest reconvergence pattern: a stem reaching an XOR along
+        // two branches. Errors on the stem cancel exactly at the XOR, which
+        // the independence assumption misses entirely but the correlation
+        // coefficients capture.
+        let mut c = Circuit::new("xor_reconv");
+        let a = c.add_input("a");
+        let s = c.not(a); // stem
+        let p = c.buf(s);
+        let q = c.buf(s);
+        let g = c.xor([p, q]);
+        c.add_output("y", g);
+        let w = weights(&c);
+        let plain = SinglePass::new(&c, &w, SinglePassOptions::without_correlations());
+        let corr = SinglePass::new(&c, &w, SinglePassOptions::default());
+        for &e in &[0.05, 0.1, 0.2, 0.3] {
+            let eps = GateEps::uniform(&c, e);
+            let exact = exact_reliability(&c, eps.as_slice()).per_output[0];
+            let pe = (plain.run(&eps).per_output()[0] - exact).abs();
+            let ce = (corr.run(&eps).per_output()[0] - exact).abs();
+            assert!(
+                ce < pe,
+                "ε={e}: corrected error {ce} should beat plain {pe}"
+            );
+            assert!(ce < 0.02, "ε={e}: corrected error {ce} too large");
+        }
+    }
+
+    #[test]
+    fn moderate_reconvergence_stays_accurate() {
+        // AND/OR reconvergence: both modes should be close to exact; the
+        // corrected mode must stay within 1% absolute.
+        let mut c = Circuit::new("reconv");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let s = c.not(a); // stem
+        let p = c.and([s, b]);
+        let q = c.or([s, b]);
+        let g = c.and([p, q]);
+        c.add_output("y", g);
+        let w = weights(&c);
+        let corr = SinglePass::new(&c, &w, SinglePassOptions::default());
+        for &e in &[0.05, 0.1, 0.2, 0.3] {
+            let eps = GateEps::uniform(&c, e);
+            let exact = exact_reliability(&c, eps.as_slice()).per_output[0];
+            let ce = (corr.run(&eps).per_output()[0] - exact).abs();
+            assert!(ce < 0.01, "ε={e}: corrected error {ce}");
+        }
+    }
+
+    #[test]
+    fn stem_descendants_carry_coefficients() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let s = c.not(a);
+        let p = c.and([s, b]);
+        let q = c.or([s, b]);
+        c.add_output("y1", p);
+        c.add_output("y2", q);
+        let r = run(&c, &GateEps::uniform(&c, 0.1), SinglePassOptions::default());
+        // p and q both descend from stem s: coefficients must be tracked.
+        assert!(r.correlation(p, q).is_some());
+        assert!(r.correlation(p, s).is_some());
+        // a and b are independent of each other.
+        assert!(r.correlation(a, b).is_none());
+    }
+
+    #[test]
+    fn zero_eps_gives_zero_delta_everywhere() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let s = c.xor([a, b]);
+        let g = c.and([s, a]);
+        c.add_output("y", g);
+        let r = run(&c, &GateEps::zero(&c), SinglePassOptions::default());
+        for id in c.node_ids() {
+            assert_eq!(r.node_delta(id), 0.0);
+        }
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let s = c.nand([a, b]);
+        let p = c.nor([s, a]);
+        let q = c.xor([s, b]);
+        let g = c.and([p, q]);
+        c.add_output("y", g);
+        for &e in &[0.0, 0.1, 0.3, 0.5, 0.49] {
+            let r = run(&c, &GateEps::uniform(&c, e), SinglePassOptions::default());
+            for id in c.node_ids() {
+                assert!((0.0..=1.0).contains(&r.p01(id)), "p01({id})={}", r.p01(id));
+                assert!((0.0..=1.0).contains(&r.p10(id)), "p10({id})={}", r.p10(id));
+                assert!((0.0..=1.0).contains(&r.node_delta(id)));
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_inputs_propagate() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.buf(a);
+        c.add_output("y", g);
+        let mut eps = GateEps::zero(&c);
+        eps.set(a, 0.3);
+        let r = run(&c, &eps, SinglePassOptions::default());
+        assert!((r.per_output()[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partner_cap_limits_tracking() {
+        // A stem with many descendants; cap 1 keeps only the strongest.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let s = c.not(a);
+        let g1 = c.and([s, b]);
+        let g2 = c.or([s, b]);
+        let g3 = c.xor([g1, g2]);
+        c.add_output("y", g3);
+        let opts = SinglePassOptions {
+            partner_cap: Some(1),
+            ..SinglePassOptions::default()
+        };
+        let r = run(&c, &GateEps::uniform(&c, 0.2), opts);
+        // still produces sane probabilities
+        assert!((0.0..=1.0).contains(&r.per_output()[0]));
+    }
+
+    #[test]
+    fn value_conditioning_extension_stays_bounded() {
+        // The ref-[8] value-conditioning extension must keep every
+        // probability legal and track the exact result at least as well as
+        // a coarse envelope on a reconvergent circuit.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let s = c.nand([a, b]);
+        let p = c.and([s, b]);
+        let q = c.or([s, a]);
+        let g = c.xor([p, q]);
+        c.add_output("y", g);
+        let w = weights(&c);
+        let opts = SinglePassOptions {
+            value_conditioning: true,
+            ..SinglePassOptions::default()
+        };
+        let engine = SinglePass::new(&c, &w, opts);
+        for &e in &[0.05, 0.2, 0.5] {
+            let eps = GateEps::uniform(&c, e);
+            let r = engine.run(&eps);
+            for id in c.node_ids() {
+                assert!((0.0..=1.0).contains(&r.p01(id)));
+                assert!((0.0..=1.0).contains(&r.p10(id)));
+            }
+            let exact = exact_reliability(&c, eps.as_slice()).per_output[0];
+            assert!(
+                (r.per_output()[0] - exact).abs() < 0.05,
+                "ε={e}: {} vs {exact}",
+                r.per_output()[0]
+            );
+        }
+        // The value coefficients are exposed for inspection.
+        let r = engine.run(&GateEps::uniform(&c, 0.1));
+        let v = r.value_correlation(p, q).expect("pair tracked");
+        assert!(v.iter().flatten().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn example_fig2_structure_runs() {
+        // The shape of the paper's Fig. 2 walkthrough: a fanout at gate 2
+        // reconverging at gate 6.
+        let mut c = Circuit::new("fig2");
+        let x1 = c.add_input("x1");
+        let x2 = c.add_input("x2");
+        let x3 = c.add_input("x3");
+        let g1 = c.and([x1, x2]);
+        let g2 = c.or([g1, x3]); // fanout stem
+        let g4 = c.nand([g2, x1]);
+        let g5 = c.nor([g2, x2]);
+        let g6 = c.xor([g4, g5]);
+        c.add_output("y", g6);
+        let eps = GateEps::uniform(&c, 0.1);
+        let exact = exact_reliability(&c, eps.as_slice()).per_output[0];
+        let plain = run(&c, &eps, SinglePassOptions::without_correlations()).per_output()[0];
+        let corr = run(&c, &eps, SinglePassOptions::default()).per_output()[0];
+        assert!((corr - exact).abs() <= (plain - exact).abs() + 1e-9);
+        assert!((corr - exact).abs() < 0.05);
+    }
+}

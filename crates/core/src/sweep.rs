@@ -1,0 +1,200 @@
+//! ε-sweep drivers: evaluate δ(ε⃗) curves over a grid of uniform gate
+//! failure probabilities, as every figure and table in the paper does
+//! ("δ(ε⃗) for 50 different values of ε over the range 0 to 0.5").
+
+use crate::{GateEps, SinglePass, SinglePassOptions, Weights};
+use relogic_netlist::Circuit;
+use relogic_sim::{estimate, MonteCarloConfig};
+
+/// An evenly spaced ε grid of `points` values covering `[lo, hi]`
+/// inclusive.
+///
+/// # Panics
+///
+/// Panics if `points == 0` or the range is invalid.
+///
+/// # Examples
+///
+/// ```
+/// let grid = relogic::sweep::epsilon_grid(50, 0.0, 0.5);
+/// assert_eq!(grid.len(), 50);
+/// assert_eq!(grid[0], 0.0);
+/// assert_eq!(*grid.last().unwrap(), 0.5);
+/// ```
+#[must_use]
+pub fn epsilon_grid(points: usize, lo: f64, hi: f64) -> Vec<f64> {
+    assert!(points > 0, "need at least one grid point");
+    assert!(0.0 <= lo && lo <= hi && hi <= 1.0, "invalid ε range");
+    if points == 1 {
+        return vec![lo];
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let step = (hi - lo) / (points - 1) as f64;
+    (0..points)
+        .map(|i| {
+            if i == points - 1 {
+                hi
+            } else {
+                #[allow(clippy::cast_precision_loss)]
+                let e = lo + step * i as f64;
+                e.min(hi)
+            }
+        })
+        .collect()
+}
+
+/// A family of δ(ε) curves: `delta[point][output]`.
+#[derive(Clone, Debug)]
+pub struct DeltaCurves {
+    /// The ε grid.
+    pub eps: Vec<f64>,
+    /// `delta[i][k]` is δ of output `k` at `eps[i]`.
+    pub delta: Vec<Vec<f64>>,
+}
+
+impl DeltaCurves {
+    /// The curve of one output across the grid.
+    #[must_use]
+    pub fn output_curve(&self, output: usize) -> Vec<f64> {
+        self.delta.iter().map(|row| row[output]).collect()
+    }
+}
+
+/// Sweeps the single-pass engine over `eps_values` (uniform per-gate ε).
+///
+/// The weight vectors are computed by the caller once and shared across the
+/// whole sweep — the reuse the paper highlights in §4(i).
+#[must_use]
+pub fn sweep_single_pass(
+    circuit: &Circuit,
+    weights: &Weights,
+    options: SinglePassOptions,
+    eps_values: &[f64],
+) -> DeltaCurves {
+    let engine = SinglePass::new(circuit, weights, options);
+    let delta = eps_values
+        .iter()
+        .map(|&e| engine.run(&GateEps::uniform(circuit, e)).per_output().to_vec())
+        .collect();
+    DeltaCurves {
+        eps: eps_values.to_vec(),
+        delta,
+    }
+}
+
+/// Sweeps Monte Carlo fault injection over `eps_values`, deriving a distinct
+/// RNG seed per point from `config.seed`.
+#[must_use]
+pub fn sweep_monte_carlo(
+    circuit: &Circuit,
+    config: &MonteCarloConfig,
+    eps_values: &[f64],
+) -> DeltaCurves {
+    let delta = eps_values
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| {
+            let cfg = MonteCarloConfig {
+                seed: config
+                    .seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                ..config.clone()
+            };
+            let eps = GateEps::uniform(circuit, e);
+            estimate(circuit, eps.as_slice(), &cfg).per_output().to_vec()
+        })
+        .collect();
+    DeltaCurves {
+        eps: eps_values.to_vec(),
+        delta,
+    }
+}
+
+/// Sweeps the observability closed form (Eq. 3) over `eps_values`.
+#[must_use]
+pub fn sweep_closed_form(
+    circuit: &Circuit,
+    obs: &crate::ObservabilityMatrix,
+    eps_values: &[f64],
+) -> DeltaCurves {
+    let delta = eps_values
+        .iter()
+        .map(|&e| obs.closed_form(&GateEps::uniform(circuit, e)))
+        .collect();
+    DeltaCurves {
+        eps: eps_values.to_vec(),
+        delta,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Backend, InputDistribution, ObservabilityMatrix};
+
+    fn circuit() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        let h = c.not(g);
+        c.add_output("y", h);
+        c
+    }
+
+    #[test]
+    fn grid_endpoints_and_spacing() {
+        let g = epsilon_grid(6, 0.05, 0.3);
+        assert_eq!(g.len(), 6);
+        assert!((g[0] - 0.05).abs() < 1e-12);
+        assert!((g[5] - 0.3).abs() < 1e-12);
+        assert!((g[1] - 0.1).abs() < 1e-12);
+        assert_eq!(epsilon_grid(1, 0.2, 0.5), vec![0.2]);
+    }
+
+    #[test]
+    fn single_pass_sweep_is_monotone_from_zero() {
+        let c = circuit();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let grid = epsilon_grid(6, 0.0, 0.25);
+        let curves = sweep_single_pass(&c, &w, SinglePassOptions::default(), &grid);
+        assert_eq!(curves.delta.len(), 6);
+        assert_eq!(curves.delta[0], vec![0.0]);
+        let curve = curves.output_curve(0);
+        for win in curve.windows(2) {
+            assert!(win[1] >= win[0] - 1e-12, "δ should grow with ε here");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_sweep_tracks_single_pass() {
+        let c = circuit();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let grid = epsilon_grid(4, 0.0, 0.3);
+        let sp = sweep_single_pass(&c, &w, SinglePassOptions::default(), &grid);
+        let mc = sweep_monte_carlo(
+            &c,
+            &MonteCarloConfig {
+                patterns: 1 << 15,
+                ..MonteCarloConfig::default()
+            },
+            &grid,
+        );
+        for (s, m) in sp.delta.iter().zip(&mc.delta) {
+            assert!((s[0] - m[0]).abs() < 0.02, "{} vs {}", s[0], m[0]);
+        }
+    }
+
+    #[test]
+    fn closed_form_sweep_matches_single_pass_at_small_eps() {
+        let c = circuit();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let obs = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let grid = epsilon_grid(3, 0.0, 0.02);
+        let sp = sweep_single_pass(&c, &w, SinglePassOptions::default(), &grid);
+        let cf = sweep_closed_form(&c, &obs, &grid);
+        for (s, f) in sp.delta.iter().zip(&cf.delta) {
+            assert!((s[0] - f[0]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Circuit composition: embedding one circuit inside another.
+
+use relogic_netlist::{Circuit, GateKind, NodeId};
+
+/// Copies `src`'s logic into `dst`, binding `src`'s primary inputs (in
+/// declaration order) to the given `dst` nodes. Returns the `dst` nodes
+/// corresponding to `src`'s outputs, in declaration order.
+///
+/// Node names and output slots of `src` are *not* copied; the caller wires
+/// the returned output nodes wherever it wants.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != src.input_count()`.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_gen::{embed, parity_tree};
+/// use relogic_netlist::Circuit;
+///
+/// let mut big = Circuit::new("host");
+/// let a = big.add_input("a");
+/// let b = big.add_input("b");
+/// let c = big.add_input("c");
+/// let par = relogic_gen::parity_tree(3, 2);
+/// let outs = embed(&mut big, &par, &[a, b, c]);
+/// big.add_output("p", outs[0]);
+/// assert_eq!(big.eval(&[true, true, false]), vec![false]);
+/// ```
+#[must_use]
+pub fn embed(dst: &mut Circuit, src: &Circuit, inputs: &[NodeId]) -> Vec<NodeId> {
+    assert_eq!(
+        inputs.len(),
+        src.input_count(),
+        "embedding needs {} bound inputs, got {}",
+        src.input_count(),
+        inputs.len()
+    );
+    let mut map: Vec<NodeId> = Vec::with_capacity(src.len());
+    let mut next_input = 0usize;
+    for (_, node) in src.iter() {
+        let new_id = match node.kind() {
+            GateKind::Input => {
+                let bound = inputs[next_input];
+                next_input += 1;
+                bound
+            }
+            GateKind::Const(v) => dst.add_const(v),
+            kind => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f.index()]).collect();
+                dst.add_gate(kind, fanins).expect("embedded gate is valid")
+            }
+        };
+        map.push(new_id);
+    }
+    src.outputs().iter().map(|o| map[o.node().index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ripple_carry_adder;
+
+    #[test]
+    fn embedded_adder_still_adds() {
+        let mut host = Circuit::new("host");
+        let ins: Vec<NodeId> = (0..9).map(|i| host.add_input(format!("x{i}"))).collect();
+        let rca = ripple_carry_adder(4);
+        let outs = embed(&mut host, &rca, &ins);
+        for (i, &o) in outs.iter().enumerate() {
+            host.add_output(format!("o{i}"), o);
+        }
+        // 7 + 9 + 1 = 17 -> sum 1 (LSB first 1000), cout 1
+        let inputs = [
+            true, true, true, false, // a = 7
+            true, false, false, true, // b = 9
+            true, // cin
+        ];
+        let out = host.eval(&inputs);
+        assert_eq!(out, vec![true, false, false, false, true]);
+    }
+
+    #[test]
+    fn embedding_twice_duplicates_logic() {
+        let mut host = Circuit::new("host");
+        let a = host.add_input("a");
+        let b = host.add_input("b");
+        let par = crate::parity_tree(2, 2);
+        let o1 = embed(&mut host, &par, &[a, b]);
+        let o2 = embed(&mut host, &par, &[a, b]);
+        assert_ne!(o1[0], o2[0]);
+        host.add_output("p1", o1[0]);
+        host.add_output("p2", o2[0]);
+        assert_eq!(host.eval(&[true, false]), vec![true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "embedding needs")]
+    fn wrong_input_count_panics() {
+        let mut host = Circuit::new("host");
+        let a = host.add_input("a");
+        let par = crate::parity_tree(3, 2);
+        let _ = embed(&mut host, &par, &[a]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Circuit generators, benchmark analogues, and synthesis transforms for
+//! the `relogic` reliability-analysis suite.
+//!
+//! The DATE 2007 paper evaluates on ISCAS-85 / LGSynth'91 benchmark
+//! netlists, which are not redistributable inside this repository. This
+//! crate replaces them three ways:
+//!
+//! * [`generate`] — seeded random multi-level circuits with tunable size,
+//!   depth, fanout, and XOR density.
+//! * Structured blocks ([`ripple_carry_adder`], [`parity_tree`],
+//!   [`mux_tree`], [`equality_comparator`], [`decoder`], [`sec_decoder`])
+//!   with known functions, plus [`embed`] to compose them.
+//! * [`suite`] — the ten Table 2 circuits as structural analogues, and the
+//!   small example circuits of the paper's Figs. 1 and 2.
+//!
+//! Transforms ([`buffer_fanout`], [`duplicate_fanout`], [`balance`],
+//! [`expand_xor_to_nand`]) produce function-preserving structural variants
+//! for the paper's fanout/depth design-space study (Fig. 8).
+//!
+//! # Examples
+//!
+//! ```
+//! use relogic_gen::suite;
+//!
+//! let b9 = suite::b9();
+//! assert_eq!(b9.gate_count(), 210);
+//! let low_fanout = relogic_gen::duplicate_fanout(&b9, 2);
+//! assert!(low_fanout.gate_count() > b9.gate_count());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod compose;
+mod random;
+mod redundancy;
+mod structured;
+pub mod suite;
+mod transform;
+
+pub use compose::embed;
+pub use random::{generate, RandomCircuitConfig};
+pub use redundancy::{majority_voter, tmr_gates, tmr_outputs, tmr_selected};
+pub use structured::{
+    decoder, equality_comparator, mux_tree, parity_tree, ripple_carry_adder, sec_decoder,
+};
+pub use transform::{
+    balance, buffer_fanout, duplicate_fanout, expand_xor_to_and_or, expand_xor_to_nand,
+};

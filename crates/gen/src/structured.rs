@@ -1,0 +1,391 @@
+//! Structured circuit generators: arithmetic, parity, selection and
+//! error-correction blocks with known functions and ISCAS-like structure.
+//!
+//! These are the building blocks of the benchmark analogues in
+//! [`crate::suite`] and make handy, well-understood test subjects for the
+//! reliability engines (e.g. a parity tree has observability exactly 1 at
+//! every gate).
+
+use relogic_netlist::{Circuit, NodeId};
+
+/// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// `s0..` and `cout`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let c = relogic_gen::ripple_carry_adder(4);
+/// assert_eq!(c.input_count(), 9);
+/// assert_eq!(c.output_count(), 5);
+/// // 3 + 5 = 8: a=0011, b=0101 (LSB first), cin=0
+/// let out = c.eval(&[true, true, false, false, true, false, true, false, false]);
+/// assert_eq!(out, vec![false, false, false, true, false]); // s=0001(=8 LSB first), cout=0
+/// ```
+#[must_use]
+pub fn ripple_carry_adder(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let mut c = Circuit::new(format!("rca{bits}"));
+    let a: Vec<NodeId> = (0..bits).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..bits).map(|i| c.add_input(format!("b{i}"))).collect();
+    let mut carry = c.add_input("cin");
+    let mut sums = Vec::with_capacity(bits);
+    for i in 0..bits {
+        let axb = c.xor([a[i], b[i]]);
+        let sum = c.xor([axb, carry]);
+        let and1 = c.and([a[i], b[i]]);
+        let and2 = c.and([axb, carry]);
+        carry = c.or([and1, and2]);
+        sums.push(sum);
+    }
+    for (i, s) in sums.into_iter().enumerate() {
+        c.add_output(format!("s{i}"), s);
+    }
+    c.add_output("cout", carry);
+    c
+}
+
+/// A balanced parity (XOR) tree over `inputs` inputs with gates of the given
+/// `arity`. Output `parity` is the odd parity of all inputs.
+///
+/// # Panics
+///
+/// Panics if `inputs == 0` or `arity < 2`.
+#[must_use]
+pub fn parity_tree(inputs: usize, arity: usize) -> Circuit {
+    assert!(inputs > 0 && arity >= 2);
+    let mut c = Circuit::new(format!("parity{inputs}"));
+    let mut layer: Vec<NodeId> = (0..inputs).map(|i| c.add_input(format!("x{i}"))).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(arity));
+        for chunk in layer.chunks(arity) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                next.push(c.xor(chunk.iter().copied()));
+            }
+        }
+        layer = next;
+    }
+    c.add_output("parity", layer[0]);
+    c
+}
+
+/// A `2^select`-to-1 multiplexer tree: inputs `d0..` (data) then `s0..`
+/// (select, LSB first); output `y`.
+///
+/// # Panics
+///
+/// Panics if `select == 0` or `select > 6`.
+#[must_use]
+pub fn mux_tree(select: usize) -> Circuit {
+    assert!((1..=6).contains(&select));
+    let mut c = Circuit::new(format!("mux{}", 1 << select));
+    let data: Vec<NodeId> = (0..1usize << select)
+        .map(|i| c.add_input(format!("d{i}")))
+        .collect();
+    let sel: Vec<NodeId> = (0..select).map(|i| c.add_input(format!("s{i}"))).collect();
+    let mut layer = data;
+    for (level, &s) in sel.iter().enumerate() {
+        let ns = c.not(s);
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            let t0 = c.and([ns, pair[0]]);
+            let t1 = c.and([s, pair[1]]);
+            next.push(c.or([t0, t1]));
+        }
+        debug_assert_eq!(next.len(), layer.len() >> 1, "level {level}");
+        layer = next;
+    }
+    c.add_output("y", layer[0]);
+    c
+}
+
+/// An `n`-bit equality comparator: output `eq` is 1 iff `a == b`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+#[must_use]
+pub fn equality_comparator(bits: usize) -> Circuit {
+    assert!(bits > 0);
+    let mut c = Circuit::new(format!("eq{bits}"));
+    let a: Vec<NodeId> = (0..bits).map(|i| c.add_input(format!("a{i}"))).collect();
+    let b: Vec<NodeId> = (0..bits).map(|i| c.add_input(format!("b{i}"))).collect();
+    let eqs: Vec<NodeId> = (0..bits).map(|i| c.xnor([a[i], b[i]])).collect();
+    // AND-tree over the bit equalities.
+    let mut layer = eqs;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for chunk in layer.chunks(2) {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+            } else {
+                next.push(c.and([chunk[0], chunk[1]]));
+            }
+        }
+        layer = next;
+    }
+    c.add_output("eq", layer[0]);
+    c
+}
+
+/// An `n`-to-`2^n` one-hot decoder with enable: inputs `a0..` and `en`;
+/// outputs `y0..`.
+///
+/// # Panics
+///
+/// Panics if `bits == 0` or `bits > 6`.
+#[must_use]
+pub fn decoder(bits: usize) -> Circuit {
+    assert!((1..=6).contains(&bits));
+    let mut c = Circuit::new(format!("dec{bits}"));
+    let a: Vec<NodeId> = (0..bits).map(|i| c.add_input(format!("a{i}"))).collect();
+    let en = c.add_input("en");
+    let na: Vec<NodeId> = a.iter().map(|&x| c.not(x)).collect();
+    for v in 0..1usize << bits {
+        let mut terms: Vec<NodeId> = (0..bits)
+            .map(|j| if v >> j & 1 == 1 { a[j] } else { na[j] })
+            .collect();
+        terms.push(en);
+        let y = c.and(terms);
+        c.add_output(format!("y{v}"), y);
+    }
+    c
+}
+
+/// A Hamming-style single-error-correcting (SEC) decode lattice over
+/// `data_bits` data inputs and `check_bits` check inputs — the structural
+/// family of ISCAS-85 c499/c1355 ("32-bit single-error-correcting circuit").
+///
+/// The syndrome is recomputed from the received data and compared with the
+/// received check bits; each data output is the received bit XOR-corrected
+/// when the syndrome points at it. The result is XOR-dominated with heavy
+/// reconvergent fanout (every data bit feeds several syndrome trees, and
+/// every syndrome bit reaches every output), which is exactly what makes
+/// c499/c1355 the hardest Table 2 circuits for the single-pass analysis.
+///
+/// # Panics
+///
+/// Panics if `check_bits < 2`, `check_bits > 6`, or `data_bits` exceeds the
+/// `2^check_bits − check_bits − 1` bits the code can address.
+#[must_use]
+pub fn sec_decoder(data_bits: usize, check_bits: usize) -> Circuit {
+    assert!((2..=6).contains(&check_bits));
+    let capacity = (1usize << check_bits) - check_bits - 1;
+    assert!(
+        data_bits >= 1 && data_bits <= capacity,
+        "{check_bits} check bits address at most {capacity} data bits"
+    );
+    let mut c = Circuit::new(format!("sec{data_bits}_{check_bits}"));
+    let data: Vec<NodeId> = (0..data_bits)
+        .map(|i| c.add_input(format!("d{i}")))
+        .collect();
+    let check: Vec<NodeId> = (0..check_bits)
+        .map(|i| c.add_input(format!("p{i}")))
+        .collect();
+
+    // Assign each data bit a distinct non-power-of-two codeword position.
+    let positions: Vec<usize> = (3..)
+        .filter(|p: &usize| !p.is_power_of_two())
+        .take(data_bits)
+        .collect();
+
+    // Recompute each parity from data bits whose position has that bit set,
+    // then XOR with the received check bit to form the syndrome.
+    let mut syndrome = Vec::with_capacity(check_bits);
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..check_bits {
+        let members: Vec<NodeId> = positions
+            .iter()
+            .zip(&data)
+            .filter(|(p, _)| *p >> j & 1 == 1)
+            .map(|(_, &d)| d)
+            .collect();
+        // Balanced XOR tree over the members.
+        let mut layer = members;
+        let recomputed = loop {
+            if layer.len() == 1 {
+                break layer[0];
+            }
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for chunk in layer.chunks(2) {
+                if chunk.len() == 1 {
+                    next.push(chunk[0]);
+                } else {
+                    next.push(c.xor([chunk[0], chunk[1]]));
+                }
+            }
+            layer = next;
+        };
+        let s = c.xor([recomputed, check[j]]);
+        syndrome.push(s);
+    }
+    let nsyndrome: Vec<NodeId> = syndrome.iter().map(|&s| c.not(s)).collect();
+
+    // Correct each data bit: flip it when the syndrome equals its position.
+    for (i, (&pos, &d)) in positions.iter().zip(&data).enumerate() {
+        let match_terms: Vec<NodeId> = (0..check_bits)
+            .map(|j| {
+                if pos >> j & 1 == 1 {
+                    syndrome[j]
+                } else {
+                    nsyndrome[j]
+                }
+            })
+            .collect();
+        let hit = c.and(match_terms);
+        let corrected = c.xor([d, hit]);
+        c.add_output(format!("q{i}"), corrected);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_of(v: usize, n: usize) -> Vec<bool> {
+        (0..n).map(|j| v >> j & 1 != 0).collect()
+    }
+
+    #[test]
+    fn adder_adds() {
+        let c = ripple_carry_adder(4);
+        for a in 0..16usize {
+            for b in 0..16usize {
+                for cin in 0..2usize {
+                    let mut inputs = bits_of(a, 4);
+                    inputs.extend(bits_of(b, 4));
+                    inputs.push(cin == 1);
+                    let out = c.eval(&inputs);
+                    let sum = a + b + cin;
+                    for (i, &o) in out.iter().take(4).enumerate() {
+                        assert_eq!(o, sum >> i & 1 != 0, "{a}+{b}+{cin} bit {i}");
+                    }
+                    assert_eq!(out[4], sum >= 16, "{a}+{b}+{cin} carry");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parity_tree_computes_parity() {
+        for &(n, arity) in &[(5usize, 2usize), (8, 3), (16, 2)] {
+            let c = parity_tree(n, arity);
+            for trial in [0usize, 1, 3, (1 << n) - 1, 0b1010 % (1 << n)] {
+                let inputs = bits_of(trial, n);
+                let expect = trial.count_ones() % 2 == 1;
+                assert_eq!(c.eval(&inputs), vec![expect], "n={n} arity={arity} v={trial:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_selects() {
+        let c = mux_tree(3);
+        for sel in 0..8usize {
+            for data in [0usize, 0xFF, 0xA5, 1 << sel] {
+                let mut inputs = bits_of(data, 8);
+                inputs.extend(bits_of(sel, 3));
+                let expect = data >> sel & 1 != 0;
+                assert_eq!(c.eval(&inputs), vec![expect], "sel={sel} data={data:08b}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let c = equality_comparator(4);
+        for a in 0..16usize {
+            for b in [a, (a + 1) % 16, a ^ 0b1000] {
+                let mut inputs = bits_of(a, 4);
+                inputs.extend(bits_of(b, 4));
+                assert_eq!(c.eval(&inputs), vec![a == b], "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_decodes() {
+        let c = decoder(3);
+        for v in 0..8usize {
+            let mut inputs = bits_of(v, 3);
+            inputs.push(true);
+            let out = c.eval(&inputs);
+            for (i, &o) in out.iter().enumerate() {
+                assert_eq!(o, i == v, "v={v} line {i}");
+            }
+            // enable low: all outputs low
+            let mut inputs = bits_of(v, 3);
+            inputs.push(false);
+            assert!(c.eval(&inputs).iter().all(|&o| !o));
+        }
+    }
+
+    #[test]
+    fn sec_decoder_corrects_single_data_errors() {
+        let data_bits = 8;
+        let check_bits = 4;
+        let c = sec_decoder(data_bits, check_bits);
+        let positions: Vec<usize> = (3..)
+            .filter(|p: &usize| !p.is_power_of_two())
+            .take(data_bits)
+            .collect();
+        let encode = |data: usize| -> Vec<bool> {
+            // compute check bits matching the decoder's parity trees
+            (0..check_bits)
+                .map(|j| {
+                    positions
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| *p >> j & 1 == 1)
+                        .fold(false, |acc, (i, _)| acc ^ (data >> i & 1 != 0))
+                })
+                .collect()
+        };
+        for data in [0usize, 0b1011_0010, 0xFF, 0x01] {
+            let checks = encode(data);
+            // No error: outputs reproduce the data.
+            let mut inputs = bits_of(data, data_bits);
+            inputs.extend(&checks);
+            let out = c.eval(&inputs);
+            for (i, &o) in out.iter().enumerate().take(data_bits) {
+                assert_eq!(o, data >> i & 1 != 0, "clean data {data:08b} bit {i}");
+            }
+            // Single data-bit error: corrected.
+            for flip in 0..data_bits {
+                let corrupted = data ^ (1 << flip);
+                let mut inputs = bits_of(corrupted, data_bits);
+                inputs.extend(&checks);
+                let out = c.eval(&inputs);
+                for (i, &o) in out.iter().enumerate().take(data_bits) {
+                    assert_eq!(
+                        o,
+                        data >> i & 1 != 0,
+                        "data {data:08b} flipped bit {flip}, output bit {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sec_decoder_is_reconvergence_heavy() {
+        let c = sec_decoder(16, 5);
+        let stats = relogic_netlist::structure::CircuitStats::of(&c);
+        assert!(stats.stems >= 16, "expected many stems, got {}", stats.stems);
+        let hist: std::collections::HashMap<_, _> =
+            stats.kind_histogram.iter().copied().collect();
+        assert!(hist["xor"] > hist.get("and").copied().unwrap_or(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "address at most")]
+    fn sec_capacity_enforced() {
+        let _ = sec_decoder(30, 4);
+    }
+}

@@ -1,0 +1,576 @@
+//! Function-preserving structural transforms.
+//!
+//! The paper's §5.1 "redundancy-free design space exploration" compares two
+//! synthesized versions of the same function that differ in maximum fanout
+//! and logic depth (Fig. 8). These transforms produce such variants from
+//! any circuit:
+//!
+//! * [`buffer_fanout`] — caps fanout by inserting buffer trees (adds
+//!   levels, keeps one copy of every gate).
+//! * [`duplicate_fanout`] — caps fanout by duplicating logic (keeps levels,
+//!   grows area); primary inputs, which cannot be duplicated, get buffer
+//!   trees.
+//! * [`balance`] — flattens chains of associative same-kind gates into
+//!   balanced trees, reducing logic depth.
+//! * [`expand_xor_to_nand`] — rewrites XOR/XNOR into 4-NAND cells, turning
+//!   a c499-style XOR lattice into its c1355-style NAND expansion.
+//!
+//! Every transform returns a new circuit computing the same outputs, which
+//! the test suites verify exhaustively or symbolically.
+
+use relogic_netlist::structure::FanoutMap;
+use relogic_netlist::{Circuit, GateKind, NodeId};
+use std::collections::VecDeque;
+
+/// Returns `need` provider slots for `source`, inserting a buffer tree so
+/// no node drives more than `max` slots.
+fn expand_providers(
+    c: &mut Circuit,
+    source: NodeId,
+    need: usize,
+    max: usize,
+) -> VecDeque<NodeId> {
+    let mut out = VecDeque::with_capacity(need);
+    if need <= max {
+        for _ in 0..need {
+            out.push_back(source);
+        }
+        return out;
+    }
+    // Split the demand across up to `max` buffers, recursively.
+    let groups = max.min(need);
+    let base = need / groups;
+    let extra = need % groups;
+    for g in 0..groups {
+        let share = base + usize::from(g < extra);
+        let b = c.buf(source);
+        out.extend(expand_providers(c, b, share, max));
+    }
+    out
+}
+
+/// Number of provider slots each original node must supply: one per logic
+/// fanin slot (times the reader's copy count) plus one per observing output.
+fn consumer_counts(circuit: &Circuit, copies: &[usize]) -> Vec<usize> {
+    let mut consumers = vec![0usize; circuit.len()];
+    for (id, node) in circuit.iter() {
+        for &f in node.fanins() {
+            consumers[f.index()] += copies[id.index()];
+        }
+    }
+    for o in circuit.outputs() {
+        consumers[o.node().index()] += 1;
+    }
+    consumers
+}
+
+/// Caps every node's fanout at `max_fanout` by inserting balanced buffer
+/// trees. The result computes the same function with extra (noisy, once
+/// ε is assigned) buffer levels — the classic fanout-buffering trade-off.
+///
+/// # Panics
+///
+/// Panics if `max_fanout < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_netlist::{structure::FanoutMap, Circuit};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g = c.not(a);
+/// for i in 0..6 {
+///     let h = c.buf(g);
+///     c.add_output(format!("y{i}"), h);
+/// }
+/// let capped = relogic_gen::buffer_fanout(&c, 2);
+/// assert!(FanoutMap::build(&capped).max_logic_fanout() <= 2);
+/// ```
+#[must_use]
+pub fn buffer_fanout(circuit: &Circuit, max_fanout: usize) -> Circuit {
+    assert!(max_fanout >= 2, "max_fanout must be at least 2");
+    let copies = vec![1usize; circuit.len()];
+    let consumers = consumer_counts(circuit, &copies);
+    let mut out = Circuit::new(format!("{}_buf{max_fanout}", circuit.name()));
+    let mut providers: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); circuit.len()];
+    for (id, node) in circuit.iter() {
+        let new_id = match node.kind() {
+            GateKind::Input => out
+                .try_add_input(circuit.display_name(id))
+                .expect("unique input names"),
+            GateKind::Const(v) => out.add_const(v),
+            kind => {
+                let fanins: Vec<NodeId> = node
+                    .fanins()
+                    .iter()
+                    .map(|f| {
+                        providers[f.index()]
+                            .pop_front()
+                            .expect("provider available")
+                    })
+                    .collect();
+                out.add_gate(kind, fanins).expect("valid gate")
+            }
+        };
+        providers[id.index()] =
+            expand_providers(&mut out, new_id, consumers[id.index()], max_fanout);
+    }
+    for o in circuit.outputs() {
+        let p = providers[o.node().index()]
+            .pop_front()
+            .expect("provider available for output");
+        out.add_output(o.name(), p);
+    }
+    out
+}
+
+/// Caps every node's fanout at `max_fanout` by *duplicating gates* (logic
+/// replication), preserving logic depth. Primary inputs and constants,
+/// which cannot be replicated, receive buffer trees instead.
+///
+/// # Panics
+///
+/// Panics if `max_fanout < 2`.
+#[must_use]
+pub fn duplicate_fanout(circuit: &Circuit, max_fanout: usize) -> Circuit {
+    assert!(max_fanout >= 2, "max_fanout must be at least 2");
+    // Reverse pass: how many copies of each gate are needed so every copy
+    // drives at most `max_fanout` slots.
+    let n = circuit.len();
+    let mut copies = vec![1usize; n];
+    for i in (0..n).rev() {
+        let id = NodeId::from_index(i);
+        let node = circuit.node(id);
+        if !node.kind().is_gate() {
+            continue; // sources are buffered, not duplicated
+        }
+        let mut consumers = 0usize;
+        for (rid, rnode) in circuit.iter().skip(i + 1) {
+            let mult = rnode.fanins().iter().filter(|&&f| f == id).count();
+            consumers += mult * copies[rid.index()];
+        }
+        consumers += circuit
+            .outputs()
+            .iter()
+            .filter(|o| o.node() == id)
+            .count();
+        copies[i] = consumers.div_ceil(max_fanout).max(1);
+    }
+    let consumers = consumer_counts(circuit, &copies);
+
+    let mut out = Circuit::new(format!("{}_dup{max_fanout}", circuit.name()));
+    let mut providers: Vec<VecDeque<NodeId>> = vec![VecDeque::new(); n];
+    for (id, node) in circuit.iter() {
+        let i = id.index();
+        match node.kind() {
+            GateKind::Input => {
+                let new_id = out
+                    .try_add_input(circuit.display_name(id))
+                    .expect("unique input names");
+                providers[i] = expand_providers(&mut out, new_id, consumers[i], max_fanout);
+            }
+            GateKind::Const(v) => {
+                let new_id = out.add_const(v);
+                providers[i] = expand_providers(&mut out, new_id, consumers[i], max_fanout);
+            }
+            kind => {
+                let mut slots = VecDeque::with_capacity(consumers[i]);
+                let mut remaining = consumers[i];
+                for _ in 0..copies[i] {
+                    let fanins: Vec<NodeId> = node
+                        .fanins()
+                        .iter()
+                        .map(|f| {
+                            providers[f.index()]
+                                .pop_front()
+                                .expect("provider available")
+                        })
+                        .collect();
+                    let copy = out.add_gate(kind, fanins).expect("valid gate");
+                    let serve = remaining.min(max_fanout);
+                    remaining -= serve;
+                    for _ in 0..serve {
+                        slots.push_back(copy);
+                    }
+                }
+                providers[i] = slots;
+            }
+        }
+    }
+    for o in circuit.outputs() {
+        let p = providers[o.node().index()]
+            .pop_front()
+            .expect("provider available for output");
+        out.add_output(o.name(), p);
+    }
+    out
+}
+
+/// Flattens chains of same-kind associative gates (AND/OR/XOR) whose
+/// intermediate nodes have fanout 1 into balanced binary trees, reducing
+/// logic depth without changing the function.
+#[must_use]
+pub fn balance(circuit: &Circuit) -> Circuit {
+    let fanout = FanoutMap::build(circuit);
+    let absorbable = |id: NodeId, kind: GateKind| -> bool {
+        let node = circuit.node(id);
+        node.kind() == kind
+            && matches!(kind, GateKind::And | GateKind::Or | GateKind::Xor)
+            && fanout.logic_fanout(id) == 1
+            && fanout.output_observers(id) == 0
+    };
+    // Which nodes get absorbed into a consumer's balanced tree.
+    let mut absorbed = vec![false; circuit.len()];
+    for (_id, node) in circuit.iter() {
+        if !node.kind().is_gate() {
+            continue;
+        }
+        for &f in node.fanins() {
+            if absorbable(f, node.kind()) {
+                absorbed[f.index()] = true;
+            }
+        }
+    }
+
+    fn collect_leaves(
+        circuit: &Circuit,
+        id: NodeId,
+        kind: GateKind,
+        absorbed: &[bool],
+        leaves: &mut Vec<NodeId>,
+    ) {
+        for &f in circuit.node(id).fanins() {
+            if absorbed[f.index()] && circuit.node(f).kind() == kind {
+                collect_leaves(circuit, f, kind, absorbed, leaves);
+            } else {
+                leaves.push(f);
+            }
+        }
+    }
+
+    let mut out = Circuit::new(format!("{}_bal", circuit.name()));
+    let mut map: Vec<Option<NodeId>> = vec![None; circuit.len()];
+    for (id, node) in circuit.iter() {
+        if absorbed[id.index()] {
+            continue;
+        }
+        let new_id = match node.kind() {
+            GateKind::Input => out
+                .try_add_input(circuit.display_name(id))
+                .expect("unique input names"),
+            GateKind::Const(v) => out.add_const(v),
+            kind @ (GateKind::And | GateKind::Or | GateKind::Xor) => {
+                let mut leaves = Vec::new();
+                collect_leaves(circuit, id, kind, &absorbed, &mut leaves);
+                let mut layer: Vec<NodeId> = leaves
+                    .iter()
+                    .map(|f| map[f.index()].expect("fanin already emitted"))
+                    .collect();
+                while layer.len() > 1 {
+                    let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+                    for chunk in layer.chunks(2) {
+                        if chunk.len() == 1 {
+                            next.push(chunk[0]);
+                        } else {
+                            next.push(out.add_gate(kind, [chunk[0], chunk[1]]).expect("valid"));
+                        }
+                    }
+                    layer = next;
+                }
+                // A single leaf means the gate was an identity (arity 1);
+                // map it straight to the leaf.
+                layer[0]
+            }
+            kind => {
+                let fanins: Vec<NodeId> = node
+                    .fanins()
+                    .iter()
+                    .map(|f| map[f.index()].expect("fanin already emitted"))
+                    .collect();
+                out.add_gate(kind, fanins).expect("valid gate")
+            }
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for o in circuit.outputs() {
+        out.add_output(o.name(), map[o.node().index()].expect("output node emitted"));
+    }
+    out
+}
+
+/// Rewrites every XOR into the classic 4-NAND cell (and XNOR into 4-NAND
+/// plus an inverter); wider parity gates are first decomposed into 2-input
+/// chains. This is how ISCAS-85 c1355 relates to c499.
+#[must_use]
+pub fn expand_xor_to_nand(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(format!("{}_nand", circuit.name()));
+    let mut map: Vec<NodeId> = Vec::with_capacity(circuit.len());
+    let xor2 = |c: &mut Circuit, a: NodeId, b: NodeId| -> NodeId {
+        let x = c.nand([a, b]);
+        let y = c.nand([a, x]);
+        let z = c.nand([b, x]);
+        c.nand([y, z])
+    };
+    for (id, node) in circuit.iter() {
+        let new_id = match node.kind() {
+            GateKind::Input => out
+                .try_add_input(circuit.display_name(id))
+                .expect("unique input names"),
+            GateKind::Const(v) => out.add_const(v),
+            GateKind::Xor | GateKind::Xnor => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f.index()]).collect();
+                let mut acc = fanins[0];
+                for &next in &fanins[1..] {
+                    acc = xor2(&mut out, acc, next);
+                }
+                if node.kind() == GateKind::Xnor {
+                    out.not(acc)
+                } else if node.arity() == 1 {
+                    out.buf(acc)
+                } else {
+                    acc
+                }
+            }
+            kind => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f.index()]).collect();
+                out.add_gate(kind, fanins).expect("valid gate")
+            }
+        };
+        map.push(new_id);
+    }
+    for o in circuit.outputs() {
+        out.add_output(o.name(), map[o.node().index()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relogic_netlist::structure::{depth, CircuitStats};
+
+    fn exhaustive_equivalent(a: &Circuit, b: &Circuit) -> bool {
+        assert_eq!(a.input_count(), b.input_count());
+        assert_eq!(a.output_count(), b.output_count());
+        assert!(a.input_count() <= 16);
+        for v in 0..1usize << a.input_count() {
+            let bits: Vec<bool> = (0..a.input_count()).map(|j| v >> j & 1 != 0).collect();
+            if a.eval(&bits) != b.eval(&bits) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("x");
+        let s = c.nand([a, b]); // heavy fanout stem
+        let g1 = c.and([s, x]);
+        let g2 = c.or([s, x]);
+        let g3 = c.xor([s, g1]);
+        let g4 = c.xor([g3, g2]);
+        c.add_output("y1", g4);
+        c.add_output("y2", s);
+        c
+    }
+
+    #[test]
+    fn buffer_fanout_caps_and_preserves() {
+        let c = sample();
+        let capped = buffer_fanout(&c, 2);
+        assert!(FanoutMap::build(&capped).max_logic_fanout() <= 2);
+        assert!(exhaustive_equivalent(&c, &capped));
+        assert!(capped.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_fanout_caps_and_preserves() {
+        let c = sample();
+        let capped = duplicate_fanout(&c, 2);
+        assert!(FanoutMap::build(&capped).max_logic_fanout() <= 2);
+        assert!(exhaustive_equivalent(&c, &capped));
+        // Duplication must not increase depth (buffering of PIs aside).
+        assert!(depth(&capped) <= depth(&c) + 1);
+    }
+
+    #[test]
+    fn duplicate_replicates_logic() {
+        let c = sample();
+        let capped = duplicate_fanout(&c, 2);
+        // The stem had fanout 4 (3 gates + 1 output): expect extra NANDs.
+        let hist: std::collections::HashMap<_, _> = CircuitStats::of(&capped)
+            .kind_histogram
+            .iter()
+            .copied()
+            .collect();
+        assert!(hist["nand"] >= 2, "stem should be duplicated");
+    }
+
+    #[test]
+    fn balance_reduces_depth_of_chains() {
+        let mut c = Circuit::new("chain");
+        let ins: Vec<_> = (0..8).map(|i| c.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = c.and([acc, i]);
+        }
+        c.add_output("y", acc);
+        let balanced = balance(&c);
+        assert!(exhaustive_equivalent(&c, &balanced));
+        assert_eq!(depth(&c), 7);
+        assert_eq!(depth(&balanced), 3);
+    }
+
+    #[test]
+    fn balance_respects_fanout_and_outputs() {
+        // The middle of the chain is observed: it cannot be absorbed.
+        let mut c = Circuit::new("chain");
+        let ins: Vec<_> = (0..4).map(|i| c.add_input(format!("x{i}"))).collect();
+        let g1 = c.or([ins[0], ins[1]]);
+        let g2 = c.or([g1, ins[2]]);
+        let g3 = c.or([g2, ins[3]]);
+        c.add_output("mid", g2);
+        c.add_output("y", g3);
+        let balanced = balance(&c);
+        assert!(exhaustive_equivalent(&c, &balanced));
+    }
+
+    #[test]
+    fn balance_handles_xor_chains() {
+        let mut c = Circuit::new("chain");
+        let ins: Vec<_> = (0..6).map(|i| c.add_input(format!("x{i}"))).collect();
+        let mut acc = ins[0];
+        for &i in &ins[1..] {
+            acc = c.xor([acc, i]);
+        }
+        c.add_output("y", acc);
+        let balanced = balance(&c);
+        assert!(exhaustive_equivalent(&c, &balanced));
+        assert!(depth(&balanced) < depth(&c));
+    }
+
+    #[test]
+    fn xor_expansion_is_equivalent_and_nand_only() {
+        let c = sample();
+        let expanded = expand_xor_to_nand(&c);
+        assert!(exhaustive_equivalent(&c, &expanded));
+        for (_, node) in expanded.iter() {
+            assert!(
+                !matches!(node.kind(), GateKind::Xor | GateKind::Xnor),
+                "xor survived expansion"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_expansion_handles_wide_and_xnor() {
+        let mut c = Circuit::new("t");
+        let ins: Vec<_> = (0..4).map(|i| c.add_input(format!("x{i}"))).collect();
+        let g1 = c.xor(ins.clone());
+        let g2 = c.xnor([ins[0], ins[3]]);
+        c.add_output("y1", g1);
+        c.add_output("y2", g2);
+        let expanded = expand_xor_to_nand(&c);
+        assert!(exhaustive_equivalent(&c, &expanded));
+    }
+
+    #[test]
+    fn transforms_compose() {
+        let c = sample();
+        let v = balance(&duplicate_fanout(&c, 2));
+        assert!(exhaustive_equivalent(&c, &v));
+        let w = buffer_fanout(&expand_xor_to_nand(&c), 3);
+        assert!(exhaustive_equivalent(&c, &w));
+    }
+}
+
+/// Rewrites every XOR into the 3-gate AND-OR cell
+/// `x ⊕ y = (x NAND y) AND (x OR y)` (XNOR gains an inverter); wider
+/// parity gates are decomposed into 2-input chains first.
+///
+/// Each cell's fanins feed two gates that reconverge one level later, so
+/// this expansion injects the dense local reconvergence that makes the
+/// decomposed ISCAS parity circuits (the paper's c499 row) hard for
+/// independence-assuming analyses.
+#[must_use]
+pub fn expand_xor_to_and_or(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(format!("{}_aoi", circuit.name()));
+    let mut map: Vec<NodeId> = Vec::with_capacity(circuit.len());
+    let xor2 = |c: &mut Circuit, a: NodeId, b: NodeId| -> NodeId {
+        let nand = c.nand([a, b]);
+        let or = c.or([a, b]);
+        c.and([nand, or])
+    };
+    for (id, node) in circuit.iter() {
+        let new_id = match node.kind() {
+            GateKind::Input => out
+                .try_add_input(circuit.display_name(id))
+                .expect("unique input names"),
+            GateKind::Const(v) => out.add_const(v),
+            GateKind::Xor | GateKind::Xnor => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f.index()]).collect();
+                let mut acc = fanins[0];
+                for &next in &fanins[1..] {
+                    acc = xor2(&mut out, acc, next);
+                }
+                if node.kind() == GateKind::Xnor {
+                    out.not(acc)
+                } else if node.arity() == 1 {
+                    out.buf(acc)
+                } else {
+                    acc
+                }
+            }
+            kind => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f.index()]).collect();
+                out.add_gate(kind, fanins).expect("valid gate")
+            }
+        };
+        map.push(new_id);
+    }
+    for o in circuit.outputs() {
+        out.add_output(o.name(), map[o.node().index()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod aoi_tests {
+    use super::*;
+
+    #[test]
+    fn and_or_expansion_is_equivalent() {
+        let mut c = Circuit::new("t");
+        let ins: Vec<_> = (0..4).map(|i| c.add_input(format!("x{i}"))).collect();
+        let g1 = c.xor(ins.clone());
+        let g2 = c.xnor([ins[0], ins[2]]);
+        let g3 = c.and([g1, g2]);
+        c.add_output("y1", g3);
+        c.add_output("y2", g1);
+        let expanded = expand_xor_to_and_or(&c);
+        for v in 0..16usize {
+            let bits: Vec<bool> = (0..4).map(|j| v >> j & 1 != 0).collect();
+            assert_eq!(c.eval(&bits), expanded.eval(&bits), "v={v:04b}");
+        }
+        for (_, node) in expanded.iter() {
+            assert!(!matches!(node.kind(), GateKind::Xor | GateKind::Xnor));
+        }
+    }
+
+    #[test]
+    fn and_or_expansion_creates_local_stems() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.xor([a, b]);
+        c.add_output("y", g);
+        let expanded = expand_xor_to_and_or(&c);
+        let fan = FanoutMap::build(&expanded);
+        assert!(fan.is_stem(relogic_netlist::NodeId::from_index(0)));
+        assert_eq!(expanded.gate_count(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Graphviz DOT export for visual inspection of netlists.
+
+use crate::{Circuit, GateKind};
+use std::fmt::Write as _;
+
+/// Renders `circuit` as a Graphviz `digraph`.
+///
+/// Inputs are drawn as triangles, constants as diamonds, gates as boxes
+/// labelled with their kind, and output slots as double circles. The output
+/// is deterministic, so snapshots of it are stable in tests.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_netlist::{dot, Circuit};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let g = c.not(a);
+/// c.add_output("y", g);
+/// let text = dot::to_dot(&c);
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("not"));
+/// ```
+#[must_use]
+pub fn to_dot(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", circuit.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (id, node) in circuit.iter() {
+        let label = circuit.display_name(id);
+        let (shape, text) = match node.kind() {
+            GateKind::Input => ("triangle", label.clone()),
+            GateKind::Const(v) => ("diamond", format!("{}", u8::from(v))),
+            kind => ("box", format!("{label}\\n{kind}")),
+        };
+        let _ = writeln!(out, "  n{} [shape={shape}, label=\"{text}\"];", id.index());
+    }
+    for (id, node) in circuit.iter() {
+        for &f in node.fanins() {
+            let _ = writeln!(out, "  n{} -> n{};", f.index(), id.index());
+        }
+    }
+    for (k, o) in circuit.outputs().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  out{k} [shape=doublecircle, label=\"{}\"];",
+            o.name()
+        );
+        let _ = writeln!(out, "  n{} -> out{k};", o.node().index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        c.add_output("y", g);
+        let text = to_dot(&c);
+        assert!(text.starts_with("digraph \"t\""));
+        assert!(text.contains("n0 -> n2"));
+        assert!(text.contains("n1 -> n2"));
+        assert!(text.contains("n2 -> out0"));
+        assert!(text.contains("doublecircle"));
+        assert!(text.contains("triangle"));
+    }
+
+    #[test]
+    fn dot_renders_constants() {
+        let mut c = Circuit::new("t");
+        let k = c.add_const(true);
+        c.add_output("y", k);
+        assert!(to_dot(&c).contains("diamond"));
+    }
+}

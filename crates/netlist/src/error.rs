@@ -1,0 +1,121 @@
+//! Error types for netlist construction, validation, and parsing.
+
+use crate::{GateKind, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, validating, or parsing a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A combinational cycle was found through the given node.
+    Cycle {
+        /// A node known to lie on the cycle.
+        node: NodeId,
+    },
+    /// A gate was created with a fanin count its kind does not accept.
+    Arity {
+        /// The offending gate kind.
+        kind: GateKind,
+        /// The fanin count that was supplied.
+        arity: usize,
+    },
+    /// A gate references a node id that does not exist in the circuit.
+    DanglingFanin {
+        /// The referencing gate.
+        gate: NodeId,
+        /// The missing fanin id.
+        fanin: NodeId,
+    },
+    /// Two distinct nodes were given the same name.
+    DuplicateName {
+        /// The contested name.
+        name: String,
+    },
+    /// A textual format referenced a signal that was never defined.
+    UndefinedSignal {
+        /// The undefined signal name.
+        name: String,
+    },
+    /// A signal was assigned (driven) more than once in a textual format.
+    MultipleDrivers {
+        /// The multiply-driven signal name.
+        name: String,
+    },
+    /// A syntax error in a textual format.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// The netlist uses a construct this library does not support
+    /// (e.g. sequential elements in the `.bench` format).
+    Unsupported {
+        /// Description of the unsupported construct.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Cycle { node } => {
+                write!(f, "combinational cycle through node {node}")
+            }
+            NetlistError::Arity { kind, arity } => {
+                write!(f, "gate kind `{kind}` cannot take {arity} fanins")
+            }
+            NetlistError::DanglingFanin { gate, fanin } => {
+                write!(f, "gate {gate} references nonexistent fanin {fanin}")
+            }
+            NetlistError::DuplicateName { name } => {
+                write!(f, "name `{name}` is bound to more than one node")
+            }
+            NetlistError::UndefinedSignal { name } => {
+                write!(f, "signal `{name}` is used but never defined")
+            }
+            NetlistError::MultipleDrivers { name } => {
+                write!(f, "signal `{name}` is driven more than once")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            NetlistError::Unsupported { message } => {
+                write!(f, "unsupported construct: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "expected `=`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error on line 3: expected `=`");
+        let e = NetlistError::Arity {
+            kind: GateKind::Not,
+            arity: 2,
+        };
+        assert!(e.to_string().contains("not"));
+        assert!(e.to_string().contains('2'));
+        let e = NetlistError::Cycle {
+            node: NodeId::from_index(5),
+        };
+        assert!(e.to_string().contains("n5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

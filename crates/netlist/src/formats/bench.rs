@@ -1,0 +1,366 @@
+//! ISCAS-85 `.bench` format parser and writer.
+//!
+//! The format is a flat gate list:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! INPUT(G2)
+//! OUTPUT(G5)
+//! G4 = NAND(G1, G2)
+//! G5 = NOT(G4)
+//! ```
+//!
+//! Only the combinational subset is accepted; a `DFF` gate yields
+//! [`NetlistError::Unsupported`]. Signals may be used before they are
+//! defined. A signal that is declared `OUTPUT` maps to an output slot
+//! observing the node of the same name.
+
+use super::{instantiate, Def, DefBody};
+use crate::{Circuit, GateKind, NetlistError};
+use std::collections::HashMap;
+
+/// Parses `.bench` text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::Unsupported`] for sequential elements,
+/// [`NetlistError::UndefinedSignal`] / [`NetlistError::MultipleDrivers`] for
+/// inconsistent signal usage, and duplicate-name errors where applicable.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), relogic_netlist::NetlistError> {
+/// let text = "\
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = AND(a, b)
+/// ";
+/// let c = relogic_netlist::bench::parse(text)?;
+/// assert_eq!(c.eval(&[true, true]), vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let mut circuit = Circuit::new("bench");
+    let mut defs: HashMap<String, Def> = HashMap::new();
+    let mut outputs: Vec<(String, usize)> = Vec::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut declared_inputs: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stripped = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        }
+        .trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        if let Some(name) = directive(stripped, "INPUT") {
+            let name = name.map_err(|message| NetlistError::Parse { line, message })?;
+            declared_inputs.push(name.to_owned());
+            circuit.try_add_input(name)?;
+            continue;
+        }
+        if let Some(name) = directive(stripped, "OUTPUT") {
+            let name = name.map_err(|message| NetlistError::Parse { line, message })?;
+            outputs.push((name.to_owned(), line));
+            continue;
+        }
+        // Gate line: `name = KIND(arg, arg, ...)`
+        let (lhs, rhs) = stripped.split_once('=').ok_or_else(|| NetlistError::Parse {
+            line,
+            message: "expected `INPUT(..)`, `OUTPUT(..)`, or `name = KIND(..)`".into(),
+        })?;
+        let name = lhs.trim();
+        if name.is_empty() {
+            return Err(NetlistError::Parse {
+                line,
+                message: "missing signal name before `=`".into(),
+            });
+        }
+        let rhs = rhs.trim();
+        let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+            line,
+            message: "expected `KIND(args)` after `=`".into(),
+        })?;
+        if !rhs.ends_with(')') {
+            return Err(NetlistError::Parse {
+                line,
+                message: "missing closing `)`".into(),
+            });
+        }
+        let kind_name = rhs[..open].trim();
+        let args_text = &rhs[open + 1..rhs.len() - 1];
+        if kind_name.eq_ignore_ascii_case("dff") || kind_name.eq_ignore_ascii_case("dffsr") {
+            return Err(NetlistError::Unsupported {
+                message: format!("sequential element `{kind_name}` on line {line}"),
+            });
+        }
+        let kind = GateKind::parse_name(kind_name).ok_or_else(|| NetlistError::Parse {
+            line,
+            message: format!("unknown gate kind `{kind_name}`"),
+        })?;
+        let fanins: Vec<String> = args_text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if !kind.accepts_arity(fanins.len()) {
+            return Err(NetlistError::Arity {
+                kind,
+                arity: fanins.len(),
+            });
+        }
+        if defs.contains_key(name) || declared_inputs.iter().any(|i| i == name) {
+            return Err(NetlistError::MultipleDrivers {
+                name: name.to_owned(),
+            });
+        }
+        defs.insert(
+            name.to_owned(),
+            Def {
+                body: DefBody::Gate(kind),
+                fanins,
+                line,
+            },
+        );
+        order.push(name.to_owned());
+    }
+
+    let resolved = instantiate(&mut circuit, &defs, &order)?;
+    for (name, _line) in outputs {
+        let node = resolved
+            .get(&name)
+            .copied()
+            .or_else(|| circuit.find(&name))
+            .ok_or(NetlistError::UndefinedSignal { name: name.clone() })?;
+        circuit.add_output(name, node);
+    }
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+fn directive<'a>(line: &'a str, keyword: &str) -> Option<Result<&'a str, String>> {
+    let rest = line
+        .strip_prefix(keyword)
+        .or_else(|| line.strip_prefix(&keyword.to_ascii_lowercase()))?;
+    let rest = rest.trim_start();
+    let inner = match rest.strip_prefix('(').and_then(|r| r.strip_suffix(')')) {
+        Some(inner) => inner.trim(),
+        None => return Some(Err(format!("malformed `{keyword}(...)` directive"))),
+    };
+    if inner.is_empty() {
+        return Some(Err(format!("empty `{keyword}(...)` directive")));
+    }
+    Some(Ok(inner))
+}
+
+/// Serializes a circuit to `.bench` text.
+///
+/// Unnamed nodes receive synthetic `N<i>` names. Constants, which the
+/// format lacks, are emitted as `VDD`/`GND` gates understood by this
+/// library's own parser (round-trips are lossless for circuits produced by
+/// [`parse`]).
+#[must_use]
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    let names = super::unique_node_names(circuit);
+    let name_of = |id: crate::NodeId| -> String { names[id.index()].clone() };
+    for &i in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", name_of(i)));
+    }
+    // The format identifies outputs by signal name, so an output slot whose
+    // name differs from its node's (or that shares a node with another
+    // slot) gets a BUFF alias; alias names are de-conflicted as needed.
+    let mut taken: std::collections::HashSet<String> = names.iter().cloned().collect();
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    let mut used_nodes: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    let mut output_lines = String::new();
+    for o in circuit.outputs() {
+        let node_name = name_of(o.node());
+        if o.name() == node_name && used_nodes.insert(o.node().index()) {
+            output_lines.push_str(&format!("OUTPUT({node_name})\n"));
+        } else {
+            let mut alias = o.name().to_owned();
+            while !taken.insert(alias.clone()) {
+                alias.push('_');
+            }
+            output_lines.push_str(&format!("OUTPUT({alias})\n"));
+            aliases.push((alias, node_name));
+        }
+    }
+    out.push_str(&output_lines);
+    for (id, node) in circuit.iter() {
+        match node.kind() {
+            GateKind::Input => {}
+            GateKind::Const(v) => {
+                out.push_str(&format!(
+                    "{} = {}()\n",
+                    name_of(id),
+                    if v { "VDD" } else { "GND" }
+                ));
+            }
+            kind => {
+                let args: Vec<String> = node.fanins().iter().map(|&f| name_of(f)).collect();
+                out.push_str(&format!(
+                    "{} = {}({})\n",
+                    name_of(id),
+                    kind.name().to_ascii_uppercase(),
+                    args.join(", ")
+                ));
+            }
+        }
+    }
+    for (alias, target) in aliases {
+        out.push_str(&format!("{alias} = BUFF({target})\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "\
+# a tiny circuit
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+t1 = NAND(a, b)
+y = XOR(t1, c)
+z = NOT(t1)
+";
+
+    #[test]
+    fn parse_small_circuit() {
+        let c = parse(SMALL).unwrap();
+        assert_eq!(c.input_count(), 3);
+        assert_eq!(c.output_count(), 2);
+        assert_eq!(c.gate_count(), 3);
+        // y = !(a&b) ^ c ; z = a&b
+        assert_eq!(c.eval(&[true, true, false]), vec![false, true]);
+        assert_eq!(c.eval(&[false, true, false]), vec![true, false]);
+    }
+
+    #[test]
+    fn forward_references_allowed() {
+        let text = "\
+INPUT(a)
+OUTPUT(y)
+y = NOT(m)
+m = BUFF(a)
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn output_can_be_an_input() {
+        let text = "\
+INPUT(a)
+OUTPUT(a)
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn dff_is_unsupported() {
+        let text = "INPUT(a)\nq = DFF(a)\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_a_parse_error() {
+        let err = parse("INPUT(a)\ny = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let text = "\
+INPUT(a)
+y = NOT(a)
+y = BUFF(a)
+";
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let text = "INPUT(a)\nOUTPUT(ghost)\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::UndefinedSignal { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let text = "\
+INPUT(a)
+p = AND(q, a)
+q = NOT(p)
+OUTPUT(p)
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let err = parse("INPUT(a)\nwhat is this\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 2, .. }));
+        let err = parse("INPUT a\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let c = parse(SMALL).unwrap();
+        let text = write(&c);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c2.input_count(), c.input_count());
+        assert_eq!(c2.output_count(), c.output_count());
+        for pattern in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|j| pattern >> j & 1 != 0).collect();
+            assert_eq!(c.eval(&bits), c2.eval(&bits), "pattern {pattern:03b}");
+        }
+    }
+
+    #[test]
+    fn constants_roundtrip() {
+        let mut c = Circuit::new("t");
+        let one = c.add_const(true);
+        let a = c.add_input("a");
+        let g = c.and([one, a]);
+        c.add_output("y", g);
+        let text = write(&c);
+        let c2 = parse(&text).unwrap();
+        assert_eq!(c2.eval(&[true]), vec![true]);
+        assert_eq!(c2.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hi\n\nINPUT(a)  # trailing\nOUTPUT(a)\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.input_count(), 1);
+    }
+}

@@ -1,0 +1,432 @@
+//! Berkeley Logic Interchange Format (BLIF) parser and writer, restricted to
+//! the combinational `.names` subset.
+//!
+//! Supported constructs: `.model`, `.inputs`, `.outputs`, `.names` with
+//! single-output covers (on-set or off-set rows, `-` don't-cares), line
+//! continuations with `\`, comments with `#`, `.end`. Sequential and
+//! hierarchical constructs (`.latch`, `.subckt`, `.gate`) are rejected with
+//! [`NetlistError::Unsupported`].
+//!
+//! Covers are expanded into AND/OR/NOT networks, so a parsed BLIF circuit is
+//! an ordinary [`Circuit`] the reliability engines can analyze directly.
+
+use super::{instantiate, Def, DefBody};
+use crate::{Circuit, GateKind, NetlistError};
+use std::collections::HashMap;
+
+/// Parses BLIF text into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed input,
+/// [`NetlistError::Unsupported`] for sequential/hierarchical constructs, and
+/// signal-consistency errors as documented on [`NetlistError`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), relogic_netlist::NetlistError> {
+/// let text = "\
+/// .model xor2
+/// .inputs a b
+/// .outputs y
+/// .names a b y
+/// 01 1
+/// 10 1
+/// .end
+/// ";
+/// let c = relogic_netlist::blif::parse(text)?;
+/// assert_eq!(c.name(), "xor2");
+/// assert_eq!(c.eval(&[true, false]), vec![true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    // Join continuation lines, remembering original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let no_comment = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let (content, continued) = match no_comment.trim_end().strip_suffix('\\') {
+            Some(head) => (head.trim_end().to_owned(), true),
+            None => (no_comment.trim_end().to_owned(), false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(content.trim_start());
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((line, content));
+                } else if !content.trim().is_empty() {
+                    logical.push((line, content));
+                }
+            }
+        }
+    }
+    if let Some((line, acc)) = pending {
+        logical.push((line, acc));
+    }
+
+    let mut circuit = Circuit::new("blif");
+    let mut defs: HashMap<String, Def> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut input_names: Vec<String> = Vec::new();
+
+    let mut i = 0usize;
+    while i < logical.len() {
+        let (line, content) = (&logical[i].0, logical[i].1.trim());
+        let line = *line;
+        let mut tokens = content.split_whitespace();
+        let head = tokens.next().unwrap_or("");
+        match head {
+            ".model" => {
+                if let Some(name) = tokens.next() {
+                    circuit.set_name(name);
+                }
+                i += 1;
+            }
+            ".inputs" => {
+                for name in tokens {
+                    input_names.push(name.to_owned());
+                    circuit.try_add_input(name)?;
+                }
+                i += 1;
+            }
+            ".outputs" => {
+                outputs.extend(tokens.map(str::to_owned));
+                i += 1;
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens.map(str::to_owned).collect();
+                let Some((output, cover_inputs)) = signals.split_last() else {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: "`.names` requires at least an output signal".into(),
+                    });
+                };
+                // Collect cover rows until the next dot-directive.
+                let mut cubes: Vec<Vec<u8>> = Vec::new();
+                let mut on_value: Option<bool> = None;
+                let mut j = i + 1;
+                while j < logical.len() && !logical[j].1.trim_start().starts_with('.') {
+                    let (row_line, row) = (logical[j].0, logical[j].1.trim());
+                    let mut parts = row.split_whitespace();
+                    let (cube, value) = if cover_inputs.is_empty() {
+                        ("", parts.next().unwrap_or(""))
+                    } else {
+                        (
+                            parts.next().unwrap_or(""),
+                            parts.next().unwrap_or(""),
+                        )
+                    };
+                    if parts.next().is_some() {
+                        return Err(NetlistError::Parse {
+                            line: row_line,
+                            message: "too many fields in cover row".into(),
+                        });
+                    }
+                    let v = match value {
+                        "1" => true,
+                        "0" => false,
+                        other => {
+                            return Err(NetlistError::Parse {
+                                line: row_line,
+                                message: format!("invalid cover output `{other}`"),
+                            })
+                        }
+                    };
+                    match on_value {
+                        None => on_value = Some(v),
+                        Some(prev) if prev != v => {
+                            return Err(NetlistError::Parse {
+                                line: row_line,
+                                message: "cover mixes on-set and off-set rows".into(),
+                            })
+                        }
+                        _ => {}
+                    }
+                    cubes.push(cube.as_bytes().to_vec());
+                    j += 1;
+                }
+                if defs.contains_key(output) || input_names.iter().any(|n| n == output) {
+                    return Err(NetlistError::MultipleDrivers {
+                        name: output.clone(),
+                    });
+                }
+                defs.insert(
+                    output.clone(),
+                    Def {
+                        body: DefBody::Sop {
+                            cubes,
+                            on_value: on_value.unwrap_or(true),
+                        },
+                        fanins: cover_inputs.to_vec(),
+                        line,
+                    },
+                );
+                order.push(output.clone());
+                i = j;
+            }
+            ".end" => {
+                i += 1;
+            }
+            ".latch" | ".subckt" | ".gate" | ".mlatch" => {
+                return Err(NetlistError::Unsupported {
+                    message: format!("`{head}` on line {line}"),
+                })
+            }
+            other if other.starts_with('.') => {
+                // Ignore benign unknown directives (.default_input_arrival etc).
+                i += 1;
+            }
+            _ => {
+                return Err(NetlistError::Parse {
+                    line,
+                    message: format!("unexpected content `{content}`"),
+                })
+            }
+        }
+    }
+
+    let resolved = instantiate(&mut circuit, &defs, &order)?;
+    for name in outputs {
+        let node = resolved
+            .get(&name)
+            .copied()
+            .or_else(|| circuit.find(&name))
+            .ok_or(NetlistError::UndefinedSignal { name: name.clone() })?;
+        circuit.add_output(name, node);
+    }
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+/// Serializes a circuit as BLIF.
+///
+/// Every gate becomes one `.names` cover; XOR/XNOR gates are expanded to
+/// parity covers, so writing is `O(2^arity)` per parity gate (cheap for the
+/// arities this library produces).
+#[must_use]
+pub fn write(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let names = super::unique_node_names(circuit);
+    let name_of = |id: crate::NodeId| -> String { names[id.index()].clone() };
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", circuit.name());
+    let inputs: Vec<String> = circuit.inputs().iter().map(|&i| name_of(i)).collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    // Output slots may alias internal names; emit dedicated buffers when the
+    // output name differs from the node name.
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    let mut out_names: Vec<String> = Vec::new();
+    for o in circuit.outputs() {
+        let node_name = name_of(o.node());
+        if o.name() == node_name {
+            out_names.push(node_name);
+        } else {
+            out_names.push(o.name().to_owned());
+            aliases.push((o.name().to_owned(), node_name));
+        }
+    }
+    let _ = writeln!(out, ".outputs {}", out_names.join(" "));
+    for (id, node) in circuit.iter() {
+        let kind = node.kind();
+        if kind == GateKind::Input {
+            continue;
+        }
+        let args: Vec<String> = node.fanins().iter().map(|&f| name_of(f)).collect();
+        let _ = writeln!(
+            out,
+            ".names {}{}{}",
+            args.join(" "),
+            if args.is_empty() { "" } else { " " },
+            name_of(id)
+        );
+        let arity = node.arity();
+        match kind {
+            GateKind::Input => unreachable!(),
+            GateKind::Const(true) => {
+                let _ = writeln!(out, "1");
+            }
+            GateKind::Const(false) => {} // empty cover = constant 0
+            GateKind::Buf => {
+                let _ = writeln!(out, "1 1");
+            }
+            GateKind::Not => {
+                let _ = writeln!(out, "0 1");
+            }
+            GateKind::And => {
+                let _ = writeln!(out, "{} 1", "1".repeat(arity));
+            }
+            GateKind::Nand => {
+                let _ = writeln!(out, "{} 0", "1".repeat(arity));
+            }
+            GateKind::Or => {
+                let _ = writeln!(out, "{} 0", "0".repeat(arity));
+            }
+            GateKind::Nor => {
+                let _ = writeln!(out, "{} 1", "0".repeat(arity));
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                for combo in 0..1usize << arity {
+                    if kind.eval_combo(combo, arity) {
+                        let cube: String = (0..arity)
+                            .map(|j| if combo >> j & 1 != 0 { '1' } else { '0' })
+                            .collect();
+                        let _ = writeln!(out, "{cube} 1");
+                    }
+                }
+            }
+        }
+    }
+    for (alias, target) in aliases {
+        let _ = writeln!(out, ".names {target} {alias}");
+        let _ = writeln!(out, "1 1");
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAJ: &str = "\
+.model maj3
+.inputs a b c
+.outputs y
+.names a b c y
+11- 1
+1-1 1
+-11 1
+.end
+";
+
+    #[test]
+    fn parse_majority() {
+        let c = parse(MAJ).unwrap();
+        assert_eq!(c.name(), "maj3");
+        for p in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|j| p >> j & 1 != 0).collect();
+            let maj = bits.iter().filter(|&&b| b).count() >= 2;
+            assert_eq!(c.eval(&bits), vec![maj], "pattern {p:03b}");
+        }
+    }
+
+    #[test]
+    fn offset_cover() {
+        let text = "\
+.model nand2
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[true, true]), vec![false]);
+        assert_eq!(c.eval(&[false, true]), vec![true]);
+    }
+
+    #[test]
+    fn constant_covers() {
+        let text = "\
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let text = ".model t\n.inputs a \\\n  b\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.input_count(), 2);
+        assert_eq!(c.eval(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn latch_unsupported() {
+        let text = ".model t\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_cover_rejected() {
+        let text = ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("mixes"));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let text = ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n";
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_reference_between_covers() {
+        let text = "\
+.model t
+.inputs a
+.outputs y
+.names m y
+0 1
+.names a m
+1 1
+.end
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn roundtrip_small_circuit() {
+        let mut c = Circuit::new("rt");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.xor([a, b]);
+        let n = c.nand([a, x]);
+        c.set_node_name(x, "x").unwrap();
+        c.set_node_name(n, "n").unwrap();
+        c.add_output("n", n);
+        c.add_output("also_x", x);
+        let text = write(&c);
+        let c2 = parse(&text).unwrap();
+        for p in 0..4u32 {
+            let bits: Vec<bool> = (0..2).map(|j| p >> j & 1 != 0).collect();
+            assert_eq!(c.eval(&bits), c2.eval(&bits), "pattern {p:02b}");
+        }
+    }
+
+    #[test]
+    fn unknown_directives_ignored() {
+        let text = ".model t\n.inputs a\n.outputs a\n.default_input_arrival 0 0\n.end\n";
+        let c = parse(text).unwrap();
+        assert_eq!(c.input_count(), 1);
+    }
+}

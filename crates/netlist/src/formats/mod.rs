@@ -1,0 +1,388 @@
+//! Textual netlist interchange formats.
+//!
+//! Two classic EDA formats are supported, both restricted to the
+//! combinational subset this library models:
+//!
+//! * [`bench`] — the ISCAS-85 / ISCAS-89 `.bench` gate-list format.
+//! * [`blif`] — the Berkeley Logic Interchange Format (`.names` covers).
+//! * [`verilog`] — structural gate-level Verilog (primitive instantiations).
+//!
+//! Both parsers accept signals referenced before their definition (common in
+//! distributed benchmark files) by collecting definitions first and then
+//! instantiating them in dependency order with cycle detection.
+
+pub mod bench;
+pub mod blif;
+pub mod verilog;
+
+use crate::{Circuit, GateKind, NetlistError, NodeId};
+use std::collections::HashMap;
+
+/// A parsed-but-not-yet-instantiated signal definition.
+#[derive(Debug)]
+pub(crate) enum DefBody {
+    /// A plain gate of the given kind.
+    Gate(GateKind),
+    /// A BLIF single-output cover: each cube is one row of input literals
+    /// (`0`, `1`, `-` per position). `on_value` is the constant output column
+    /// (all rows of a BLIF cover must agree).
+    Sop { cubes: Vec<Vec<u8>>, on_value: bool },
+}
+
+#[derive(Debug)]
+pub(crate) struct Def {
+    pub body: DefBody,
+    pub fanins: Vec<String>,
+    pub line: usize,
+}
+
+/// Instantiates `defs` into `circuit` in dependency order.
+///
+/// `inputs` must already exist in the circuit. Returns the id bound to each
+/// definition name. Detects cycles and undefined signals.
+pub(crate) fn instantiate(
+    circuit: &mut Circuit,
+    defs: &HashMap<String, Def>,
+    order_hint: &[String],
+) -> Result<HashMap<String, NodeId>, NetlistError> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks: HashMap<&str, Mark> = defs.keys().map(|k| (k.as_str(), Mark::White)).collect();
+    let mut resolved: HashMap<String, NodeId> = HashMap::new();
+
+    // Pre-seed with names already bound in the circuit (primary inputs).
+    for id in circuit.node_ids().collect::<Vec<_>>() {
+        if let Some(name) = circuit.node_name(id) {
+            resolved.insert(name.to_owned(), id);
+        }
+    }
+
+    // Iterative DFS: stack holds (name, is_resume). Fresh entries mark the
+    // node Grey; resume entries re-scan after a child resolved.
+    for root in order_hint {
+        if resolved.contains_key(root) {
+            continue;
+        }
+        let mut stack: Vec<(&str, bool)> = vec![(root.as_str(), false)];
+        while let Some((name, is_resume)) = stack.pop() {
+            if resolved.contains_key(name) {
+                continue;
+            }
+            let def = defs
+                .get(name)
+                .ok_or_else(|| NetlistError::UndefinedSignal {
+                    name: name.to_owned(),
+                })?;
+            if !is_resume {
+                match marks[name] {
+                    Mark::Black => continue,
+                    Mark::Grey => {
+                        return Err(NetlistError::Parse {
+                            line: def.line,
+                            message: format!("combinational cycle through `{name}`"),
+                        })
+                    }
+                    Mark::White => {}
+                }
+                *marks.get_mut(name).unwrap() = Mark::Grey;
+            }
+            // Find the first still-unresolved fanin, if any.
+            let mut pushed_child = false;
+            for f in &def.fanins {
+                if !resolved.contains_key(f.as_str()) {
+                    if !defs.contains_key(f.as_str()) {
+                        return Err(NetlistError::UndefinedSignal { name: f.clone() });
+                    }
+                    if marks[f.as_str()] == Mark::Grey {
+                        return Err(NetlistError::Parse {
+                            line: def.line,
+                            message: format!("combinational cycle through `{f}`"),
+                        });
+                    }
+                    stack.push((name, true));
+                    stack.push((f.as_str(), false));
+                    pushed_child = true;
+                    break;
+                }
+            }
+            if pushed_child {
+                continue;
+            }
+            // All fanins resolved: build this definition.
+            let fanin_ids: Vec<NodeId> = def.fanins.iter().map(|f| resolved[f]).collect();
+            let id = build_def(circuit, &def.body, &fanin_ids, def.line)?;
+            circuit.set_node_name(id, name)?;
+            resolved.insert(name.to_owned(), id);
+            *marks.get_mut(name).unwrap() = Mark::Black;
+        }
+    }
+    Ok(resolved)
+}
+
+/// Unique textual names for every node, for the writers:
+///
+/// * bound names are kept;
+/// * an unnamed node observed by exactly one output slot adopts that
+///   slot's name (so writers need no alias gate for it);
+/// * remaining unnamed nodes get synthetic `n<i>`-style names,
+///   de-conflicted against every other name (BLIF off-set expansion can
+///   leave interior nodes unnamed while a sibling holds the `n<i>` name
+///   they would otherwise get).
+pub(crate) fn unique_node_names(circuit: &Circuit) -> Vec<String> {
+    let mut taken: std::collections::HashSet<String> = circuit
+        .node_ids()
+        .filter_map(|id| circuit.node_name(id).map(str::to_owned))
+        .collect();
+
+    // Output-slot adoption candidates: unnamed nodes observed exactly once.
+    let mut observer: HashMap<usize, &str> = HashMap::new();
+    let mut observer_count: HashMap<usize, usize> = HashMap::new();
+    for o in circuit.outputs() {
+        let i = o.node().index();
+        *observer_count.entry(i).or_insert(0) += 1;
+        observer.insert(i, o.name());
+    }
+    let mut adopted: HashMap<usize, String> = HashMap::new();
+    for (&i, &slot_name) in &observer {
+        if observer_count[&i] == 1
+            && circuit.node_name(NodeId::from_index(i)).is_none()
+            && !taken.contains(slot_name)
+        {
+            taken.insert(slot_name.to_owned());
+            adopted.insert(i, slot_name.to_owned());
+        }
+    }
+
+    circuit
+        .node_ids()
+        .map(|id| {
+            if let Some(name) = circuit.node_name(id) {
+                return name.to_owned();
+            }
+            if let Some(name) = adopted.get(&id.index()) {
+                return name.clone();
+            }
+            let mut candidate = format!("n{}", id.index());
+            while !taken.insert(candidate.clone()) {
+                candidate.push('_');
+            }
+            candidate
+        })
+        .collect()
+}
+
+fn build_def(
+    circuit: &mut Circuit,
+    body: &DefBody,
+    fanins: &[NodeId],
+    line: usize,
+) -> Result<NodeId, NetlistError> {
+    match body {
+        DefBody::Gate(GateKind::Const(v)) => Ok(circuit.add_const(*v)),
+        DefBody::Gate(kind) => circuit.add_gate(*kind, fanins.iter().copied()),
+        DefBody::Sop { cubes, on_value } => build_sop(circuit, cubes, *on_value, fanins, line),
+    }
+}
+
+/// Builds a sum-of-products network for a BLIF cover.
+///
+/// Each cube becomes an AND of (possibly inverted) fanin literals; cubes are
+/// OR-ed together; an off-set cover (`on_value == false`) is inverted.
+fn build_sop(
+    circuit: &mut Circuit,
+    cubes: &[Vec<u8>],
+    on_value: bool,
+    fanins: &[NodeId],
+    line: usize,
+) -> Result<NodeId, NetlistError> {
+    if cubes.is_empty() {
+        // No rows: the function is constant 0 when rows would have set 1,
+        // i.e. constant !on_value... by BLIF convention an empty cover is
+        // constant 0 (and `.names x` with a single `1` row is constant 1).
+        return Ok(circuit.add_const(!on_value));
+    }
+    let mut cube_nodes: Vec<NodeId> = Vec::with_capacity(cubes.len());
+    for cube in cubes {
+        if cube.len() != fanins.len() {
+            return Err(NetlistError::Parse {
+                line,
+                message: format!(
+                    "cube width {} does not match {} cover inputs",
+                    cube.len(),
+                    fanins.len()
+                ),
+            });
+        }
+        let mut literals: Vec<NodeId> = Vec::new();
+        for (j, &c) in cube.iter().enumerate() {
+            match c {
+                b'1' => literals.push(fanins[j]),
+                b'0' => literals.push(circuit.not(fanins[j])),
+                b'-' => {}
+                other => {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: format!("invalid cube character `{}`", other as char),
+                    })
+                }
+            }
+        }
+        let cube_node = match literals.len() {
+            0 => circuit.add_const(true),
+            1 => literals[0],
+            _ => circuit.and(literals),
+        };
+        cube_nodes.push(cube_node);
+    }
+    let or_node = if cube_nodes.len() == 1 {
+        cube_nodes[0]
+    } else {
+        circuit.or(cube_nodes)
+    };
+    Ok(if on_value {
+        // A cover node may already have a name if it aliases a literal; wrap
+        // in a buffer only when needed so names stay unique.
+        if circuit.node_name(or_node).is_some() {
+            circuit.buf(or_node)
+        } else {
+            or_node
+        }
+    } else {
+        circuit.not(or_node)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_resolves_forward_references() {
+        let mut c = Circuit::new("t");
+        c.add_input("a");
+        c.add_input("b");
+        let mut defs = HashMap::new();
+        defs.insert(
+            "y".to_owned(),
+            Def {
+                body: DefBody::Gate(GateKind::And),
+                fanins: vec!["m".into(), "a".into()],
+                line: 1,
+            },
+        );
+        defs.insert(
+            "m".to_owned(),
+            Def {
+                body: DefBody::Gate(GateKind::Not),
+                fanins: vec!["b".into()],
+                line: 2,
+            },
+        );
+        let order = vec!["y".to_owned(), "m".to_owned()];
+        let resolved = instantiate(&mut c, &defs, &order).unwrap();
+        assert!(resolved.contains_key("y"));
+        c.add_output("y", resolved["y"]);
+        assert_eq!(c.eval(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn instantiate_detects_cycles() {
+        let mut c = Circuit::new("t");
+        c.add_input("a");
+        let mut defs = HashMap::new();
+        defs.insert(
+            "p".to_owned(),
+            Def {
+                body: DefBody::Gate(GateKind::And),
+                fanins: vec!["q".into(), "a".into()],
+                line: 1,
+            },
+        );
+        defs.insert(
+            "q".to_owned(),
+            Def {
+                body: DefBody::Gate(GateKind::Not),
+                fanins: vec!["p".into()],
+                line: 2,
+            },
+        );
+        let order = vec!["p".to_owned()];
+        let err = instantiate(&mut c, &defs, &order).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn instantiate_detects_undefined_signals() {
+        let mut c = Circuit::new("t");
+        let mut defs = HashMap::new();
+        defs.insert(
+            "y".to_owned(),
+            Def {
+                body: DefBody::Gate(GateKind::Buf),
+                fanins: vec!["ghost".into()],
+                line: 1,
+            },
+        );
+        let order = vec!["y".to_owned()];
+        let err = instantiate(&mut c, &defs, &order).unwrap_err();
+        assert!(matches!(err, NetlistError::UndefinedSignal { .. }));
+    }
+
+    #[test]
+    fn sop_cover_semantics() {
+        // XOR as on-set cover: rows 01 and 10.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = build_sop(
+            &mut c,
+            &[b"01".to_vec(), b"10".to_vec()],
+            true,
+            &[a, b],
+            1,
+        )
+        .unwrap();
+        c.add_output("y", y);
+        assert_eq!(c.eval(&[false, false]), vec![false]);
+        assert_eq!(c.eval(&[false, true]), vec![true]);
+        assert_eq!(c.eval(&[true, false]), vec![true]);
+        assert_eq!(c.eval(&[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn sop_offset_cover_inverts() {
+        // NAND via off-set: row 11 -> 0.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = build_sop(&mut c, &[b"11".to_vec()], false, &[a, b], 1).unwrap();
+        c.add_output("y", y);
+        assert_eq!(c.eval(&[true, true]), vec![false]);
+        assert_eq!(c.eval(&[true, false]), vec![true]);
+    }
+
+    #[test]
+    fn sop_dont_cares_skip_literals() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let y = build_sop(&mut c, &[b"1-".to_vec()], true, &[a, b], 1).unwrap();
+        c.add_output("y", y);
+        assert_eq!(c.eval(&[true, false]), vec![true]);
+        assert_eq!(c.eval(&[true, true]), vec![true]);
+        assert_eq!(c.eval(&[false, true]), vec![false]);
+    }
+
+    #[test]
+    fn sop_bad_cube_width_rejected() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let err = build_sop(&mut c, &[b"10".to_vec()], true, &[a], 7).unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { line: 7, .. }));
+    }
+}

@@ -1,0 +1,540 @@
+//! Structural (gate-level) Verilog parser and writer.
+//!
+//! Supports the subset used by gate-level benchmark distributions:
+//!
+//! ```verilog
+//! // line and /* block */ comments
+//! module c17 (N1, N2, N3, N6, N7, N22, N23);
+//!   input N1, N2, N3, N6, N7;
+//!   output N22, N23;
+//!   wire N10, N11;
+//!   nand NAND2_1 (N10, N1, N3);   // first port is the output
+//!   nand (N11, N3, N6);           // instance names are optional
+//!   assign N23 = N11;             // simple wire aliases
+//! endmodule
+//! ```
+//!
+//! Gate primitives: `and`, `nand`, `or`, `nor`, `xor`, `xnor`, `not`,
+//! `buf`. Vectors, parameters, behavioural constructs, and hierarchies are
+//! rejected with [`NetlistError::Unsupported`].
+
+use super::{instantiate, Def, DefBody};
+use crate::{Circuit, GateKind, NetlistError};
+use std::collections::HashMap;
+
+/// Parses structural Verilog into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed input,
+/// [`NetlistError::Unsupported`] for constructs outside the structural
+/// subset, and signal-consistency errors as documented on
+/// [`NetlistError`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), relogic_netlist::NetlistError> {
+/// let text = "\
+/// module half_adder (a, b, s, c);
+///   input a, b;
+///   output s, c;
+///   xor (s, a, b);
+///   and (c, a, b);
+/// endmodule
+/// ";
+/// let circuit = relogic_netlist::verilog::parse(text)?;
+/// assert_eq!(circuit.name(), "half_adder");
+/// assert_eq!(circuit.eval(&[true, true]), vec![false, true]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let statements = split_statements(text)?;
+    let mut circuit = Circuit::new("verilog");
+    let mut defs: HashMap<String, Def> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut declared_inputs: Vec<String> = Vec::new();
+    let mut in_module = false;
+    let mut module_seen = false;
+
+    for (line, stmt) in statements {
+        let tokens = tokenize(&stmt);
+        if tokens.is_empty() {
+            continue;
+        }
+        match tokens[0].as_str() {
+            "module" => {
+                if module_seen {
+                    return Err(NetlistError::Unsupported {
+                        message: format!("multiple modules (line {line})"),
+                    });
+                }
+                module_seen = true;
+                in_module = true;
+                if let Some(name) = tokens.get(1) {
+                    circuit.set_name(name.clone());
+                }
+                // The header port list is ignored; declarations are
+                // authoritative.
+            }
+            "endmodule" => {
+                in_module = false;
+            }
+            "input" | "output" | "wire" => {
+                if !in_module {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: format!("`{}` outside a module", tokens[0]),
+                    });
+                }
+                if tokens.iter().any(|t| t == "[") {
+                    return Err(NetlistError::Unsupported {
+                        message: format!("vector declaration on line {line}"),
+                    });
+                }
+                for name in tokens[1..].iter().filter(|t| is_identifier(t)) {
+                    match tokens[0].as_str() {
+                        "input" => {
+                            declared_inputs.push(name.clone());
+                            circuit.try_add_input(name.clone())?;
+                        }
+                        "output" => outputs.push(name.clone()),
+                        _ => {} // wires need no declaration in our model
+                    }
+                }
+            }
+            "assign" => {
+                // assign lhs = rhs;
+                if tokens.len() != 4 || tokens[2] != "=" {
+                    return Err(NetlistError::Unsupported {
+                        message: format!(
+                            "only `assign wire = wire;` is supported (line {line})"
+                        ),
+                    });
+                }
+                let (lhs, rhs) = (tokens[1].clone(), tokens[3].clone());
+                if defs.contains_key(&lhs) || declared_inputs.contains(&lhs) {
+                    return Err(NetlistError::MultipleDrivers { name: lhs });
+                }
+                defs.insert(
+                    lhs.clone(),
+                    Def {
+                        body: DefBody::Gate(GateKind::Buf),
+                        fanins: vec![rhs],
+                        line,
+                    },
+                );
+                order.push(lhs);
+            }
+            prim => {
+                let Some(kind) = parse_primitive(prim) else {
+                    return Err(NetlistError::Unsupported {
+                        message: format!("construct `{prim}` on line {line}"),
+                    });
+                };
+                // [instance-name] ( out, in... )
+                let open = tokens
+                    .iter()
+                    .position(|t| t == "(")
+                    .ok_or_else(|| NetlistError::Parse {
+                        line,
+                        message: "expected `(` in gate instantiation".into(),
+                    })?;
+                if *tokens.last().expect("nonempty") != ")" {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: "expected `)` at end of gate instantiation".into(),
+                    });
+                }
+                let ports: Vec<String> = tokens[open + 1..tokens.len() - 1]
+                    .iter()
+                    .filter(|t| *t != ",")
+                    .cloned()
+                    .collect();
+                let Some((out, fanins)) = ports.split_first() else {
+                    return Err(NetlistError::Parse {
+                        line,
+                        message: "gate instantiation needs at least an output port".into(),
+                    });
+                };
+                if !kind.accepts_arity(fanins.len()) {
+                    return Err(NetlistError::Arity {
+                        kind,
+                        arity: fanins.len(),
+                    });
+                }
+                if defs.contains_key(out) || declared_inputs.contains(out) {
+                    return Err(NetlistError::MultipleDrivers { name: out.clone() });
+                }
+                defs.insert(
+                    out.clone(),
+                    Def {
+                        body: DefBody::Gate(kind),
+                        fanins: fanins.to_vec(),
+                        line,
+                    },
+                );
+                order.push(out.clone());
+            }
+        }
+    }
+    if !module_seen {
+        return Err(NetlistError::Parse {
+            line: 1,
+            message: "no `module` found".into(),
+        });
+    }
+
+    let resolved = instantiate(&mut circuit, &defs, &order)?;
+    for name in outputs {
+        let node = resolved
+            .get(&name)
+            .copied()
+            .or_else(|| circuit.find(&name))
+            .ok_or(NetlistError::UndefinedSignal { name: name.clone() })?;
+        circuit.add_output(name, node);
+    }
+    circuit.validate()?;
+    Ok(circuit)
+}
+
+fn is_identifier(token: &str) -> bool {
+    token
+        .chars()
+        .all(|c| c.is_alphanumeric() || c == '_' || c == '$')
+        && !token.is_empty()
+}
+
+fn parse_primitive(word: &str) -> Option<GateKind> {
+    Some(match word {
+        "and" => GateKind::And,
+        "nand" => GateKind::Nand,
+        "or" => GateKind::Or,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "not" => GateKind::Not,
+        "buf" => GateKind::Buf,
+        _ => return None,
+    })
+}
+
+/// Strips comments and splits on `;`, tracking line numbers.
+fn split_statements(text: &str) -> Result<Vec<(usize, String)>, NetlistError> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1usize;
+    let mut in_block_comment = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let mut rest = raw;
+        let mut cleaned = String::new();
+        loop {
+            if in_block_comment {
+                match rest.find("*/") {
+                    Some(pos) => {
+                        in_block_comment = false;
+                        rest = &rest[pos + 2..];
+                    }
+                    None => break,
+                }
+            } else {
+                let line_c = rest.find("//");
+                let block_c = rest.find("/*");
+                match (line_c, block_c) {
+                    (Some(l), Some(b)) if l < b => {
+                        cleaned.push_str(&rest[..l]);
+                        break;
+                    }
+                    (Some(_), None) => {
+                        cleaned.push_str(&rest[..line_c.expect("checked")]);
+                        break;
+                    }
+                    (_, Some(b)) => {
+                        cleaned.push_str(&rest[..b]);
+                        in_block_comment = true;
+                        rest = &rest[b + 2..];
+                    }
+                    (None, None) => {
+                        cleaned.push_str(rest);
+                        break;
+                    }
+                }
+            }
+        }
+        // `endmodule` carries no semicolon: make it a statement of its own.
+        let cleaned = cleaned.replace("endmodule", "; endmodule ;");
+        for ch in cleaned.chars() {
+            if ch == ';' {
+                out.push((start_line, std::mem::take(&mut current)));
+                start_line = line;
+            } else {
+                current.push(ch);
+            }
+        }
+        if current.trim().is_empty() {
+            start_line = line + 1;
+        }
+        current.push(' ');
+    }
+    if !current.trim().is_empty() {
+        out.push((start_line, current));
+    }
+    Ok(out
+        .into_iter()
+        .filter_map(|(line, stmt)| {
+            let trimmed = stmt.trim().to_owned();
+            if trimmed.is_empty() {
+                None
+            } else {
+                Some((line, trimmed))
+            }
+        })
+        .collect())
+}
+
+/// Splits a statement into identifier / punctuation tokens.
+fn tokenize(stmt: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in stmt.chars() {
+        match ch {
+            '(' | ')' | ',' | '=' | '[' | ']' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(ch.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            c => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Serializes a circuit as structural Verilog.
+///
+/// Unnamed nodes receive synthetic `n<i>` names; constants, which the gate
+/// primitives cannot express, are emitted as `assign` of `1'b0`/`1'b1` —
+/// rejected by this parser but accepted by real Verilog tools. Circuits
+/// containing constants therefore round-trip through `bench`/`blif`
+/// instead.
+#[must_use]
+pub fn write(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let names = super::unique_node_names(circuit);
+    let name_of = |id: crate::NodeId| -> String { names[id.index()].clone() };
+    let mut out = String::new();
+    let inputs: Vec<String> = circuit.inputs().iter().map(|&i| name_of(i)).collect();
+    // Output ports: use the output slot names, aliasing when they differ
+    // from the driving node's name.
+    let out_ports: Vec<String> = circuit.outputs().iter().map(|o| o.name().to_owned()).collect();
+    let mut ports = inputs.clone();
+    ports.extend(out_ports.iter().cloned());
+    let _ = writeln!(out, "module {} ({});", sanitize(circuit.name()), ports.join(", "));
+    if !inputs.is_empty() {
+        let _ = writeln!(out, "  input {};", inputs.join(", "));
+    }
+    if !out_ports.is_empty() {
+        let _ = writeln!(out, "  output {};", out_ports.join(", "));
+    }
+    let wires: Vec<String> = circuit
+        .iter()
+        .filter(|(_, n)| n.kind().is_gate())
+        .map(|(id, _)| name_of(id))
+        .filter(|n| !out_ports.contains(n))
+        .collect();
+    if !wires.is_empty() {
+        let _ = writeln!(out, "  wire {};", wires.join(", "));
+    }
+    for (id, node) in circuit.iter() {
+        match node.kind() {
+            GateKind::Input => {}
+            GateKind::Const(v) => {
+                let _ = writeln!(out, "  assign {} = 1'b{};", name_of(id), u8::from(v));
+            }
+            kind => {
+                let args: Vec<String> = node.fanins().iter().map(|&f| name_of(f)).collect();
+                let _ = writeln!(
+                    out,
+                    "  {} g{} ({}, {});",
+                    kind.name(),
+                    id.index(),
+                    name_of(id),
+                    args.join(", ")
+                );
+            }
+        }
+    }
+    for o in circuit.outputs() {
+        let driver = name_of(o.node());
+        if driver != o.name() {
+            let _ = writeln!(out, "  assign {} = {};", o.name(), driver);
+        }
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "top".to_owned()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17_STYLE: &str = "\
+// ISCAS-85 style netlist
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+
+  nand NAND2_1 (N10, N1, N3);
+  nand NAND2_2 (N11, N3, N6);
+  nand NAND2_3 (N16, N2, N11);
+  nand NAND2_4 (N19, N11, N7);
+  nand NAND2_5 (N22, N10, N16);
+  nand NAND2_6 (N23, N16, N19);
+endmodule
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse(C17_STYLE).unwrap();
+        assert_eq!(c.name(), "c17");
+        assert_eq!(c.input_count(), 5);
+        assert_eq!(c.output_count(), 2);
+        assert_eq!(c.gate_count(), 6);
+        // N22 = !(N10 & N16); check one vector: all inputs 1.
+        let out = c.eval(&[true; 5]);
+        // N10 = !(1&1)=0, N11 = 0, N16 = !(1&0)=1, N19 = !(0&1)=1,
+        // N22 = !(0&1)=1, N23 = !(1&1)=0.
+        assert_eq!(out, vec![true, false]);
+    }
+
+    #[test]
+    fn instance_names_are_optional_and_assign_works() {
+        let text = "\
+module t (a, b, y, z);
+  input a, b;
+  output y, z;
+  and (y, a, b);
+  assign z = y;
+endmodule
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[true, true]), vec![true, true]);
+        assert_eq!(c.eval(&[true, false]), vec![false, false]);
+    }
+
+    #[test]
+    fn block_comments_and_multiline_statements() {
+        let text = "\
+module t (a, y);
+  input a; output y;
+  /* a
+     block comment */
+  not g
+    (y,
+     a);
+endmodule
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let text = "\
+module t (a, y);
+  input a;
+  output y;
+  not (y, m);
+  buf (m, a);
+endmodule
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn unsupported_constructs_are_reported() {
+        assert!(matches!(
+            parse("module t (a); input [3:0] a; endmodule"),
+            Err(NetlistError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            parse("module t (y); output y; always @(posedge clk) y <= 1; endmodule"),
+            Err(NetlistError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            parse("module a (x); input x; endmodule module b (y); input y; endmodule"),
+            Err(NetlistError::Unsupported { .. })
+        ));
+        assert!(matches!(
+            parse("wire w;"),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let text = "\
+module t (a, y);
+  input a;
+  output y;
+  not (y, a);
+  buf (y, a);
+endmodule
+";
+        assert!(matches!(
+            parse(text),
+            Err(NetlistError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let original = parse(C17_STYLE).unwrap();
+        let text = write(&original);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.input_count(), original.input_count());
+        assert_eq!(back.output_count(), original.output_count());
+        for v in 0..32u32 {
+            let bits: Vec<bool> = (0..5).map(|j| v >> j & 1 != 0).collect();
+            assert_eq!(original.eval(&bits), back.eval(&bits), "v={v:05b}");
+        }
+    }
+
+    #[test]
+    fn writer_aliases_renamed_outputs() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.set_node_name(g, "inv_out").unwrap();
+        c.add_output("y", g); // output name differs from node name
+        let text = write(&c);
+        assert!(text.contains("assign y = inv_out;"), "{text}");
+        let back = parse(&text).unwrap();
+        assert_eq!(back.eval(&[true]), vec![false]);
+    }
+}

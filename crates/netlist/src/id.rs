@@ -1,0 +1,128 @@
+//! Typed identifiers for netlist entities.
+//!
+//! Newtypes keep node handles, output slots, and primary-input positions
+//! from being confused with one another or with raw indices
+//! (C-NEWTYPE). All IDs are cheap `u32` wrappers and are only meaningful
+//! relative to the [`Circuit`](crate::Circuit) that issued them.
+
+use std::fmt;
+
+/// Handle to a node (primary input, constant, or gate) inside a
+/// [`Circuit`](crate::Circuit).
+///
+/// `NodeId`s are dense: the first node created receives index 0, the next
+/// index 1, and so on, which lets analyses use plain vectors keyed by
+/// [`NodeId::index`] instead of hash maps.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_netlist::Circuit;
+///
+/// let mut c = Circuit::new("demo");
+/// let a = c.add_input("a");
+/// assert_eq!(a.index(), 0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// Primarily useful for analyses that store results in dense vectors and
+    /// need to convert back to handles. Passing an index that was never
+    /// issued by the owning circuit yields a dangling handle; circuit
+    /// accessors will panic on such handles.
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("netlist node index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Handle to a primary-output slot of a [`Circuit`](crate::Circuit).
+///
+/// Outputs are *slots* (name + driven node), not nodes: several outputs may
+/// observe the same node, and an output can be re-pointed at a different
+/// node without touching the logic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OutputId(pub(crate) u32);
+
+impl OutputId {
+    /// Creates an `OutputId` from a raw index.
+    #[inline]
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        OutputId(u32::try_from(index).expect("netlist output index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this output slot.
+    #[inline]
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for OutputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for OutputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn output_id_roundtrip() {
+        let id = OutputId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "o7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(OutputId::from_index(0) < OutputId::from_index(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn node_id_overflow_panics() {
+        let _ = NodeId::from_index(usize::try_from(u64::from(u32::MAX) + 1).unwrap());
+    }
+}

@@ -1,0 +1,398 @@
+//! Structural analyses over a [`Circuit`]: logic levels, fanout, stems,
+//! transitive fanin cones, cone extraction, and summary statistics.
+//!
+//! All analyses run in `O(nodes + edges)` and return dense vectors keyed by
+//! [`NodeId::index`], matching the circuit's construction order.
+
+use crate::{Circuit, GateKind, NodeId, OutputId};
+use std::collections::HashMap;
+
+/// Per-node fanout information for a circuit.
+///
+/// Distinguishes *logic fanout* (how many gate fanin slots read the node,
+/// counting duplicates) from *observation* by primary-output slots, because
+/// reconvergence — the phenomenon the reliability algorithms care about —
+/// only happens through logic fanout.
+#[derive(Clone, Debug)]
+pub struct FanoutMap {
+    readers: Vec<Vec<NodeId>>,
+    output_observers: Vec<u32>,
+}
+
+impl FanoutMap {
+    /// Builds the fanout map of `circuit`.
+    #[must_use]
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut readers = vec![Vec::new(); n];
+        for (id, node) in circuit.iter() {
+            for &f in node.fanins() {
+                readers[f.index()].push(id);
+            }
+        }
+        let mut output_observers = vec![0u32; n];
+        for out in circuit.outputs() {
+            output_observers[out.node().index()] += 1;
+        }
+        FanoutMap {
+            readers,
+            output_observers,
+        }
+    }
+
+    /// Gates reading `node` (one entry per fanin slot, so a gate using the
+    /// node twice appears twice).
+    #[must_use]
+    pub fn readers(&self, node: NodeId) -> &[NodeId] {
+        &self.readers[node.index()]
+    }
+
+    /// Logic fanout of `node`: number of gate fanin slots reading it.
+    #[must_use]
+    pub fn logic_fanout(&self, node: NodeId) -> usize {
+        self.readers[node.index()].len()
+    }
+
+    /// Number of primary-output slots observing `node`.
+    #[must_use]
+    pub fn output_observers(&self, node: NodeId) -> usize {
+        self.output_observers[node.index()] as usize
+    }
+
+    /// Total fanout including output observation.
+    #[must_use]
+    pub fn total_fanout(&self, node: NodeId) -> usize {
+        self.logic_fanout(node) + self.output_observers(node)
+    }
+
+    /// Returns `true` if `node` is a *fanout stem*: its signal branches to
+    /// more than one logic reader, so errors on it can reconverge downstream.
+    #[must_use]
+    pub fn is_stem(&self, node: NodeId) -> bool {
+        self.logic_fanout(node) > 1
+    }
+
+    /// All fanout stems in the circuit, in topological order.
+    #[must_use]
+    pub fn stems(&self) -> Vec<NodeId> {
+        (0..self.readers.len())
+            .map(NodeId::from_index)
+            .filter(|&id| self.is_stem(id))
+            .collect()
+    }
+
+    /// Maximum logic fanout over all nodes (0 for an empty circuit).
+    #[must_use]
+    pub fn max_logic_fanout(&self) -> usize {
+        self.readers.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Nodes with no logic readers and no output observers (dead logic).
+    #[must_use]
+    pub fn dangling_nodes(&self) -> Vec<NodeId> {
+        (0..self.readers.len())
+            .map(NodeId::from_index)
+            .filter(|&id| self.total_fanout(id) == 0)
+            .collect()
+    }
+}
+
+/// Computes the logic level of every node: inputs and constants are level 0,
+/// a gate is one more than its deepest fanin.
+#[must_use]
+pub fn levels(circuit: &Circuit) -> Vec<u32> {
+    let mut lv = vec![0u32; circuit.len()];
+    for (id, node) in circuit.iter() {
+        if node.kind().is_gate() {
+            lv[id.index()] = 1 + node
+                .fanins()
+                .iter()
+                .map(|f| lv[f.index()])
+                .max()
+                .unwrap_or(0);
+        }
+    }
+    lv
+}
+
+/// The circuit's depth: the maximum level over all primary outputs
+/// (0 if there are no outputs).
+#[must_use]
+pub fn depth(circuit: &Circuit) -> u32 {
+    let lv = levels(circuit);
+    circuit
+        .outputs()
+        .iter()
+        .map(|o| lv[o.node().index()])
+        .max()
+        .unwrap_or(0)
+}
+
+/// Sum of per-output logic levels — the paper's "total levels of logic over
+/// all the outputs" metric used in the Fig. 8 fanout study.
+#[must_use]
+pub fn total_output_levels(circuit: &Circuit) -> u64 {
+    let lv = levels(circuit);
+    circuit
+        .outputs()
+        .iter()
+        .map(|o| u64::from(lv[o.node().index()]))
+        .sum()
+}
+
+/// Returns the transitive fanin cone of `roots` (including the roots),
+/// as a sorted, deduplicated list of node ids.
+#[must_use]
+pub fn transitive_fanin(circuit: &Circuit, roots: &[NodeId]) -> Vec<NodeId> {
+    let mut in_cone = vec![false; circuit.len()];
+    let mut stack: Vec<NodeId> = roots.to_vec();
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut in_cone[id.index()], true) {
+            continue;
+        }
+        stack.extend(circuit.node(id).fanins().iter().copied());
+    }
+    (0..circuit.len())
+        .map(NodeId::from_index)
+        .filter(|id| in_cone[id.index()])
+        .collect()
+}
+
+/// Number of logic gates in the transitive fanin cone of each output.
+///
+/// This is the paper's "cone size" metric (Fig. 6 quotes cones of 662 and
+/// 1034 gates for two outputs of i10).
+#[must_use]
+pub fn output_cone_sizes(circuit: &Circuit) -> Vec<usize> {
+    circuit
+        .outputs()
+        .iter()
+        .map(|o| {
+            transitive_fanin(circuit, &[o.node()])
+                .iter()
+                .filter(|&&id| circuit.node(id).kind().is_gate())
+                .count()
+        })
+        .collect()
+}
+
+/// Extracts the logic cone feeding the given output slots into a fresh,
+/// self-contained circuit.
+///
+/// Unused primary inputs are dropped; the returned map sends old node ids
+/// to new ones.
+///
+/// # Panics
+///
+/// Panics if an output id is out of range for `circuit`.
+#[must_use]
+pub fn extract_cone(circuit: &Circuit, outputs: &[OutputId]) -> (Circuit, HashMap<NodeId, NodeId>) {
+    let roots: Vec<NodeId> = outputs
+        .iter()
+        .map(|&o| circuit.output(o).node())
+        .collect();
+    let cone = transitive_fanin(circuit, &roots);
+    let mut sub = Circuit::new(format!("{}_cone", circuit.name()));
+    let mut map: HashMap<NodeId, NodeId> = HashMap::with_capacity(cone.len());
+    for &old in &cone {
+        let node = circuit.node(old);
+        let new = match node.kind() {
+            GateKind::Input => {
+                let name = circuit.display_name(old);
+                sub.try_add_input(name).expect("input names unique in source")
+            }
+            GateKind::Const(v) => sub.add_const(v),
+            kind => {
+                let fanins: Vec<NodeId> = node.fanins().iter().map(|f| map[f]).collect();
+                let id = sub.add_gate(kind, fanins).expect("cone preserves arity");
+                if let Some(name) = circuit.node_name(old) {
+                    let _ = sub.set_node_name(id, name);
+                }
+                id
+            }
+        };
+        map.insert(old, new);
+    }
+    for &o in outputs {
+        let out = circuit.output(o);
+        sub.add_output(out.name(), map[&out.node()]);
+    }
+    (sub, map)
+}
+
+/// Summary statistics of a circuit's structure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Total node count (inputs + constants + gates).
+    pub nodes: usize,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Logic gate count.
+    pub gates: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Maximum logic level over outputs.
+    pub depth: u32,
+    /// Sum of per-output levels (paper's "total levels of logic").
+    pub total_output_levels: u64,
+    /// Maximum logic fanout over all nodes.
+    pub max_fanout: usize,
+    /// Number of fanout stems (logic fanout > 1).
+    pub stems: usize,
+    /// Gate-kind histogram as `(kind name, count)` pairs sorted by name.
+    pub kind_histogram: Vec<(&'static str, usize)>,
+}
+
+impl CircuitStats {
+    /// Computes statistics for `circuit`.
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        let fan = FanoutMap::build(circuit);
+        let mut hist: HashMap<&'static str, usize> = HashMap::new();
+        for (_, node) in circuit.iter() {
+            if node.kind().is_gate() {
+                *hist.entry(node.kind().name()).or_default() += 1;
+            }
+        }
+        let mut kind_histogram: Vec<_> = hist.into_iter().collect();
+        kind_histogram.sort_unstable();
+        CircuitStats {
+            nodes: circuit.len(),
+            inputs: circuit.input_count(),
+            gates: circuit.gate_count(),
+            outputs: circuit.output_count(),
+            depth: depth(circuit),
+            total_output_levels: total_output_levels(circuit),
+            max_fanout: fan.max_logic_fanout(),
+            stems: fan.stems().len(),
+            kind_histogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y1 = (a & b) | c with (a & b) also feeding y2 = (a & b) ^ c.
+    fn reconvergent() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let x = c.add_input("c");
+        let g = c.and([a, b]);
+        let o1 = c.or([g, x]);
+        let o2 = c.xor([g, x]);
+        c.add_output("y1", o1);
+        c.add_output("y2", o2);
+        c
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let c = reconvergent();
+        let lv = levels(&c);
+        assert_eq!(lv, vec![0, 0, 0, 1, 2, 2]);
+        assert_eq!(depth(&c), 2);
+        assert_eq!(total_output_levels(&c), 4);
+    }
+
+    #[test]
+    fn fanout_map_identifies_stems() {
+        let c = reconvergent();
+        let fan = FanoutMap::build(&c);
+        let g = NodeId::from_index(3);
+        assert_eq!(fan.logic_fanout(g), 2);
+        assert!(fan.is_stem(g));
+        // inputs a,b feed only the AND gate
+        assert!(!fan.is_stem(NodeId::from_index(0)));
+        // input c feeds both OR and XOR: also a stem
+        assert!(fan.is_stem(NodeId::from_index(2)));
+        assert_eq!(fan.stems(), vec![NodeId::from_index(2), g]);
+        assert_eq!(fan.max_logic_fanout(), 2);
+        assert_eq!(fan.output_observers(NodeId::from_index(4)), 1);
+        assert_eq!(fan.dangling_nodes(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn duplicate_fanin_counts_twice() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.xor([a, a]);
+        c.add_output("y", g);
+        let fan = FanoutMap::build(&c);
+        assert_eq!(fan.logic_fanout(a), 2);
+        assert!(fan.is_stem(a));
+    }
+
+    #[test]
+    fn transitive_fanin_of_one_output() {
+        let c = reconvergent();
+        let cone = transitive_fanin(&c, &[NodeId::from_index(4)]);
+        let idx: Vec<usize> = cone.iter().map(|n| n.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cone_sizes_count_gates_only() {
+        let c = reconvergent();
+        assert_eq!(output_cone_sizes(&c), vec![2, 2]);
+    }
+
+    #[test]
+    fn extract_cone_is_self_contained_and_equivalent() {
+        let c = reconvergent();
+        let (sub, map) = extract_cone(&c, &[OutputId::from_index(1)]);
+        assert_eq!(sub.output_count(), 1);
+        assert_eq!(sub.input_count(), 3);
+        assert!(sub.validate().is_ok());
+        assert!(map.len() == 5);
+        for a in [false, true] {
+            for b in [false, true] {
+                for x in [false, true] {
+                    assert_eq!(c.eval(&[a, b, x])[1], sub.eval(&[a, b, x])[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_cone_drops_unused_inputs() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let _unused = c.add_input("u");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let (sub, _) = extract_cone(&c, &[OutputId::from_index(0)]);
+        assert_eq!(sub.input_count(), 1);
+        assert_eq!(sub.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn stats_summary() {
+        let c = reconvergent();
+        let s = CircuitStats::of(&c);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.outputs, 2);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.max_fanout, 2);
+        assert_eq!(s.stems, 2);
+        assert_eq!(
+            s.kind_histogram,
+            vec![("and", 1), ("or", 1), ("xor", 1)]
+        );
+    }
+
+    #[test]
+    fn dangling_detection() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let _dead = c.not(a);
+        let live = c.buf(a);
+        c.add_output("y", live);
+        let fan = FanoutMap::build(&c);
+        assert_eq!(fan.dangling_nodes(), vec![NodeId::from_index(1)]);
+    }
+}

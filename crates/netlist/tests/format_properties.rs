@@ -1,0 +1,143 @@
+//! Property tests: textual format round-trips preserve function on random
+//! circuits, and structural analyses satisfy their invariants.
+
+use proptest::prelude::*;
+use relogic_netlist::{bench, blif, structure, verilog, Circuit, GateKind, NodeId};
+
+/// Builds a random circuit directly (no dependency on relogic-gen, which
+/// would be a dev-dependency cycle).
+fn random_circuit(ops: &[(u8, u8, u8)], inputs: usize, outputs: usize) -> Circuit {
+    let mut c = Circuit::new("prop");
+    for i in 0..inputs {
+        c.add_input(format!("x{i}"));
+    }
+    for &(kind, a, b) in ops {
+        let len = c.len();
+        let fa = NodeId::from_index(a as usize % len);
+        let fb = NodeId::from_index(b as usize % len);
+        let kind = GateKind::LOGIC_KINDS[kind as usize % GateKind::LOGIC_KINDS.len()];
+        match kind {
+            GateKind::Buf | GateKind::Not => {
+                c.add_gate(kind, [fa]).unwrap();
+            }
+            _ => {
+                c.add_gate(kind, [fa, fb]).unwrap();
+            }
+        }
+    }
+    let n = c.len();
+    for k in 0..outputs {
+        c.add_output(format!("po{k}"), NodeId::from_index(n - 1 - (k % n)));
+    }
+    c
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (
+        proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..24),
+        1usize..5,
+        1usize..4,
+    )
+        .prop_map(|(ops, inputs, outputs)| random_circuit(&ops, inputs, outputs))
+}
+
+fn equivalent(a: &Circuit, b: &Circuit) -> bool {
+    assert!(a.input_count() <= 8);
+    (0..1usize << a.input_count()).all(|v| {
+        let bits: Vec<bool> = (0..a.input_count()).map(|j| v >> j & 1 != 0).collect();
+        a.eval(&bits) == b.eval(&bits)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bench_roundtrip_preserves_function(c in arb_circuit()) {
+        let text = bench::write(&c);
+        let back = bench::parse(&text).expect("own output parses");
+        prop_assert_eq!(c.input_count(), back.input_count());
+        prop_assert_eq!(c.output_count(), back.output_count());
+        prop_assert!(equivalent(&c, &back));
+    }
+
+    #[test]
+    fn blif_roundtrip_preserves_function(c in arb_circuit()) {
+        let text = blif::write(&c);
+        let back = blif::parse(&text).expect("own output parses");
+        prop_assert!(equivalent(&c, &back));
+    }
+
+    #[test]
+    fn verilog_roundtrip_preserves_function(c in arb_circuit()) {
+        let text = verilog::write(&c);
+        let back = verilog::parse(&text).expect("own output parses");
+        prop_assert_eq!(c.input_count(), back.input_count());
+        prop_assert_eq!(c.output_count(), back.output_count());
+        prop_assert!(equivalent(&c, &back));
+    }
+
+    #[test]
+    fn cross_format_conversions_agree(c in arb_circuit()) {
+        // bench → blif → verilog → bench keeps the function intact.
+        let via_blif = blif::parse(&blif::write(&c)).expect("blif");
+        let via_verilog = verilog::parse(&verilog::write(&via_blif)).expect("verilog");
+        let back = bench::parse(&bench::write(&via_verilog)).expect("bench");
+        prop_assert!(equivalent(&c, &back));
+    }
+
+    #[test]
+    fn levels_respect_fanin_order(c in arb_circuit()) {
+        let lv = structure::levels(&c);
+        for (id, node) in c.iter() {
+            for &f in node.fanins() {
+                prop_assert!(lv[f.index()] < lv[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cone_extraction_is_equivalent(c in arb_circuit()) {
+        use relogic_netlist::OutputId;
+        let (sub, _) = structure::extract_cone(&c, &[OutputId::from_index(0)]);
+        prop_assert!(sub.validate().is_ok());
+        // The cone keeps only needed inputs; evaluate via name matching.
+        for v in 0..1usize << c.input_count() {
+            let bits: Vec<bool> = (0..c.input_count()).map(|j| v >> j & 1 != 0).collect();
+            let full = c.eval(&bits)[0];
+            let sub_bits: Vec<bool> = sub
+                .inputs()
+                .iter()
+                .map(|&i| {
+                    let name = sub.node_name(i).expect("inputs named");
+                    let pos = c.find(name).and_then(|n| c.input_position(n)).expect("same input");
+                    bits[pos]
+                })
+                .collect();
+            prop_assert_eq!(full, sub.eval(&sub_bits)[0]);
+        }
+    }
+
+    #[test]
+    fn fanout_totals_match_edge_count(c in arb_circuit()) {
+        let fan = structure::FanoutMap::build(&c);
+        let total_edges: usize = c.iter().map(|(_, n)| n.arity()).sum();
+        let total_fanout: usize = c
+            .node_ids()
+            .map(|id| fan.logic_fanout(id))
+            .sum();
+        prop_assert_eq!(total_edges, total_fanout);
+    }
+
+    #[test]
+    fn eval_all_is_consistent_with_eval(c in arb_circuit()) {
+        for v in 0..1usize << c.input_count().min(6) {
+            let bits: Vec<bool> = (0..c.input_count()).map(|j| v >> j & 1 != 0).collect();
+            let all = c.eval_all(&bits);
+            let outs = c.eval(&bits);
+            for (k, o) in c.outputs().iter().enumerate() {
+                prop_assert_eq!(outs[k], all[o.node().index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! 64-bit parallel-pattern simulation and Monte Carlo fault injection for
+//! the `relogic` reliability-analysis suite.
+//!
+//! This crate is the *reference* side of the DATE 2007 reproduction: the
+//! paper validates its analytical reliability algorithms against "a 64-bit
+//! parallel pattern simulator … to implement a Monte Carlo framework for
+//! reliability analysis based upon fault injection", which is exactly what
+//! lives here:
+//!
+//! * [`PackedSim`] — 64 patterns per machine word, one topological sweep
+//!   per block, with XOR fault-mask injection.
+//! * [`BiasedBits`] — `Bernoulli(ε)` fault masks at one RNG word per binary
+//!   digit of ε.
+//! * [`estimate`] — the Monte Carlo reliability estimator (per-output δ,
+//!   consolidated any-output error, joint output pairs, per-node
+//!   conditional error statistics).
+//! * [`exact_reliability`] / [`flip_influence`] — exhaustive ground truth
+//!   for small circuits.
+//! * [`signal_probabilities`] / [`joint_input_counts`] /
+//!   [`observabilities`] — sampling backends for the quantities the
+//!   analytical engines need (weight vectors, observabilities).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod bits;
+mod estimate;
+mod exhaustive;
+mod monte_carlo;
+mod packed;
+mod sampler;
+
+pub use bits::{stats, BiasedBits, DEFAULT_RESOLUTION};
+pub use estimate::{
+    joint_input_counts, joint_input_counts_biased, observabilities, observabilities_biased,
+    signal_probabilities, signal_probabilities_biased, ObservabilityEstimate, MAX_COUNTED_ARITY,
+};
+pub use exhaustive::{exact_reliability, flip_influence, ExactReliability};
+pub use monte_carlo::{estimate, MonteCarloConfig, NodeErrorStats, ReliabilityEstimate};
+pub use packed::{exhaustive_block_count, exhaustive_lane_mask, exhaustive_word, PackedSim};
+pub use sampler::InputSampler;

@@ -1,0 +1,456 @@
+//! Monte Carlo fault-injection reliability estimation — the paper's
+//! reference method.
+//!
+//! Every node `i` (gate or primary input) is a binary symmetric channel
+//! that flips its computed value with probability `ε_i`, independently per
+//! pattern. Reliability `δ_y(ε⃗)` of output `y` is estimated as the fraction
+//! of sampled patterns on which the noisy circuit's value of `y` differs
+//! from the fault-free value.
+
+use crate::{BiasedBits, PackedSim};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use relogic_netlist::Circuit;
+
+/// Configuration for [`estimate`].
+#[derive(Clone, Debug)]
+pub struct MonteCarloConfig {
+    /// Number of random input patterns (rounded up to a multiple of 64).
+    pub patterns: u64,
+    /// RNG seed; the same seed reproduces the same estimate exactly.
+    pub seed: u64,
+    /// Binary digits of resolution for the ε-biased bit generators.
+    pub bit_resolution: u32,
+    /// Output-index pairs whose joint error probability should be tracked.
+    pub joint_pairs: Vec<(usize, usize)>,
+    /// Track per-node conditional error statistics (doubles memory traffic;
+    /// used to cross-validate the analytical engines).
+    pub track_nodes: bool,
+    /// Independent per-input signal probabilities (`None` = uniform).
+    pub input_probs: Option<Vec<f64>>,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            patterns: 65_536,
+            seed: 0x5EED_0001,
+            bit_resolution: crate::bits::DEFAULT_RESOLUTION,
+            joint_pairs: Vec::new(),
+            track_nodes: false,
+            input_probs: None,
+        }
+    }
+}
+
+/// Per-node conditional error statistics gathered during fault injection.
+///
+/// For node `i`, `p01(i)` estimates `Pr(noisy = 1 | fault-free = 0)` and
+/// `p10(i)` estimates `Pr(noisy = 0 | fault-free = 1)` — exactly the
+/// quantities the single-pass algorithm propagates, so these are the ground
+/// truth for validating it.
+#[derive(Clone, Debug)]
+pub struct NodeErrorStats {
+    clean0: Vec<u64>,
+    clean1: Vec<u64>,
+    err01: Vec<u64>,
+    err10: Vec<u64>,
+}
+
+impl NodeErrorStats {
+    fn new(n: usize) -> Self {
+        NodeErrorStats {
+            clean0: vec![0; n],
+            clean1: vec![0; n],
+            err01: vec![0; n],
+            err10: vec![0; n],
+        }
+    }
+
+    /// Estimated `Pr(0→1 error | fault-free value 0)` at node `i`
+    /// (`NaN` if the fault-free value is never 0).
+    #[must_use]
+    pub fn p01(&self, i: usize) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        if self.clean0[i] == 0 {
+            f64::NAN
+        } else {
+            self.err01[i] as f64 / self.clean0[i] as f64
+        }
+    }
+
+    /// Estimated `Pr(1→0 error | fault-free value 1)` at node `i`
+    /// (`NaN` if the fault-free value is never 1).
+    #[must_use]
+    pub fn p10(&self, i: usize) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        if self.clean1[i] == 0 {
+            f64::NAN
+        } else {
+            self.err10[i] as f64 / self.clean1[i] as f64
+        }
+    }
+
+    /// Estimated fault-free signal probability `Pr(node = 1)`.
+    #[must_use]
+    pub fn signal_probability(&self, i: usize) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.clean1[i] as f64 / (self.clean0[i] + self.clean1[i]) as f64
+        }
+    }
+
+    /// Unconditional error probability at node `i`.
+    #[must_use]
+    pub fn error_probability(&self, i: usize) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.err01[i] + self.err10[i]) as f64 / (self.clean0[i] + self.clean1[i]) as f64
+        }
+    }
+}
+
+/// Result of a Monte Carlo reliability run.
+#[derive(Clone, Debug)]
+pub struct ReliabilityEstimate {
+    patterns: u64,
+    per_output: Vec<f64>,
+    any_output: f64,
+    joint: Vec<((usize, usize), f64)>,
+    node_stats: Option<NodeErrorStats>,
+}
+
+impl ReliabilityEstimate {
+    /// Number of patterns actually simulated.
+    #[must_use]
+    pub fn patterns(&self) -> u64 {
+        self.patterns
+    }
+
+    /// Estimated `δ_y` for each primary output, in declaration order.
+    #[must_use]
+    pub fn per_output(&self) -> &[f64] {
+        &self.per_output
+    }
+
+    /// Estimated probability that *at least one* output is in error — the
+    /// paper's "consolidated output error".
+    #[must_use]
+    pub fn any_output(&self) -> f64 {
+        self.any_output
+    }
+
+    /// Joint error probability for a tracked output pair, if it was
+    /// requested in [`MonteCarloConfig::joint_pairs`].
+    #[must_use]
+    pub fn joint(&self, a: usize, b: usize) -> Option<f64> {
+        let key = (a.min(b), a.max(b));
+        self.joint
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, p)| p)
+    }
+
+    /// Per-node conditional error statistics, if tracking was enabled.
+    #[must_use]
+    pub fn node_stats(&self) -> Option<&NodeErrorStats> {
+        self.node_stats.as_ref()
+    }
+
+    /// Standard error of the `δ` estimate for output `k`.
+    #[must_use]
+    pub fn std_error(&self, k: usize) -> f64 {
+        crate::bits::stats::proportion_std_error(self.per_output[k], self.patterns)
+    }
+}
+
+/// Runs Monte Carlo fault injection on `circuit`.
+///
+/// `node_eps[i]` is the BSC crossover probability of node `i` (use 0 for
+/// noise-free nodes; primary inputs may be given nonzero values to model
+/// noisy inputs).
+///
+/// # Panics
+///
+/// Panics if `node_eps.len() != circuit.len()`, if any ε is outside
+/// `[0, 1]`, or if a joint pair references a nonexistent output.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_netlist::Circuit;
+/// use relogic_sim::{estimate, MonteCarloConfig};
+///
+/// let mut c = Circuit::new("inv");
+/// let a = c.add_input("a");
+/// let g = c.not(a);
+/// c.add_output("y", g);
+///
+/// // Only the inverter is noisy: δ must equal ε exactly (in expectation).
+/// let eps = vec![0.0, 0.1];
+/// let r = estimate(&c, &eps, &MonteCarloConfig::default());
+/// assert!((r.per_output()[0] - 0.1).abs() < 0.01);
+/// ```
+#[must_use]
+pub fn estimate(
+    circuit: &Circuit,
+    node_eps: &[f64],
+    config: &MonteCarloConfig,
+) -> ReliabilityEstimate {
+    assert_eq!(
+        node_eps.len(),
+        circuit.len(),
+        "need one ε per node (got {}, circuit has {})",
+        node_eps.len(),
+        circuit.len()
+    );
+    for (i, &e) in node_eps.iter().enumerate() {
+        assert!((0.0..=1.0).contains(&e), "ε[{i}] = {e} out of [0,1]");
+    }
+    let outputs: Vec<usize> = circuit.outputs().iter().map(|o| o.node().index()).collect();
+    for &(a, b) in &config.joint_pairs {
+        assert!(a < outputs.len() && b < outputs.len(), "joint pair out of range");
+    }
+
+    let gens: Vec<Option<BiasedBits>> = node_eps
+        .iter()
+        .map(|&e| {
+            if e == 0.0 {
+                None
+            } else {
+                Some(BiasedBits::new(e, config.bit_resolution))
+            }
+        })
+        .collect();
+
+    let sampler = match &config.input_probs {
+        None => crate::InputSampler::uniform(circuit.input_count()),
+        Some(p) => {
+            assert_eq!(p.len(), circuit.input_count(), "one bias per input");
+            crate::InputSampler::independent(p)
+        }
+    };
+    let blocks = config.patterns.div_ceil(64).max(1);
+    let total = blocks * 64;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut clean = PackedSim::new(circuit);
+    let mut noisy = PackedSim::new(circuit);
+    let mut masks = vec![0u64; circuit.len()];
+    let mut out_err = vec![0u64; outputs.len()];
+    let mut any_err = 0u64;
+    let mut joint_err = vec![0u64; config.joint_pairs.len()];
+    let mut node_stats = config.track_nodes.then(|| NodeErrorStats::new(circuit.len()));
+
+    for _ in 0..blocks {
+        sampler.fill(&mut clean, &mut rng);
+        clean.propagate(circuit);
+        noisy.copy_from(&clean);
+        for (m, g) in masks.iter_mut().zip(&gens) {
+            *m = g.as_ref().map_or(0, |g| g.next_word(&mut rng));
+        }
+        noisy.propagate_with_flips(circuit, &masks);
+
+        let mut any = 0u64;
+        for (k, &oidx) in outputs.iter().enumerate() {
+            let diff = clean.words()[oidx] ^ noisy.words()[oidx];
+            out_err[k] += u64::from(diff.count_ones());
+            any |= diff;
+        }
+        any_err += u64::from(any.count_ones());
+        for (j, &(a, b)) in config.joint_pairs.iter().enumerate() {
+            let da = clean.words()[outputs[a]] ^ noisy.words()[outputs[a]];
+            let db = clean.words()[outputs[b]] ^ noisy.words()[outputs[b]];
+            joint_err[j] += u64::from((da & db).count_ones());
+        }
+        if let Some(stats) = node_stats.as_mut() {
+            for i in 0..circuit.len() {
+                let cw = clean.words()[i];
+                let nw = noisy.words()[i];
+                let diff = cw ^ nw;
+                stats.clean1[i] += u64::from(cw.count_ones());
+                stats.clean0[i] += u64::from(cw.count_zeros());
+                stats.err01[i] += u64::from((diff & !cw).count_ones());
+                stats.err10[i] += u64::from((diff & cw).count_ones());
+            }
+        }
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    let tf = total as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let per_output: Vec<f64> = out_err.iter().map(|&c| c as f64 / tf).collect();
+    #[allow(clippy::cast_precision_loss)]
+    let joint: Vec<((usize, usize), f64)> = config
+        .joint_pairs
+        .iter()
+        .zip(&joint_err)
+        .map(|(&(a, b), &c)| ((a.min(b), a.max(b)), c as f64 / tf))
+        .collect();
+    #[allow(clippy::cast_precision_loss)]
+    let any_output = any_err as f64 / tf;
+
+    ReliabilityEstimate {
+        patterns: total,
+        per_output,
+        any_output,
+        joint,
+        node_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_eps(circuit: &Circuit, eps: f64) -> Vec<f64> {
+        circuit
+            .iter()
+            .map(|(_, n)| if n.kind().is_gate() { eps } else { 0.0 })
+            .collect()
+    }
+
+    #[test]
+    fn single_noisy_inverter_matches_epsilon() {
+        let mut c = Circuit::new("inv");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let r = estimate(&c, &[0.0, 0.2], &MonteCarloConfig::default());
+        assert!((r.per_output()[0] - 0.2).abs() < 0.01, "{}", r.per_output()[0]);
+        assert!((r.any_output() - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn chain_of_inverters_composes_errors() {
+        // Two noisy inverters in series: output errs iff exactly one flips:
+        // δ = 2ε(1-ε).
+        let mut c = Circuit::new("chain");
+        let a = c.add_input("a");
+        let g1 = c.not(a);
+        let g2 = c.not(g1);
+        c.add_output("y", g2);
+        let eps = 0.1;
+        let r = estimate(&c, &[0.0, eps, eps], &MonteCarloConfig::default());
+        let expect = 2.0 * eps * (1.0 - eps);
+        assert!(
+            (r.per_output()[0] - expect).abs() < 0.01,
+            "{} vs {expect}",
+            r.per_output()[0]
+        );
+    }
+
+    #[test]
+    fn noise_free_circuit_never_errs() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        c.add_output("y", g);
+        let r = estimate(&c, &uniform_eps(&c, 0.0), &MonteCarloConfig::default());
+        assert_eq!(r.per_output()[0], 0.0);
+        assert_eq!(r.any_output(), 0.0);
+    }
+
+    #[test]
+    fn estimates_are_reproducible_by_seed() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.nand([a, b]);
+        c.add_output("y", g);
+        let eps = uniform_eps(&c, 0.15);
+        let cfg = MonteCarloConfig {
+            patterns: 4096,
+            ..MonteCarloConfig::default()
+        };
+        let r1 = estimate(&c, &eps, &cfg);
+        let r2 = estimate(&c, &eps, &cfg);
+        assert_eq!(r1.per_output(), r2.per_output());
+        assert_eq!(r1.patterns(), 4096);
+    }
+
+    #[test]
+    fn joint_pairs_track_correlated_outputs() {
+        // Two outputs of the same noisy gate err together always.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y1", g);
+        c.add_output("y2", g);
+        let cfg = MonteCarloConfig {
+            joint_pairs: vec![(0, 1)],
+            ..MonteCarloConfig::default()
+        };
+        let r = estimate(&c, &[0.0, 0.25], &cfg);
+        let j = r.joint(0, 1).unwrap();
+        assert!((j - r.per_output()[0]).abs() < 1e-12);
+        assert!(r.joint(1, 0).is_some(), "pair lookup is order-insensitive");
+        assert!(r.joint(0, 0).is_none());
+    }
+
+    #[test]
+    fn node_stats_match_closed_form_for_and_gate() {
+        // AND gate with only itself noisy: p01 = p10 = ε by the BSC model.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        c.add_output("y", g);
+        let cfg = MonteCarloConfig {
+            track_nodes: true,
+            patterns: 1 << 17,
+            ..MonteCarloConfig::default()
+        };
+        let r = estimate(&c, &[0.0, 0.0, 0.3], &cfg);
+        let stats = r.node_stats().unwrap();
+        assert!((stats.p01(g.index()) - 0.3).abs() < 0.01);
+        assert!((stats.p10(g.index()) - 0.3).abs() < 0.01);
+        assert!((stats.signal_probability(g.index()) - 0.25).abs() < 0.01);
+        // Unconditional error probability is ε regardless of signal prob.
+        assert!((stats.error_probability(g.index()) - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn noisy_inputs_are_supported() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.buf(a);
+        c.add_output("y", g);
+        let r = estimate(&c, &[0.1, 0.0], &MonteCarloConfig::default());
+        assert!((r.per_output()[0] - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "need one ε per node")]
+    fn wrong_eps_length_panics() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        c.add_output("y", a);
+        let _ = estimate(&c, &[0.0, 0.0], &MonteCarloConfig::default());
+    }
+
+    #[test]
+    fn std_error_shrinks_with_patterns() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let small = estimate(
+            &c,
+            &[0.0, 0.3],
+            &MonteCarloConfig {
+                patterns: 1024,
+                ..MonteCarloConfig::default()
+            },
+        );
+        let large = estimate(
+            &c,
+            &[0.0, 0.3],
+            &MonteCarloConfig {
+                patterns: 1 << 16,
+                ..MonteCarloConfig::default()
+            },
+        );
+        assert!(large.std_error(0) < small.std_error(0));
+    }
+}

@@ -1,0 +1,314 @@
+//! 64-lane parallel-pattern logic simulation.
+//!
+//! One `u64` word per node holds the node's value for 64 independent input
+//! patterns; a full-circuit sweep is a single pass over the nodes in
+//! topological order. This is the same engine the DATE 2007 paper used for
+//! its Monte Carlo reference ("a 64-bit parallel pattern simulator").
+
+use rand::RngCore;
+use relogic_netlist::{Circuit, GateKind, NodeId};
+
+/// Reusable buffers for simulating one circuit block-by-block.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_netlist::Circuit;
+/// use relogic_sim::PackedSim;
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let g = c.xor([a, b]);
+/// c.add_output("y", g);
+///
+/// let mut sim = PackedSim::new(&c);
+/// sim.set_input_word(0, 0b1100);
+/// sim.set_input_word(1, 0b1010);
+/// sim.propagate(&c);
+/// assert_eq!(sim.node_word(g) & 0b1111, 0b0110);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PackedSim {
+    words: Vec<u64>,
+    input_ids: Vec<NodeId>,
+}
+
+impl PackedSim {
+    /// Allocates simulation state for `circuit`.
+    #[must_use]
+    pub fn new(circuit: &Circuit) -> Self {
+        PackedSim {
+            words: vec![0; circuit.len()],
+            input_ids: circuit.inputs().to_vec(),
+        }
+    }
+
+    /// Sets the 64-pattern word of primary input `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position` is out of range.
+    pub fn set_input_word(&mut self, position: usize, word: u64) {
+        let id = self.input_ids[position];
+        self.words[id.index()] = word;
+    }
+
+    /// Fills every primary input with uniform random patterns.
+    pub fn randomize_inputs<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in 0..self.input_ids.len() {
+            let id = self.input_ids[i];
+            self.words[id.index()] = rng.next_u64();
+        }
+    }
+
+    /// Fills the inputs with block `block` of the exhaustive enumeration of
+    /// all `2^m` input patterns: pattern index `block * 64 + lane` assigns
+    /// input `i` the `i`-th bit of the index.
+    ///
+    /// Useful for exact evaluation of circuits with up to ~24 inputs.
+    pub fn exhaustive_inputs(&mut self, block: u64) {
+        for (pos, &id) in self.input_ids.clone().iter().enumerate() {
+            self.words[id.index()] = exhaustive_word(pos, block);
+        }
+    }
+
+    /// Propagates input words through the circuit (no faults).
+    pub fn propagate(&mut self, circuit: &Circuit) {
+        let mut fanin_words: Vec<u64> = Vec::with_capacity(8);
+        for (id, node) in circuit.iter() {
+            match node.kind() {
+                GateKind::Input => {}
+                kind => {
+                    fanin_words.clear();
+                    fanin_words.extend(node.fanins().iter().map(|f| self.words[f.index()]));
+                    self.words[id.index()] = kind.eval_word(&fanin_words);
+                }
+            }
+        }
+    }
+
+    /// Propagates with per-node XOR fault masks: after computing node `i`,
+    /// its word is XOR-ed with `flip_masks[i]` (primary inputs included).
+    ///
+    /// This implements the von Neumann BSC gate-noise model when the masks
+    /// are Bernoulli(ε) words, and deterministic fault injection when the
+    /// masks are all-ones/all-zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flip_masks.len() != circuit.len()`.
+    pub fn propagate_with_flips(&mut self, circuit: &Circuit, flip_masks: &[u64]) {
+        assert_eq!(flip_masks.len(), circuit.len());
+        let mut fanin_words: Vec<u64> = Vec::with_capacity(8);
+        for (id, node) in circuit.iter() {
+            let idx = id.index();
+            match node.kind() {
+                GateKind::Input => {
+                    self.words[idx] ^= flip_masks[idx];
+                }
+                kind => {
+                    fanin_words.clear();
+                    fanin_words.extend(node.fanins().iter().map(|f| self.words[f.index()]));
+                    self.words[idx] = kind.eval_word(&fanin_words) ^ flip_masks[idx];
+                }
+            }
+        }
+    }
+
+    /// The current 64-pattern word of `node`.
+    #[must_use]
+    pub fn node_word(&self, node: NodeId) -> u64 {
+        self.words[node.index()]
+    }
+
+    /// All node words, indexed by [`NodeId::index`].
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Copies another simulator's words into this one (both must be sized
+    /// for the same circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two simulators have different node counts.
+    pub fn copy_from(&mut self, other: &PackedSim) {
+        assert_eq!(self.words.len(), other.words.len());
+        self.words.copy_from_slice(&other.words);
+    }
+}
+
+/// The exhaustive-enumeration word for input `position` in `block`:
+/// bit `lane` is bit `position` of the pattern index `block * 64 + lane`.
+#[must_use]
+pub fn exhaustive_word(position: usize, block: u64) -> u64 {
+    match position {
+        0 => 0xAAAA_AAAA_AAAA_AAAA,
+        1 => 0xCCCC_CCCC_CCCC_CCCC,
+        2 => 0xF0F0_F0F0_F0F0_F0F0,
+        3 => 0xFF00_FF00_FF00_FF00,
+        4 => 0xFFFF_0000_FFFF_0000,
+        5 => 0xFFFF_FFFF_0000_0000,
+        p => {
+            // Patterns beyond the 6 in-word inputs repeat per block.
+            if block >> (p - 6) & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            }
+        }
+    }
+}
+
+/// Number of 64-pattern blocks needed to enumerate all `2^inputs` patterns
+/// (at least 1; inputs beyond 63 are rejected).
+///
+/// # Panics
+///
+/// Panics if `inputs > 30`, where exhaustive enumeration is hopeless anyway.
+#[must_use]
+pub fn exhaustive_block_count(inputs: usize) -> u64 {
+    assert!(inputs <= 30, "exhaustive enumeration over {inputs} inputs");
+    if inputs <= 6 {
+        1
+    } else {
+        1u64 << (inputs - 6)
+    }
+}
+
+/// Mask selecting the lanes that hold valid patterns when enumerating
+/// `2^inputs` patterns (only the final block of a small circuit is partial).
+#[must_use]
+pub fn exhaustive_lane_mask(inputs: usize) -> u64 {
+    if inputs >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << inputs)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn full_adder() -> Circuit {
+        let mut c = Circuit::new("fa");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let cin = c.add_input("cin");
+        let s1 = c.xor([a, b]);
+        let sum = c.xor([s1, cin]);
+        let c1 = c.and([a, b]);
+        let c2 = c.and([s1, cin]);
+        let cout = c.or([c1, c2]);
+        c.add_output("sum", sum);
+        c.add_output("cout", cout);
+        c
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_random_patterns() {
+        let c = full_adder();
+        let mut sim = PackedSim::new(&c);
+        let mut rng = SmallRng::seed_from_u64(11);
+        sim.randomize_inputs(&mut rng);
+        let input_words: Vec<u64> = (0..3)
+            .map(|p| sim.node_word(c.inputs()[p]))
+            .collect();
+        sim.propagate(&c);
+        for lane in 0..64 {
+            let bits: Vec<bool> = input_words.iter().map(|w| w >> lane & 1 != 0).collect();
+            let expect = c.eval(&bits);
+            for (k, out) in c.outputs().iter().enumerate() {
+                assert_eq!(
+                    sim.node_word(out.node()) >> lane & 1 != 0,
+                    expect[k],
+                    "lane {lane} output {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_enumeration_covers_all_patterns() {
+        let c = full_adder();
+        let mut sim = PackedSim::new(&c);
+        assert_eq!(exhaustive_block_count(3), 1);
+        sim.exhaustive_inputs(0);
+        sim.propagate(&c);
+        let mask = exhaustive_lane_mask(3);
+        assert_eq!(mask, 0xFF);
+        for lane in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|j| lane >> j & 1 != 0).collect();
+            let expect = c.eval(&bits);
+            assert_eq!(
+                sim.node_word(c.outputs()[0].node()) >> lane & 1 != 0,
+                expect[0]
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_blocks_beyond_six_inputs() {
+        // 8 inputs: 4 blocks; check input 7's word flips between blocks.
+        assert_eq!(exhaustive_block_count(8), 4);
+        assert_eq!(exhaustive_word(7, 0), 0);
+        assert_eq!(exhaustive_word(7, 2), u64::MAX);
+        assert_eq!(exhaustive_word(6, 1), u64::MAX);
+        assert_eq!(exhaustive_word(6, 2), 0);
+    }
+
+    #[test]
+    fn deterministic_flip_injection() {
+        // y = a AND b; flipping the AND output inverts y everywhere.
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        c.add_output("y", g);
+        let mut clean = PackedSim::new(&c);
+        clean.set_input_word(0, 0b1100);
+        clean.set_input_word(1, 0b1010);
+        clean.propagate(&c);
+        let mut faulty = clean.clone();
+        faulty.set_input_word(0, 0b1100);
+        faulty.set_input_word(1, 0b1010);
+        let mut masks = vec![0u64; c.len()];
+        masks[g.index()] = u64::MAX;
+        faulty.propagate_with_flips(&c, &masks);
+        assert_eq!(
+            clean.node_word(g) ^ faulty.node_word(g),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn input_flips_propagate() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let mut sim = PackedSim::new(&c);
+        sim.set_input_word(0, 0);
+        let mut masks = vec![0u64; c.len()];
+        masks[a.index()] = 0b1;
+        sim.propagate_with_flips(&c, &masks);
+        assert_eq!(sim.node_word(g) & 0b11, 0b10);
+    }
+
+    #[test]
+    fn copy_from_duplicates_state() {
+        let c = full_adder();
+        let mut s1 = PackedSim::new(&c);
+        let mut rng = SmallRng::seed_from_u64(5);
+        s1.randomize_inputs(&mut rng);
+        s1.propagate(&c);
+        let mut s2 = PackedSim::new(&c);
+        s2.copy_from(&s1);
+        assert_eq!(s1.words(), s2.words());
+    }
+}

@@ -1,0 +1,188 @@
+//! Biased input-pattern sampling.
+//!
+//! The packed estimators default to the uniform input distribution (every
+//! input is 1 with probability ½ — the paper's setting). [`InputSampler`]
+//! generalizes this to independent per-input biases, using the same
+//! binary-expansion trick as the fault-mask generator, so all sampling
+//! backends (Monte Carlo, signal probabilities, weight vectors,
+//! observabilities) support non-uniform input statistics.
+
+use crate::bits::{BiasedBits, DEFAULT_RESOLUTION};
+use crate::packed::PackedSim;
+use rand::RngCore;
+
+/// Draws 64-pattern input words under independent per-input biases.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use relogic_netlist::Circuit;
+/// use relogic_sim::{InputSampler, PackedSim};
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// c.add_output("y", a);
+///
+/// let sampler = InputSampler::independent(&[0.9]);
+/// let mut sim = PackedSim::new(&c);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut ones = 0u32;
+/// for _ in 0..256 {
+///     sampler.fill(&mut sim, &mut rng);
+///     ones += sim.node_word(a).count_ones();
+/// }
+/// let mean = f64::from(ones) / (256.0 * 64.0);
+/// assert!((mean - 0.9).abs() < 0.02);
+/// ```
+#[derive(Clone, Debug)]
+pub struct InputSampler {
+    /// One generator per input position; `None` means unbiased (p = ½),
+    /// which costs a single RNG word.
+    gens: Vec<Option<BiasedBits>>,
+}
+
+impl InputSampler {
+    /// Uniform sampler over `inputs` inputs (every bias ½).
+    #[must_use]
+    pub fn uniform(inputs: usize) -> Self {
+        InputSampler {
+            gens: vec![None; inputs],
+        }
+    }
+
+    /// Independent per-input biases: input `i` is 1 with probability
+    /// `probs[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn independent(probs: &[f64]) -> Self {
+        InputSampler {
+            gens: probs
+                .iter()
+                .map(|&p| {
+                    if (p - 0.5).abs() < f64::EPSILON {
+                        None
+                    } else {
+                        Some(BiasedBits::new(p, DEFAULT_RESOLUTION))
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of inputs covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Returns `true` if the sampler covers no inputs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gens.is_empty()
+    }
+
+    /// Returns `true` if every input is unbiased.
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.gens.iter().all(Option::is_none)
+    }
+
+    /// Fills the simulator's input words with one sampled block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator's circuit has a different input count.
+    pub fn fill<R: RngCore + ?Sized>(&self, sim: &mut PackedSim, rng: &mut R) {
+        for (pos, gen) in self.gens.iter().enumerate() {
+            let word = match gen {
+                None => rng.next_u64(),
+                Some(g) => g.next_word(rng),
+            };
+            sim.set_input_word(pos, word);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use relogic_netlist::Circuit;
+
+    fn two_input_circuit() -> Circuit {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        c.add_output("y", g);
+        c
+    }
+
+    #[test]
+    fn uniform_sampler_is_unbiased() {
+        let c = two_input_circuit();
+        let sampler = InputSampler::uniform(2);
+        assert!(sampler.is_uniform());
+        assert_eq!(sampler.len(), 2);
+        let mut sim = PackedSim::new(&c);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut ones = 0u64;
+        for _ in 0..4096 {
+            sampler.fill(&mut sim, &mut rng);
+            ones += u64::from(sim.node_word(c.inputs()[0]).count_ones());
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean = ones as f64 / (4096.0 * 64.0);
+        assert!((mean - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn biased_sampler_hits_targets() {
+        let c = two_input_circuit();
+        let sampler = InputSampler::independent(&[0.2, 0.8]);
+        assert!(!sampler.is_uniform());
+        let mut sim = PackedSim::new(&c);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut ones = [0u64; 2];
+        for _ in 0..8192 {
+            sampler.fill(&mut sim, &mut rng);
+            for (k, &id) in c.inputs().iter().enumerate() {
+                ones[k] += u64::from(sim.node_word(id).count_ones());
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let means: Vec<f64> = ones.iter().map(|&o| o as f64 / (8192.0 * 64.0)).collect();
+        assert!((means[0] - 0.2).abs() < 0.01, "{means:?}");
+        assert!((means[1] - 0.8).abs() < 0.01, "{means:?}");
+    }
+
+    #[test]
+    fn gate_statistics_follow_bias() {
+        // AND of (0.9, 0.9)-biased inputs is 1 with probability 0.81.
+        let c = two_input_circuit();
+        let sampler = InputSampler::independent(&[0.9, 0.9]);
+        let mut sim = PackedSim::new(&c);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = c.outputs()[0].node();
+        let mut ones = 0u64;
+        for _ in 0..8192 {
+            sampler.fill(&mut sim, &mut rng);
+            sim.propagate(&c);
+            ones += u64::from(sim.node_word(g).count_ones());
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let mean = ones as f64 / (8192.0 * 64.0);
+        assert!((mean - 0.81).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn invalid_bias_rejected() {
+        let _ = InputSampler::independent(&[1.5]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the `relogic` workspace.
+//!
+//! Re-exports the member crates so the root `examples/` and `tests/` can use
+//! a single dependency. Library users should depend on the member crates
+//! directly.
+
+pub use relogic as core;
+pub use relogic_bdd as bdd;
+pub use relogic_gen as gen;
+pub use relogic_netlist as netlist;
+pub use relogic_sim as sim;

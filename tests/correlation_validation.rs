@@ -1,0 +1,310 @@
+//! Validates the §4.1 correlation coefficients against exhaustively
+//! computed ground truth on small circuits.
+//!
+//! Ground truth: enumerate every input pattern × every gate-failure subset,
+//! simulate clean and noisy values, and accumulate the exact joint
+//! probabilities of `0→1`/`1→0` error events on signal pairs. The exact
+//! coefficient is `C = P(ev_a ∧ ev_b) / (P(ev_a) · P(ev_b))`.
+
+use relogic::{
+    Backend, CorrCoeffs, GateEps, InputDistribution, SinglePass, SinglePassOptions, Weights,
+};
+use relogic_netlist::{Circuit, NodeId};
+use relogic_sim::{exhaustive_block_count, exhaustive_lane_mask, PackedSim};
+
+/// Exact event probabilities for a pair of nodes, computed by enumeration.
+///
+/// Following the paper, `Pr(l₀→₁)` is *conditional* on the signal's
+/// error-free value, so every probability here is normalized by the mass
+/// of its fault-free context.
+struct PairStats {
+    /// Unconditional `P(ev ∧ context)`; ev 0 = rise (0→1), 1 = fall.
+    pa: [f64; 2],
+    pb: [f64; 2],
+    /// Unconditional joint `P(ev_a ∧ ev_b)`.
+    joint: [[f64; 2]; 2],
+    /// Fault-free context masses: `ctx_a[0] = P(clean_a = 0)`, etc.
+    ctx_a: [f64; 2],
+    ctx_b: [f64; 2],
+    /// `ctx_joint[ca][cb] = P(clean_a = ca-th context ∧ clean_b = …)`,
+    /// where context 0 requires the clean value 0 (rise) and 1 requires 1.
+    ctx_joint: [[f64; 2]; 2],
+}
+
+impl PairStats {
+    /// Conditional marginal for node a: `P(ev | clean context)`.
+    fn pa_cond(&self, ev: usize) -> f64 {
+        if self.ctx_a[ev] > 1e-12 {
+            self.pa[ev] / self.ctx_a[ev]
+        } else {
+            0.0
+        }
+    }
+
+    fn pb_cond(&self, ev: usize) -> f64 {
+        if self.ctx_b[ev] > 1e-12 {
+            self.pb[ev] / self.ctx_b[ev]
+        } else {
+            0.0
+        }
+    }
+
+    fn coeffs(&self) -> CorrCoeffs {
+        let mut c = [[1.0f64; 2]; 2];
+        for (ea, row) in c.iter_mut().enumerate() {
+            for (eb, slot) in row.iter_mut().enumerate() {
+                let joint_cond = if self.ctx_joint[ea][eb] > 1e-12 {
+                    self.joint[ea][eb] / self.ctx_joint[ea][eb]
+                } else {
+                    0.0
+                };
+                let denom = self.pa_cond(ea) * self.pb_cond(eb);
+                if denom > 1e-12 {
+                    *slot = joint_cond / denom;
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Enumerates inputs × failure subsets exactly.
+fn exact_pair_stats(circuit: &Circuit, eps: &GateEps, a: NodeId, b: NodeId) -> PairStats {
+    let noisy: Vec<usize> = (0..circuit.len())
+        .filter(|&i| eps.as_slice()[i] > 0.0)
+        .collect();
+    assert!(noisy.len() <= 16, "too many noisy nodes for enumeration");
+    assert!(circuit.input_count() <= 12);
+    let blocks = exhaustive_block_count(circuit.input_count());
+    let lane_mask = exhaustive_lane_mask(circuit.input_count());
+    #[allow(clippy::cast_precision_loss)]
+    let pattern_count = f64::from(lane_mask.count_ones())
+        * if circuit.input_count() > 6 {
+            blocks as f64
+        } else {
+            1.0
+        };
+
+    let mut clean = PackedSim::new(circuit);
+    let mut faulty = PackedSim::new(circuit);
+    let mut masks = vec![0u64; circuit.len()];
+    let mut pa = [0.0f64; 2];
+    let mut pb = [0.0f64; 2];
+    let mut joint = [[0.0f64; 2]; 2];
+    let mut ctx_a = [0.0f64; 2];
+    let mut ctx_b = [0.0f64; 2];
+    let mut ctx_joint = [[0.0f64; 2]; 2];
+
+    for block in 0..blocks {
+        clean.exhaustive_inputs(block);
+        clean.propagate(circuit);
+        // Context masses depend only on the fault-free simulation.
+        let ca = clean.node_word(a);
+        let cb = clean.node_word(b);
+        let actx = [!ca & lane_mask, ca & lane_mask];
+        let bctx = [!cb & lane_mask, cb & lane_mask];
+        for (ea, &wa) in actx.iter().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                ctx_a[ea] += f64::from(wa.count_ones()) / pattern_count;
+            }
+            for (eb, &wb) in bctx.iter().enumerate() {
+                #[allow(clippy::cast_precision_loss)]
+                {
+                    ctx_joint[ea][eb] += f64::from((wa & wb).count_ones()) / pattern_count;
+                }
+            }
+        }
+        for (eb, &wb) in bctx.iter().enumerate() {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                ctx_b[eb] += f64::from(wb.count_ones()) / pattern_count;
+            }
+        }
+        for subset in 0..1u64 << noisy.len() {
+            let mut weight = 1.0f64;
+            for (j, &node) in noisy.iter().enumerate() {
+                weight *= if subset >> j & 1 == 1 {
+                    eps.as_slice()[node]
+                } else {
+                    1.0 - eps.as_slice()[node]
+                };
+            }
+            if weight <= 0.0 {
+                continue;
+            }
+            for m in masks.iter_mut() {
+                *m = 0;
+            }
+            for (j, &node) in noisy.iter().enumerate() {
+                if subset >> j & 1 == 1 {
+                    masks[node] = u64::MAX;
+                }
+            }
+            faulty.copy_from(&clean);
+            faulty.propagate_with_flips(circuit, &masks);
+
+            let ca = clean.node_word(a);
+            let fa = faulty.node_word(a);
+            let cb = clean.node_word(b);
+            let fb = faulty.node_word(b);
+            // rise = clean 0, noisy 1; fall = clean 1, noisy 0
+            let ev_a = [(!ca & fa) & lane_mask, (ca & !fa) & lane_mask];
+            let ev_b = [(!cb & fb) & lane_mask, (cb & !fb) & lane_mask];
+            for (ea, &wa) in ev_a.iter().enumerate() {
+                #[allow(clippy::cast_precision_loss)]
+                let frac = f64::from(wa.count_ones()) / pattern_count;
+                pa[ea] += weight * frac;
+                for (eb, &wb) in ev_b.iter().enumerate() {
+                    #[allow(clippy::cast_precision_loss)]
+                    let fracj = f64::from((wa & wb).count_ones()) / pattern_count;
+                    joint[ea][eb] += weight * fracj;
+                }
+            }
+            for (eb, &wb) in ev_b.iter().enumerate() {
+                #[allow(clippy::cast_precision_loss)]
+                let frac = f64::from(wb.count_ones()) / pattern_count;
+                pb[eb] += weight * frac;
+            }
+        }
+    }
+    PairStats {
+        pa,
+        pb,
+        joint,
+        ctx_a,
+        ctx_b,
+        ctx_joint,
+    }
+}
+
+fn analyze(c: &Circuit, e: f64) -> relogic::SinglePassResult {
+    let w = Weights::compute(c, &InputDistribution::Uniform, Backend::Bdd);
+    SinglePass::new(c, &w, SinglePassOptions::default()).run(&GateEps::uniform(c, e))
+}
+
+#[test]
+fn buffer_pair_coefficients_are_exact() {
+    // p = BUF(s), q = BUF(s): before their own noise, p and q carry the
+    // same error; the coefficients follow closed forms the engine should
+    // reproduce almost exactly.
+    let mut c = Circuit::new("t");
+    let a = c.add_input("a");
+    let s = c.not(a);
+    let p = c.buf(s);
+    let q = c.buf(s);
+    let g = c.xor([p, q]);
+    c.add_output("y", g);
+    let e = 0.1;
+    let r = analyze(&c, e);
+    let exact = exact_pair_stats(&c, &GateEps::uniform(&c, e), p, q).coeffs();
+    let tracked = r.correlation(p, q).expect("pair tracked");
+    let stats = exact_pair_stats(&c, &GateEps::uniform(&c, e), p, q);
+    for ea in 0..2 {
+        for eb in 0..2 {
+            // Cross-direction contexts (clean_p = 0 ∧ clean_q = 1) are
+            // impossible for two branches of the same wire; the exact
+            // conditional is vacuous there and the tracked value is never
+            // multiplied by nonzero weight, so only compare live contexts.
+            if stats.ctx_joint[ea][eb] < 1e-9 {
+                continue;
+            }
+            assert!(
+                (tracked[ea][eb] - exact[ea][eb]).abs() < 0.25,
+                "C[{ea}][{eb}]: tracked {} vs exact {}",
+                tracked[ea][eb],
+                exact[ea][eb]
+            );
+        }
+    }
+    // Positive same-event correlation on the live contexts.
+    assert!(tracked[0][0] > 1.5, "same-direction events correlate");
+}
+
+#[test]
+fn observability_exclusive_pairs_are_a_known_limitation() {
+    // Characterization test pinning a *documented* weakness of the §4.1
+    // machinery (shared with the paper, whose own worst Table 2 rows are
+    // the reconvergence-heavy c499/c1355): for p = AND(s, b), q = OR(s, b)
+    // the contexts in which s-errors reach p (b = 1) and reach q (b = 0)
+    // are mutually exclusive, so the true error events are nearly
+    // independent — but the Fig. 4 conditionals, built on the
+    // *unconditioned* weight vector, report positive correlation and
+    // overestimate the joint error. If this ever starts matching the exact
+    // value, the engine has improved and this test should be tightened.
+    use relogic::consolidate::Consolidator;
+    let mut c = Circuit::new("t");
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let s = c.not(a);
+    let p = c.and([s, b]);
+    let q = c.or([s, b]);
+    c.add_output("op", p);
+    c.add_output("oq", q);
+    let cons = Consolidator::new(&c, &InputDistribution::Uniform, Backend::Bdd);
+    let e = 0.05;
+    let r = analyze(&c, e);
+    let stats = exact_pair_stats(&c, &GateEps::uniform(&c, e), p, q);
+    let exact_joint: f64 = stats.joint.iter().flatten().sum();
+    let modeled = cons.joint_error(&r, 0, 1);
+    // Overestimates, but stays within the hard bounds and within ~3× —
+    // the envelope observed on the SEC lattices.
+    assert!(modeled >= exact_joint - 1e-12, "direction of the bias");
+    assert!(
+        modeled <= 3.0 * exact_joint,
+        "modeled {modeled} vs exact {exact_joint}: bias envelope exceeded"
+    );
+    assert!(modeled <= r.per_output()[0].min(r.per_output()[1]) + 1e-12);
+}
+
+#[test]
+fn tracked_joint_error_improves_on_independence() {
+    // For the reconverging pair feeding the output, using the tracked
+    // coefficients to predict P(both err) must beat assuming independence.
+    let mut c = Circuit::new("t");
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let s = c.nand([a, b]);
+    let p = c.buf(s);
+    let q = c.not(s);
+    let g = c.and([p, q]);
+    c.add_output("y", g);
+    let e = 0.1;
+    let r = analyze(&c, e);
+    let stats = exact_pair_stats(&c, &GateEps::uniform(&c, e), p, q);
+    let tracked = r.correlation(p, q).expect("pair tracked");
+
+    // Exact conditional P(p rise ∧ q fall | contexts) vs the engine's
+    // model and vs independence.
+    let exact_joint = stats.joint[0][1] / stats.ctx_joint[0][1];
+    let independent = stats.pa_cond(0) * stats.pb_cond(1);
+    let modeled = stats.pa_cond(0) * stats.pb_cond(1) * tracked[0][1];
+    assert!(
+        (modeled - exact_joint).abs() < (independent - exact_joint).abs() + 1e-12,
+        "modeled {modeled} vs independent {independent} vs exact {exact_joint}"
+    );
+}
+
+#[test]
+fn untracked_pairs_are_actually_independent() {
+    // Two disjoint cones: no correlation should be tracked, and the exact
+    // coefficients should indeed be ≈ 1.
+    let mut c = Circuit::new("t");
+    let a = c.add_input("a");
+    let b = c.add_input("b");
+    let x = c.add_input("x");
+    let y_in = c.add_input("y");
+    let g1 = c.and([a, b]);
+    let g2 = c.or([x, y_in]);
+    c.add_output("o1", g1);
+    c.add_output("o2", g2);
+    let e = 0.2;
+    let r = analyze(&c, e);
+    assert!(r.correlation(g1, g2).is_none());
+    let exact = exact_pair_stats(&c, &GateEps::uniform(&c, e), g1, g2).coeffs();
+    for row in &exact {
+        for &v in row {
+            assert!((v - 1.0).abs() < 1e-9, "disjoint cones must be independent: {v}");
+        }
+    }
+}
