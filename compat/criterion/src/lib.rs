@@ -1,0 +1,251 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The relogic build environment has no network access to a crates.io
+//! mirror, so the workspace vendors a minimal wall-clock runner with
+//! criterion's surface API for the subset the benches use: [`Criterion`],
+//! [`BenchmarkGroup`] (`sample_size`, `throughput`, `bench_function`,
+//! `finish`), [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: a warm-up phase estimates the cost of one iteration,
+//! the iteration count is then chosen so each sample runs ≈25 ms, and the
+//! median over `sample_size` samples is reported (with min/max spread and,
+//! when a throughput was declared, elements or bytes per second).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration workload, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The benchmark processes this many abstract elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the harness-chosen number of iterations, timing the
+    /// whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, None, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix, sample size, and declared
+/// throughput.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares the per-iteration workload for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<D: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(&full, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up: grow the iteration count until one batch takes >= 5 ms so
+    // the per-iteration estimate is meaningful even for nanosecond bodies.
+    let mut iters: u64 = 1;
+    let per_iter_ns = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        #[allow(clippy::cast_precision_loss)]
+        if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+            break (b.elapsed.as_nanos() as f64 / iters as f64).max(0.1);
+        }
+        iters = iters.saturating_mul(4);
+    };
+
+    // Aim for ~25 ms per sample.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let sample_iters = ((25e6 / per_iter_ns).ceil() as u64).max(1);
+    let mut samples_ns: Vec<f64> = (0..sample_size)
+        .map(|_| {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            #[allow(clippy::cast_precision_loss)]
+            {
+                b.elapsed.as_nanos() as f64 / sample_iters as f64
+            }
+        })
+        .collect();
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = samples_ns[samples_ns.len() / 2];
+    let (lo, hi) = (samples_ns[0], samples_ns[samples_ns.len() - 1]);
+
+    let mut line = format!(
+        "{id:<40} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            #[allow(clippy::cast_precision_loss)]
+            let rate = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {} elem/s", format_count(rate)));
+        }
+        Some(Throughput::Bytes(n)) => {
+            #[allow(clippy::cast_precision_loss)]
+            let rate = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {}B/s", format_count(rate)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn format_count(rate: f64) -> String {
+    if rate < 1e3 {
+        format!("{rate:.1} ")
+    } else if rate < 1e6 {
+        format!("{:.2} K", rate / 1e3)
+    } else if rate < 1e9 {
+        format!("{:.2} M", rate / 1e6)
+    } else {
+        format!("{:.2} G", rate / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_accumulates_elapsed_time() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.elapsed > Duration::ZERO || b.iters == 100);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert_eq!(format_time(12.5), "12.50 ns");
+        assert_eq!(format_time(12_500.0), "12.50 us");
+        assert_eq!(format_time(12_500_000.0), "12.50 ms");
+        assert!(format_count(5e7).ends_with('M'));
+    }
+}

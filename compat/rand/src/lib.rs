@@ -1,0 +1,400 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The relogic build environment has no network access to a crates.io
+//! mirror, so the workspace vendors the small slice of the rand 0.8 API it
+//! actually uses:
+//!
+//! * [`RngCore`] / [`SeedableRng`] — the core generator traits.
+//! * [`Rng`] — the user-facing extension trait (`gen`, `gen_range`,
+//!   `gen_bool`), blanket-implemented for every [`RngCore`].
+//! * [`rngs::SmallRng`] — xoshiro256++, the same algorithm real rand 0.8
+//!   uses for `SmallRng` on 64-bit targets, seeded from a `u64` via
+//!   SplitMix64 exactly like `rand_core`'s default `seed_from_u64`.
+//!
+//! The implementation is deterministic and dependency-free. It is **not**
+//! cryptographically secure and makes no attempt to match the real crate's
+//! output streams bit-for-bit beyond `SmallRng`; it exists so the workspace
+//! builds and tests offline.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+/// The core of a random number generator: uniform words and byte fills.
+pub trait RngCore {
+    /// Returns the next uniform `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next uniform `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it through SplitMix64
+    /// (the same construction `rand_core` 0.6 documents for its default
+    /// implementation).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut sm = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut sm).to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&word[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence: advances `state` and returns the
+/// mixed output word.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically strong; the algorithm
+    /// real rand 0.8 uses for `SmallRng` on 64-bit platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        #[inline]
+        fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.step() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.step().to_le_bytes();
+                let n = chunk.len();
+                chunk.copy_from_slice(&word[..n]);
+            }
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, w) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *w = u64::from_le_bytes(bytes);
+            }
+            // xoshiro must not start from the all-zero state.
+            if s == [0, 0, 0, 0] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// Sampling distributions.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can produce values of `T` from a generator.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type: uniform over all values for
+    /// integers and `bool`, uniform over `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            super::unit_f64_open(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        #[allow(clippy::cast_possible_truncation)]
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            super::unit_f64_open(rng) as f32
+        }
+    }
+
+    /// Uniform range sampling.
+    pub mod uniform {
+        use super::super::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can be sampled uniformly.
+        pub trait SampleRange<T> {
+            /// Draws one value from the range.
+            ///
+            /// # Panics
+            ///
+            /// Panics if the range is empty.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        /// Maps a uniform `u64` onto `[0, span)` by widening multiply
+        /// (Lemire reduction without the rejection step; the bias is
+        /// ≤ 2⁻⁶⁴·span, irrelevant for simulation workloads).
+        #[inline]
+        #[allow(clippy::cast_possible_truncation)]
+        pub(crate) fn reduce(word: u64, span: u64) -> u64 {
+            ((u128::from(word) * u128::from(span)) >> 64) as u64
+        }
+
+        macro_rules! int_range {
+            ($($t:ty => $u:ty),*) => {$(
+                impl SampleRange<$t> for Range<$t> {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap, clippy::cast_lossless)]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "cannot sample empty range");
+                        let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                        let v = reduce(rng.next_u64(), span);
+                        (self.start as $u).wrapping_add(v as $u) as $t
+                    }
+                }
+
+                impl SampleRange<$t> for RangeInclusive<$t> {
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap, clippy::cast_lossless)]
+                    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "cannot sample empty range");
+                        let span = ((end as $u).wrapping_sub(start as $u) as u64).wrapping_add(1);
+                        // span == 0 means the range covers the whole 64-bit
+                        // domain, so the raw word is already uniform.
+                        let v = if span == 0 {
+                            rng.next_u64()
+                        } else {
+                            reduce(rng.next_u64(), span)
+                        };
+                        (start as $u).wrapping_add(v as $u) as $t
+                    }
+                }
+            )*};
+        }
+        int_range!(
+            u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+            i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+        );
+
+        impl SampleRange<f64> for Range<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = super::super::unit_f64_open(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+
+        impl SampleRange<f64> for RangeInclusive<f64> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let u = super::super::unit_f64_closed(rng);
+                start + (end - start) * u
+            }
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits of one word.
+#[inline]
+#[allow(clippy::cast_precision_loss)]
+fn unit_f64_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Uniform `f64` in `[0, 1]` (both endpoints reachable).
+#[inline]
+#[allow(clippy::cast_precision_loss)]
+fn unit_f64_closed<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_991.0)
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the type's [`distributions::Standard`]
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        B: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p = {p} outside [0, 1]");
+        unit_f64_open(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// Re-exported so `use rand::distributions::...` call sites and the trait
+// bounds above stay importable the way real rand lays them out.
+pub use distributions::uniform::SampleRange;
+pub use distributions::{Distribution, Standard};
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn mean_of_uniform_words_is_centered() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut acc = 0f64;
+        for _ in 0..n {
+            acc += (rng.next_u64() >> 40) as f64;
+        }
+        let mean = acc / f64::from(n) / f64::from(1u32 << 24);
+        assert!((mean - 0.5).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..50_000).filter(|_| rng.gen_bool(0.3)).count();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = hits as f64 / 50_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "{rate}");
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..6);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..=6);
+            assert!((3..=6).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = rng.gen_range(0.25f64..=0.75);
+            assert!((0.25..=0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_handles_partial_chunks() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn bool_samples_are_balanced() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ones = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..=5_500).contains(&ones), "{ones}");
+    }
+}

@@ -381,9 +381,7 @@ mod tests {
         let mut c = Circuit::new("t");
         let _a = c.add_input("a");
         let _b = c.add_input("b");
-        let order = VarOrder {
-            var_of: vec![1, 0],
-        };
+        let order = VarOrder { var_of: vec![1, 0] };
         let probs = order.permute_probs(&[0.25, 0.75], 3, 0.5);
         assert_eq!(probs, vec![0.75, 0.25, 0.5]);
     }

@@ -404,8 +404,7 @@ impl BddManager {
 
     /// n-ary conjunction over an iterator of functions (true for empty).
     pub fn and_all(&mut self, fs: impl IntoIterator<Item = BddRef>) -> BddRef {
-        fs.into_iter()
-            .fold(BddRef::TRUE, |acc, f| self.and(acc, f))
+        fs.into_iter().fold(BddRef::TRUE, |acc, f| self.and(acc, f))
     }
 
     /// n-ary disjunction over an iterator of functions (false for empty).

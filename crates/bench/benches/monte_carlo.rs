@@ -58,5 +58,10 @@ fn bench_biased_bits(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_monte_carlo, bench_packed_sim, bench_biased_bits);
+criterion_group!(
+    benches,
+    bench_monte_carlo,
+    bench_packed_sim,
+    bench_biased_bits
+);
 criterion_main!(benches);

@@ -65,16 +65,15 @@ fn bench_consolidation(c: &mut Criterion) {
         b.iter(|| black_box(cons.any_output_error(black_box(&result))));
     });
     group.bench_function("b9_build_consolidator", |b| {
-        b.iter(|| {
-            black_box(Consolidator::new(
-                &b9,
-                &InputDistribution::Uniform,
-                backend,
-            ))
-        });
+        b.iter(|| black_box(Consolidator::new(&b9, &InputDistribution::Uniform, backend)));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_observability, bench_closed_form, bench_consolidation);
+criterion_group!(
+    benches,
+    bench_observability,
+    bench_closed_form,
+    bench_consolidation
+);
 criterion_main!(benches);

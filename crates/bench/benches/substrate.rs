@@ -29,7 +29,11 @@ fn bench_bdd_probability(c: &mut Criterion) {
     let mut m = BddManager::new(order.len());
     let bdds = CircuitBdds::build(&mut m, &circuit, &order);
     let probs = vec![0.5; order.len()];
-    let roots: Vec<_> = circuit.outputs().iter().map(|o| bdds.func(o.node())).collect();
+    let roots: Vec<_> = circuit
+        .outputs()
+        .iter()
+        .map(|o| bdds.func(o.node()))
+        .collect();
     c.bench_function("bdd_probability_c499_outputs", |b| {
         b.iter(|| {
             let mut acc = 0.0;

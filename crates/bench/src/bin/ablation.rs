@@ -69,10 +69,7 @@ fn partner_cap_ablation(cli: &Cli) {
                 ..SinglePassOptions::default()
             },
         ),
-        (
-            "cap 64 (default)".into(),
-            SinglePassOptions::default(),
-        ),
+        ("cap 64 (default)".into(), SinglePassOptions::default()),
         (
             "unbounded".into(),
             SinglePassOptions {
@@ -97,7 +94,10 @@ fn partner_cap_ablation(cli: &Cli) {
     }
     println!(
         "{}",
-        render_table(&["partner cap", "e=.05", "e=.15", "e=.30", "per run"], &rows)
+        render_table(
+            &["partner cap", "e=.05", "e=.15", "e=.30", "per run"],
+            &rows
+        )
     );
 }
 

@@ -26,7 +26,8 @@ fn main() {
 
     // ---- Fig. 1(b): small circuit ----
     let small = suite::fig1_example();
-    let obs = ObservabilityMatrix::compute(&small, &InputDistribution::Uniform, relogic::Backend::Bdd);
+    let obs =
+        ObservabilityMatrix::compute(&small, &InputDistribution::Uniform, relogic::Backend::Bdd);
     let cf = sweep::sweep_closed_form(&small, &obs, &grid);
     let mc = sweep::sweep_monte_carlo(&small, &cli.mc_config(), &grid);
     println!("Fig. 1(b) analogue: delta(eps) for the Fig. 1(a)-style circuit\n");

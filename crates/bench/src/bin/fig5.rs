@@ -7,8 +7,8 @@
 //! ```
 
 use relogic::{
-    consolidate::Consolidator, sweep, GateEps, InputDistribution, SinglePass,
-    SinglePassOptions, Weights,
+    consolidate::Consolidator, sweep, GateEps, InputDistribution, SinglePass, SinglePassOptions,
+    Weights,
 };
 use relogic_bench::{backend_for, render_table, Cli};
 use relogic_sim::MonteCarloConfig;
@@ -84,10 +84,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["eps", "MonteCarlo", "SP+corr", "SP indep"],
-            &rows
-        )
+        render_table(&["eps", "MonteCarlo", "SP+corr", "SP indep"], &rows)
     );
     println!(
         "SP+corr uses the S4.1 correlation coefficients at the two outputs;\n\

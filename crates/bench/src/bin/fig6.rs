@@ -69,10 +69,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["eps", "MC out1", "SP out1", "MC out2", "SP out2"],
-            &rows
-        )
+        render_table(&["eps", "MC out1", "SP out1", "MC out2", "SP out2"], &rows)
     );
     println!(
         "max |SP - MC|: out1 = {:.4}, out2 = {:.4} (curves should be nearly indistinguishable)",

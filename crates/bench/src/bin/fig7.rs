@@ -61,7 +61,10 @@ fn main() {
             vec![format!("q{k}"), format!("{avg:.2}"), bar]
         })
         .collect();
-    println!("{}", render_table(&["output", "avg %err", "profile"], &rows));
+    println!(
+        "{}",
+        render_table(&["output", "avg %err", "profile"], &rows)
+    );
     #[allow(clippy::cast_precision_loss)]
     let overall = sums.iter().sum::<f64>() / (runs as f64 * m as f64);
     println!("overall average error: {overall:.2}% (paper: 1.5-3.5% per output)");

@@ -96,10 +96,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(
-            &["eps", "low SP", "high SP", "low MC", "high MC"],
-            &rows
-        )
+        render_table(&["eps", "low SP", "high SP", "low MC", "high MC"], &rows)
     );
     let wins = grid
         .iter()

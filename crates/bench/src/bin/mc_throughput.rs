@@ -1,0 +1,114 @@
+//! Measures Monte Carlo fault-injection throughput (patterns/second) of
+//! the deterministic parallel execution layer at 1/2/4/8 worker threads
+//! on the i10 analogue (c6288-class, 2643 gates), and writes the numbers
+//! as JSON for `results/mc_throughput.json`.
+//!
+//! ```text
+//! cargo run -p relogic-bench --release --bin mc_throughput [-- --out results/mc_throughput.json]
+//! ```
+//!
+//! Every thread count computes the bit-identical estimate (asserted
+//! below), so the speedup column is pure execution-layer scaling on the
+//! machine at hand.
+
+use relogic::GateEps;
+use relogic_sim::{available_threads, estimate, MonteCarloConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PATTERNS: u64 = 1 << 17;
+const REPS: u32 = 3;
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--out" {
+                path = args.next();
+            }
+        }
+        path
+    };
+
+    let circuit = relogic_gen::suite::i10();
+    let eps = GateEps::uniform(&circuit, 0.1);
+    let hw_threads = available_threads();
+    println!(
+        "MC throughput on i10 ({} gates), {} patterns x {} reps, {} hardware thread(s)\n",
+        circuit.gate_count(),
+        PATTERNS,
+        REPS,
+        hw_threads
+    );
+
+    let reference = estimate(
+        &circuit,
+        eps.as_slice(),
+        &MonteCarloConfig {
+            patterns: PATTERNS,
+            threads: 1,
+            ..MonteCarloConfig::default()
+        },
+    );
+
+    let mut rows = Vec::new();
+    let mut base_pps = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = MonteCarloConfig {
+            patterns: PATTERNS,
+            threads,
+            ..MonteCarloConfig::default()
+        };
+        // One warmup, then the best of REPS timed runs.
+        let r = estimate(&circuit, eps.as_slice(), &cfg);
+        assert_eq!(r, reference, "estimate must be thread-count invariant");
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let t = Instant::now();
+            std::hint::black_box(estimate(&circuit, eps.as_slice(), &cfg));
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let pps = PATTERNS as f64 / best;
+        if threads == 1 {
+            base_pps = pps;
+        }
+        let speedup = pps / base_pps;
+        println!("threads {threads:>2}:  {pps:>12.0} patterns/s   speedup x{speedup:.2}");
+        rows.push((threads, best, pps, speedup));
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"mc_throughput\",");
+    let _ = writeln!(json, "  \"circuit\": \"i10\",");
+    let _ = writeln!(json, "  \"gates\": {},", circuit.gate_count());
+    let _ = writeln!(json, "  \"patterns\": {PATTERNS},");
+    let _ = writeln!(json, "  \"eps\": 0.1,");
+    let _ = writeln!(json, "  \"hardware_threads\": {hw_threads},");
+    let _ = writeln!(json, "  \"deterministic\": true,");
+    if hw_threads == 1 {
+        let _ = writeln!(
+            json,
+            "  \"note\": \"single-core host: multi-thread rows measure overhead, not scaling\","
+        );
+    }
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, (threads, secs, pps, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"threads\": {threads}, \"seconds\": {secs:.6}, \
+             \"patterns_per_sec\": {pps:.0}, \"speedup\": {speedup:.3} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write results JSON");
+        println!("\nwrote {path}");
+    } else {
+        println!("\n{json}");
+    }
+}

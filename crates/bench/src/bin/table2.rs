@@ -79,8 +79,8 @@ fn main() {
     }
 
     let headers = [
-        "bench", "gates", "e=.05", "e=.10", "e=.15", "e=.20", "e=.25", "e=.30", "MC 50r",
-        "SP 50r", "weights",
+        "bench", "gates", "e=.05", "e=.10", "e=.15", "e=.20", "e=.25", "e=.30", "MC 50r", "SP 50r",
+        "weights",
     ];
     println!("{}", render_table(&headers, &rows));
     println!(

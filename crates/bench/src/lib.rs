@@ -73,8 +73,11 @@ impl Cli {
     /// The Monte Carlo pattern budget implied by the flags.
     #[must_use]
     pub fn mc_patterns(&self) -> u64 {
-        self.patterns
-            .unwrap_or(if self.full { PAPER_PATTERNS } else { DEFAULT_PATTERNS })
+        self.patterns.unwrap_or(if self.full {
+            PAPER_PATTERNS
+        } else {
+            DEFAULT_PATTERNS
+        })
     }
 
     /// A Monte Carlo configuration with the selected pattern budget.

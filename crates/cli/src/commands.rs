@@ -182,7 +182,13 @@ fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
 fn sweep(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     let weights = analysis_weights(c, opts);
     let grid = relogic::sweep::epsilon_grid(opts.points, 0.0, opts.max_eps);
-    let curves = relogic::sweep::sweep_single_pass(c, &weights, engine_options(opts), &grid);
+    let curves = relogic::sweep::sweep_single_pass_threads(
+        c,
+        &weights,
+        engine_options(opts),
+        &grid,
+        opts.threads,
+    );
     let mut out = String::from("eps");
     for o in c.outputs() {
         out.push_str(&format!(",{}", o.name()));
@@ -206,6 +212,7 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
         &MonteCarloConfig {
             patterns: opts.patterns,
             seed: opts.seed,
+            threads: opts.threads,
             ..MonteCarloConfig::default()
         },
     );
@@ -222,7 +229,11 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
             r.std_error(k)
         ));
     }
-    out.push_str(&format!("{:>24}  any-output = {:.6}\n", "*", r.any_output()));
+    out.push_str(&format!(
+        "{:>24}  any-output = {:.6}\n",
+        "*",
+        r.any_output()
+    ));
     Ok(out)
 }
 
@@ -269,7 +280,10 @@ fn gen(args: &ParsedArgs) -> Result<String, CliError> {
         .as_deref()
         .ok_or_else(|| CliError::Usage("`gen` needs a suite circuit name".into()))?;
     let circuit = relogic_gen::suite::build(name).ok_or_else(|| {
-        let names: Vec<&str> = relogic_gen::suite::entries().iter().map(|e| e.name).collect();
+        let names: Vec<&str> = relogic_gen::suite::entries()
+            .iter()
+            .map(|e| e.name)
+            .collect();
         CliError::Usage(format!(
             "unknown suite circuit `{name}` (available: {})",
             names.join(", ")
@@ -331,6 +345,22 @@ y = NOT(t)
         let out = run_on_file("mc", &["--patterns", "8192", "--eps", "0.1"]);
         assert!(out.contains("8192 patterns"));
         assert!(out.contains("any-output"));
+    }
+
+    #[test]
+    fn mc_and_sweep_output_is_thread_count_invariant() {
+        let mc1 = run_on_file(
+            "mc",
+            &["--patterns", "8192", "--eps", "0.1", "--threads", "1"],
+        );
+        let mc7 = run_on_file(
+            "mc",
+            &["--patterns", "8192", "--eps", "0.1", "--threads", "7"],
+        );
+        assert_eq!(mc1, mc7);
+        let sw1 = run_on_file("sweep", &["--points", "5", "--threads", "1"]);
+        let sw3 = run_on_file("sweep", &["--points", "5", "--threads", "3"]);
+        assert_eq!(sw1, sw3);
     }
 
     #[test]
@@ -398,9 +428,12 @@ y = NOT(t)
         let dir = std::env::temp_dir().join("relogic-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.blif");
-        std::fs::write(&path, ".model t\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n").unwrap();
-        let parsed =
-            ParsedArgs::parse(["stats", path.display().to_string().as_str()]).unwrap();
+        std::fs::write(
+            &path,
+            ".model t\n.inputs a\n.outputs y\n.names a y\n0 1\n.end\n",
+        )
+        .unwrap();
+        let parsed = ParsedArgs::parse(["stats", path.display().to_string().as_str()]).unwrap();
         let out = run(&parsed).unwrap();
         assert!(out.contains("model:            t"));
     }

@@ -41,6 +41,8 @@ OPTIONS:
     --per-node              also print per-node error probabilities (analyze)
     --to <bench|blif|verilog|dot>  target format for convert     [default: blif]
     --top <N>               rows to print for rank               [default: 10]
+    --threads <N>           worker threads for mc/sweep, 0 = auto-detect
+                            (results are identical for every N)  [default: 0]
 
 FILES:
     *.bench parses as ISCAS-85 bench, *.v/*.verilog as structural Verilog,
@@ -49,7 +51,8 @@ FILES:
 EXAMPLES:
     relogic-cli gen b9 > b9.bench
     relogic-cli analyze b9.bench --eps 0.1
-    relogic-cli sweep b9.bench --points 50 > curves.csv
+    relogic-cli sweep b9.bench --points 50 --threads 4 > curves.csv
+    relogic-cli mc b9.bench --patterns 1000000 --threads 8
     relogic-cli rank b9.bench --top 5
     relogic-cli convert b9.bench --to dot | dot -Tsvg > b9.svg
 ";

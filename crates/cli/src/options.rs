@@ -37,6 +37,8 @@ pub struct Options {
     pub to: String,
     /// Row limit for `rank`.
     pub top: usize,
+    /// Worker threads for `mc` and `sweep` (`0` = auto-detect).
+    pub threads: usize,
 }
 
 /// Which statistics backend the user asked for.
@@ -75,6 +77,7 @@ impl Default for Options {
             per_node: false,
             to: "blif".to_owned(),
             top: 10,
+            threads: 0,
         }
     }
 }
@@ -107,6 +110,7 @@ impl ParsedArgs {
                 "--points" => options.points = parse_value(&arg, iter.next())?,
                 "--max-eps" => options.max_eps = parse_value(&arg, iter.next())?,
                 "--top" => options.top = parse_value(&arg, iter.next())?,
+                "--threads" => options.threads = parse_value(&arg, iter.next())?,
                 "--backend" => {
                     let v: String = parse_value(&arg, iter.next())?;
                     options.backend = match v.as_str() {
@@ -139,6 +143,12 @@ impl ParsedArgs {
             return Err(CliError::Usage(format!(
                 "--eps {} out of [0, 1]",
                 options.eps
+            )));
+        }
+        if options.threads > 1024 {
+            return Err(CliError::Usage(format!(
+                "--threads {} is implausibly large (use 0 to auto-detect)",
+                options.threads
             )));
         }
         Ok(ParsedArgs {
@@ -196,5 +206,16 @@ mod tests {
         assert!(ParsedArgs::parse(["analyze", "--eps", "1.5"]).is_err());
         assert!(ParsedArgs::parse(["analyze", "a", "b"]).is_err());
         assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn threads_option() {
+        let p = ParsedArgs::parse(["mc", "x.bench"]).unwrap();
+        assert_eq!(p.options.threads, 0, "default is auto-detect");
+        let p = ParsedArgs::parse(["mc", "x.bench", "--threads", "4"]).unwrap();
+        assert_eq!(p.options.threads, 4);
+        assert!(ParsedArgs::parse(["mc", "x.bench", "--threads", "-1"]).is_err());
+        assert!(ParsedArgs::parse(["mc", "x.bench", "--threads", "1.5"]).is_err());
+        assert!(ParsedArgs::parse(["mc", "x.bench", "--threads", "99999"]).is_err());
     }
 }

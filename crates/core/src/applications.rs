@@ -140,9 +140,7 @@ pub fn selective_hardening(
     for _ in 0..budget {
         let mut best: Option<(NodeId, f64)> = None;
         for id in circuit.node_ids() {
-            if !circuit.node(id).kind().is_gate()
-                || current.get(id) <= 0.0
-                || already.contains(&id)
+            if !circuit.node(id).kind().is_gate() || current.get(id) <= 0.0 || already.contains(&id)
             {
                 continue;
             }
@@ -198,8 +196,8 @@ mod tests {
     fn asymmetry_report_covers_all_gates() {
         let c = circuit();
         let w = weights(&c);
-        let r = SinglePass::new(&c, &w, SinglePassOptions::default())
-            .run(&GateEps::uniform(&c, 0.1));
+        let r =
+            SinglePass::new(&c, &w, SinglePassOptions::default()).run(&GateEps::uniform(&c, 0.1));
         let report = asymmetry_report(&c, &r);
         assert_eq!(report.len(), 3);
         for row in &report {
@@ -219,8 +217,8 @@ mod tests {
         // are direction-skewed; this is the §5.1 observation.
         let c = circuit();
         let w = weights(&c);
-        let r = SinglePass::new(&c, &w, SinglePassOptions::default())
-            .run(&GateEps::uniform(&c, 0.1));
+        let r =
+            SinglePass::new(&c, &w, SinglePassOptions::default()).run(&GateEps::uniform(&c, 0.1));
         let g2 = NodeId::from_index(4); // the OR gate
         assert!(
             (r.p01(g2) - r.p10(g2)).abs() > 1e-6,

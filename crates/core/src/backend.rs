@@ -10,8 +10,7 @@ use relogic_netlist::Circuit;
 /// techniques based on BDDs"; both are provided. `Bdd` is exact but can be
 /// memory-hungry on large or arithmetic-heavy circuits; `Simulation` scales
 /// to anything, with `O(1/√patterns)` sampling noise.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Backend {
     /// Exact symbolic computation with ROBDDs.
     #[default]
@@ -25,13 +24,11 @@ pub enum Backend {
     },
 }
 
-
 /// Distribution of the primary-input vectors.
 ///
 /// The paper assumes "the primary input vectors are equally likely"
 /// (uniform); independent per-input biases are also supported.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(Default)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub enum InputDistribution {
     /// Every input is 1 with probability 1/2, independently.
     #[default]
@@ -67,7 +64,6 @@ impl InputDistribution {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

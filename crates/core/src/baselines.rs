@@ -157,11 +157,11 @@ pub fn ptm_exact(
         }
         let mut delta = 0.0f64;
         let push = |next: &mut HashMap<(u32, u32), f64>,
-                        key: (u32, u32),
-                        clean: bool,
-                        noisy: bool,
-                        p: f64,
-                        delta: &mut f64| {
+                    key: (u32, u32),
+                    clean: bool,
+                    noisy: bool,
+                    p: f64,
+                    delta: &mut f64| {
             if p <= 0.0 {
                 return;
             }
@@ -202,8 +202,7 @@ pub fn ptm_exact(
                 }
             }
             kind => {
-                let fanin_slots: Vec<usize> =
-                    node.fanins().iter().map(|f| slot_of[f]).collect();
+                let fanin_slots: Vec<usize> = node.fanins().iter().map(|f| slot_of[f]).collect();
                 let mut clean_bits = Vec::with_capacity(fanin_slots.len());
                 let mut noisy_bits = Vec::with_capacity(fanin_slots.len());
                 for (&key, &p) in &states {
@@ -240,11 +239,7 @@ pub fn ptm_exact(
             .filter(|&w| remaining[w.index()] == 0)
             .collect();
         if !dead.is_empty() {
-            let keep: Vec<NodeId> = live
-                .iter()
-                .copied()
-                .filter(|w| !dead.contains(w))
-                .collect();
+            let keep: Vec<NodeId> = live.iter().copied().filter(|w| !dead.contains(w)).collect();
             let mut projected: HashMap<(u32, u32), f64> = HashMap::with_capacity(states.len());
             for (&(c, n), &p) in &states {
                 let mut nc = 0u32;

@@ -80,7 +80,10 @@ impl Consolidator {
     ) -> Self {
         let output_nodes: Vec<NodeId> = circuit.outputs().iter().map(|o| o.node()).collect();
         for &(a, b) in pairs {
-            assert!(a < b && b < output_nodes.len(), "invalid output pair ({a},{b})");
+            assert!(
+                a < b && b < output_nodes.len(),
+                "invalid output pair ({a},{b})"
+            );
         }
         let pair_values = match backend {
             Backend::Bdd => {
@@ -108,8 +111,7 @@ impl Consolidator {
             }
             Backend::Simulation { patterns, seed } => {
                 use rand::SeedableRng;
-                let sampler =
-                    relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
+                let sampler = relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
                 let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
                 let mut sim = relogic_sim::PackedSim::new(circuit);
                 let blocks = patterns.div_ceil(64).max(1);
@@ -265,10 +267,7 @@ mod tests {
     use crate::{GateEps, SinglePass, SinglePassOptions, Weights};
     use relogic_sim::{estimate, exact_reliability, MonteCarloConfig};
 
-    fn analyzed(
-        c: &Circuit,
-        eps: f64,
-    ) -> (SinglePassResult, Consolidator, GateEps) {
+    fn analyzed(c: &Circuit, eps: f64) -> (SinglePassResult, Consolidator, GateEps) {
         let w = Weights::compute(c, &InputDistribution::Uniform, Backend::Bdd);
         let e = GateEps::uniform(c, eps);
         let r = SinglePass::new(c, &w, SinglePassOptions::default()).run(&e);
@@ -333,11 +332,7 @@ mod tests {
             let (r, cons, eps) = analyzed(&c, e);
             let exact = exact_reliability(&c, eps.as_slice()).any_output;
             let any = cons.any_output_error(&r);
-            let naive = 1.0
-                - r.per_output()
-                    .iter()
-                    .map(|&d| 1.0 - d)
-                    .product::<f64>();
+            let naive = 1.0 - r.per_output().iter().map(|&d| 1.0 - d).product::<f64>();
             corrected += (any - exact).abs();
             independent += (naive - exact).abs();
         }
@@ -362,9 +357,7 @@ mod tests {
                 seed: 5,
             },
         );
-        assert!(
-            (exact.any_output_error(&r) - sampled.any_output_error(&r)).abs() < 0.02
-        );
+        assert!((exact.any_output_error(&r) - sampled.any_output_error(&r)).abs() < 0.02);
     }
 
     #[test]
@@ -390,15 +383,11 @@ mod tests {
     #[test]
     fn for_pairs_restricts_coverage() {
         let c = two_output_reconvergent();
-        let cons = Consolidator::for_pairs(
-            &c,
-            &[(0, 1)],
-            &InputDistribution::Uniform,
-            Backend::Bdd,
-        );
+        let cons =
+            Consolidator::for_pairs(&c, &[(0, 1)], &InputDistribution::Uniform, Backend::Bdd);
         let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
-        let r = SinglePass::new(&c, &w, SinglePassOptions::default())
-            .run(&GateEps::uniform(&c, 0.1));
+        let r =
+            SinglePass::new(&c, &w, SinglePassOptions::default()).run(&GateEps::uniform(&c, 0.1));
         let _ = cons.pair_error(&r, 0, 1);
     }
 
@@ -406,12 +395,7 @@ mod tests {
     #[should_panic(expected = "invalid output pair")]
     fn bad_pairs_rejected() {
         let c = two_output_reconvergent();
-        let _ = Consolidator::for_pairs(
-            &c,
-            &[(1, 1)],
-            &InputDistribution::Uniform,
-            Backend::Bdd,
-        );
+        let _ = Consolidator::for_pairs(&c, &[(1, 1)], &InputDistribution::Uniform, Backend::Bdd);
     }
 
     #[test]

@@ -65,8 +65,16 @@ impl GateEps {
     ///
     /// Panics if the range is invalid or outside `[0, 1]`.
     #[must_use]
-    pub fn random_uniform<R: Rng + ?Sized>(circuit: &Circuit, lo: f64, hi: f64, rng: &mut R) -> Self {
-        assert!(0.0 <= lo && lo <= hi && hi <= 1.0, "invalid ε range [{lo}, {hi}]");
+    pub fn random_uniform<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        lo: f64,
+        hi: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            0.0 <= lo && lo <= hi && hi <= 1.0,
+            "invalid ε range [{lo}, {hi}]"
+        );
         GateEps {
             values: circuit
                 .iter()

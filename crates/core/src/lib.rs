@@ -64,7 +64,5 @@ mod weights;
 pub use backend::{Backend, InputDistribution};
 pub use epsilon::GateEps;
 pub use observability::ObservabilityMatrix;
-pub use single_pass::{
-    CorrCoeffs, ErrorEvent, SinglePass, SinglePassOptions, SinglePassResult,
-};
+pub use single_pass::{CorrCoeffs, ErrorEvent, SinglePass, SinglePassOptions, SinglePassResult};
 pub use weights::{joint_value_distribution, Weights, MAX_ANALYSIS_ARITY};

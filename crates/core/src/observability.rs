@@ -41,10 +41,8 @@ impl ObservabilityMatrix {
         match backend {
             Backend::Bdd => Self::compute_bdd(circuit, dist),
             Backend::Simulation { patterns, seed } => {
-                let sampler =
-                    relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
-                let est =
-                    relogic_sim::observabilities_biased(circuit, &sampler, patterns, seed);
+                let sampler = relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
+                let est = relogic_sim::observabilities_biased(circuit, &sampler, patterns, seed);
                 let per_output = circuit
                     .node_ids()
                     .map(|id| {

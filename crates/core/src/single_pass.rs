@@ -445,8 +445,7 @@ impl<'a> SinglePass<'a> {
                     p10,
                     enabled: true,
                 };
-                let (r0, r1) =
-                    propagated_ratios(kind, &w_ctx, &scratch.cond, &pair, Some(k_node));
+                let (r0, r1) = propagated_ratios(kind, &w_ctx, &scratch.cond, &pair, Some(k_node));
                 let cond_p01 = (e + (1.0 - 2.0 * e) * r0).clamp(0.0, 1.0);
                 let cond_p10 = (e + (1.0 - 2.0 * e) * r1).clamp(0.0, 1.0);
                 coeffs.err[0][ev_k.idx()] = ratio_or_one(cond_p01, p01[i]);
@@ -630,8 +629,16 @@ fn propagated_ratios(
         }
         pw[out_v] += wv * flip_prob.clamp(0.0, 1.0);
     }
-    let r0 = if wsum[0] > COEFF_EPS { pw[0] / wsum[0] } else { 0.0 };
-    let r1 = if wsum[1] > COEFF_EPS { pw[1] / wsum[1] } else { 0.0 };
+    let r0 = if wsum[0] > COEFF_EPS {
+        pw[0] / wsum[0]
+    } else {
+        0.0
+    };
+    let r1 = if wsum[1] > COEFF_EPS {
+        pw[1] / wsum[1]
+    } else {
+        0.0
+    };
     (r0.clamp(0.0, 1.0), r1.clamp(0.0, 1.0))
 }
 
@@ -657,7 +664,11 @@ mod tests {
         let b = c.add_input("b");
         let g = c.nand([a, b]);
         c.add_output("y", g);
-        let r = run(&c, &GateEps::uniform(&c, 0.23), SinglePassOptions::default());
+        let r = run(
+            &c,
+            &GateEps::uniform(&c, 0.23),
+            SinglePassOptions::default(),
+        );
         assert!((r.per_output()[0] - 0.23).abs() < 1e-12);
         assert!((r.p01(g) - 0.23).abs() < 1e-12);
         assert!((r.p10(g) - 0.23).abs() < 1e-12);

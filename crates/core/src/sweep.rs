@@ -4,7 +4,7 @@
 
 use crate::{GateEps, SinglePass, SinglePassOptions, Weights};
 use relogic_netlist::Circuit;
-use relogic_sim::{estimate, MonteCarloConfig};
+use relogic_sim::{estimate, ChunkExecutor, MonteCarloConfig};
 
 /// An evenly spaced ε grid of `points` values covering `[lo, hi]`
 /// inclusive.
@@ -63,7 +63,8 @@ impl DeltaCurves {
 /// Sweeps the single-pass engine over `eps_values` (uniform per-gate ε).
 ///
 /// The weight vectors are computed by the caller once and shared across the
-/// whole sweep — the reuse the paper highlights in §4(i).
+/// whole sweep — the reuse the paper highlights in §4(i). Equivalent to
+/// [`sweep_single_pass_threads`] with `threads = 1`.
 #[must_use]
 pub fn sweep_single_pass(
     circuit: &Circuit,
@@ -71,11 +72,30 @@ pub fn sweep_single_pass(
     options: SinglePassOptions,
     eps_values: &[f64],
 ) -> DeltaCurves {
+    sweep_single_pass_threads(circuit, weights, options, eps_values, 1)
+}
+
+/// Multi-threaded [`sweep_single_pass`]: grid points are evaluated in
+/// parallel on `threads` workers (`0` = auto-detect) against one shared,
+/// immutable [`SinglePass`] engine (and hence one shared [`Weights`]).
+///
+/// Each grid point is an independent, purely analytical evaluation, so the
+/// curves are identical for every thread count.
+#[must_use]
+pub fn sweep_single_pass_threads(
+    circuit: &Circuit,
+    weights: &Weights,
+    options: SinglePassOptions,
+    eps_values: &[f64],
+    threads: usize,
+) -> DeltaCurves {
     let engine = SinglePass::new(circuit, weights, options);
-    let delta = eps_values
-        .iter()
-        .map(|&e| engine.run(&GateEps::uniform(circuit, e)).per_output().to_vec())
-        .collect();
+    let delta = ChunkExecutor::new(threads).map_chunks(eps_values.len(), |i| {
+        engine
+            .run(&GateEps::uniform(circuit, eps_values[i]))
+            .per_output()
+            .to_vec()
+    });
     DeltaCurves {
         eps: eps_values.to_vec(),
         delta,
@@ -83,27 +103,53 @@ pub fn sweep_single_pass(
 }
 
 /// Sweeps Monte Carlo fault injection over `eps_values`, deriving a distinct
-/// RNG seed per point from `config.seed`.
+/// RNG seed per point from `config.seed`. Equivalent to
+/// [`sweep_monte_carlo_threads`] with `threads = 1`.
 #[must_use]
 pub fn sweep_monte_carlo(
     circuit: &Circuit,
     config: &MonteCarloConfig,
     eps_values: &[f64],
 ) -> DeltaCurves {
-    let delta = eps_values
-        .iter()
-        .enumerate()
-        .map(|(i, &e)| {
-            let cfg = MonteCarloConfig {
-                seed: config
-                    .seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
-                ..config.clone()
-            };
-            let eps = GateEps::uniform(circuit, e);
-            estimate(circuit, eps.as_slice(), &cfg).per_output().to_vec()
-        })
-        .collect();
+    sweep_monte_carlo_threads(circuit, config, eps_values, 1)
+}
+
+/// Multi-threaded [`sweep_monte_carlo`]: grid points run in parallel on
+/// `threads` workers (`0` = auto-detect).
+///
+/// When the sweep fans out (`> 1` workers), each point's estimator runs
+/// single-threaded — the sweep itself is the parallel axis, so nesting would
+/// only oversubscribe; on a sequential sweep the estimator keeps
+/// `config.threads`. Every point draws from a seed derived off `config.seed`
+/// and the point index alone, and the estimator is bit-identical for every
+/// `threads` value, so the whole sweep is too — a 7-thread sweep reproduces
+/// the 1-thread curves exactly.
+#[must_use]
+pub fn sweep_monte_carlo_threads(
+    circuit: &Circuit,
+    config: &MonteCarloConfig,
+    eps_values: &[f64],
+    threads: usize,
+) -> DeltaCurves {
+    let executor = ChunkExecutor::new(threads);
+    let inner_threads = if executor.threads() > 1 {
+        1
+    } else {
+        config.threads
+    };
+    let delta = executor.map_chunks(eps_values.len(), |i| {
+        let cfg = MonteCarloConfig {
+            seed: config
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            threads: inner_threads,
+            ..config.clone()
+        };
+        let eps = GateEps::uniform(circuit, eps_values[i]);
+        estimate(circuit, eps.as_slice(), &cfg)
+            .per_output()
+            .to_vec()
+    });
     DeltaCurves {
         eps: eps_values.to_vec(),
         delta,
@@ -111,16 +157,29 @@ pub fn sweep_monte_carlo(
 }
 
 /// Sweeps the observability closed form (Eq. 3) over `eps_values`.
+/// Equivalent to [`sweep_closed_form_threads`] with `threads = 1`.
 #[must_use]
 pub fn sweep_closed_form(
     circuit: &Circuit,
     obs: &crate::ObservabilityMatrix,
     eps_values: &[f64],
 ) -> DeltaCurves {
-    let delta = eps_values
-        .iter()
-        .map(|&e| obs.closed_form(&GateEps::uniform(circuit, e)))
-        .collect();
+    sweep_closed_form_threads(circuit, obs, eps_values, 1)
+}
+
+/// Multi-threaded [`sweep_closed_form`]: grid points are evaluated in
+/// parallel on `threads` workers (`0` = auto-detect) against the shared,
+/// immutable observability matrix.
+#[must_use]
+pub fn sweep_closed_form_threads(
+    circuit: &Circuit,
+    obs: &crate::ObservabilityMatrix,
+    eps_values: &[f64],
+    threads: usize,
+) -> DeltaCurves {
+    let delta = ChunkExecutor::new(threads).map_chunks(eps_values.len(), |i| {
+        obs.closed_form(&GateEps::uniform(circuit, eps_values[i]))
+    });
     DeltaCurves {
         eps: eps_values.to_vec(),
         delta,
@@ -183,6 +242,29 @@ mod tests {
         for (s, m) in sp.delta.iter().zip(&mc.delta) {
             assert!((s[0] - m[0]).abs() < 0.02, "{} vs {}", s[0], m[0]);
         }
+    }
+
+    #[test]
+    fn sweeps_are_identical_for_every_thread_count() {
+        let c = circuit();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let grid = epsilon_grid(7, 0.0, 0.4);
+        let sp1 = sweep_single_pass_threads(&c, &w, SinglePassOptions::default(), &grid, 1);
+        let cfg = MonteCarloConfig {
+            patterns: 4096,
+            ..MonteCarloConfig::default()
+        };
+        let mc1 = sweep_monte_carlo_threads(&c, &cfg, &grid, 1);
+        for threads in [2, 3, 7] {
+            let sp =
+                sweep_single_pass_threads(&c, &w, SinglePassOptions::default(), &grid, threads);
+            assert_eq!(sp.delta, sp1.delta, "single-pass sweep @ {threads} threads");
+            let mc = sweep_monte_carlo_threads(&c, &cfg, &grid, threads);
+            assert_eq!(mc.delta, mc1.delta, "MC sweep @ {threads} threads");
+        }
+        // The sequential wrapper is the threads = 1 case.
+        let mc_wrap = sweep_monte_carlo(&c, &cfg, &grid);
+        assert_eq!(mc_wrap.delta, mc1.delta);
     }
 
     #[test]

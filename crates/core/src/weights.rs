@@ -110,12 +110,7 @@ impl Weights {
         }
     }
 
-    fn compute_sim(
-        circuit: &Circuit,
-        dist: &InputDistribution,
-        patterns: u64,
-        seed: u64,
-    ) -> Self {
+    fn compute_sim(circuit: &Circuit, dist: &InputDistribution, patterns: u64, seed: u64) -> Self {
         let sampler = relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
         let counts = relogic_sim::joint_input_counts_biased(circuit, &sampler, patterns, seed);
         let signal_probs =
@@ -185,7 +180,11 @@ pub fn joint_value_distribution(
     dist: &InputDistribution,
     backend: Backend,
 ) -> Vec<f64> {
-    assert!(nodes.len() <= 12, "joint distribution over {} nodes", nodes.len());
+    assert!(
+        nodes.len() <= 12,
+        "joint distribution over {} nodes",
+        nodes.len()
+    );
     match backend {
         Backend::Bdd => {
             let order = VarOrder::dfs(circuit);
@@ -213,8 +212,7 @@ pub fn joint_value_distribution(
         }
         Backend::Simulation { patterns, seed } => {
             use rand::SeedableRng;
-            let sampler =
-                relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
+            let sampler = relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
             let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
             let mut sim = relogic_sim::PackedSim::new(circuit);
             let blocks = patterns.div_ceil(64).max(1);
@@ -289,12 +287,7 @@ mod tests {
             if !node.kind().is_gate() {
                 continue;
             }
-            for (combo, (&e, &a)) in exact
-                .vector(id)
-                .iter()
-                .zip(approx.vector(id))
-                .enumerate()
-            {
+            for (combo, (&e, &a)) in exact.vector(id).iter().zip(approx.vector(id)).enumerate() {
                 assert!((e - a).abs() < 0.02, "{id} combo {combo}: {e} vs {a}");
             }
             assert!((exact.signal_prob(id) - approx.signal_prob(id)).abs() < 0.02);

@@ -54,7 +54,10 @@ pub fn embed(dst: &mut Circuit, src: &Circuit, inputs: &[NodeId]) -> Vec<NodeId>
         };
         map.push(new_id);
     }
-    src.outputs().iter().map(|o| map[o.node().index()]).collect()
+    src.outputs()
+        .iter()
+        .map(|o| map[o.node().index()])
+        .collect()
 }
 
 #[cfg(test)]

@@ -87,7 +87,10 @@ impl Default for RandomCircuitConfig {
 pub fn generate(config: &RandomCircuitConfig) -> Circuit {
     assert!(config.inputs > 0, "need at least one input");
     assert!(config.gates > 0, "need at least one gate");
-    assert!((2..=6).contains(&config.max_arity), "max_arity out of 2..=6");
+    assert!(
+        (2..=6).contains(&config.max_arity),
+        "max_arity out of 2..=6"
+    );
     assert!(
         config.outputs > 0 && config.outputs <= config.gates,
         "outputs must be in 1..=gates"
@@ -99,7 +102,9 @@ pub fn generate(config: &RandomCircuitConfig) -> Circuit {
     }
 
     let pick_fanin = |rng: &mut SmallRng, len: usize| -> NodeId {
-        let idx = if rng.gen_bool(config.global_edge_fraction.clamp(0.0, 1.0)) || len <= config.locality {
+        let idx = if rng.gen_bool(config.global_edge_fraction.clamp(0.0, 1.0))
+            || len <= config.locality
+        {
             rng.gen_range(0..len)
         } else {
             rng.gen_range(len - config.locality..len)
@@ -219,8 +224,16 @@ mod tests {
         assert_eq!(s.inputs, 10);
         assert_eq!(s.gates, 100);
         assert_eq!(s.outputs, 8);
-        assert!(s.depth > 2, "expected multi-level logic, got depth {}", s.depth);
-        assert!(s.stems > 5, "expected reconvergent fanout, got {} stems", s.stems);
+        assert!(
+            s.depth > 2,
+            "expected multi-level logic, got depth {}",
+            s.depth
+        );
+        assert!(
+            s.stems > 5,
+            "expected reconvergent fanout, got {} stems",
+            s.stems
+        );
         assert!(c.validate().is_ok());
     }
 

@@ -247,8 +247,7 @@ mod tests {
             patterns: 1 << 19,
             ..Default::default()
         };
-        let plain =
-            relogic_sim::estimate(&c, &uniform_eps(&c, e), &cfg).per_output()[0];
+        let plain = relogic_sim::estimate(&c, &uniform_eps(&c, e), &cfg).per_output()[0];
         let tmr = relogic_sim::estimate(&t, &uniform_eps(&t, e), &cfg).per_output()[0];
         assert!(
             tmr < 0.5 * plain,
@@ -286,9 +285,6 @@ mod tests {
             relogic_netlist::NodeId::from_index(5),
         ];
         let sel_delta = exact_reliability(&sel, &eps_of(&sel, &weak_copies)).per_output[0];
-        assert!(
-            sel_delta < plain,
-            "selective {sel_delta} vs plain {plain}"
-        );
+        assert!(sel_delta < plain, "selective {sel_delta} vs plain {plain}");
     }
 }

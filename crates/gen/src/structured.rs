@@ -279,7 +279,11 @@ mod tests {
             for trial in [0usize, 1, 3, (1 << n) - 1, 0b1010 % (1 << n)] {
                 let inputs = bits_of(trial, n);
                 let expect = trial.count_ones() % 2 == 1;
-                assert_eq!(c.eval(&inputs), vec![expect], "n={n} arity={arity} v={trial:b}");
+                assert_eq!(
+                    c.eval(&inputs),
+                    vec![expect],
+                    "n={n} arity={arity} v={trial:b}"
+                );
             }
         }
     }
@@ -377,9 +381,12 @@ mod tests {
     fn sec_decoder_is_reconvergence_heavy() {
         let c = sec_decoder(16, 5);
         let stats = relogic_netlist::structure::CircuitStats::of(&c);
-        assert!(stats.stems >= 16, "expected many stems, got {}", stats.stems);
-        let hist: std::collections::HashMap<_, _> =
-            stats.kind_histogram.iter().copied().collect();
+        assert!(
+            stats.stems >= 16,
+            "expected many stems, got {}",
+            stats.stems
+        );
+        let hist: std::collections::HashMap<_, _> = stats.kind_histogram.iter().copied().collect();
         assert!(hist["xor"] > hist.get("and").copied().unwrap_or(0));
     }
 

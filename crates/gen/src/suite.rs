@@ -233,8 +233,16 @@ fn sec32() -> Circuit {
         let (j0, j1) = (2 * p, 2 * p + 1);
         let mut row = [syndrome[0]; 4];
         for (v, slot) in row.iter_mut().enumerate() {
-            let l0 = if v & 1 == 1 { syndrome[j0] } else { nsyndrome[j0] };
-            let l1 = if v & 2 == 2 { syndrome[j1] } else { nsyndrome[j1] };
+            let l0 = if v & 1 == 1 {
+                syndrome[j0]
+            } else {
+                nsyndrome[j0]
+            };
+            let l1 = if v & 2 == 2 {
+                syndrome[j1]
+            } else {
+                nsyndrome[j1]
+            };
             *slot = c.and([l0, l1]);
         }
         minterms.push(row);
@@ -580,8 +588,15 @@ mod tests {
         // Decomposed XOR cells: every cell fans its inputs to two gates, so
         // stems abound and no native XOR gates remain.
         let hist: std::collections::HashMap<_, _> = s.kind_histogram.iter().copied().collect();
-        assert!(!hist.contains_key("xor"), "decomposition left XORs: {hist:?}");
-        assert!(s.stems > 150, "expected heavy reconvergence, {} stems", s.stems);
+        assert!(
+            !hist.contains_key("xor"),
+            "decomposition left XORs: {hist:?}"
+        );
+        assert!(
+            s.stems > 150,
+            "expected heavy reconvergence, {} stems",
+            s.stems
+        );
     }
 
     #[test]
@@ -758,7 +773,9 @@ pub fn b9_variants() -> (Circuit, Circuit) {
 
     // High-fanout, chain-form, shared implementation.
     let mut high = Circuit::new("b9_high_fanout");
-    let hi_ins: Vec<NodeId> = (0..INPUTS).map(|i| high.add_input(format!("x{i}"))).collect();
+    let hi_ins: Vec<NodeId> = (0..INPUTS)
+        .map(|i| high.add_input(format!("x{i}")))
+        .collect();
     // One shared inverter per input, built lazily.
     let mut hi_inv: Vec<Option<NodeId>> = vec![None; INPUTS];
     let mut hi_terms: Vec<NodeId> = Vec::with_capacity(TEMPLATES);
@@ -784,7 +801,9 @@ pub fn b9_variants() -> (Circuit, Circuit) {
 
     // Low-fanout, balanced, duplicated implementation.
     let mut low = Circuit::new("b9_low_fanout");
-    let lo_ins: Vec<NodeId> = (0..INPUTS).map(|i| low.add_input(format!("x{i}"))).collect();
+    let lo_ins: Vec<NodeId> = (0..INPUTS)
+        .map(|i| low.add_input(format!("x{i}")))
+        .collect();
     for (k, o) in outputs.iter().enumerate() {
         let nodes: Vec<NodeId> = o
             .terms
@@ -842,6 +861,9 @@ mod variant_tests {
             depth(&low),
             depth(&high)
         );
-        assert!(low.gate_count() > high.gate_count(), "duplication grows area");
+        assert!(
+            low.gate_count() > high.gate_count(),
+            "duplication grows area"
+        );
     }
 }

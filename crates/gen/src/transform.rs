@@ -24,12 +24,7 @@ use std::collections::VecDeque;
 
 /// Returns `need` provider slots for `source`, inserting a buffer tree so
 /// no node drives more than `max` slots.
-fn expand_providers(
-    c: &mut Circuit,
-    source: NodeId,
-    need: usize,
-    max: usize,
-) -> VecDeque<NodeId> {
+fn expand_providers(c: &mut Circuit, source: NodeId, need: usize, max: usize) -> VecDeque<NodeId> {
     let mut out = VecDeque::with_capacity(need);
     if need <= max {
         for _ in 0..need {
@@ -150,11 +145,7 @@ pub fn duplicate_fanout(circuit: &Circuit, max_fanout: usize) -> Circuit {
             let mult = rnode.fanins().iter().filter(|&&f| f == id).count();
             consumers += mult * copies[rid.index()];
         }
-        consumers += circuit
-            .outputs()
-            .iter()
-            .filter(|o| o.node() == id)
-            .count();
+        consumers += circuit.outputs().iter().filter(|o| o.node() == id).count();
         copies[i] = consumers.div_ceil(max_fanout).max(1);
     }
     let consumers = consumer_counts(circuit, &copies);
@@ -294,7 +285,10 @@ pub fn balance(circuit: &Circuit) -> Circuit {
         map[id.index()] = Some(new_id);
     }
     for o in circuit.outputs() {
-        out.add_output(o.name(), map[o.node().index()].expect("output node emitted"));
+        out.add_output(
+            o.name(),
+            map[o.node().index()].expect("output node emitted"),
+        );
     }
     out
 }

@@ -312,9 +312,7 @@ impl Circuit {
     }
 
     /// Iterates over all node ids in topological (construction) order.
-    pub fn node_ids(
-        &self,
-    ) -> impl ExactSizeIterator<Item = NodeId> + DoubleEndedIterator + '_ {
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + DoubleEndedIterator + '_ {
         (0..self.nodes.len()).map(NodeId::from_index)
     }
 
@@ -361,9 +359,7 @@ impl Circuit {
     }
 
     /// Iterates over all output ids in declaration order.
-    pub fn output_ids(
-        &self,
-    ) -> impl ExactSizeIterator<Item = OutputId> + DoubleEndedIterator + '_ {
+    pub fn output_ids(&self) -> impl ExactSizeIterator<Item = OutputId> + DoubleEndedIterator + '_ {
         (0..self.outputs.len()).map(OutputId::from_index)
     }
 

@@ -73,10 +73,12 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
             continue;
         }
         // Gate line: `name = KIND(arg, arg, ...)`
-        let (lhs, rhs) = stripped.split_once('=').ok_or_else(|| NetlistError::Parse {
-            line,
-            message: "expected `INPUT(..)`, `OUTPUT(..)`, or `name = KIND(..)`".into(),
-        })?;
+        let (lhs, rhs) = stripped
+            .split_once('=')
+            .ok_or_else(|| NetlistError::Parse {
+                line,
+                message: "expected `INPUT(..)`, `OUTPUT(..)`, or `name = KIND(..)`".into(),
+            })?;
         let name = lhs.trim();
         if name.is_empty() {
             return Err(NetlistError::Parse {
@@ -277,10 +279,7 @@ OUTPUT(a)
     #[test]
     fn dff_is_unsupported() {
         let text = "INPUT(a)\nq = DFF(a)\n";
-        assert!(matches!(
-            parse(text),
-            Err(NetlistError::Unsupported { .. })
-        ));
+        assert!(matches!(parse(text), Err(NetlistError::Unsupported { .. })));
     }
 
     #[test]

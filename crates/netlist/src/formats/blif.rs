@@ -126,10 +126,7 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     let (cube, value) = if cover_inputs.is_empty() {
                         ("", parts.next().unwrap_or(""))
                     } else {
-                        (
-                            parts.next().unwrap_or(""),
-                            parts.next().unwrap_or(""),
-                        )
+                        (parts.next().unwrap_or(""), parts.next().unwrap_or(""))
                     };
                     if parts.next().is_some() {
                         return Err(NetlistError::Parse {
@@ -366,10 +363,7 @@ mod tests {
     #[test]
     fn latch_unsupported() {
         let text = ".model t\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n";
-        assert!(matches!(
-            parse(text),
-            Err(NetlistError::Unsupported { .. })
-        ));
+        assert!(matches!(parse(text), Err(NetlistError::Unsupported { .. })));
     }
 
     #[test]

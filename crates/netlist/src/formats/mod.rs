@@ -339,14 +339,7 @@ mod tests {
         let mut c = Circuit::new("t");
         let a = c.add_input("a");
         let b = c.add_input("b");
-        let y = build_sop(
-            &mut c,
-            &[b"01".to_vec(), b"10".to_vec()],
-            true,
-            &[a, b],
-            1,
-        )
-        .unwrap();
+        let y = build_sop(&mut c, &[b"01".to_vec(), b"10".to_vec()], true, &[a, b], 1).unwrap();
         c.add_output("y", y);
         assert_eq!(c.eval(&[false, false]), vec![false]);
         assert_eq!(c.eval(&[false, true]), vec![true]);

@@ -109,9 +109,7 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                 // assign lhs = rhs;
                 if tokens.len() != 4 || tokens[2] != "=" {
                     return Err(NetlistError::Unsupported {
-                        message: format!(
-                            "only `assign wire = wire;` is supported (line {line})"
-                        ),
+                        message: format!("only `assign wire = wire;` is supported (line {line})"),
                     });
                 }
                 let (lhs, rhs) = (tokens[1].clone(), tokens[3].clone());
@@ -135,13 +133,14 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
                     });
                 };
                 // [instance-name] ( out, in... )
-                let open = tokens
-                    .iter()
-                    .position(|t| t == "(")
-                    .ok_or_else(|| NetlistError::Parse {
-                        line,
-                        message: "expected `(` in gate instantiation".into(),
-                    })?;
+                let open =
+                    tokens
+                        .iter()
+                        .position(|t| t == "(")
+                        .ok_or_else(|| NetlistError::Parse {
+                            line,
+                            message: "expected `(` in gate instantiation".into(),
+                        })?;
                 if *tokens.last().expect("nonempty") != ")" {
                     return Err(NetlistError::Parse {
                         line,
@@ -337,10 +336,19 @@ pub fn write(circuit: &Circuit) -> String {
     let inputs: Vec<String> = circuit.inputs().iter().map(|&i| name_of(i)).collect();
     // Output ports: use the output slot names, aliasing when they differ
     // from the driving node's name.
-    let out_ports: Vec<String> = circuit.outputs().iter().map(|o| o.name().to_owned()).collect();
+    let out_ports: Vec<String> = circuit
+        .outputs()
+        .iter()
+        .map(|o| o.name().to_owned())
+        .collect();
     let mut ports = inputs.clone();
     ports.extend(out_ports.iter().cloned());
-    let _ = writeln!(out, "module {} ({});", sanitize(circuit.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(circuit.name()),
+        ports.join(", ")
+    );
     if !inputs.is_empty() {
         let _ = writeln!(out, "  input {};", inputs.join(", "));
     }
@@ -388,7 +396,13 @@ pub fn write(circuit: &Circuit) -> String {
 fn sanitize(name: &str) -> String {
     let cleaned: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if cleaned.is_empty() {
         "top".to_owned()
@@ -490,10 +504,7 @@ endmodule
             parse("module a (x); input x; endmodule module b (y); input y; endmodule"),
             Err(NetlistError::Unsupported { .. })
         ));
-        assert!(matches!(
-            parse("wire w;"),
-            Err(NetlistError::Parse { .. })
-        ));
+        assert!(matches!(parse("wire w;"), Err(NetlistError::Parse { .. })));
     }
 
     #[test]

@@ -187,10 +187,7 @@ pub fn output_cone_sizes(circuit: &Circuit) -> Vec<usize> {
 /// Panics if an output id is out of range for `circuit`.
 #[must_use]
 pub fn extract_cone(circuit: &Circuit, outputs: &[OutputId]) -> (Circuit, HashMap<NodeId, NodeId>) {
-    let roots: Vec<NodeId> = outputs
-        .iter()
-        .map(|&o| circuit.output(o).node())
-        .collect();
+    let roots: Vec<NodeId> = outputs.iter().map(|&o| circuit.output(o).node()).collect();
     let cone = transitive_fanin(circuit, &roots);
     let mut sub = Circuit::new(format!("{}_cone", circuit.name()));
     let mut map: HashMap<NodeId, NodeId> = HashMap::with_capacity(cone.len());
@@ -199,7 +196,8 @@ pub fn extract_cone(circuit: &Circuit, outputs: &[OutputId]) -> (Circuit, HashMa
         let new = match node.kind() {
             GateKind::Input => {
                 let name = circuit.display_name(old);
-                sub.try_add_input(name).expect("input names unique in source")
+                sub.try_add_input(name)
+                    .expect("input names unique in source")
             }
             GateKind::Const(v) => sub.add_const(v),
             kind => {
@@ -379,10 +377,7 @@ mod tests {
         assert_eq!(s.depth, 2);
         assert_eq!(s.max_fanout, 2);
         assert_eq!(s.stems, 2);
-        assert_eq!(
-            s.kind_histogram,
-            vec![("and", 1), ("or", 1), ("xor", 1)]
-        );
+        assert_eq!(s.kind_histogram, vec![("and", 1), ("or", 1), ("xor", 1)]);
     }
 
     #[test]

@@ -163,10 +163,7 @@ mod tests {
     fn means_converge_for_various_probabilities() {
         for &p in &[0.05, 0.1, 0.3, 0.5, 0.7, 0.95] {
             let mean = measured_mean(p, 24, 20_000);
-            assert!(
-                (mean - p).abs() < 0.005,
-                "p={p} measured mean {mean}"
-            );
+            assert!((mean - p).abs() < 0.005, "p={p} measured mean {mean}");
         }
     }
 

@@ -138,8 +138,12 @@ pub fn flip_influence(circuit: &Circuit, flipped: &[NodeId]) -> Vec<f64> {
     let blocks = exhaustive_block_count(circuit.input_count());
     let lane_mask = exhaustive_lane_mask(circuit.input_count());
     #[allow(clippy::cast_precision_loss)]
-    let pattern_count =
-        f64::from(lane_mask.count_ones()) * if circuit.input_count() > 6 { blocks as f64 } else { 1.0 };
+    let pattern_count = f64::from(lane_mask.count_ones())
+        * if circuit.input_count() > 6 {
+            blocks as f64
+        } else {
+            1.0
+        };
 
     let mut masks = vec![0u64; circuit.len()];
     for &f in flipped {
@@ -159,10 +163,7 @@ pub fn flip_influence(circuit: &Circuit, flipped: &[NodeId]) -> Vec<f64> {
         }
     }
     #[allow(clippy::cast_precision_loss)]
-    counts
-        .iter()
-        .map(|&c| c as f64 / pattern_count)
-        .collect()
+    counts.iter().map(|&c| c as f64 / pattern_count).collect()
 }
 
 #[cfg(test)]
@@ -231,11 +232,7 @@ mod tests {
             .map(|(_, n)| if n.kind().is_gate() { 0.2 } else { 0.0 })
             .collect();
         let exact = exact_reliability(&c, &eps);
-        let max = exact
-            .per_output
-            .iter()
-            .cloned()
-            .fold(f64::MIN, f64::max);
+        let max = exact.per_output.iter().cloned().fold(f64::MIN, f64::max);
         let sum: f64 = exact.per_output.iter().sum();
         assert!(exact.any_output >= max - 1e-12);
         assert!(exact.any_output <= sum + 1e-12);
@@ -265,7 +262,10 @@ mod tests {
         c.add_output("y", g2);
         let both = flip_influence(
             &c,
-            &[relogic_netlist::NodeId::from_index(1), relogic_netlist::NodeId::from_index(2)],
+            &[
+                relogic_netlist::NodeId::from_index(1),
+                relogic_netlist::NodeId::from_index(2),
+            ],
         );
         assert_eq!(both[0], 0.0);
         let one = flip_influence(&c, &[relogic_netlist::NodeId::from_index(1)]);

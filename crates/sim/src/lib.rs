@@ -13,7 +13,10 @@
 //!   digit of ε.
 //! * [`estimate`] — the Monte Carlo reliability estimator (per-output δ,
 //!   consolidated any-output error, joint output pairs, per-node
-//!   conditional error statistics).
+//!   conditional error statistics), chunked over seed-derived RNG streams
+//!   so results are bit-identical for every thread count.
+//! * [`exec::ChunkExecutor`] — the deterministic fan-out executor behind
+//!   the Monte Carlo engine and the ε-sweep drivers in `relogic::sweep`.
 //! * [`exact_reliability`] / [`flip_influence`] — exhaustive ground truth
 //!   for small circuits.
 //! * [`signal_probabilities`] / [`joint_input_counts`] /
@@ -25,9 +28,11 @@
 
 mod bits;
 mod estimate;
+pub mod exec;
 mod exhaustive;
 mod monte_carlo;
 mod packed;
+pub mod parallel;
 mod sampler;
 
 pub use bits::{stats, BiasedBits, DEFAULT_RESOLUTION};
@@ -35,6 +40,7 @@ pub use estimate::{
     joint_input_counts, joint_input_counts_biased, observabilities, observabilities_biased,
     signal_probabilities, signal_probabilities_biased, ObservabilityEstimate, MAX_COUNTED_ARITY,
 };
+pub use exec::{available_threads, ChunkExecutor};
 pub use exhaustive::{exact_reliability, flip_influence, ExactReliability};
 pub use monte_carlo::{estimate, MonteCarloConfig, NodeErrorStats, ReliabilityEstimate};
 pub use packed::{exhaustive_block_count, exhaustive_lane_mask, exhaustive_word, PackedSim};

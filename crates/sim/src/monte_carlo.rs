@@ -6,10 +6,13 @@
 //! pattern. Reliability `δ_y(ε⃗)` of output `y` is estimated as the fraction
 //! of sampled patterns on which the noisy circuit's value of `y` differs
 //! from the fault-free value.
+//!
+//! Execution is chunked and (optionally) multi-threaded: the pattern budget
+//! is cut into fixed-width chunks, each drawing from its own seed-derived
+//! RNG stream, so the estimate is **bit-identical for every thread count**
+//! (see [`crate::parallel`] for the scheme).
 
-use crate::{BiasedBits, PackedSim};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use crate::BiasedBits;
 use relogic_netlist::Circuit;
 
 /// Configuration for [`estimate`].
@@ -28,6 +31,10 @@ pub struct MonteCarloConfig {
     pub track_nodes: bool,
     /// Independent per-input signal probabilities (`None` = uniform).
     pub input_probs: Option<Vec<f64>>,
+    /// Worker threads for fault injection; `0` auto-detects the machine's
+    /// parallelism. The estimate is bit-identical for every value — only
+    /// wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for MonteCarloConfig {
@@ -39,6 +46,7 @@ impl Default for MonteCarloConfig {
             joint_pairs: Vec::new(),
             track_nodes: false,
             input_probs: None,
+            threads: 0,
         }
     }
 }
@@ -49,7 +57,7 @@ impl Default for MonteCarloConfig {
 /// `p10(i)` estimates `Pr(noisy = 0 | fault-free = 1)` — exactly the
 /// quantities the single-pass algorithm propagates, so these are the ground
 /// truth for validating it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeErrorStats {
     clean0: Vec<u64>,
     clean1: Vec<u64>,
@@ -58,12 +66,39 @@ pub struct NodeErrorStats {
 }
 
 impl NodeErrorStats {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         NodeErrorStats {
             clean0: vec![0; n],
             clean1: vec![0; n],
             err01: vec![0; n],
             err10: vec![0; n],
+        }
+    }
+
+    /// Tallies one 64-pattern block of node `i`: `cw` is the fault-free
+    /// word, `nw` the noisy word.
+    pub(crate) fn accumulate(&mut self, i: usize, cw: u64, nw: u64) {
+        let diff = cw ^ nw;
+        self.clean1[i] += u64::from(cw.count_ones());
+        self.clean0[i] += u64::from(cw.count_zeros());
+        self.err01[i] += u64::from((diff & !cw).count_ones());
+        self.err10[i] += u64::from((diff & cw).count_ones());
+    }
+
+    /// Adds another tally into this one.
+    pub(crate) fn merge(&mut self, other: &NodeErrorStats) {
+        debug_assert_eq!(self.clean0.len(), other.clean0.len());
+        for (a, b) in self.clean0.iter_mut().zip(&other.clean0) {
+            *a += b;
+        }
+        for (a, b) in self.clean1.iter_mut().zip(&other.clean1) {
+            *a += b;
+        }
+        for (a, b) in self.err01.iter_mut().zip(&other.err01) {
+            *a += b;
+        }
+        for (a, b) in self.err10.iter_mut().zip(&other.err10) {
+            *a += b;
         }
     }
 
@@ -111,7 +146,7 @@ impl NodeErrorStats {
 }
 
 /// Result of a Monte Carlo reliability run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ReliabilityEstimate {
     patterns: u64,
     per_output: Vec<f64>,
@@ -145,10 +180,7 @@ impl ReliabilityEstimate {
     #[must_use]
     pub fn joint(&self, a: usize, b: usize) -> Option<f64> {
         let key = (a.min(b), a.max(b));
-        self.joint
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|&(_, p)| p)
+        self.joint.iter().find(|(k, _)| *k == key).map(|&(_, p)| p)
     }
 
     /// Per-node conditional error statistics, if tracking was enabled.
@@ -169,6 +201,11 @@ impl ReliabilityEstimate {
 /// `node_eps[i]` is the BSC crossover probability of node `i` (use 0 for
 /// noise-free nodes; primary inputs may be given nonzero values to model
 /// noisy inputs).
+///
+/// Fault injection is chunked over seed-derived RNG streams and executed on
+/// [`MonteCarloConfig::threads`] worker threads; for a fixed `(seed,
+/// patterns)` pair the estimate is bit-identical regardless of the thread
+/// count.
 ///
 /// # Panics
 ///
@@ -209,7 +246,10 @@ pub fn estimate(
     }
     let outputs: Vec<usize> = circuit.outputs().iter().map(|o| o.node().index()).collect();
     for &(a, b) in &config.joint_pairs {
-        assert!(a < outputs.len() && b < outputs.len(), "joint pair out of range");
+        assert!(
+            a < outputs.len() && b < outputs.len(),
+            "joint pair out of range"
+        );
     }
 
     let gens: Vec<Option<BiasedBits>> = node_eps
@@ -232,69 +272,29 @@ pub fn estimate(
     };
     let blocks = config.patterns.div_ceil(64).max(1);
     let total = blocks * 64;
-    let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut clean = PackedSim::new(circuit);
-    let mut noisy = PackedSim::new(circuit);
-    let mut masks = vec![0u64; circuit.len()];
-    let mut out_err = vec![0u64; outputs.len()];
-    let mut any_err = 0u64;
-    let mut joint_err = vec![0u64; config.joint_pairs.len()];
-    let mut node_stats = config.track_nodes.then(|| NodeErrorStats::new(circuit.len()));
-
-    for _ in 0..blocks {
-        sampler.fill(&mut clean, &mut rng);
-        clean.propagate(circuit);
-        noisy.copy_from(&clean);
-        for (m, g) in masks.iter_mut().zip(&gens) {
-            *m = g.as_ref().map_or(0, |g| g.next_word(&mut rng));
-        }
-        noisy.propagate_with_flips(circuit, &masks);
-
-        let mut any = 0u64;
-        for (k, &oidx) in outputs.iter().enumerate() {
-            let diff = clean.words()[oidx] ^ noisy.words()[oidx];
-            out_err[k] += u64::from(diff.count_ones());
-            any |= diff;
-        }
-        any_err += u64::from(any.count_ones());
-        for (j, &(a, b)) in config.joint_pairs.iter().enumerate() {
-            let da = clean.words()[outputs[a]] ^ noisy.words()[outputs[a]];
-            let db = clean.words()[outputs[b]] ^ noisy.words()[outputs[b]];
-            joint_err[j] += u64::from((da & db).count_ones());
-        }
-        if let Some(stats) = node_stats.as_mut() {
-            for i in 0..circuit.len() {
-                let cw = clean.words()[i];
-                let nw = noisy.words()[i];
-                let diff = cw ^ nw;
-                stats.clean1[i] += u64::from(cw.count_ones());
-                stats.clean0[i] += u64::from(cw.count_zeros());
-                stats.err01[i] += u64::from((diff & !cw).count_ones());
-                stats.err10[i] += u64::from((diff & cw).count_ones());
-            }
-        }
-    }
+    let counts =
+        crate::parallel::fault_injection_counts(circuit, &gens, &sampler, &outputs, config, blocks);
 
     #[allow(clippy::cast_precision_loss)]
     let tf = total as f64;
     #[allow(clippy::cast_precision_loss)]
-    let per_output: Vec<f64> = out_err.iter().map(|&c| c as f64 / tf).collect();
+    let per_output: Vec<f64> = counts.out_err.iter().map(|&c| c as f64 / tf).collect();
     #[allow(clippy::cast_precision_loss)]
     let joint: Vec<((usize, usize), f64)> = config
         .joint_pairs
         .iter()
-        .zip(&joint_err)
+        .zip(&counts.joint_err)
         .map(|(&(a, b), &c)| ((a.min(b), a.max(b)), c as f64 / tf))
         .collect();
     #[allow(clippy::cast_precision_loss)]
-    let any_output = any_err as f64 / tf;
+    let any_output = counts.any_err as f64 / tf;
 
     ReliabilityEstimate {
         patterns: total,
         per_output,
         any_output,
         joint,
-        node_stats,
+        node_stats: counts.node_stats,
     }
 }
 
@@ -316,7 +316,11 @@ mod tests {
         let g = c.not(a);
         c.add_output("y", g);
         let r = estimate(&c, &[0.0, 0.2], &MonteCarloConfig::default());
-        assert!((r.per_output()[0] - 0.2).abs() < 0.01, "{}", r.per_output()[0]);
+        assert!(
+            (r.per_output()[0] - 0.2).abs() < 0.01,
+            "{}",
+            r.per_output()[0]
+        );
         assert!((r.any_output() - 0.2).abs() < 0.01);
     }
 

@@ -216,9 +216,7 @@ mod tests {
         let mut sim = PackedSim::new(&c);
         let mut rng = SmallRng::seed_from_u64(11);
         sim.randomize_inputs(&mut rng);
-        let input_words: Vec<u64> = (0..3)
-            .map(|p| sim.node_word(c.inputs()[p]))
-            .collect();
+        let input_words: Vec<u64> = (0..3).map(|p| sim.node_word(c.inputs()[p])).collect();
         sim.propagate(&c);
         for lane in 0..64 {
             let bits: Vec<bool> = input_words.iter().map(|w| w >> lane & 1 != 0).collect();
@@ -280,10 +278,7 @@ mod tests {
         let mut masks = vec![0u64; c.len()];
         masks[g.index()] = u64::MAX;
         faulty.propagate_with_flips(&c, &masks);
-        assert_eq!(
-            clean.node_word(g) ^ faulty.node_word(g),
-            u64::MAX
-        );
+        assert_eq!(clean.node_word(g) ^ faulty.node_word(g), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Deterministic multi-threaded Monte Carlo fault injection.
+//!
+//! The pattern budget is split into independent *chunks* of
+//! [`CHUNK_PATTERNS`] patterns ([`CHUNK_BLOCKS`] 64-pattern simulator
+//! blocks). Each chunk draws from its own RNG stream, seeded purely from
+//! the run seed and the chunk index through a SplitMix64 derivation
+//! ([`chunk_seed`]) — never from thread identity or scheduling order. All
+//! per-chunk tallies are exact integer counters, and integer addition is
+//! associative and commutative, so the merged estimate is **bit-identical
+//! for every thread count**, including `threads = 1`:
+//!
+//! ```text
+//! result(seed, patterns) = Σ_chunks counts(chunk_seed(seed, i), blocks_i)
+//! ```
+//!
+//! The chunk width is a fixed protocol constant: changing it would change
+//! which stream each pattern block draws from and therefore the sampled
+//! estimate (not its distribution). It is sized so a chunk is coarse
+//! enough to amortize executor handoff (1024 patterns ≈ tens of
+//! microseconds of simulation on mid-size circuits) yet fine enough to
+//! load-balance across many cores even for modest budgets.
+
+use crate::exec::ChunkExecutor;
+use crate::monte_carlo::{MonteCarloConfig, NodeErrorStats};
+use crate::{BiasedBits, InputSampler, PackedSim};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use relogic_netlist::Circuit;
+
+/// Simulator blocks per chunk (a protocol constant — see module docs).
+pub const CHUNK_BLOCKS: u64 = 16;
+
+/// Patterns per chunk: the granularity at which work is distributed and
+/// RNG streams are split.
+pub const CHUNK_PATTERNS: u64 = CHUNK_BLOCKS * 64;
+
+/// Derives the RNG seed of chunk `chunk` from the run seed.
+///
+/// SplitMix64's output function over `seed + (chunk+1)·φ⁻¹·2⁶⁴` — the
+/// standard way to fan one seed out into decorrelated streams. The `+1`
+/// keeps chunk 0 from degenerating to the raw run seed.
+#[must_use]
+pub fn chunk_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed.wrapping_add(chunk.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exact integer tallies from one chunk (or the merge of many).
+#[derive(Clone, Debug)]
+pub(crate) struct FaultCounts {
+    pub(crate) out_err: Vec<u64>,
+    pub(crate) any_err: u64,
+    pub(crate) joint_err: Vec<u64>,
+    pub(crate) node_stats: Option<NodeErrorStats>,
+}
+
+impl FaultCounts {
+    fn new(outputs: usize, joint: usize, nodes: Option<usize>) -> Self {
+        FaultCounts {
+            out_err: vec![0; outputs],
+            any_err: 0,
+            joint_err: vec![0; joint],
+            node_stats: nodes.map(NodeErrorStats::new),
+        }
+    }
+
+    /// Adds another tally into this one (pure integer sums, so the merge
+    /// is order-independent).
+    fn merge(&mut self, other: &FaultCounts) {
+        for (a, b) in self.out_err.iter_mut().zip(&other.out_err) {
+            *a += b;
+        }
+        self.any_err += other.any_err;
+        for (a, b) in self.joint_err.iter_mut().zip(&other.joint_err) {
+            *a += b;
+        }
+        if let (Some(mine), Some(theirs)) = (self.node_stats.as_mut(), other.node_stats.as_ref()) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+/// Per-worker scratch: simulator buffers reused across all chunks a worker
+/// processes.
+struct Scratch {
+    clean: PackedSim,
+    noisy: PackedSim,
+    masks: Vec<u64>,
+}
+
+impl Scratch {
+    fn new(circuit: &Circuit) -> Self {
+        Scratch {
+            clean: PackedSim::new(circuit),
+            noisy: PackedSim::new(circuit),
+            masks: vec![0u64; circuit.len()],
+        }
+    }
+}
+
+/// Runs chunked fault injection over `blocks` 64-pattern blocks and merges
+/// the per-chunk tallies in chunk order.
+pub(crate) fn fault_injection_counts(
+    circuit: &Circuit,
+    gens: &[Option<BiasedBits>],
+    sampler: &InputSampler,
+    outputs: &[usize],
+    config: &MonteCarloConfig,
+    blocks: u64,
+) -> FaultCounts {
+    let chunks = usize::try_from(blocks.div_ceil(CHUNK_BLOCKS)).expect("chunk count fits usize");
+    let executor = ChunkExecutor::new(config.threads);
+    let tallies = executor.map_chunks_with(
+        chunks,
+        || Scratch::new(circuit),
+        |scratch, chunk| {
+            run_chunk(
+                circuit, gens, sampler, outputs, config, blocks, scratch, chunk,
+            )
+        },
+    );
+
+    let mut merged = FaultCounts::new(
+        outputs.len(),
+        config.joint_pairs.len(),
+        config.track_nodes.then(|| circuit.len()),
+    );
+    for tally in &tallies {
+        merged.merge(tally);
+    }
+    merged
+}
+
+/// Simulates one chunk's blocks from its own seeded stream.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    circuit: &Circuit,
+    gens: &[Option<BiasedBits>],
+    sampler: &InputSampler,
+    outputs: &[usize],
+    config: &MonteCarloConfig,
+    blocks: u64,
+    scratch: &mut Scratch,
+    chunk: usize,
+) -> FaultCounts {
+    let chunk = chunk as u64;
+    let first = chunk * CHUNK_BLOCKS;
+    let last = (first + CHUNK_BLOCKS).min(blocks);
+    let mut rng = SmallRng::seed_from_u64(chunk_seed(config.seed, chunk));
+    let mut counts = FaultCounts::new(
+        outputs.len(),
+        config.joint_pairs.len(),
+        config.track_nodes.then(|| circuit.len()),
+    );
+    let Scratch {
+        clean,
+        noisy,
+        masks,
+    } = scratch;
+
+    for _ in first..last {
+        sampler.fill(clean, &mut rng);
+        clean.propagate(circuit);
+        noisy.copy_from(clean);
+        for (m, g) in masks.iter_mut().zip(gens) {
+            *m = g.as_ref().map_or(0, |g| g.next_word(&mut rng));
+        }
+        noisy.propagate_with_flips(circuit, masks);
+
+        let mut any = 0u64;
+        for (k, &oidx) in outputs.iter().enumerate() {
+            let diff = clean.words()[oidx] ^ noisy.words()[oidx];
+            counts.out_err[k] += u64::from(diff.count_ones());
+            any |= diff;
+        }
+        counts.any_err += u64::from(any.count_ones());
+        for (j, &(a, b)) in config.joint_pairs.iter().enumerate() {
+            let da = clean.words()[outputs[a]] ^ noisy.words()[outputs[a]];
+            let db = clean.words()[outputs[b]] ^ noisy.words()[outputs[b]];
+            counts.joint_err[j] += u64::from((da & db).count_ones());
+        }
+        if let Some(stats) = counts.node_stats.as_mut() {
+            for i in 0..circuit.len() {
+                stats.accumulate(i, clean.words()[i], noisy.words()[i]);
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_seeds_are_decorrelated_and_stable() {
+        let a = chunk_seed(7, 0);
+        let b = chunk_seed(7, 1);
+        let c = chunk_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stability: the derivation is a protocol constant; changing it
+        // changes every archived Monte Carlo number.
+        assert_eq!(chunk_seed(0, 0), chunk_seed(0, 0));
+        assert_ne!(chunk_seed(0, 0), 0);
+    }
+
+    #[test]
+    fn chunk_constants_are_consistent() {
+        assert_eq!(CHUNK_PATTERNS, CHUNK_BLOCKS * 64);
+    }
+}

@@ -2,10 +2,10 @@
 //! exhaustive ground truth on small random circuits.
 
 use proptest::prelude::*;
-use relogic_sim::{
-    exact_reliability, estimate, flip_influence, signal_probabilities, MonteCarloConfig,
-};
 use relogic_netlist::{Circuit, GateKind, NodeId};
+use relogic_sim::{
+    estimate, exact_reliability, flip_influence, signal_probabilities, MonteCarloConfig,
+};
 
 fn random_circuit(ops: &[(u8, u8, u8)], inputs: usize) -> Circuit {
     let mut c = Circuit::new("prop");
@@ -100,6 +100,25 @@ proptest! {
         // Flipping the output node itself is always observable.
         let out_node = c.outputs()[0].node();
         prop_assert_eq!(flip_influence(&c, &[out_node])[0], 1.0);
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_for_every_thread_count(
+        (c, e) in arb_case(),
+        patterns in 1u64..6000,
+        threads in 2usize..8,
+    ) {
+        // `patterns` deliberately covers budgets that are not multiples of
+        // the 1024-pattern chunk width (nor of the 64-pattern block).
+        let eps = uniform_eps(&c, e);
+        let cfg = MonteCarloConfig {
+            patterns,
+            track_nodes: true,
+            ..MonteCarloConfig::default()
+        };
+        let serial = estimate(&c, &eps, &MonteCarloConfig { threads: 1, ..cfg.clone() });
+        let parallel = estimate(&c, &eps, &MonteCarloConfig { threads, ..cfg });
+        prop_assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release --example design_space`
 
 use relogic::{
-    consolidate::Consolidator, Backend, GateEps, InputDistribution, SinglePass,
-    SinglePassOptions, Weights,
+    consolidate::Consolidator, Backend, GateEps, InputDistribution, SinglePass, SinglePassOptions,
+    Weights,
 };
 use relogic_netlist::structure::{depth, total_output_levels, CircuitStats};
 use relogic_netlist::Circuit;

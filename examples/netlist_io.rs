@@ -47,6 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Export.
     println!("\n--- BLIF ---\n{}", blif::write(&circuit));
-    println!("--- DOT (render with `dot -Tsvg`) ---\n{}", dot::to_dot(&circuit));
+    println!(
+        "--- DOT (render with `dot -Tsvg`) ---\n{}",
+        dot::to_dot(&circuit)
+    );
     Ok(())
 }

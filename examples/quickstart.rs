@@ -55,7 +55,10 @@ fn main() {
         },
     );
 
-    println!("output   single-pass   closed-form   monte-carlo (n={})", mc.patterns());
+    println!(
+        "output   single-pass   closed-form   monte-carlo (n={})",
+        mc.patterns()
+    );
     for (k, out) in c.outputs().iter().enumerate() {
         println!(
             "{:6}   {:>11.5}   {:>11.5}   {:>11.5}",

@@ -25,7 +25,11 @@ use relogic_netlist::Circuit;
 /// Mean output error with uniform gate ε, except that nodes for which
 /// `hardened` returns true fail 10× less often (e.g. voters built from
 /// larger, slower cells).
-fn mean_delta(c: &Circuit, eps_value: f64, hardened: impl Fn(relogic_netlist::NodeId) -> bool) -> f64 {
+fn mean_delta(
+    c: &Circuit,
+    eps_value: f64,
+    hardened: impl Fn(relogic_netlist::NodeId) -> bool,
+) -> f64 {
     let backend = Backend::Simulation {
         patterns: 1 << 15,
         seed: 17,
@@ -73,7 +77,9 @@ fn main() {
     let voters_of_full = move |id: relogic_netlist::NodeId| id.index() >= voter_start;
 
     println!("variant                                 gates   mean-delta @ eps:");
-    println!("                                                0.001      0.01       0.05       0.20");
+    println!(
+        "                                                0.001      0.01       0.05       0.20"
+    );
     let never = |_: relogic_netlist::NodeId| false;
     type HardenedFn<'a> = &'a dyn Fn(relogic_netlist::NodeId) -> bool;
     let rows: Vec<(&str, &Circuit, HardenedFn)> = vec![
@@ -81,7 +87,11 @@ fn main() {
         ("TMR at outputs, noisy voters", &full_outputs, &never),
         ("TMR every gate, noisy voters", &full_gates, &never),
         ("TMR top-8 critical, noisy voters", &selective, &never),
-        ("TMR at outputs, hardened voters", &full_outputs, &voters_of_full),
+        (
+            "TMR at outputs, hardened voters",
+            &full_outputs,
+            &voters_of_full,
+        ),
     ];
     for (name, c, hardened) in rows {
         print!("{name:39} {:5}", c.gate_count());

@@ -51,8 +51,14 @@ fn main() {
     match result.correlation(g4, g5) {
         Some(coeffs) => {
             println!("\ncorrelation coefficients between g4 and g5 (reconverging at g6):");
-            println!("  C[0->1][0->1] = {:.4}   C[0->1][1->0] = {:.4}", coeffs[0][0], coeffs[0][1]);
-            println!("  C[1->0][0->1] = {:.4}   C[1->0][1->0] = {:.4}", coeffs[1][0], coeffs[1][1]);
+            println!(
+                "  C[0->1][0->1] = {:.4}   C[0->1][1->0] = {:.4}",
+                coeffs[0][0], coeffs[0][1]
+            );
+            println!(
+                "  C[1->0][0->1] = {:.4}   C[1->0][1->0] = {:.4}",
+                coeffs[1][0], coeffs[1][1]
+            );
         }
         None => println!("\ng4 and g5 are treated as independent (no coefficients tracked)"),
     }

@@ -304,7 +304,10 @@ fn untracked_pairs_are_actually_independent() {
     let exact = exact_pair_stats(&c, &GateEps::uniform(&c, e), g1, g2).coeffs();
     for row in &exact {
         for &v in row {
-            assert!((v - 1.0).abs() < 1e-9, "disjoint cones must be independent: {v}");
+            assert!(
+                (v - 1.0).abs() < 1e-9,
+                "disjoint cones must be independent: {v}"
+            );
         }
     }
 }

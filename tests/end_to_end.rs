@@ -60,7 +60,11 @@ fn blif_and_bench_roundtrips_preserve_analysis() {
     for v in 0..16u32 {
         let bits: Vec<bool> = (0..4).map(|j| v >> j & 1 != 0).collect();
         assert_eq!(original.eval(&bits), via_blif.eval(&bits), "blif v={v:04b}");
-        assert_eq!(original.eval(&bits), via_bench.eval(&bits), "bench v={v:04b}");
+        assert_eq!(
+            original.eval(&bits),
+            via_bench.eval(&bits),
+            "bench v={v:04b}"
+        );
     }
 }
 
