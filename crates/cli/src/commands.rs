@@ -11,37 +11,89 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors surfaced to the CLI user.
+///
+/// Each variant maps to a distinct process exit code (see
+/// [`CliError::exit_code`]) so scripts can tell invocation mistakes from
+/// unreadable files, malformed netlists, and analysis failures.
 #[derive(Debug)]
 pub enum CliError {
-    /// Bad invocation (unknown command/flag, missing value).
+    /// Bad invocation (unknown command/flag, missing value). Exit code 2.
     Usage(String),
-    /// Could not read the input file.
-    Io(std::io::Error),
-    /// The netlist failed to parse or validate.
-    Netlist(relogic_netlist::NetlistError),
+    /// Could not read the input file. Exit code 3.
+    Io {
+        /// The file the CLI tried to read.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The netlist failed to parse or validate. Exit code 4.
+    Netlist {
+        /// The file being parsed.
+        path: String,
+        /// The parser/validator error (carries a line number for syntax
+        /// errors).
+        source: relogic_netlist::NetlistError,
+    },
+    /// The analytical engine rejected the request. Exit code 5.
+    Analysis(relogic::RelogicError),
+    /// The Monte Carlo simulator rejected the request. Exit code 6.
+    Sim(relogic_sim::SimError),
+}
+
+impl CliError {
+    /// Process exit code for this error class (each class is distinct and
+    /// non-zero).
+    #[must_use]
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::Netlist { .. } => 4,
+            CliError::Analysis(_) => 5,
+            CliError::Sim(_) => 6,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(m) => write!(f, "usage error: {m}"),
-            CliError::Io(e) => write!(f, "i/o error: {e}"),
-            CliError::Netlist(e) => write!(f, "netlist error: {e}"),
+            CliError::Io { path, source } => write!(f, "i/o error: {path}: {source}"),
+            // Syntax errors print `file:line:` so editors and humans can
+            // jump straight to the offending input line.
+            CliError::Netlist {
+                path,
+                source: relogic_netlist::NetlistError::Parse { line, message },
+            } => write!(f, "netlist error: {path}:{line}: {message}"),
+            CliError::Netlist { path, source } => write!(f, "netlist error: {path}: {source}"),
+            CliError::Analysis(e) => write!(f, "analysis error: {e}"),
+            CliError::Sim(e) => write!(f, "simulation error: {e}"),
         }
     }
 }
 
-impl Error for CliError {}
-
-impl From<std::io::Error> for CliError {
-    fn from(e: std::io::Error) -> Self {
-        CliError::Io(e)
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Io { source, .. } => Some(source),
+            CliError::Netlist { source, .. } => Some(source),
+            CliError::Analysis(e) => Some(e),
+            CliError::Sim(e) => Some(e),
+        }
     }
 }
 
-impl From<relogic_netlist::NetlistError> for CliError {
-    fn from(e: relogic_netlist::NetlistError) -> Self {
-        CliError::Netlist(e)
+impl From<relogic::RelogicError> for CliError {
+    fn from(e: relogic::RelogicError) -> Self {
+        CliError::Analysis(e)
+    }
+}
+
+impl From<relogic_sim::SimError> for CliError {
+    fn from(e: relogic_sim::SimError) -> Self {
+        CliError::Sim(e)
     }
 }
 
@@ -72,7 +124,10 @@ fn load(args: &ParsedArgs) -> Result<Circuit, CliError> {
         .target
         .as_deref()
         .ok_or_else(|| CliError::Usage(format!("`{}` needs a netlist file", args.command)))?;
-    let text = std::fs::read_to_string(path)?;
+    let text = std::fs::read_to_string(path).map_err(|source| CliError::Io {
+        path: path.to_owned(),
+        source,
+    })?;
     parse_netlist(path, &text)
 }
 
@@ -82,15 +137,20 @@ fn load(args: &ParsedArgs) -> Result<Circuit, CliError> {
 ///
 /// # Errors
 ///
-/// Returns the parser's [`CliError::Netlist`] on malformed input.
+/// Returns [`CliError::Netlist`] on malformed input, tagged with `path`
+/// (and the offending line number for syntax errors).
 pub fn parse_netlist(path: &str, text: &str) -> Result<Circuit, CliError> {
-    if path.ends_with(".bench") {
-        Ok(bench::parse(text)?)
+    let parsed = if path.ends_with(".bench") {
+        bench::parse(text)
     } else if path.ends_with(".v") || path.ends_with(".verilog") {
-        Ok(verilog::parse(text)?)
+        verilog::parse(text)
     } else {
-        Ok(blif::parse(text)?)
-    }
+        blif::parse(text)
+    };
+    parsed.map_err(|source| CliError::Netlist {
+        path: path.to_owned(),
+        source,
+    })
 }
 
 fn stats(c: &Circuit) -> Result<String, CliError> {
@@ -125,22 +185,28 @@ fn stats(c: &Circuit) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn analysis_weights(c: &Circuit, opts: &Options) -> Weights {
-    Weights::compute(c, &InputDistribution::Uniform, opts.backend())
+fn analysis_weights(c: &Circuit, opts: &Options) -> Result<Weights, CliError> {
+    Ok(Weights::try_compute(
+        c,
+        &InputDistribution::Uniform,
+        opts.backend(),
+    )?)
 }
 
 fn engine_options(opts: &Options) -> SinglePassOptions {
-    if opts.no_correlations {
+    let mut o = if opts.no_correlations {
         SinglePassOptions::without_correlations()
     } else {
         SinglePassOptions::default()
-    }
+    };
+    o.strict = opts.strict;
+    o
 }
 
 fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
-    let weights = analysis_weights(c, opts);
-    let engine = SinglePass::new(c, &weights, engine_options(opts));
-    let result = engine.run(&GateEps::uniform(c, opts.eps));
+    let weights = analysis_weights(c, opts)?;
+    let engine = SinglePass::try_new(c, &weights, engine_options(opts))?;
+    let result = engine.try_run(&GateEps::try_uniform(c, opts.eps)?)?;
     let mut out = format!(
         "single-pass reliability at eps = {} ({} backend{})\n",
         opts.eps,
@@ -176,19 +242,32 @@ fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
             ));
         }
     }
+    if opts.diagnostics {
+        let mut diag = result.diagnostics().clone();
+        if c.output_count() > 1 {
+            let cons = relogic::consolidate::Consolidator::try_new(
+                c,
+                &InputDistribution::Uniform,
+                opts.backend(),
+            )?;
+            let any = cons.any_output_error_with(&result, &mut diag)?;
+            out.push_str(&format!("{:>24}  any-output = {any:.6}\n", "*"));
+        }
+        out.push_str(&format!("\ndiagnostics:\n{diag}\n"));
+    }
     Ok(out)
 }
 
 fn sweep(c: &Circuit, opts: &Options) -> Result<String, CliError> {
-    let weights = analysis_weights(c, opts);
-    let grid = relogic::sweep::epsilon_grid(opts.points, 0.0, opts.max_eps);
-    let curves = relogic::sweep::sweep_single_pass_threads(
+    let weights = analysis_weights(c, opts)?;
+    let grid = relogic::sweep::try_epsilon_grid(opts.points, 0.0, opts.max_eps)?;
+    let curves = relogic::sweep::try_sweep_single_pass_threads(
         c,
         &weights,
         engine_options(opts),
         &grid,
         opts.threads,
-    );
+    )?;
     let mut out = String::from("eps");
     for o in c.outputs() {
         out.push_str(&format!(",{}", o.name()));
@@ -201,12 +280,17 @@ fn sweep(c: &Circuit, opts: &Options) -> Result<String, CliError> {
         }
         out.push('\n');
     }
+    if opts.diagnostics {
+        for line in curves.diagnostics.to_string().lines() {
+            out.push_str(&format!("# {line}\n"));
+        }
+    }
     Ok(out)
 }
 
 fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
-    let eps = GateEps::uniform(c, opts.eps);
-    let r = relogic_sim::estimate(
+    let eps = GateEps::try_uniform(c, opts.eps)?;
+    let r = relogic_sim::try_estimate(
         c,
         eps.as_slice(),
         &MonteCarloConfig {
@@ -215,7 +299,7 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
             threads: opts.threads,
             ..MonteCarloConfig::default()
         },
-    );
+    )?;
     let mut out = format!(
         "monte carlo at eps = {} ({} patterns)\n",
         opts.eps,
@@ -238,8 +322,8 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
 }
 
 fn rank(c: &Circuit, opts: &Options) -> Result<String, CliError> {
-    let obs = ObservabilityMatrix::compute(c, &InputDistribution::Uniform, opts.backend());
-    let eps = GateEps::uniform(c, opts.eps);
+    let obs = ObservabilityMatrix::try_compute(c, &InputDistribution::Uniform, opts.backend())?;
+    let eps = GateEps::try_uniform(c, opts.eps)?;
     let mut rows: Vec<(relogic_netlist::NodeId, f64)> = c
         .node_ids()
         .filter(|&id| c.node(id).kind().is_gate())
@@ -415,12 +499,78 @@ y = NOT(t)
         let parsed = ParsedArgs::parse(["frobnicate"]).unwrap();
         let err = run(&parsed).unwrap_err();
         assert!(err.to_string().contains("unknown command"));
+        assert_eq!(err.exit_code(), 2);
         let parsed = ParsedArgs::parse(["analyze"]).unwrap();
         assert!(matches!(run(&parsed), Err(CliError::Usage(_))));
         let parsed = ParsedArgs::parse(["analyze", "/nonexistent/file.bench"]).unwrap();
-        assert!(matches!(run(&parsed), Err(CliError::Io(_))));
+        let err = run(&parsed).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }));
+        assert_eq!(err.exit_code(), 3);
+        assert!(
+            err.to_string().contains("/nonexistent/file.bench"),
+            "i/o errors must name the file: {err}"
+        );
         let parsed = ParsedArgs::parse(["help"]).unwrap();
         assert!(run(&parsed).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn parse_errors_carry_file_and_line() {
+        let dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.bench");
+        std::fs::write(&path, "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n").unwrap();
+        let parsed = ParsedArgs::parse(["stats", path.display().to_string().as_str()]).unwrap();
+        let err = run(&parsed).unwrap_err();
+        assert!(matches!(err, CliError::Netlist { .. }));
+        assert_eq!(err.exit_code(), 4);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("broken.bench:3:"),
+            "expected `file:line:` prefix, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn strict_rejects_out_of_policy_eps() {
+        let dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("strict.bench");
+        std::fs::write(&path, SMALL).unwrap();
+        let p = path.display().to_string();
+        // ε = 0.6 passes lenient validation…
+        let parsed = ParsedArgs::parse(["analyze", p.as_str(), "--eps", "0.6"]).unwrap();
+        assert!(run(&parsed).is_ok());
+        // …but is rejected under --strict (von Neumann ε ≤ 0.5).
+        let parsed =
+            ParsedArgs::parse(["analyze", p.as_str(), "--eps", "0.6", "--strict"]).unwrap();
+        let err = run(&parsed).unwrap_err();
+        assert!(matches!(err, CliError::Analysis(_)));
+        assert_eq!(err.exit_code(), 5);
+        assert!(err.to_string().contains("0.6"), "{err}");
+    }
+
+    #[test]
+    fn diagnostics_flag_prints_counters() {
+        let out = run_on_file("analyze", &["--eps", "0.1", "--diagnostics"]);
+        assert!(out.contains("diagnostics:"), "{out}");
+        assert!(out.contains("probability clamps:"), "{out}");
+        let out = run_on_file("sweep", &["--points", "3", "--diagnostics"]);
+        assert!(out.contains("# probability clamps:"), "{out}");
+    }
+
+    #[test]
+    fn mc_zero_patterns_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mc0.bench");
+        std::fs::write(&path, SMALL).unwrap();
+        let p = path.display().to_string();
+        let parsed = ParsedArgs::parse(["mc", p.as_str(), "--patterns", "0"]).unwrap();
+        let err = run(&parsed).unwrap_err();
+        assert!(matches!(err, CliError::Sim(_)));
+        assert_eq!(err.exit_code(), 6);
+        assert!(err.to_string().contains("pattern budget"), "{err}");
     }
 
     #[test]

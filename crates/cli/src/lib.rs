@@ -39,6 +39,9 @@ OPTIONS:
     --max-eps <F>           epsilon grid upper bound             [default: 0.5]
     --no-correlations       disable reconvergent-fanout correction
     --per-node              also print per-node error probabilities (analyze)
+    --diagnostics           print clamp/fallback counters (analyze, sweep)
+    --strict                reject eps > 0.5 and non-finite intermediates
+                            instead of degrading gracefully
     --to <bench|blif|verilog|dot>  target format for convert     [default: blif]
     --top <N>               rows to print for rank               [default: 10]
     --threads <N>           worker threads for mc/sweep, 0 = auto-detect
@@ -47,6 +50,10 @@ OPTIONS:
 FILES:
     *.bench parses as ISCAS-85 bench, *.v/*.verilog as structural Verilog,
     everything else as BLIF.
+
+EXIT CODES:
+    0 success    2 usage error    3 i/o error    4 netlist error
+    5 analysis error    6 simulation error
 
 EXAMPLES:
     relogic-cli gen b9 > b9.bench

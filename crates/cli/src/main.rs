@@ -7,14 +7,14 @@ fn main() {
         Err(e) => {
             eprintln!("{e}");
             eprintln!("{}", relogic_cli::USAGE);
-            std::process::exit(2);
+            std::process::exit(e.exit_code());
         }
     };
     match relogic_cli::run(&parsed) {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

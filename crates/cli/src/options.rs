@@ -39,6 +39,10 @@ pub struct Options {
     pub top: usize,
     /// Worker threads for `mc` and `sweep` (`0` = auto-detect).
     pub threads: usize,
+    /// Print numerical diagnostics (clamp counts, fallbacks) after analysis.
+    pub diagnostics: bool,
+    /// Enforce the strict numeric policy (ε ≤ 0.5, no silent degradation).
+    pub strict: bool,
 }
 
 /// Which statistics backend the user asked for.
@@ -78,6 +82,8 @@ impl Default for Options {
             to: "blif".to_owned(),
             top: 10,
             threads: 0,
+            diagnostics: false,
+            strict: false,
         }
     }
 }
@@ -126,6 +132,8 @@ impl ParsedArgs {
                 "--to" => options.to = parse_value(&arg, iter.next())?,
                 "--no-correlations" => options.no_correlations = true,
                 "--per-node" => options.per_node = true,
+                "--diagnostics" => options.diagnostics = true,
+                "--strict" => options.strict = true,
                 flag if flag.starts_with("--") => {
                     return Err(CliError::Usage(format!("unknown option `{flag}`")))
                 }
@@ -206,6 +214,16 @@ mod tests {
         assert!(ParsedArgs::parse(["analyze", "--eps", "1.5"]).is_err());
         assert!(ParsedArgs::parse(["analyze", "a", "b"]).is_err());
         assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+    }
+
+    #[test]
+    fn diagnostics_and_strict_flags() {
+        let p = ParsedArgs::parse(["analyze", "x.bench"]).unwrap();
+        assert!(!p.options.diagnostics);
+        assert!(!p.options.strict);
+        let p = ParsedArgs::parse(["analyze", "x.bench", "--diagnostics", "--strict"]).unwrap();
+        assert!(p.options.diagnostics);
+        assert!(p.options.strict);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Backend selection and input distributions shared by the analytical
 //! engines.
 
+use crate::RelogicError;
 use relogic_netlist::Circuit;
 
 /// How to obtain circuit statistics (weight vectors, signal probabilities,
@@ -46,20 +47,40 @@ impl InputDistribution {
     /// circuit's input count, or contains values outside `[0, 1]`.
     #[must_use]
     pub fn position_probs(&self, circuit: &Circuit) -> Vec<f64> {
+        match self.try_position_probs(circuit) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`InputDistribution::position_probs`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::DistributionMismatch`] if an `Independent` vector's
+    /// length does not match the circuit's input count, or contains
+    /// non-finite values or values outside `[0, 1]`.
+    pub fn try_position_probs(&self, circuit: &Circuit) -> Result<Vec<f64>, RelogicError> {
         match self {
-            InputDistribution::Uniform => vec![0.5; circuit.input_count()],
+            InputDistribution::Uniform => Ok(vec![0.5; circuit.input_count()]),
             InputDistribution::Independent(p) => {
-                assert_eq!(
-                    p.len(),
-                    circuit.input_count(),
-                    "input distribution covers {} inputs, circuit has {}",
-                    p.len(),
-                    circuit.input_count()
-                );
-                for (i, &x) in p.iter().enumerate() {
-                    assert!((0.0..=1.0).contains(&x), "input prob [{i}] = {x}");
+                if p.len() != circuit.input_count() {
+                    return Err(RelogicError::DistributionMismatch {
+                        message: format!(
+                            "covers {} inputs, circuit has {}",
+                            p.len(),
+                            circuit.input_count()
+                        ),
+                    });
                 }
-                p.clone()
+                for (i, &x) in p.iter().enumerate() {
+                    if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+                        return Err(RelogicError::DistributionMismatch {
+                            message: format!("input prob [{i}] = {x} out of [0,1]"),
+                        });
+                    }
+                }
+                Ok(p.clone())
             }
         }
     }
@@ -97,5 +118,23 @@ mod tests {
         c.add_input("a");
         c.add_input("b");
         let _ = InputDistribution::Independent(vec![0.2]).position_probs(&c);
+    }
+
+    #[test]
+    fn try_position_probs_returns_typed_errors() {
+        let mut c = Circuit::new("t");
+        c.add_input("a");
+        assert!(matches!(
+            InputDistribution::Independent(vec![0.2, 0.3]).try_position_probs(&c),
+            Err(RelogicError::DistributionMismatch { .. })
+        ));
+        assert!(matches!(
+            InputDistribution::Independent(vec![f64::NAN]).try_position_probs(&c),
+            Err(RelogicError::DistributionMismatch { .. })
+        ));
+        assert_eq!(
+            InputDistribution::Independent(vec![0.2]).try_position_probs(&c),
+            Ok(vec![0.2])
+        );
     }
 }

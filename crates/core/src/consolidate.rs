@@ -8,7 +8,7 @@
 //! combined with the joint fault-free value distribution of each output
 //! pair, give a pairwise-corrected estimate.
 
-use crate::{Backend, ErrorEvent, InputDistribution, SinglePassResult};
+use crate::{Backend, Diagnostics, ErrorEvent, InputDistribution, RelogicError, SinglePassResult};
 use relogic_bdd::{BddManager, CircuitBdds, VarOrder};
 use relogic_netlist::{Circuit, NodeId};
 use std::collections::HashMap;
@@ -59,11 +59,28 @@ impl Consolidator {
     /// [`Consolidator::for_pairs`].
     #[must_use]
     pub fn new(circuit: &Circuit, dist: &InputDistribution, backend: Backend) -> Self {
+        match Self::try_new(circuit, dist, backend) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Consolidator::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::DistributionMismatch`] if the input distribution
+    /// does not match the circuit.
+    pub fn try_new(
+        circuit: &Circuit,
+        dist: &InputDistribution,
+        backend: Backend,
+    ) -> Result<Self, RelogicError> {
         let m = circuit.output_count();
         let pairs: Vec<(usize, usize)> = (0..m)
             .flat_map(|a| ((a + 1)..m).map(move |b| (a, b)))
             .collect();
-        Self::for_pairs(circuit, &pairs, dist, backend)
+        Self::try_for_pairs(circuit, &pairs, dist, backend)
     }
 
     /// Builds joint value distributions for the given output-index pairs.
@@ -78,13 +95,37 @@ impl Consolidator {
         dist: &InputDistribution,
         backend: Backend,
     ) -> Self {
+        match Self::try_for_pairs(circuit, pairs, dist, backend) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Consolidator::for_pairs`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::InvalidOutputPair`] if a pair index is out of range
+    /// or not strictly increasing, or
+    /// [`RelogicError::DistributionMismatch`] if the input distribution
+    /// does not match the circuit.
+    pub fn try_for_pairs(
+        circuit: &Circuit,
+        pairs: &[(usize, usize)],
+        dist: &InputDistribution,
+        backend: Backend,
+    ) -> Result<Self, RelogicError> {
         let output_nodes: Vec<NodeId> = circuit.outputs().iter().map(|o| o.node()).collect();
         for &(a, b) in pairs {
-            assert!(
-                a < b && b < output_nodes.len(),
-                "invalid output pair ({a},{b})"
-            );
+            if a >= b || b >= output_nodes.len() {
+                return Err(RelogicError::InvalidOutputPair {
+                    a,
+                    b,
+                    outputs: output_nodes.len(),
+                });
+            }
         }
+        let _ = dist.try_position_probs(circuit)?;
         let pair_values = match backend {
             Backend::Bdd => {
                 let order = VarOrder::dfs(circuit);
@@ -138,10 +179,10 @@ impl Consolidator {
                     .collect()
             }
         };
-        Consolidator {
+        Ok(Consolidator {
             output_nodes,
             pair_values,
-        }
+        })
     }
 
     /// Joint probability that outputs `a` and `b` are *both* in error, using
@@ -152,11 +193,45 @@ impl Consolidator {
     /// Panics if the pair was not precomputed.
     #[must_use]
     pub fn joint_error(&self, result: &SinglePassResult, a: usize, b: usize) -> f64 {
+        match self.try_joint_error(result, a, b) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Consolidator::joint_error`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::MissingOutputPair`] if the pair was not precomputed.
+    pub fn try_joint_error(
+        &self,
+        result: &SinglePassResult,
+        a: usize,
+        b: usize,
+    ) -> Result<f64, RelogicError> {
+        let mut diag = Diagnostics::new();
+        self.joint_error_with(result, a, b, &mut diag)
+    }
+
+    /// [`Consolidator::try_joint_error`] that also accumulates clamp events
+    /// into `diag`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::MissingOutputPair`] if the pair was not precomputed.
+    pub fn joint_error_with(
+        &self,
+        result: &SinglePassResult,
+        a: usize,
+        b: usize,
+        diag: &mut Diagnostics,
+    ) -> Result<f64, RelogicError> {
         let (a, b) = (a.min(b), a.max(b));
         let values = self
             .pair_values
             .get(&(a, b))
-            .unwrap_or_else(|| panic!("output pair ({a},{b}) was not precomputed"));
+            .ok_or(RelogicError::MissingOutputPair { a, b })?;
         let na = self.output_nodes[a];
         let nb = self.output_nodes[b];
         let coeffs = result.correlation(na, nb);
@@ -182,12 +257,12 @@ impl Consolidator {
                     (ErrorEvent::Fall, ErrorEvent::Rise) => c[1][0],
                     (ErrorEvent::Fall, ErrorEvent::Fall) => c[1][1],
                 });
-                joint += w * (pa * pb * c).clamp(0.0, pa.min(pb));
+                joint += w * diag.clamp_coeff(pa * pb * c, 0.0, pa.min(pb));
             }
         }
         let da = delta_of(result, na, values, true);
         let db = delta_of(result, nb, values, false);
-        joint.clamp(0.0, da.min(db))
+        Ok(diag.clamp_prob(joint, 0.0, da.min(db)))
     }
 
     /// Probability that at least one of outputs `a`, `b` is in error — the
@@ -198,9 +273,26 @@ impl Consolidator {
     /// Panics if the pair was not precomputed.
     #[must_use]
     pub fn pair_error(&self, result: &SinglePassResult, a: usize, b: usize) -> f64 {
+        match self.try_pair_error(result, a, b) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Consolidator::pair_error`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::MissingOutputPair`] if the pair was not precomputed.
+    pub fn try_pair_error(
+        &self,
+        result: &SinglePassResult,
+        a: usize,
+        b: usize,
+    ) -> Result<f64, RelogicError> {
         let da = result.per_output()[a];
         let db = result.per_output()[b];
-        (da + db - self.joint_error(result, a, b)).clamp(da.max(db), (da + db).min(1.0))
+        Ok((da + db - self.try_joint_error(result, a, b)?).clamp(da.max(db), (da + db).min(1.0)))
     }
 
     /// Probability that at least one primary output is in error (the
@@ -213,20 +305,41 @@ impl Consolidator {
     /// and does not cover all output pairs.
     #[must_use]
     pub fn any_output_error(&self, result: &SinglePassResult) -> f64 {
+        let mut diag = Diagnostics::new();
+        match self.any_output_error_with(result, &mut diag) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Consolidator::any_output_error`] that also accumulates
+    /// clamp events — in particular the θ guard-rail clamps of the
+    /// Kirkwood correction — into `diag`.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::MissingOutputPair`] if the consolidator was built
+    /// with [`Consolidator::for_pairs`] and does not cover all output
+    /// pairs.
+    pub fn any_output_error_with(
+        &self,
+        result: &SinglePassResult,
+        diag: &mut Diagnostics,
+    ) -> Result<f64, RelogicError> {
         let deltas = result.per_output();
         let m = deltas.len();
         if m == 0 {
-            return 0.0;
+            return Ok(0.0);
         }
         if m == 1 {
-            return deltas[0];
+            return Ok(deltas[0]);
         }
         // ln P(no error) ≈ Σ ln(1−δ_k) + Σ_{a<b} ln θ_ab, the pairwise
         // (Kirkwood superposition) correction.
         let mut log_none = 0.0f64;
         for &d in deltas {
             if d >= 1.0 {
-                return 1.0;
+                return Ok(1.0);
             }
             log_none += (1.0 - d).ln();
         }
@@ -235,17 +348,17 @@ impl Consolidator {
                 let ok_a = 1.0 - deltas[a];
                 let ok_b = 1.0 - deltas[b];
                 if ok_a <= 0.0 || ok_b <= 0.0 {
-                    return 1.0;
+                    return Ok(1.0);
                 }
-                let joint_err = self.joint_error(result, a, b);
+                let joint_err = self.joint_error_with(result, a, b, diag)?;
                 let ok_both = (1.0 - deltas[a] - deltas[b] + joint_err).clamp(0.0, 1.0);
-                let theta = (ok_both / (ok_a * ok_b)).clamp(1e-6, 1e6);
+                let theta = diag.clamp_theta(ok_both / (ok_a * ok_b), 1e-6, 1e6);
                 log_none += theta.ln();
             }
         }
         let lower = deltas.iter().cloned().fold(0.0, f64::max);
         let upper = deltas.iter().sum::<f64>().min(1.0);
-        (1.0 - log_none.exp()).clamp(lower, upper)
+        Ok((1.0 - log_none.exp()).clamp(lower, upper))
     }
 }
 
@@ -396,6 +509,40 @@ mod tests {
     fn bad_pairs_rejected() {
         let c = two_output_reconvergent();
         let _ = Consolidator::for_pairs(&c, &[(1, 1)], &InputDistribution::Uniform, Backend::Bdd);
+    }
+
+    #[test]
+    fn try_variants_surface_typed_errors() {
+        let c = two_output_reconvergent();
+        assert!(matches!(
+            Consolidator::try_for_pairs(&c, &[(0, 7)], &InputDistribution::Uniform, Backend::Bdd),
+            Err(RelogicError::InvalidOutputPair { .. })
+        ));
+        // A consolidator missing a pair reports it instead of panicking.
+        let empty = Consolidator::try_for_pairs(&c, &[], &InputDistribution::Uniform, Backend::Bdd)
+            .unwrap();
+        let (r, _, _) = analyzed(&c, 0.1);
+        assert!(matches!(
+            empty.try_joint_error(&r, 0, 1),
+            Err(RelogicError::MissingOutputPair { a: 0, b: 1 })
+        ));
+        assert!(matches!(
+            empty.try_pair_error(&r, 0, 1),
+            Err(RelogicError::MissingOutputPair { .. })
+        ));
+        let mut diag = Diagnostics::new();
+        assert!(empty.any_output_error_with(&r, &mut diag).is_err());
+    }
+
+    #[test]
+    fn any_output_error_with_accumulates_diagnostics() {
+        let c = two_output_reconvergent();
+        let (r, cons, _) = analyzed(&c, 0.3);
+        let mut diag = Diagnostics::new();
+        let with = cons.any_output_error_with(&r, &mut diag).unwrap();
+        assert!((with - cons.any_output_error(&r)).abs() < 1e-15);
+        // Whatever events occurred, the plain call must not change them.
+        assert!(diag.worst_excursion().is_finite());
     }
 
     #[test]

@@ -1,7 +1,21 @@
 //! Per-node gate failure probabilities (the ε⃗ vector of the paper).
 
+use crate::RelogicError;
 use rand::Rng;
 use relogic_netlist::{Circuit, NodeId};
+
+/// Validates one ε value against `[0, 1]` (finiteness included).
+fn check_eps(node: Option<NodeId>, eps: f64) -> Result<(), RelogicError> {
+    if eps.is_finite() && (0.0..=1.0).contains(&eps) {
+        Ok(())
+    } else {
+        Err(RelogicError::InvalidEpsilon {
+            node,
+            value: eps,
+            max: 1.0,
+        })
+    }
+}
 
 /// The vector of BSC crossover probabilities `ε⃗`, one entry per node.
 ///
@@ -48,13 +62,27 @@ impl GateEps {
     /// Panics if `eps` is outside `[0, 1]`.
     #[must_use]
     pub fn uniform(circuit: &Circuit, eps: f64) -> Self {
-        assert!((0.0..=1.0).contains(&eps), "ε = {eps} out of [0,1]");
-        GateEps {
+        match GateEps::try_uniform(circuit, eps) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`GateEps::uniform`]: rejects non-finite or out-of-range
+    /// `eps` with a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::InvalidEpsilon`] if `eps` is not a finite value in
+    /// `[0, 1]`.
+    pub fn try_uniform(circuit: &Circuit, eps: f64) -> Result<Self, RelogicError> {
+        check_eps(None, eps)?;
+        Ok(GateEps {
             values: circuit
                 .iter()
                 .map(|(_, n)| if n.kind().is_gate() { eps } else { 0.0 })
                 .collect(),
-        }
+        })
     }
 
     /// Independent per-gate ε drawn uniformly from `[lo, hi]` — the Fig. 7
@@ -71,11 +99,30 @@ impl GateEps {
         hi: f64,
         rng: &mut R,
     ) -> Self {
-        assert!(
-            0.0 <= lo && lo <= hi && hi <= 1.0,
-            "invalid ε range [{lo}, {hi}]"
-        );
-        GateEps {
+        match GateEps::try_random_uniform(circuit, lo, hi, rng) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`GateEps::random_uniform`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::InvalidGrid`] if the range is not an increasing,
+    /// finite subrange of `[0, 1]`.
+    pub fn try_random_uniform<R: Rng + ?Sized>(
+        circuit: &Circuit,
+        lo: f64,
+        hi: f64,
+        rng: &mut R,
+    ) -> Result<Self, RelogicError> {
+        if !(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi && hi <= 1.0) {
+            return Err(RelogicError::InvalidGrid {
+                message: format!("invalid ε range [{lo}, {hi}]"),
+            });
+        }
+        Ok(GateEps {
             values: circuit
                 .iter()
                 .map(|(_, n)| {
@@ -86,7 +133,7 @@ impl GateEps {
                     }
                 })
                 .collect(),
-        }
+        })
     }
 
     /// Builds an ε vector from a per-node closure.
@@ -95,17 +142,30 @@ impl GateEps {
     ///
     /// Panics if the closure returns a value outside `[0, 1]`.
     #[must_use]
-    pub fn from_fn(circuit: &Circuit, mut f: impl FnMut(NodeId) -> f64) -> Self {
-        GateEps {
-            values: circuit
-                .node_ids()
-                .map(|id| {
-                    let e = f(id);
-                    assert!((0.0..=1.0).contains(&e), "ε({id}) = {e} out of [0,1]");
-                    e
-                })
-                .collect(),
+    pub fn from_fn(circuit: &Circuit, f: impl FnMut(NodeId) -> f64) -> Self {
+        match GateEps::try_from_fn(circuit, f) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Fallible [`GateEps::from_fn`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::InvalidEpsilon`] naming the offending node if the
+    /// closure returns a non-finite value or one outside `[0, 1]`.
+    pub fn try_from_fn(
+        circuit: &Circuit,
+        mut f: impl FnMut(NodeId) -> f64,
+    ) -> Result<Self, RelogicError> {
+        let mut values = Vec::with_capacity(circuit.len());
+        for id in circuit.node_ids() {
+            let e = f(id);
+            check_eps(Some(id), e)?;
+            values.push(e);
+        }
+        Ok(GateEps { values })
     }
 
     /// ε of `node`.
@@ -124,8 +184,31 @@ impl GateEps {
     ///
     /// Panics if `node` is out of range or `eps` is outside `[0, 1]`.
     pub fn set(&mut self, node: NodeId, eps: f64) {
-        assert!((0.0..=1.0).contains(&eps), "ε = {eps} out of [0,1]");
-        self.values[node.index()] = eps;
+        if let Err(e) = self.try_set(node, eps) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible [`GateEps::set`]: validates both the node index and the
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::InvalidEpsilon`] for a non-finite or out-of-range
+    /// value, [`RelogicError::LengthMismatch`] for an out-of-range node.
+    pub fn try_set(&mut self, node: NodeId, eps: f64) -> Result<(), RelogicError> {
+        check_eps(Some(node), eps)?;
+        match self.values.get_mut(node.index()) {
+            Some(slot) => {
+                *slot = eps;
+                Ok(())
+            }
+            None => Err(RelogicError::LengthMismatch {
+                what: "ε node index",
+                expected: self.values.len(),
+                actual: node.index(),
+            }),
+        }
     }
 
     /// The raw per-node slice (indexed by [`NodeId::index`]), as consumed by
@@ -223,5 +306,42 @@ mod tests {
     fn invalid_eps_rejected() {
         let c = circuit();
         let _ = GateEps::uniform(&c, 1.2);
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        let c = circuit();
+        assert!(matches!(
+            GateEps::try_uniform(&c, f64::NAN),
+            Err(RelogicError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            GateEps::try_uniform(&c, 1.0 + 1e-9),
+            Err(RelogicError::InvalidEpsilon { .. })
+        ));
+        assert!(GateEps::try_uniform(&c, 0.5).is_ok());
+
+        let mut eps = GateEps::zero(&c);
+        assert!(matches!(
+            eps.try_set(NodeId::from_index(2), f64::INFINITY),
+            Err(RelogicError::InvalidEpsilon { .. })
+        ));
+        assert!(matches!(
+            eps.try_set(NodeId::from_index(99), 0.1),
+            Err(RelogicError::LengthMismatch { .. })
+        ));
+        assert!(eps.try_set(NodeId::from_index(2), 0.3).is_ok());
+        assert_eq!(eps.get(NodeId::from_index(2)), 0.3);
+
+        assert!(matches!(
+            GateEps::try_from_fn(&c, |_| -0.1),
+            Err(RelogicError::InvalidEpsilon { node: Some(_), .. })
+        ));
+
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(matches!(
+            GateEps::try_random_uniform(&c, 0.4, 0.1, &mut rng),
+            Err(RelogicError::InvalidGrid { .. })
+        ));
     }
 }

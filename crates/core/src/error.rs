@@ -1,0 +1,211 @@
+//! Typed errors for the analytical engines.
+//!
+//! Every public analysis entry point has a fallible `try_*` variant that
+//! validates its inputs and returns a [`RelogicError`] instead of panicking.
+//! The original infallible APIs remain as thin wrappers for callers that
+//! have already validated their inputs (they panic with the error's
+//! `Display` text on violation).
+
+use relogic_netlist::NodeId;
+use relogic_sim::SimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the fallible analysis entry points of this crate.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum RelogicError {
+    /// A gate failure probability is non-finite or outside the accepted
+    /// range (`[0, 1]` normally; `[0, 0.5]` under the strict von Neumann
+    /// BSC policy, where ε > 0.5 means the gate computes the complement
+    /// more often than the function).
+    InvalidEpsilon {
+        /// The node carrying the offending ε, when known.
+        node: Option<NodeId>,
+        /// The offending value.
+        value: f64,
+        /// Upper end of the accepted range (1.0, or 0.5 under strict).
+        max: f64,
+    },
+    /// Two per-node structures cover different node counts (e.g. an ε map
+    /// or weight table computed for a different circuit).
+    LengthMismatch {
+        /// What was being matched against the circuit.
+        what: &'static str,
+        /// Nodes in the circuit.
+        expected: usize,
+        /// Entries supplied.
+        actual: usize,
+    },
+    /// The circuit has no nodes; there is nothing to analyze.
+    EmptyCircuit,
+    /// The circuit has more nodes than the engine's compact `u32` node
+    /// keys (or the BDD variable space) can index.
+    CircuitTooLarge {
+        /// Number of nodes in the circuit.
+        nodes: usize,
+    },
+    /// A gate's fanin count exceeds what the analytical engines enumerate.
+    ArityExceeded {
+        /// The offending gate.
+        node: NodeId,
+        /// Its fanin count.
+        arity: usize,
+        /// The supported maximum.
+        max: usize,
+    },
+    /// An input distribution does not match the circuit (wrong input count
+    /// or a probability outside `[0, 1]`).
+    DistributionMismatch {
+        /// Human-readable description of the mismatch.
+        message: String,
+    },
+    /// An output pair is malformed (not strictly increasing or out of
+    /// range).
+    InvalidOutputPair {
+        /// First output index.
+        a: usize,
+        /// Second output index.
+        b: usize,
+        /// Number of primary outputs.
+        outputs: usize,
+    },
+    /// A consolidation query named an output pair whose joint value
+    /// distribution was not precomputed.
+    MissingOutputPair {
+        /// First output index.
+        a: usize,
+        /// Second output index.
+        b: usize,
+    },
+    /// An ε-grid request is malformed (zero points or an invalid range).
+    InvalidGrid {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// Strict numeric policy: an intermediate quantity left its legal
+    /// range (or became non-finite) by more than the tolerance, instead of
+    /// being silently clamped.
+    NumericRange {
+        /// Which quantity went out of range.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Legal lower bound.
+        lo: f64,
+        /// Legal upper bound.
+        hi: f64,
+    },
+    /// A simulation-backend failure (zero pattern budget, bad ε vector …).
+    Sim(SimError),
+}
+
+impl fmt::Display for RelogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelogicError::InvalidEpsilon { node, value, max } => {
+                // `{max}` renders 1.0 as "1", keeping the historical
+                // "out of [0,1]" wording asserted on by callers.
+                match node {
+                    Some(n) => write!(f, "ε({n}) = {value} out of [0,{max}]")?,
+                    None => write!(f, "ε = {value} out of [0,{max}]")?,
+                }
+                if *max < 1.0 {
+                    write!(f, " (strict von Neumann BSC policy)")?;
+                }
+                Ok(())
+            }
+            RelogicError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} covers {actual} nodes, circuit has {expected}"),
+            RelogicError::EmptyCircuit => write!(f, "circuit has no nodes"),
+            RelogicError::CircuitTooLarge { nodes } => {
+                write!(
+                    f,
+                    "circuit has {nodes} nodes, exceeding the engine's index space"
+                )
+            }
+            RelogicError::ArityExceeded { node, arity, max } => write!(
+                f,
+                "gate {node} has arity {arity}, exceeding the analysis limit {max}"
+            ),
+            RelogicError::DistributionMismatch { message } => {
+                write!(f, "input distribution mismatch: {message}")
+            }
+            RelogicError::InvalidOutputPair { a, b, outputs } => {
+                write!(f, "invalid output pair ({a},{b}) with {outputs} outputs")
+            }
+            RelogicError::MissingOutputPair { a, b } => {
+                write!(f, "output pair ({a},{b}) was not precomputed")
+            }
+            RelogicError::InvalidGrid { message } => write!(f, "invalid ε grid: {message}"),
+            RelogicError::NumericRange {
+                context,
+                value,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "strict numeric policy violation: {context} = {value} outside [{lo}, {hi}]"
+            ),
+            RelogicError::Sim(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for RelogicError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RelogicError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for RelogicError {
+    fn from(e: SimError) -> Self {
+        RelogicError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_preserves_legacy_wording() {
+        let e = RelogicError::InvalidEpsilon {
+            node: None,
+            value: 1.2,
+            max: 1.0,
+        };
+        assert!(e.to_string().contains("out of [0,1]"), "{e}");
+        let e = RelogicError::ArityExceeded {
+            node: NodeId::from_index(4),
+            arity: 9,
+            max: 8,
+        };
+        assert!(e.to_string().contains("exceeding the analysis limit"));
+        let e = RelogicError::InvalidOutputPair {
+            a: 1,
+            b: 1,
+            outputs: 2,
+        };
+        assert!(e.to_string().contains("invalid output pair"));
+    }
+
+    #[test]
+    fn sim_errors_wrap_with_source() {
+        let e = RelogicError::from(SimError::ZeroPatternBudget);
+        assert!(e.to_string().contains("pattern budget"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RelogicError>();
+    }
+}

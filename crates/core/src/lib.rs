@@ -54,7 +54,9 @@ pub mod applications;
 mod backend;
 pub mod baselines;
 pub mod consolidate;
+mod diagnostics;
 mod epsilon;
+mod error;
 pub mod metrics;
 mod observability;
 mod single_pass;
@@ -62,7 +64,9 @@ pub mod sweep;
 mod weights;
 
 pub use backend::{Backend, InputDistribution};
+pub use diagnostics::Diagnostics;
 pub use epsilon::GateEps;
+pub use error::RelogicError;
 pub use observability::ObservabilityMatrix;
 pub use single_pass::{CorrCoeffs, ErrorEvent, SinglePass, SinglePassOptions, SinglePassResult};
 pub use weights::{joint_value_distribution, Weights, MAX_ANALYSIS_ARITY};

@@ -13,7 +13,7 @@
 //! rate estimation) and accurate whenever multiple simultaneous failures
 //! are improbable.
 
-use crate::{Backend, GateEps, InputDistribution};
+use crate::{Backend, GateEps, InputDistribution, RelogicError};
 use relogic_bdd::{BddManager, CircuitBdds, VarOrder};
 use relogic_netlist::{Circuit, NodeId};
 
@@ -38,6 +38,25 @@ impl ObservabilityMatrix {
     /// Panics if the input distribution does not match the circuit.
     #[must_use]
     pub fn compute(circuit: &Circuit, dist: &InputDistribution, backend: Backend) -> Self {
+        match Self::try_compute(circuit, dist, backend) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`ObservabilityMatrix::compute`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::DistributionMismatch`] if the input distribution
+    /// does not match the circuit, or [`RelogicError::CircuitTooLarge`] if
+    /// the circuit exhausts the BDD variable space.
+    pub fn try_compute(
+        circuit: &Circuit,
+        dist: &InputDistribution,
+        backend: Backend,
+    ) -> Result<Self, RelogicError> {
+        let _ = dist.try_position_probs(circuit)?;
         match backend {
             Backend::Bdd => Self::compute_bdd(circuit, dist),
             Backend::Simulation { patterns, seed } => {
@@ -52,18 +71,21 @@ impl ObservabilityMatrix {
                     })
                     .collect();
                 let any_output = circuit.node_ids().map(|id| est.any(id)).collect();
-                ObservabilityMatrix {
+                Ok(ObservabilityMatrix {
                     per_output,
                     any_output,
-                }
+                })
             }
         }
     }
 
-    fn compute_bdd(circuit: &Circuit, dist: &InputDistribution) -> Self {
+    fn compute_bdd(circuit: &Circuit, dist: &InputDistribution) -> Result<Self, RelogicError> {
         let order = VarOrder::dfs(circuit);
         let mut manager = BddManager::new(order.len() + 1);
-        let aux = relogic_bdd::Var::try_from(order.len()).expect("var overflow");
+        let aux =
+            relogic_bdd::Var::try_from(order.len()).map_err(|_| RelogicError::CircuitTooLarge {
+                nodes: circuit.len(),
+            })?;
         let bdds = CircuitBdds::build(&mut manager, circuit, &order);
         let var_probs = order.permute_probs(&dist.position_probs(circuit), order.len() + 1, 0.5);
         let out_nodes: Vec<NodeId> = circuit.outputs().iter().map(|o| o.node()).collect();
@@ -86,10 +108,10 @@ impl ObservabilityMatrix {
                 manager.clear_op_caches();
             }
         }
-        ObservabilityMatrix {
+        Ok(ObservabilityMatrix {
             per_output,
             any_output,
-        }
+        })
     }
 
     /// Observability of `node` at output `output_index`.

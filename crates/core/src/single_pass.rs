@@ -22,10 +22,19 @@
 //! coefficients re-weight the propagation terms, e.g.
 //! `Pr(i_{0→1})·(1 − Pr(j_{1→0})·C_{ij̃})`.
 
-use crate::{GateEps, Weights};
+use crate::weights::MAX_ANALYSIS_ARITY;
+use crate::{Diagnostics, GateEps, RelogicError, Weights};
 use relogic_netlist::structure::FanoutMap;
 use relogic_netlist::{Circuit, GateKind, NodeId};
 use std::collections::HashMap;
+
+/// Compact `u32` node key. Safe after [`SinglePass::try_new`] has verified
+/// the circuit's node count fits `u32`.
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+fn node_key(index: usize) -> u32 {
+    index as u32
+}
 
 /// A `0→1` or `1→0` error event on a signal.
 ///
@@ -104,6 +113,12 @@ pub struct SinglePassOptions {
     /// logic and is neutral on the XOR lattices (see EXPERIMENTS.md), so
     /// the default stays faithful to the paper: off.
     pub value_conditioning: bool,
+    /// Strict numeric policy. When set, [`SinglePass::try_run`] rejects
+    /// ε > 0.5 (outside the sensible von Neumann BSC regime) and turns
+    /// non-finite correlation numerics into
+    /// [`RelogicError::NumericRange`] errors instead of silently falling
+    /// back to uncorrelated propagation.
+    pub strict: bool,
 }
 
 impl Default for SinglePassOptions {
@@ -113,6 +128,7 @@ impl Default for SinglePassOptions {
             partner_cap: Some(64),
             prune_tolerance: 1e-4,
             value_conditioning: false,
+            strict: false,
         }
     }
 }
@@ -138,6 +154,7 @@ pub struct SinglePassResult {
     node_delta: Vec<f64>,
     per_output: Vec<f64>,
     partners: Vec<HashMap<u32, PairCoeffs>>,
+    diagnostics: Diagnostics,
 }
 
 impl SinglePassResult {
@@ -173,8 +190,9 @@ impl SinglePassResult {
     /// treated as independent). Indexed `[event on a][event on b]`.
     #[must_use]
     pub fn correlation(&self, a: NodeId, b: NodeId) -> Option<CorrCoeffs> {
-        self.partners[a.index()]
-            .get(&u32::try_from(b.index()).expect("node index overflow"))
+        u32::try_from(b.index())
+            .ok()
+            .and_then(|k| self.partners[a.index()].get(&k))
             .map(|c| c.err)
     }
 
@@ -182,9 +200,17 @@ impl SinglePassResult {
     /// `V[value on a][value on b]` for a pair, if tracked.
     #[must_use]
     pub fn value_correlation(&self, a: NodeId, b: NodeId) -> Option<CorrCoeffs> {
-        self.partners[a.index()]
-            .get(&u32::try_from(b.index()).expect("node index overflow"))
+        u32::try_from(b.index())
+            .ok()
+            .and_then(|k| self.partners[a.index()].get(&k))
             .map(|c| c.val)
+    }
+
+    /// Numerical diagnostics accumulated during this run: clamp events,
+    /// coefficient saturations, and correlation fallbacks.
+    #[must_use]
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
     }
 }
 
@@ -223,36 +249,131 @@ impl<'a> SinglePass<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `weights` was computed for a different circuit (length
-    /// mismatch).
+    /// Panics if [`SinglePass::try_new`] would return an error — in
+    /// particular if `weights` was computed for a different circuit
+    /// (length mismatch).
     #[must_use]
     pub fn new(circuit: &'a Circuit, weights: &'a Weights, options: SinglePassOptions) -> Self {
-        assert_eq!(
-            weights.len(),
-            circuit.len(),
-            "weights cover {} nodes, circuit has {}",
-            weights.len(),
-            circuit.len()
-        );
+        match SinglePass::try_new(circuit, weights, options) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible constructor: validates that the circuit is non-empty, that
+    /// its node count fits the engine's compact `u32` node keys, that
+    /// `weights` covers exactly the circuit's nodes, and that every gate's
+    /// arity is within [`MAX_ANALYSIS_ARITY`].
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::EmptyCircuit`], [`RelogicError::CircuitTooLarge`],
+    /// [`RelogicError::LengthMismatch`], or [`RelogicError::ArityExceeded`].
+    pub fn try_new(
+        circuit: &'a Circuit,
+        weights: &'a Weights,
+        options: SinglePassOptions,
+    ) -> Result<Self, RelogicError> {
+        if circuit.is_empty() {
+            return Err(RelogicError::EmptyCircuit);
+        }
+        if u32::try_from(circuit.len()).is_err() {
+            return Err(RelogicError::CircuitTooLarge {
+                nodes: circuit.len(),
+            });
+        }
+        if weights.len() != circuit.len() {
+            return Err(RelogicError::LengthMismatch {
+                what: "weights",
+                expected: circuit.len(),
+                actual: weights.len(),
+            });
+        }
+        for (id, node) in circuit.iter() {
+            let arity = node.fanins().len();
+            if arity > MAX_ANALYSIS_ARITY {
+                return Err(RelogicError::ArityExceeded {
+                    node: id,
+                    arity,
+                    max: MAX_ANALYSIS_ARITY,
+                });
+            }
+        }
         let fanout = FanoutMap::build(circuit);
         let is_stem = circuit.node_ids().map(|id| fanout.is_stem(id)).collect();
-        SinglePass {
+        Ok(SinglePass {
             circuit,
             weights,
             options,
             is_stem,
-        }
+        })
     }
 
     /// Runs the single topological pass for the failure probabilities `eps`.
     ///
     /// # Panics
     ///
-    /// Panics if `eps` covers a different node count than the circuit.
+    /// Panics if [`SinglePass::try_run`] would return an error — in
+    /// particular if `eps` covers a different node count than the circuit.
     #[must_use]
     pub fn run(&self, eps: &GateEps) -> SinglePassResult {
-        assert_eq!(eps.len(), self.circuit.len());
+        match self.try_run(eps) {
+            Ok(result) => result,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible run: validates the ε map against the circuit before the
+    /// pass and applies the configured numeric policy during it.
+    ///
+    /// Every ε must be finite and in `[0, 1]` — or `[0, 0.5]` when
+    /// [`SinglePassOptions::strict`] is set (beyond 0.5 the BSC gate
+    /// computes the complement more often than the function). Under strict,
+    /// a correlation fallback or a non-finite excursion also turns into
+    /// [`RelogicError::NumericRange`] instead of being absorbed.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::LengthMismatch`], [`RelogicError::InvalidEpsilon`],
+    /// or (strict only) [`RelogicError::NumericRange`].
+    pub fn try_run(&self, eps: &GateEps) -> Result<SinglePassResult, RelogicError> {
+        if eps.len() != self.circuit.len() {
+            return Err(RelogicError::LengthMismatch {
+                what: "ε map",
+                expected: self.circuit.len(),
+                actual: eps.len(),
+            });
+        }
+        let max_eps = if self.options.strict { 0.5 } else { 1.0 };
+        for id in self.circuit.node_ids() {
+            let e = eps.get(id);
+            if !e.is_finite() || !(0.0..=max_eps).contains(&e) {
+                return Err(RelogicError::InvalidEpsilon {
+                    node: Some(id),
+                    value: e,
+                    max: max_eps,
+                });
+            }
+        }
+        let result = self.run_validated(eps);
+        if self.options.strict {
+            let d = result.diagnostics();
+            if d.correlation_fallbacks() > 0 || d.worst_excursion().is_infinite() {
+                return Err(RelogicError::NumericRange {
+                    context: "correlation propagation",
+                    value: f64::NAN,
+                    lo: 0.0,
+                    hi: 1.0,
+                });
+            }
+        }
+        Ok(result)
+    }
+
+    /// The pass itself, assuming pre-validated inputs.
+    fn run_validated(&self, eps: &GateEps) -> SinglePassResult {
         let n = self.circuit.len();
+        let mut diag = Diagnostics::new();
         let mut p01 = vec![0.0f64; n];
         let mut p10 = vec![0.0f64; n];
         let mut partners: Vec<HashMap<u32, PairCoeffs>> = vec![HashMap::new(); n];
@@ -277,7 +398,8 @@ impl<'a> SinglePass<'a> {
                         p10: &p10,
                         enabled: self.options.correlations,
                     };
-                    let (r0, r1) = propagated_ratios(kind, w, &scratch.base, &pair, None);
+                    let (r0, r1) =
+                        propagated_ratios(kind, w, &scratch.base, &pair, None, &mut diag);
                     p01[i] = e + (1.0 - 2.0 * e) * r0;
                     p10[i] = e + (1.0 - 2.0 * e) * r1;
 
@@ -291,6 +413,7 @@ impl<'a> SinglePass<'a> {
                             &mut partners,
                             &p01,
                             &p10,
+                            &mut diag,
                         );
                     }
                 }
@@ -315,6 +438,7 @@ impl<'a> SinglePass<'a> {
             node_delta,
             per_output,
             partners,
+            diagnostics: diag,
         }
     }
 
@@ -333,6 +457,7 @@ impl<'a> SinglePass<'a> {
         partners: &mut [HashMap<u32, PairCoeffs>],
         p01: &[f64],
         p10: &[f64],
+        diag: &mut Diagnostics,
     ) {
         let i = id.index();
         let node = self.circuit.node(id);
@@ -347,7 +472,7 @@ impl<'a> SinglePass<'a> {
                     scratch.candidates.push(k);
                 }
             }
-            let fi = u32::try_from(f.index()).expect("node index overflow");
+            let fi = node_key(f.index());
             if self.is_stem[f.index()] && !scratch.candidates.contains(&fi) {
                 scratch.candidates.push(fi);
             }
@@ -401,8 +526,13 @@ impl<'a> SinglePass<'a> {
                     }
                     if mass > COEFF_EPS {
                         let p1_ctx = mass1 / mass;
-                        coeffs.val[1][ctx] = ratio_or_one(p1_ctx, sp_l).max(0.0);
-                        coeffs.val[0][ctx] = ratio_or_one(1.0 - p1_ctx, 1.0 - sp_l).max(0.0);
+                        coeffs.val[1][ctx] =
+                            diag.clamp_coeff(ratio_or_one(p1_ctx, sp_l), 0.0, f64::INFINITY);
+                        coeffs.val[0][ctx] = diag.clamp_coeff(
+                            ratio_or_one(1.0 - p1_ctx, 1.0 - sp_l),
+                            0.0,
+                            f64::INFINITY,
+                        );
                     }
                 }
 
@@ -433,8 +563,8 @@ impl<'a> SinglePass<'a> {
                     } else {
                         let c = partners[fi].get(&k).map_or(INDEPENDENT, |c| c.err);
                         scratch.cond.push((
-                            (p01[fi] * c[0][ev_k.idx()]).clamp(0.0, 1.0),
-                            (p10[fi] * c[1][ev_k.idx()]).clamp(0.0, 1.0),
+                            diag.clamp_coeff(p01[fi] * c[0][ev_k.idx()], 0.0, 1.0),
+                            diag.clamp_coeff(p10[fi] * c[1][ev_k.idx()], 0.0, 1.0),
                         ));
                     }
                 }
@@ -445,11 +575,19 @@ impl<'a> SinglePass<'a> {
                     p10,
                     enabled: true,
                 };
-                let (r0, r1) = propagated_ratios(kind, &w_ctx, &scratch.cond, &pair, Some(k_node));
-                let cond_p01 = (e + (1.0 - 2.0 * e) * r0).clamp(0.0, 1.0);
-                let cond_p10 = (e + (1.0 - 2.0 * e) * r1).clamp(0.0, 1.0);
+                let (r0, r1) =
+                    propagated_ratios(kind, &w_ctx, &scratch.cond, &pair, Some(k_node), diag);
+                let cond_p01 = diag.clamp_prob(e + (1.0 - 2.0 * e) * r0, 0.0, 1.0);
+                let cond_p10 = diag.clamp_prob(e + (1.0 - 2.0 * e) * r1, 0.0, 1.0);
                 coeffs.err[0][ev_k.idx()] = ratio_or_one(cond_p01, p01[i]);
                 coeffs.err[1][ev_k.idx()] = ratio_or_one(cond_p10, p10[i]);
+            }
+            if !pair_is_finite(&coeffs) {
+                // Graceful degradation: a non-finite coefficient would
+                // poison every downstream gate; drop the pair back to
+                // independence and record the fallback.
+                diag.record_fallback();
+                continue;
             }
             if pair_strength(&coeffs) >= self.options.prune_tolerance {
                 new_coeffs.push((k, coeffs));
@@ -469,7 +607,7 @@ impl<'a> SinglePass<'a> {
             }
         }
 
-        let iu = u32::try_from(i).expect("node index overflow");
+        let iu = node_key(i);
         for (k, coeffs) in new_coeffs {
             partners[i].insert(k, coeffs);
             // Symmetric registration with transposed indices.
@@ -507,6 +645,10 @@ fn coeff_strength(c: &CorrCoeffs) -> f64 {
 
 fn pair_strength(c: &PairCoeffs) -> f64 {
     coeff_strength(&c.err).max(coeff_strength(&c.val))
+}
+
+fn pair_is_finite(c: &PairCoeffs) -> bool {
+    c.err.iter().flatten().all(|x| x.is_finite()) && c.val.iter().flatten().all(|x| x.is_finite())
 }
 
 #[derive(Default)]
@@ -559,7 +701,7 @@ impl PairLookup<'_> {
             return 0.0;
         }
         self.partners[na]
-            .get(&u32::try_from(nb).expect("node index overflow"))
+            .get(&node_key(nb))
             .map_or(1.0, |c| c.err[ev_a.idx()][ev_b.idx()])
     }
 }
@@ -577,6 +719,7 @@ fn propagated_ratios(
     probs: &[(f64, f64)],
     pair: &PairLookup<'_>,
     exclude: Option<NodeId>,
+    diag: &mut Diagnostics,
 ) -> (f64, f64) {
     let k = probs.len();
     debug_assert_eq!(w.len(), 1 << k);
@@ -619,7 +762,7 @@ fn propagated_ratios(
                         }
                     }
                 }
-                let q = q.clamp(0.0, 1.0);
+                let q = diag.clamp_coeff(q, 0.0, 1.0);
                 prob *= if flipped { q } else { 1.0 - q };
                 if prob <= 0.0 {
                     break;
@@ -627,7 +770,7 @@ fn propagated_ratios(
             }
             flip_prob += prob;
         }
-        pw[out_v] += wv * flip_prob.clamp(0.0, 1.0);
+        pw[out_v] += wv * diag.clamp_prob(flip_prob, 0.0, 1.0);
     }
     let r0 = if wsum[0] > COEFF_EPS {
         pw[0] / wsum[0]
@@ -639,7 +782,7 @@ fn propagated_ratios(
     } else {
         0.0
     };
-    (r0.clamp(0.0, 1.0), r1.clamp(0.0, 1.0))
+    (diag.clamp_prob(r0, 0.0, 1.0), diag.clamp_prob(r1, 0.0, 1.0))
 }
 
 #[cfg(test)]
@@ -957,5 +1100,110 @@ mod tests {
         let corr = run(&c, &eps, SinglePassOptions::default()).per_output()[0];
         assert!((corr - exact).abs() <= (plain - exact).abs() + 1e-9);
         assert!((corr - exact).abs() < 0.05);
+    }
+
+    #[test]
+    fn try_new_rejects_empty_circuit() {
+        let c = Circuit::new("empty");
+        let mut c2 = Circuit::new("one");
+        let a = c2.add_input("a");
+        c2.add_output("y", a);
+        let w = weights(&c2);
+        let err = SinglePass::try_new(&c, &w, SinglePassOptions::default()).unwrap_err();
+        assert!(matches!(err, RelogicError::EmptyCircuit));
+    }
+
+    #[test]
+    fn try_new_rejects_mismatched_weights() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let mut other = Circuit::new("other");
+        let b = other.add_input("b");
+        other.add_output("y", b);
+        let w = weights(&other);
+        let err = SinglePass::try_new(&c, &w, SinglePassOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            RelogicError::LengthMismatch {
+                what: "weights",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn try_run_rejects_mismatched_eps() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let mut other = Circuit::new("other");
+        let b = other.add_input("b");
+        other.add_output("y", b);
+        let w = weights(&c);
+        let engine = SinglePass::try_new(&c, &w, SinglePassOptions::default()).unwrap();
+        let err = engine.try_run(&GateEps::uniform(&other, 0.1)).unwrap_err();
+        assert!(matches!(
+            err,
+            RelogicError::LengthMismatch { what: "ε map", .. }
+        ));
+    }
+
+    #[test]
+    fn strict_rejects_eps_beyond_half() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let w = weights(&c);
+        let opts = SinglePassOptions {
+            strict: true,
+            ..SinglePassOptions::default()
+        };
+        let engine = SinglePass::try_new(&c, &w, opts).unwrap();
+        let err = engine.try_run(&GateEps::uniform(&c, 0.6)).unwrap_err();
+        match err {
+            RelogicError::InvalidEpsilon { value, max, .. } => {
+                assert!((value - 0.6).abs() < 1e-12);
+                assert!((max - 0.5).abs() < 1e-12);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // The same ε is fine without strict.
+        let lenient = SinglePass::try_new(&c, &w, SinglePassOptions::default()).unwrap();
+        assert!(lenient.try_run(&GateEps::uniform(&c, 0.6)).is_ok());
+    }
+
+    #[test]
+    fn reconvergent_circuit_reports_clamp_diagnostics() {
+        // The XOR-reconvergence lattice drives coefficient-weighted
+        // products out of [0, 1]; the diagnostics must record it.
+        let mut c = Circuit::new("xor_reconv");
+        let a = c.add_input("a");
+        let s = c.not(a);
+        let p = c.buf(s);
+        let q = c.buf(s);
+        let g = c.xor([p, q]);
+        c.add_output("y", g);
+        let r = run(&c, &GateEps::uniform(&c, 0.2), SinglePassOptions::default());
+        assert!(
+            !r.diagnostics().is_clean(),
+            "expected clamp events on a reconvergent XOR, got {:?}",
+            r.diagnostics()
+        );
+        assert!(r.diagnostics().worst_excursion() > 0.0);
+    }
+
+    #[test]
+    fn tree_circuit_diagnostics_are_clean() {
+        let mut c = Circuit::new("tree");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        c.add_output("y", g);
+        let r = run(&c, &GateEps::uniform(&c, 0.1), SinglePassOptions::default());
+        assert!(r.diagnostics().is_clean(), "{:?}", r.diagnostics());
     }
 }

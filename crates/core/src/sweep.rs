@@ -2,9 +2,9 @@
 //! failure probabilities, as every figure and table in the paper does
 //! ("δ(ε⃗) for 50 different values of ε over the range 0 to 0.5").
 
-use crate::{GateEps, SinglePass, SinglePassOptions, Weights};
+use crate::{Diagnostics, GateEps, RelogicError, SinglePass, SinglePassOptions, Weights};
 use relogic_netlist::Circuit;
-use relogic_sim::{estimate, ChunkExecutor, MonteCarloConfig};
+use relogic_sim::{try_estimate, ChunkExecutor, MonteCarloConfig};
 
 /// An evenly spaced ε grid of `points` values covering `[lo, hi]`
 /// inclusive.
@@ -23,8 +23,33 @@ use relogic_sim::{estimate, ChunkExecutor, MonteCarloConfig};
 /// ```
 #[must_use]
 pub fn epsilon_grid(points: usize, lo: f64, hi: f64) -> Vec<f64> {
-    assert!(points > 0, "need at least one grid point");
-    assert!(0.0 <= lo && lo <= hi && hi <= 1.0, "invalid ε range");
+    match try_epsilon_grid(points, lo, hi) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`epsilon_grid`].
+///
+/// # Errors
+///
+/// [`RelogicError::InvalidGrid`] if `points == 0` or the range is not an
+/// increasing, finite subrange of `[0, 1]`.
+pub fn try_epsilon_grid(points: usize, lo: f64, hi: f64) -> Result<Vec<f64>, RelogicError> {
+    if points == 0 {
+        return Err(RelogicError::InvalidGrid {
+            message: "need at least one grid point".to_string(),
+        });
+    }
+    if !(lo.is_finite() && hi.is_finite() && 0.0 <= lo && lo <= hi && hi <= 1.0) {
+        return Err(RelogicError::InvalidGrid {
+            message: format!("invalid ε range [{lo}, {hi}]"),
+        });
+    }
+    Ok(epsilon_grid_validated(points, lo, hi))
+}
+
+fn epsilon_grid_validated(points: usize, lo: f64, hi: f64) -> Vec<f64> {
     if points == 1 {
         return vec![lo];
     }
@@ -50,6 +75,9 @@ pub struct DeltaCurves {
     pub eps: Vec<f64>,
     /// `delta[i][k]` is δ of output `k` at `eps[i]`.
     pub delta: Vec<Vec<f64>>,
+    /// Numerical diagnostics merged over every grid point (all-zero for
+    /// the Monte Carlo and closed-form sweeps, which do not clamp).
+    pub diagnostics: Diagnostics,
 }
 
 impl DeltaCurves {
@@ -75,6 +103,21 @@ pub fn sweep_single_pass(
     sweep_single_pass_threads(circuit, weights, options, eps_values, 1)
 }
 
+/// Fallible [`sweep_single_pass`].
+///
+/// # Errors
+///
+/// Any error of [`SinglePass::try_new`] or [`SinglePass::try_run`], e.g. an
+/// out-of-range ε under the strict policy.
+pub fn try_sweep_single_pass(
+    circuit: &Circuit,
+    weights: &Weights,
+    options: SinglePassOptions,
+    eps_values: &[f64],
+) -> Result<DeltaCurves, RelogicError> {
+    try_sweep_single_pass_threads(circuit, weights, options, eps_values, 1)
+}
+
 /// Multi-threaded [`sweep_single_pass`]: grid points are evaluated in
 /// parallel on `threads` workers (`0` = auto-detect) against one shared,
 /// immutable [`SinglePass`] engine (and hence one shared [`Weights`]).
@@ -89,17 +132,45 @@ pub fn sweep_single_pass_threads(
     eps_values: &[f64],
     threads: usize,
 ) -> DeltaCurves {
-    let engine = SinglePass::new(circuit, weights, options);
-    let delta = ChunkExecutor::new(threads).map_chunks(eps_values.len(), |i| {
-        engine
-            .run(&GateEps::uniform(circuit, eps_values[i]))
-            .per_output()
-            .to_vec()
+    match try_sweep_single_pass_threads(circuit, weights, options, eps_values, threads) {
+        Ok(curves) => curves,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`sweep_single_pass_threads`]: the first grid point that fails
+/// validation aborts the sweep with its error; per-point diagnostics are
+/// merged into [`DeltaCurves::diagnostics`].
+///
+/// # Errors
+///
+/// Any error of [`SinglePass::try_new`], [`GateEps::try_uniform`], or
+/// [`SinglePass::try_run`].
+pub fn try_sweep_single_pass_threads(
+    circuit: &Circuit,
+    weights: &Weights,
+    options: SinglePassOptions,
+    eps_values: &[f64],
+    threads: usize,
+) -> Result<DeltaCurves, RelogicError> {
+    let engine = SinglePass::try_new(circuit, weights, options)?;
+    let rows = ChunkExecutor::new(threads).map_chunks(eps_values.len(), |i| {
+        let eps = GateEps::try_uniform(circuit, eps_values[i])?;
+        let r = engine.try_run(&eps)?;
+        Ok::<_, RelogicError>((r.per_output().to_vec(), r.diagnostics().clone()))
     });
-    DeltaCurves {
+    let mut delta = Vec::with_capacity(rows.len());
+    let mut diagnostics = Diagnostics::new();
+    for row in rows {
+        let (d, diag) = row?;
+        delta.push(d);
+        diagnostics.merge(&diag);
+    }
+    Ok(DeltaCurves {
         eps: eps_values.to_vec(),
         delta,
-    }
+        diagnostics,
+    })
 }
 
 /// Sweeps Monte Carlo fault injection over `eps_values`, deriving a distinct
@@ -112,6 +183,20 @@ pub fn sweep_monte_carlo(
     eps_values: &[f64],
 ) -> DeltaCurves {
     sweep_monte_carlo_threads(circuit, config, eps_values, 1)
+}
+
+/// Fallible [`sweep_monte_carlo`].
+///
+/// # Errors
+///
+/// [`RelogicError::Sim`] wrapping any Monte Carlo validation failure (zero
+/// pattern budget, bad ε vector …), or [`GateEps::try_uniform`] errors.
+pub fn try_sweep_monte_carlo(
+    circuit: &Circuit,
+    config: &MonteCarloConfig,
+    eps_values: &[f64],
+) -> Result<DeltaCurves, RelogicError> {
+    try_sweep_monte_carlo_threads(circuit, config, eps_values, 1)
 }
 
 /// Multi-threaded [`sweep_monte_carlo`]: grid points run in parallel on
@@ -131,13 +216,31 @@ pub fn sweep_monte_carlo_threads(
     eps_values: &[f64],
     threads: usize,
 ) -> DeltaCurves {
+    match try_sweep_monte_carlo_threads(circuit, config, eps_values, threads) {
+        Ok(curves) => curves,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`sweep_monte_carlo_threads`].
+///
+/// # Errors
+///
+/// [`RelogicError::Sim`] wrapping any Monte Carlo validation failure, or
+/// [`GateEps::try_uniform`] errors.
+pub fn try_sweep_monte_carlo_threads(
+    circuit: &Circuit,
+    config: &MonteCarloConfig,
+    eps_values: &[f64],
+    threads: usize,
+) -> Result<DeltaCurves, RelogicError> {
     let executor = ChunkExecutor::new(threads);
     let inner_threads = if executor.threads() > 1 {
         1
     } else {
         config.threads
     };
-    let delta = executor.map_chunks(eps_values.len(), |i| {
+    let rows = executor.map_chunks(eps_values.len(), |i| {
         let cfg = MonteCarloConfig {
             seed: config
                 .seed
@@ -145,15 +248,16 @@ pub fn sweep_monte_carlo_threads(
             threads: inner_threads,
             ..config.clone()
         };
-        let eps = GateEps::uniform(circuit, eps_values[i]);
-        estimate(circuit, eps.as_slice(), &cfg)
-            .per_output()
-            .to_vec()
+        let eps = GateEps::try_uniform(circuit, eps_values[i])?;
+        let est = try_estimate(circuit, eps.as_slice(), &cfg)?;
+        Ok::<_, RelogicError>(est.per_output().to_vec())
     });
-    DeltaCurves {
+    let delta = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(DeltaCurves {
         eps: eps_values.to_vec(),
         delta,
-    }
+        diagnostics: Diagnostics::new(),
+    })
 }
 
 /// Sweeps the observability closed form (Eq. 3) over `eps_values`.
@@ -177,13 +281,32 @@ pub fn sweep_closed_form_threads(
     eps_values: &[f64],
     threads: usize,
 ) -> DeltaCurves {
-    let delta = ChunkExecutor::new(threads).map_chunks(eps_values.len(), |i| {
-        obs.closed_form(&GateEps::uniform(circuit, eps_values[i]))
+    match try_sweep_closed_form_threads(circuit, obs, eps_values, threads) {
+        Ok(curves) => curves,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`sweep_closed_form_threads`].
+///
+/// # Errors
+///
+/// [`GateEps::try_uniform`] errors for any grid value outside `[0, 1]`.
+pub fn try_sweep_closed_form_threads(
+    circuit: &Circuit,
+    obs: &crate::ObservabilityMatrix,
+    eps_values: &[f64],
+    threads: usize,
+) -> Result<DeltaCurves, RelogicError> {
+    let rows = ChunkExecutor::new(threads).map_chunks(eps_values.len(), |i| {
+        GateEps::try_uniform(circuit, eps_values[i]).map(|eps| obs.closed_form(&eps))
     });
-    DeltaCurves {
+    let delta = rows.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(DeltaCurves {
         eps: eps_values.to_vec(),
         delta,
-    }
+        diagnostics: Diagnostics::new(),
+    })
 }
 
 #[cfg(test)]
@@ -209,6 +332,35 @@ mod tests {
         assert!((g[5] - 0.3).abs() < 1e-12);
         assert!((g[1] - 0.1).abs() < 1e-12);
         assert_eq!(epsilon_grid(1, 0.2, 0.5), vec![0.2]);
+    }
+
+    #[test]
+    fn try_grid_rejects_bad_requests() {
+        use crate::RelogicError;
+        assert!(matches!(
+            try_epsilon_grid(0, 0.0, 0.5),
+            Err(RelogicError::InvalidGrid { .. })
+        ));
+        assert!(matches!(
+            try_epsilon_grid(5, 0.4, 0.1),
+            Err(RelogicError::InvalidGrid { .. })
+        ));
+        assert!(matches!(
+            try_epsilon_grid(5, 0.0, f64::NAN),
+            Err(RelogicError::InvalidGrid { .. })
+        ));
+        assert!(try_epsilon_grid(5, 0.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn try_sweep_propagates_grid_point_errors() {
+        use crate::RelogicError;
+        let c = circuit();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let err = try_sweep_single_pass(&c, &w, SinglePassOptions::default(), &[0.1, 1.5]);
+        assert!(matches!(err, Err(RelogicError::InvalidEpsilon { .. })));
+        let ok = try_sweep_single_pass(&c, &w, SinglePassOptions::default(), &[0.1, 0.2]).unwrap();
+        assert_eq!(ok.delta.len(), 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! [`Weights::compute`] implements both backends; the result is reused
 //! across every ε in a sweep, exactly as the paper prescribes.
 
-use crate::{Backend, InputDistribution};
+use crate::{Backend, InputDistribution, RelogicError};
 use relogic_bdd::{BddManager, CircuitBdds, VarOrder};
 use relogic_netlist::{Circuit, NodeId};
 use std::collections::HashMap;
@@ -53,19 +53,42 @@ impl Weights {
     /// ```
     #[must_use]
     pub fn compute(circuit: &Circuit, dist: &InputDistribution, backend: Backend) -> Self {
-        for (id, node) in circuit.iter() {
-            assert!(
-                node.arity() <= MAX_ANALYSIS_ARITY,
-                "gate {id} has arity {}, exceeding the analysis limit {MAX_ANALYSIS_ARITY}",
-                node.arity()
-            );
+        match Weights::try_compute(circuit, dist, backend) {
+            Ok(w) => w,
+            Err(e) => panic!("{e}"),
         }
-        match backend {
+    }
+
+    /// Fallible [`Weights::compute`]: validates gate arities and the input
+    /// distribution before touching the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::ArityExceeded`] if a gate's arity exceeds
+    /// [`MAX_ANALYSIS_ARITY`], or [`RelogicError::DistributionMismatch`]
+    /// if the input distribution does not match the circuit.
+    pub fn try_compute(
+        circuit: &Circuit,
+        dist: &InputDistribution,
+        backend: Backend,
+    ) -> Result<Self, RelogicError> {
+        for (id, node) in circuit.iter() {
+            if node.arity() > MAX_ANALYSIS_ARITY {
+                return Err(RelogicError::ArityExceeded {
+                    node: id,
+                    arity: node.arity(),
+                    max: MAX_ANALYSIS_ARITY,
+                });
+            }
+        }
+        // Validate up front so the backends can use the infallible lookup.
+        let _ = dist.try_position_probs(circuit)?;
+        Ok(match backend {
             Backend::Bdd => Self::compute_bdd(circuit, dist),
             Backend::Simulation { patterns, seed } => {
                 Self::compute_sim(circuit, dist, patterns, seed)
             }
-        }
+        })
     }
 
     fn compute_bdd(circuit: &Circuit, dist: &InputDistribution) -> Self {
@@ -180,11 +203,47 @@ pub fn joint_value_distribution(
     dist: &InputDistribution,
     backend: Backend,
 ) -> Vec<f64> {
-    assert!(
-        nodes.len() <= 12,
-        "joint distribution over {} nodes",
-        nodes.len()
-    );
+    match try_joint_value_distribution(circuit, nodes, dist, backend) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`joint_value_distribution`].
+///
+/// # Errors
+///
+/// [`RelogicError::DistributionMismatch`] if `nodes` is larger than 12 (the
+/// `2^n` distribution would blow up), names a node outside the circuit, or
+/// the input distribution does not match the circuit.
+pub fn try_joint_value_distribution(
+    circuit: &Circuit,
+    nodes: &[NodeId],
+    dist: &InputDistribution,
+    backend: Backend,
+) -> Result<Vec<f64>, RelogicError> {
+    if nodes.len() > 12 {
+        return Err(RelogicError::DistributionMismatch {
+            message: format!("joint distribution over {} nodes (max 12)", nodes.len()),
+        });
+    }
+    if let Some(&bad) = nodes.iter().find(|n| n.index() >= circuit.len()) {
+        return Err(RelogicError::DistributionMismatch {
+            message: format!("node {bad} outside circuit of {} nodes", circuit.len()),
+        });
+    }
+    let _ = dist.try_position_probs(circuit)?;
+    Ok(joint_value_distribution_validated(
+        circuit, nodes, dist, backend,
+    ))
+}
+
+fn joint_value_distribution_validated(
+    circuit: &Circuit,
+    nodes: &[NodeId],
+    dist: &InputDistribution,
+    backend: Backend,
+) -> Vec<f64> {
     match backend {
         Backend::Bdd => {
             let order = VarOrder::dfs(circuit);

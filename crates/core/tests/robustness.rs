@@ -1,0 +1,187 @@
+//! Adversarial robustness tests.
+//!
+//! Malformed netlist text and extreme gate error probabilities must
+//! surface typed errors — never panics — and every probability the
+//! analysis reports must stay inside `[0, 1]`.
+
+// Test-only code: the library's unwrap ban does not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+use relogic::{
+    Backend, GateEps, InputDistribution, RelogicError, SinglePass, SinglePassOptions, Weights,
+};
+use relogic_netlist::{bench, blif, verilog, Circuit, GateKind, NodeId};
+
+/// A small reconvergent circuit (the §4.1 stress case): one stem fans out
+/// to two paths that reconverge in an XOR-like structure.
+const RECONVERGENT: &str = "\
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+s = NAND(a, b)
+p = NAND(s, a)
+q = NAND(s, b)
+y = NAND(p, q)
+";
+
+fn reconvergent() -> Circuit {
+    bench::parse(RECONVERGENT).unwrap()
+}
+
+fn analyze(c: &Circuit, eps: f64, strict: bool) -> Result<Vec<f64>, RelogicError> {
+    let w = Weights::try_compute(c, &InputDistribution::Uniform, Backend::Bdd)?;
+    let opts = SinglePassOptions {
+        strict,
+        ..SinglePassOptions::default()
+    };
+    let engine = SinglePass::try_new(c, &w, opts)?;
+    let r = engine.try_run(&GateEps::try_uniform(c, eps)?)?;
+    Ok(r.per_output().to_vec())
+}
+
+#[test]
+fn extreme_eps_values_never_panic_and_stay_in_unit_interval() {
+    let c = reconvergent();
+    // Boundary and subnormal values are legal inputs; they must produce
+    // probabilities in [0, 1], not panics or NaN.
+    for eps in [0.0, f64::MIN_POSITIVE, 5e-324, 1e-12, 0.25, 0.5, 0.75, 1.0] {
+        let deltas = analyze(&c, eps, false).unwrap();
+        for &d in &deltas {
+            assert!(d.is_finite() && (0.0..=1.0).contains(&d), "eps={eps}: {d}");
+        }
+    }
+    // Non-finite and out-of-range ε are typed errors, not panics.
+    for eps in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.1, 1.5] {
+        assert!(
+            matches!(
+                analyze(&c, eps, false),
+                Err(RelogicError::InvalidEpsilon { .. })
+            ),
+            "eps={eps} should be rejected"
+        );
+    }
+}
+
+#[test]
+fn strict_mode_tightens_the_eps_bound_to_half() {
+    let c = reconvergent();
+    assert!(analyze(&c, 0.5, true).is_ok());
+    assert!(matches!(
+        analyze(&c, 0.5 + 1e-9, true),
+        Err(RelogicError::InvalidEpsilon { .. })
+    ));
+    // The same value is accepted in lenient mode.
+    assert!(analyze(&c, 0.5 + 1e-9, false).is_ok());
+}
+
+type ParseFn = fn(&str) -> Result<Circuit, relogic_netlist::NetlistError>;
+
+#[test]
+fn truncated_and_mutated_netlists_parse_without_panicking() {
+    let sources: [(&str, ParseFn); 3] = [
+        (RECONVERGENT, bench::parse),
+        (
+            ".model t\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+            blif::parse,
+        ),
+        (
+            "module t (a, b, y);\n input a, b;\n output y;\n nand (y, a, b);\nendmodule\n",
+            verilog::parse,
+        ),
+    ];
+    for (text, parse) in sources {
+        // Every prefix of a valid netlist (truncation mid-token included).
+        for cut in 0..text.len() {
+            let _ = parse(&text[..cut]);
+        }
+        // Every single-byte corruption.
+        for i in 0..text.len() {
+            let mut bytes = text.as_bytes().to_vec();
+            bytes[i] = b'(';
+            if let Ok(s) = std::str::from_utf8(&bytes) {
+                let _ = parse(s);
+            }
+        }
+    }
+}
+
+fn random_circuit(ops: &[(u8, u8, u8)], inputs: usize) -> Circuit {
+    let mut c = Circuit::new("prop");
+    for i in 0..inputs {
+        c.add_input(format!("x{i}"));
+    }
+    for &(kind, a, b) in ops {
+        let len = c.len();
+        let fa = NodeId::from_index(a as usize % len);
+        let fb = NodeId::from_index(b as usize % len);
+        let kind = GateKind::LOGIC_KINDS[kind as usize % GateKind::LOGIC_KINDS.len()];
+        match kind {
+            GateKind::Buf | GateKind::Not => {
+                c.add_gate(kind, [fa]).unwrap();
+            }
+            _ => {
+                c.add_gate(kind, [fa, fb]).unwrap();
+            }
+        }
+    }
+    let last = NodeId::from_index(c.len() - 1);
+    c.add_output("y", last);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary junk through every parser: the result may be Ok or Err,
+    /// but the call must return.
+    #[test]
+    fn parsers_never_panic_on_arbitrary_text(
+        bytes in proptest::collection::vec(any::<u8>(), 0..200)
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = bench::parse(&text);
+        let _ = blif::parse(&text);
+        let _ = verilog::parse(&text);
+    }
+
+    /// Line-structured junk drawn from the formats' own alphabet exercises
+    /// the per-line parse paths more deeply than fully random bytes do.
+    #[test]
+    fn parsers_never_panic_on_liney_text(
+        lines in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..40), 0..20
+        )
+    ) {
+        const CHARSET: &[u8] = b"ANDORBUFinputs.names01xy_ =(),#module;";
+        let text: String = lines
+            .iter()
+            .map(|l| {
+                let mut s: String = l
+                    .iter()
+                    .map(|&b| CHARSET[b as usize % CHARSET.len()] as char)
+                    .collect();
+                s.push('\n');
+                s
+            })
+            .collect();
+        let _ = bench::parse(&text);
+        let _ = blif::parse(&text);
+        let _ = verilog::parse(&text);
+    }
+
+    /// Random circuits with random ε: the analysis either returns a typed
+    /// error or probabilities inside [0, 1]. Nothing panics, nothing is NaN.
+    #[test]
+    fn analysis_probabilities_stay_in_unit_interval(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..12),
+        inputs in 2usize..5,
+        eps in 0.0f64..=1.0,
+    ) {
+        let c = random_circuit(&ops, inputs);
+        let deltas = analyze(&c, eps, false).unwrap();
+        for &d in &deltas {
+            prop_assert!(d.is_finite() && (0.0..=1.0).contains(&d), "eps={eps}: {d}");
+        }
+    }
+}

@@ -116,7 +116,12 @@ impl ChunkExecutor {
                 .collect();
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("executor worker panicked"))
+                .flat_map(|h| match h.join() {
+                    Ok(produced) => produced,
+                    // Re-raise the worker's panic payload on the caller's
+                    // thread instead of aborting with a generic message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         tagged.sort_unstable_by_key(|&(i, _)| i);

@@ -27,6 +27,7 @@
 #![warn(clippy::all)]
 
 mod bits;
+mod error;
 mod estimate;
 pub mod exec;
 mod exhaustive;
@@ -36,12 +37,15 @@ pub mod parallel;
 mod sampler;
 
 pub use bits::{stats, BiasedBits, DEFAULT_RESOLUTION};
+pub use error::SimError;
 pub use estimate::{
     joint_input_counts, joint_input_counts_biased, observabilities, observabilities_biased,
     signal_probabilities, signal_probabilities_biased, ObservabilityEstimate, MAX_COUNTED_ARITY,
 };
 pub use exec::{available_threads, ChunkExecutor};
 pub use exhaustive::{exact_reliability, flip_influence, ExactReliability};
-pub use monte_carlo::{estimate, MonteCarloConfig, NodeErrorStats, ReliabilityEstimate};
+pub use monte_carlo::{
+    estimate, try_estimate, MonteCarloConfig, NodeErrorStats, ReliabilityEstimate,
+};
 pub use packed::{exhaustive_block_count, exhaustive_lane_mask, exhaustive_word, PackedSim};
 pub use sampler::InputSampler;

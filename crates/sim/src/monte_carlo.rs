@@ -12,7 +12,7 @@
 //! RNG stream, so the estimate is **bit-identical for every thread count**
 //! (see [`crate::parallel`] for the scheme).
 
-use crate::BiasedBits;
+use crate::{BiasedBits, SimError};
 use relogic_netlist::Circuit;
 
 /// Configuration for [`estimate`].
@@ -190,9 +190,37 @@ impl ReliabilityEstimate {
     }
 
     /// Standard error of the `δ` estimate for output `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range. Estimates produced by [`estimate`] /
+    /// [`try_estimate`] always carry a nonzero pattern count, so the value
+    /// is finite.
     #[must_use]
     pub fn std_error(&self, k: usize) -> f64 {
         crate::bits::stats::proportion_std_error(self.per_output[k], self.patterns)
+    }
+
+    /// Fallible [`ReliabilityEstimate::std_error`]: returns a typed error
+    /// for an out-of-range output index or a zero pattern count (which
+    /// would otherwise surface as `NaN` from a division by zero).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::OutputIndexOutOfRange`] if `k` does not name an output;
+    /// [`SimError::ZeroPatternBudget`] if no patterns were simulated.
+    pub fn try_std_error(&self, k: usize) -> Result<f64, SimError> {
+        let &p = self
+            .per_output
+            .get(k)
+            .ok_or(SimError::OutputIndexOutOfRange {
+                index: k,
+                outputs: self.per_output.len(),
+            })?;
+        if self.patterns == 0 {
+            return Err(SimError::ZeroPatternBudget);
+        }
+        Ok(crate::bits::stats::proportion_std_error(p, self.patterns))
     }
 }
 
@@ -209,8 +237,10 @@ impl ReliabilityEstimate {
 ///
 /// # Panics
 ///
-/// Panics if `node_eps.len() != circuit.len()`, if any ε is outside
-/// `[0, 1]`, or if a joint pair references a nonexistent output.
+/// Panics if `node_eps.len() != circuit.len()`, if any ε is non-finite or
+/// outside `[0, 1]`, if a joint pair references a nonexistent output, or if
+/// `config.patterns` is zero. Use [`try_estimate`] to receive these
+/// conditions as typed [`SimError`] values instead.
 ///
 /// # Examples
 ///
@@ -234,22 +264,56 @@ pub fn estimate(
     node_eps: &[f64],
     config: &MonteCarloConfig,
 ) -> ReliabilityEstimate {
-    assert_eq!(
-        node_eps.len(),
-        circuit.len(),
-        "need one ε per node (got {}, circuit has {})",
-        node_eps.len(),
-        circuit.len()
-    );
+    match try_estimate(circuit, node_eps, config) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`estimate`]: validates the ε vector, the joint-pair indices,
+/// and the pattern budget up front, returning a typed [`SimError`] instead
+/// of panicking on invalid input.
+///
+/// # Errors
+///
+/// * [`SimError::ZeroPatternBudget`] — `config.patterns == 0` (the estimate
+///   would be `0/0`).
+/// * [`SimError::EpsLengthMismatch`] — `node_eps` does not cover the
+///   circuit.
+/// * [`SimError::InvalidEpsilon`] — an ε entry is non-finite or outside
+///   `[0, 1]`.
+/// * [`SimError::JointPairOutOfRange`] — a tracked pair names a
+///   nonexistent output.
+/// * [`SimError::InputProbsMismatch`] — `config.input_probs` does not cover
+///   the circuit's inputs.
+pub fn try_estimate(
+    circuit: &Circuit,
+    node_eps: &[f64],
+    config: &MonteCarloConfig,
+) -> Result<ReliabilityEstimate, SimError> {
+    if config.patterns == 0 {
+        return Err(SimError::ZeroPatternBudget);
+    }
+    if node_eps.len() != circuit.len() {
+        return Err(SimError::EpsLengthMismatch {
+            expected: circuit.len(),
+            actual: node_eps.len(),
+        });
+    }
     for (i, &e) in node_eps.iter().enumerate() {
-        assert!((0.0..=1.0).contains(&e), "ε[{i}] = {e} out of [0,1]");
+        if !e.is_finite() || !(0.0..=1.0).contains(&e) {
+            return Err(SimError::InvalidEpsilon { index: i, value: e });
+        }
     }
     let outputs: Vec<usize> = circuit.outputs().iter().map(|o| o.node().index()).collect();
     for &(a, b) in &config.joint_pairs {
-        assert!(
-            a < outputs.len() && b < outputs.len(),
-            "joint pair out of range"
-        );
+        if a >= outputs.len() || b >= outputs.len() {
+            return Err(SimError::JointPairOutOfRange {
+                a,
+                b,
+                outputs: outputs.len(),
+            });
+        }
     }
 
     let gens: Vec<Option<BiasedBits>> = node_eps
@@ -266,7 +330,12 @@ pub fn estimate(
     let sampler = match &config.input_probs {
         None => crate::InputSampler::uniform(circuit.input_count()),
         Some(p) => {
-            assert_eq!(p.len(), circuit.input_count(), "one bias per input");
+            if p.len() != circuit.input_count() {
+                return Err(SimError::InputProbsMismatch {
+                    expected: circuit.input_count(),
+                    actual: p.len(),
+                });
+            }
             crate::InputSampler::independent(p)
         }
     };
@@ -289,13 +358,13 @@ pub fn estimate(
     #[allow(clippy::cast_precision_loss)]
     let any_output = counts.any_err as f64 / tf;
 
-    ReliabilityEstimate {
+    Ok(ReliabilityEstimate {
         patterns: total,
         per_output,
         any_output,
         joint,
         node_stats: counts.node_stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -431,6 +500,91 @@ mod tests {
         let a = c.add_input("a");
         c.add_output("y", a);
         let _ = estimate(&c, &[0.0, 0.0], &MonteCarloConfig::default());
+    }
+
+    #[test]
+    fn try_estimate_returns_typed_errors() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        // Zero pattern budget.
+        let cfg = MonteCarloConfig {
+            patterns: 0,
+            ..MonteCarloConfig::default()
+        };
+        assert_eq!(
+            try_estimate(&c, &[0.0, 0.1], &cfg),
+            Err(SimError::ZeroPatternBudget)
+        );
+        // Length mismatch.
+        assert_eq!(
+            try_estimate(&c, &[0.0], &MonteCarloConfig::default()),
+            Err(SimError::EpsLengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+        // Non-finite and out-of-range ε.
+        assert!(matches!(
+            try_estimate(&c, &[0.0, f64::NAN], &MonteCarloConfig::default()),
+            Err(SimError::InvalidEpsilon { index: 1, .. })
+        ));
+        assert!(matches!(
+            try_estimate(&c, &[-0.1, 0.0], &MonteCarloConfig::default()),
+            Err(SimError::InvalidEpsilon { index: 0, .. })
+        ));
+        // Bad joint pair.
+        let cfg = MonteCarloConfig {
+            joint_pairs: vec![(0, 7)],
+            ..MonteCarloConfig::default()
+        };
+        assert!(matches!(
+            try_estimate(&c, &[0.0, 0.1], &cfg),
+            Err(SimError::JointPairOutOfRange { b: 7, .. })
+        ));
+        // Bad input-bias vector.
+        let cfg = MonteCarloConfig {
+            input_probs: Some(vec![0.5, 0.5]),
+            ..MonteCarloConfig::default()
+        };
+        assert!(matches!(
+            try_estimate(&c, &[0.0, 0.1], &cfg),
+            Err(SimError::InputProbsMismatch { .. })
+        ));
+        // A valid configuration still works.
+        let r = try_estimate(&c, &[0.0, 0.2], &MonteCarloConfig::default()).unwrap();
+        assert!((r.per_output()[0] - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn try_std_error_guards_bad_indices() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let g = c.not(a);
+        c.add_output("y", g);
+        let r = estimate(&c, &[0.0, 0.3], &MonteCarloConfig::default());
+        assert!(r.try_std_error(0).unwrap().is_finite());
+        assert_eq!(
+            r.try_std_error(3),
+            Err(SimError::OutputIndexOutOfRange {
+                index: 3,
+                outputs: 1
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern budget is zero")]
+    fn zero_patterns_panics_in_infallible_wrapper() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        c.add_output("y", a);
+        let cfg = MonteCarloConfig {
+            patterns: 0,
+            ..MonteCarloConfig::default()
+        };
+        let _ = estimate(&c, &[0.0], &cfg);
     }
 
     #[test]

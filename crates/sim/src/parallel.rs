@@ -110,7 +110,9 @@ pub(crate) fn fault_injection_counts(
     config: &MonteCarloConfig,
     blocks: u64,
 ) -> FaultCounts {
-    let chunks = usize::try_from(blocks.div_ceil(CHUNK_BLOCKS)).expect("chunk count fits usize");
+    // On 32-bit hosts a pattern budget beyond usize::MAX chunks is
+    // unreachable in practice; saturate rather than panic.
+    let chunks = usize::try_from(blocks.div_ceil(CHUNK_BLOCKS)).unwrap_or(usize::MAX);
     let executor = ChunkExecutor::new(config.threads);
     let tallies = executor.map_chunks_with(
         chunks,

@@ -1,6 +1,9 @@
 //! Property tests: Monte Carlo and the sampling estimators agree with
 //! exhaustive ground truth on small random circuits.
 
+// Test-only code: the library's unwrap ban does not apply here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use relogic_netlist::{Circuit, GateKind, NodeId};
 use relogic_sim::{
