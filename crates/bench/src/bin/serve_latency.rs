@@ -1,0 +1,192 @@
+//! Measures `relogic-serve` request latency over a Unix socket: one warm
+//! round per request kind, then timed rounds from concurrent clients
+//! against a cache-warm server. Client-observed p50/p99/max go to
+//! `results/serve_latency.json`.
+//!
+//! ```text
+//! cargo run -p relogic-bench --release --bin serve_latency [-- --out results/serve_latency.json]
+//! ```
+//!
+//! The interesting economics: the first `analyze` for a netlist pays the
+//! parse + weight-vector compile; every later request (any ε, any kind)
+//! rides the artifact cache. The cold/warm gap below is that compile cost.
+
+use relogic_serve::json::Json;
+use relogic_serve::{Server, ServerConfig, ServiceConfig};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+const ROUNDS: usize = 40;
+const CLIENTS: usize = 4;
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let idx = ((sorted_us.len() as f64 - 1.0) * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn round_trip(stream: &mut UnixStream, frame: &str) -> Duration {
+    let started = Instant::now();
+    stream.write_all(frame.as_bytes()).expect("write frame");
+    stream.write_all(b"\n").expect("write newline");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    assert!(
+        line.contains("\"ok\":true"),
+        "request failed: {frame} -> {line}"
+    );
+    started.elapsed()
+}
+
+fn main() {
+    let out_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = None;
+        while let Some(a) = args.next() {
+            if a == "--out" {
+                path = args.next();
+            }
+        }
+        path
+    };
+
+    let socket =
+        std::env::temp_dir().join(format!("relogic-serve-bench-{}.sock", std::process::id()));
+    let server = Server::start(ServerConfig {
+        unix: Some(socket.clone()),
+        threads: CLIENTS,
+        service: ServiceConfig {
+            timeout_ms: 0,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+
+    let circuit = relogic_gen::suite::b9();
+    let netlist = relogic_netlist::bench::write(&circuit);
+    let netlist_json = Json::from(netlist).encode();
+    let frames: Vec<(&str, String)> = vec![
+        (
+            "analyze",
+            format!(r#"{{"kind":"analyze","netlist":{netlist_json},"eps":0.1}}"#),
+        ),
+        (
+            "observability",
+            format!(r#"{{"kind":"observability","netlist":{netlist_json},"eps":0.1}}"#),
+        ),
+        (
+            "monte_carlo",
+            format!(
+                r#"{{"kind":"monte_carlo","netlist":{netlist_json},"eps":0.1,"patterns":16384,"seed":5}}"#
+            ),
+        ),
+        ("stats", r#"{"kind":"stats"}"#.to_owned()),
+    ];
+
+    println!(
+        "serve latency on b9 ({} gates), {} rounds x {} clients per kind\n",
+        circuit.gate_count(),
+        ROUNDS,
+        CLIENTS
+    );
+
+    // Cold round: pays parse + weight compile once per artifact.
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+    let cold_analyze_us =
+        u64::try_from(round_trip(&mut stream, &frames[0].1).as_micros()).unwrap_or(u64::MAX);
+    let cold_obs_us =
+        u64::try_from(round_trip(&mut stream, &frames[1].1).as_micros()).unwrap_or(u64::MAX);
+    drop(stream);
+
+    let mut kinds = Vec::new();
+    for (kind, frame) in &frames {
+        let samples: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut stream = UnixStream::connect(&socket).expect("connect");
+                        (0..ROUNDS)
+                            .map(|_| {
+                                u64::try_from(round_trip(&mut stream, frame).as_micros())
+                                    .unwrap_or(u64::MAX)
+                            })
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            let mut all: Vec<u64> = handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("client thread"))
+                .collect();
+            all.sort_unstable();
+            all
+        });
+        let p50 = quantile(&samples, 0.50);
+        let p99 = quantile(&samples, 0.99);
+        let max = *samples.last().unwrap_or(&0);
+        println!("{kind:>14}:  p50 {p50:>8} us   p99 {p99:>8} us   max {max:>8} us");
+        kinds.push((kind.to_owned(), p50, p99, max, samples.len()));
+    }
+
+    // Server-side view for cross-checking.
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+    stream
+        .write_all(b"{\"kind\":\"stats\"}\n")
+        .expect("stats frame");
+    let mut reader = BufReader::new(stream);
+    let mut stats_line = String::new();
+    reader.read_line(&mut stats_line).expect("stats reply");
+    let stats = relogic_serve::json::parse(stats_line.trim()).expect("stats json");
+    let cache_hits = stats
+        .get("result")
+        .and_then(|r| r.get("cache"))
+        .and_then(|c| c.get("hits"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    server.shutdown();
+
+    println!(
+        "\ncold analyze {cold_analyze_us} us (parse + weight compile), warm p50 {} us; {cache_hits} cache hits",
+        kinds[0].1
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"serve_latency\",");
+    let _ = writeln!(json, "  \"circuit\": \"b9\",");
+    let _ = writeln!(json, "  \"gates\": {},", circuit.gate_count());
+    let _ = writeln!(json, "  \"transport\": \"unix\",");
+    let _ = writeln!(json, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(json, "  \"rounds_per_client\": {ROUNDS},");
+    let _ = writeln!(json, "  \"cold_analyze_us\": {cold_analyze_us},");
+    let _ = writeln!(json, "  \"cold_observability_us\": {cold_obs_us},");
+    let _ = writeln!(json, "  \"cache_hits\": {cache_hits},");
+    let _ = writeln!(json, "  \"kinds\": [");
+    for (i, (kind, p50, p99, max, samples)) in kinds.iter().enumerate() {
+        let comma = if i + 1 == kinds.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{ \"kind\": \"{kind}\", \"p50_us\": {p50}, \"p99_us\": {p99}, \
+             \"max_us\": {max}, \"samples\": {samples} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write results JSON");
+        println!("wrote {path}");
+    } else {
+        println!("\n{json}");
+    }
+}

@@ -6,6 +6,9 @@ use relogic::{
 };
 use relogic_netlist::structure::{output_cone_sizes, CircuitStats, FanoutMap};
 use relogic_netlist::{bench, blif, dot, verilog, Circuit};
+use relogic_serve::json::Json;
+use relogic_serve::proto::AnalyzeRequestOptions;
+use relogic_serve::ServeError;
 use relogic_sim::MonteCarloConfig;
 use std::error::Error;
 use std::fmt;
@@ -97,6 +100,18 @@ impl From<relogic_sim::SimError> for CliError {
     }
 }
 
+impl From<ServeError> for CliError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Analysis(inner) => CliError::Analysis(inner),
+            ServeError::Sim(inner) => CliError::Sim(inner),
+            // The remaining variants are protocol-level and unreachable
+            // from the one-shot JSON paths, but map them sensibly anyway.
+            other => CliError::Usage(other.to_string()),
+        }
+    }
+}
+
 /// Runs a parsed command line, returning the text to print.
 ///
 /// # Errors
@@ -108,9 +123,11 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_owned()),
         "stats" => stats(&load(args)?),
         "analyze" => analyze(&load(args)?, &args.options),
+        "observability" => observability(&load(args)?, &args.options),
         "sweep" => sweep(&load(args)?, &args.options),
         "mc" => monte_carlo(&load(args)?, &args.options),
         "rank" => rank(&load(args)?, &args.options),
+        "serve" => serve(args),
         "convert" => convert(&load(args)?, &args.options),
         "gen" => gen(args),
         other => Err(CliError::Usage(format!(
@@ -200,11 +217,32 @@ fn engine_options(opts: &Options) -> SinglePassOptions {
         SinglePassOptions::default()
     };
     o.strict = opts.strict;
+    if let Some(cap) = opts.partner_cap {
+        o.partner_cap = cap;
+    }
     o
+}
+
+/// Appends the `"cache":"bypass"` member and newline-terminates, so CLI
+/// JSON output is frame-compatible with the server's response `result`.
+fn json_line(mut result: Json) -> String {
+    result.push("cache", Json::from("bypass"));
+    let mut line = result.encode();
+    line.push('\n');
+    line
 }
 
 fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     let weights = analysis_weights(c, opts)?;
+    if opts.json {
+        let request = AnalyzeRequestOptions {
+            single_pass: engine_options(opts),
+            diagnostics: opts.diagnostics,
+            per_node: opts.per_node,
+        };
+        let result = relogic_serve::api::analyze_result(c, &weights, &[opts.eps], &request)?;
+        return Ok(json_line(result));
+    }
     let engine = SinglePass::try_new(c, &weights, engine_options(opts))?;
     let result = engine.try_run(&GateEps::try_uniform(c, opts.eps)?)?;
     let mut out = format!(
@@ -258,6 +296,86 @@ fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn observability(c: &Circuit, opts: &Options) -> Result<String, CliError> {
+    let obs = ObservabilityMatrix::try_compute(c, &InputDistribution::Uniform, opts.backend())?;
+    if opts.json {
+        let result = relogic_serve::api::observability_result(c, &obs, &[opts.eps], opts.per_node)?;
+        return Ok(json_line(result));
+    }
+    let deltas = obs.closed_form(&GateEps::try_uniform(c, opts.eps)?);
+    let mut out = format!(
+        "closed-form observability bound at eps = {} ({} backend)\n",
+        opts.eps,
+        match opts.backend {
+            crate::options::BackendKind::Bdd => "bdd",
+            crate::options::BackendKind::Sim => "sim",
+        },
+    );
+    for (k, o) in c.outputs().iter().enumerate() {
+        out.push_str(&format!("{:>24}  delta = {:.6}\n", o.name(), deltas[k]));
+    }
+    if opts.per_node {
+        out.push_str("\nper-gate any-output observability:\n");
+        for (id, node) in c.iter() {
+            if !node.kind().is_gate() {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:>24}  observability = {:.6}\n",
+                c.display_name(id),
+                obs.any(id)
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn serve(args: &ParsedArgs) -> Result<String, CliError> {
+    let opts = &args.options;
+    if args.target.is_some() {
+        return Err(CliError::Usage(
+            "`serve` takes no netlist argument (circuits arrive over the socket)".into(),
+        ));
+    }
+    if opts.listen.is_none() && opts.unix.is_none() {
+        return Err(CliError::Usage(
+            "`serve` needs --listen <addr> and/or --unix <path>".into(),
+        ));
+    }
+    let config = relogic_serve::ServerConfig {
+        tcp: opts.listen.clone(),
+        unix: opts.unix.clone().map(std::path::PathBuf::from),
+        threads: opts.threads,
+        service: relogic_serve::ServiceConfig {
+            cache_bytes: opts.cache_bytes,
+            timeout_ms: opts.timeout_ms,
+            ..relogic_serve::ServiceConfig::default()
+        },
+        ..relogic_serve::ServerConfig::default()
+    };
+    let shutdown = relogic_serve::signal::install_shutdown_flag();
+    let server = relogic_serve::Server::start(config).map_err(|source| CliError::Io {
+        path: opts
+            .unix
+            .clone()
+            .or_else(|| opts.listen.clone())
+            .unwrap_or_else(|| "serve".into()),
+        source,
+    })?;
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("relogic-serve: listening on tcp://{addr}");
+    }
+    if let Some(path) = server.unix_path() {
+        eprintln!("relogic-serve: listening on unix:{}", path.display());
+    }
+    while !shutdown.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("relogic-serve: signal received, draining");
+    server.shutdown();
+    Ok("relogic-serve: shutdown complete\n".to_owned())
+}
+
 fn sweep(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     let weights = analysis_weights(c, opts)?;
     let grid = relogic::sweep::try_epsilon_grid(opts.points, 0.0, opts.max_eps)?;
@@ -289,17 +407,18 @@ fn sweep(c: &Circuit, opts: &Options) -> Result<String, CliError> {
 }
 
 fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
+    let config = MonteCarloConfig {
+        patterns: opts.patterns,
+        seed: opts.seed,
+        threads: opts.threads,
+        ..MonteCarloConfig::default()
+    };
+    if opts.json {
+        let result = relogic_serve::api::monte_carlo_result(c, opts.eps, &config)?;
+        return Ok(json_line(result));
+    }
     let eps = GateEps::try_uniform(c, opts.eps)?;
-    let r = relogic_sim::try_estimate(
-        c,
-        eps.as_slice(),
-        &MonteCarloConfig {
-            patterns: opts.patterns,
-            seed: opts.seed,
-            threads: opts.threads,
-            ..MonteCarloConfig::default()
-        },
-    )?;
+    let r = relogic_sim::try_estimate(c, eps.as_slice(), &config)?;
     let mut out = format!(
         "monte carlo at eps = {} ({} patterns)\n",
         opts.eps,
@@ -571,6 +690,74 @@ y = NOT(t)
         assert!(matches!(err, CliError::Sim(_)));
         assert_eq!(err.exit_code(), 6);
         assert!(err.to_string().contains("pattern budget"), "{err}");
+    }
+
+    #[test]
+    fn observability_command() {
+        let out = run_on_file("observability", &["--eps", "0.1", "--per-node"]);
+        assert!(out.contains("delta ="), "{out}");
+        assert!(out.contains("observability = 1.000000"), "{out}");
+    }
+
+    #[test]
+    fn json_output_matches_server_schema() {
+        let out = run_on_file("analyze", &["--eps", "0.1", "--json"]);
+        let doc = relogic_serve::json::parse(out.trim()).unwrap();
+        let points = doc.get("points").unwrap();
+        let delta = points.as_array().unwrap()[0].get("delta").unwrap();
+        let d = delta.as_array().unwrap()[0].as_f64().unwrap();
+        assert!((d - 0.18).abs() < 1e-12, "{out}");
+        assert_eq!(doc.get("cache").and_then(Json::as_str), Some("bypass"));
+
+        let out = run_on_file("observability", &["--eps", "0.1", "--json"]);
+        assert!(relogic_serve::json::parse(out.trim()).is_ok(), "{out}");
+
+        let out = run_on_file("mc", &["--patterns", "4096", "--json"]);
+        let doc = relogic_serve::json::parse(out.trim()).unwrap();
+        assert_eq!(doc.get("patterns").and_then(Json::as_u64), Some(4096));
+    }
+
+    #[test]
+    fn cli_json_is_bit_identical_to_server_result() {
+        // The CLI and the daemon must expose the same schema and the same
+        // numbers; a client can switch transports without re-validating.
+        let cli = run_on_file("analyze", &["--eps", "0.1", "--json"]);
+        let service = relogic_serve::Service::new(relogic_serve::ServiceConfig::default());
+        let frame = format!(
+            r#"{{"kind":"analyze","netlist":"{}","eps":0.1}}"#,
+            SMALL.replace('\n', "\\n")
+        );
+        let reply = service.handle_line(&frame);
+        let server_result = relogic_serve::json::parse(reply.trim())
+            .unwrap()
+            .get("result")
+            .unwrap()
+            .clone();
+        let cli_result = relogic_serve::json::parse(cli.trim()).unwrap();
+        assert_eq!(
+            cli_result.encode().replace("\"cache\":\"bypass\"", ""),
+            server_result.encode().replace("\"cache\":\"miss\"", "")
+        );
+    }
+
+    #[test]
+    fn partner_cap_flag_feeds_the_engine() {
+        // On this tiny circuit every cap gives the same exact answer; the
+        // test checks the flag plumbs through without an error.
+        let capped = run_on_file("analyze", &["--eps", "0.1", "--partner-cap", "2"]);
+        let uncapped = run_on_file("analyze", &["--eps", "0.1", "--partner-cap", "none"]);
+        assert!(capped.contains("0.180000"), "{capped}");
+        assert_eq!(capped, uncapped);
+    }
+
+    #[test]
+    fn serve_usage_errors() {
+        let parsed = ParsedArgs::parse(["serve"]).unwrap();
+        let err = run(&parsed).unwrap_err();
+        assert!(err.to_string().contains("--listen"), "{err}");
+        let parsed = ParsedArgs::parse(["serve", "x.bench", "--unix", "/tmp/x.sock"]).unwrap();
+        let err = run(&parsed).unwrap_err();
+        assert!(err.to_string().contains("no netlist argument"), "{err}");
     }
 
     #[test]

@@ -23,11 +23,13 @@ USAGE:
 COMMANDS:
     stats <FILE>            structural statistics of a netlist
     analyze <FILE>          per-output error probabilities (single-pass engine)
+    observability <FILE>    closed-form observability bound per output
     sweep <FILE>            delta(eps) curves over an epsilon grid (CSV)
     mc <FILE>               Monte Carlo fault-injection reference
     rank <FILE>             gates ranked by soft-error criticality (eps * observability)
     convert <FILE>          convert between bench / blif / dot
     gen <NAME>              emit a benchmark-suite analogue as .bench text
+    serve                   run the relogic-serve analysis daemon
     help                    this message
 
 OPTIONS:
@@ -44,8 +46,18 @@ OPTIONS:
                             instead of degrading gracefully
     --to <bench|blif|verilog|dot>  target format for convert     [default: blif]
     --top <N>               rows to print for rank               [default: 10]
-    --threads <N>           worker threads for mc/sweep, 0 = auto-detect
+    --threads <N>           worker threads for mc/sweep/serve, 0 = auto-detect
                             (results are identical for every N)  [default: 0]
+    --partner-cap <N|none>  cap the correlation partners tracked per node
+                            (accuracy/time dial; `none` lifts the cap)
+    --json                  emit machine-readable JSON (analyze, observability,
+                            mc) using the relogic-serve result schema
+
+SERVE OPTIONS:
+    --listen <ADDR>         TCP listen address (e.g. 127.0.0.1:7171)
+    --unix <PATH>           Unix-socket path
+    --cache-bytes <N>       artifact-cache byte budget      [default: 268435456]
+    --timeout-ms <N>        per-request timeout, 0 disables [default: 10000]
 
 FILES:
     *.bench parses as ISCAS-85 bench, *.v/*.verilog as structural Verilog,
@@ -62,4 +74,6 @@ EXAMPLES:
     relogic-cli mc b9.bench --patterns 1000000 --threads 8
     relogic-cli rank b9.bench --top 5
     relogic-cli convert b9.bench --to dot | dot -Tsvg > b9.svg
+    relogic-cli analyze b9.bench --eps 0.1 --json
+    relogic-cli serve --unix /tmp/relogic.sock --threads 8
 ";

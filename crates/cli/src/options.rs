@@ -43,6 +43,20 @@ pub struct Options {
     pub diagnostics: bool,
     /// Enforce the strict numeric policy (ε ≤ 0.5, no silent degradation).
     pub strict: bool,
+    /// Emit machine-readable JSON (same schema as `relogic-serve`).
+    pub json: bool,
+    /// Override for the §4.1 correlation partner cap: unset keeps the
+    /// engine default, `Some(None)` disables the cap (`--partner-cap
+    /// none`), `Some(Some(n))` caps at `n` partners.
+    pub partner_cap: Option<Option<usize>>,
+    /// TCP listen address for `serve` (e.g. `127.0.0.1:7171`).
+    pub listen: Option<String>,
+    /// Unix-socket path for `serve`.
+    pub unix: Option<String>,
+    /// Artifact-cache byte budget for `serve`.
+    pub cache_bytes: usize,
+    /// Per-request timeout for `serve`, in milliseconds (0 = no timeout).
+    pub timeout_ms: u64,
 }
 
 /// Which statistics backend the user asked for.
@@ -84,6 +98,12 @@ impl Default for Options {
             threads: 0,
             diagnostics: false,
             strict: false,
+            json: false,
+            partner_cap: None,
+            listen: None,
+            unix: None,
+            cache_bytes: 256 << 20,
+            timeout_ms: 10_000,
         }
     }
 }
@@ -130,6 +150,23 @@ impl ParsedArgs {
                     };
                 }
                 "--to" => options.to = parse_value(&arg, iter.next())?,
+                "--listen" => options.listen = Some(parse_value(&arg, iter.next())?),
+                "--unix" => options.unix = Some(parse_value(&arg, iter.next())?),
+                "--cache-bytes" => options.cache_bytes = parse_value(&arg, iter.next())?,
+                "--timeout-ms" => options.timeout_ms = parse_value(&arg, iter.next())?,
+                "--partner-cap" => {
+                    let v: String = parse_value(&arg, iter.next())?;
+                    options.partner_cap = Some(if v == "none" {
+                        None
+                    } else {
+                        Some(v.parse().map_err(|_| {
+                            CliError::Usage(format!(
+                                "invalid value `{v}` for --partner-cap (expected a count or `none`)"
+                            ))
+                        })?)
+                    });
+                }
+                "--json" => options.json = true,
                 "--no-correlations" => options.no_correlations = true,
                 "--per-node" => options.per_node = true,
                 "--diagnostics" => options.diagnostics = true,
@@ -224,6 +261,40 @@ mod tests {
         let p = ParsedArgs::parse(["analyze", "x.bench", "--diagnostics", "--strict"]).unwrap();
         assert!(p.options.diagnostics);
         assert!(p.options.strict);
+    }
+
+    #[test]
+    fn partner_cap_option() {
+        let p = ParsedArgs::parse(["analyze", "x.bench"]).unwrap();
+        assert_eq!(p.options.partner_cap, None, "default: engine decides");
+        let p = ParsedArgs::parse(["analyze", "x.bench", "--partner-cap", "16"]).unwrap();
+        assert_eq!(p.options.partner_cap, Some(Some(16)));
+        let p = ParsedArgs::parse(["analyze", "x.bench", "--partner-cap", "none"]).unwrap();
+        assert_eq!(p.options.partner_cap, Some(None));
+        assert!(ParsedArgs::parse(["analyze", "x.bench", "--partner-cap", "soon"]).is_err());
+        assert!(ParsedArgs::parse(["analyze", "x.bench", "--partner-cap"]).is_err());
+    }
+
+    #[test]
+    fn json_and_serve_options() {
+        let p = ParsedArgs::parse(["analyze", "x.bench", "--json"]).unwrap();
+        assert!(p.options.json);
+        let p = ParsedArgs::parse([
+            "serve",
+            "--listen",
+            "127.0.0.1:7171",
+            "--unix",
+            "/tmp/relogic.sock",
+            "--cache-bytes",
+            "1048576",
+            "--timeout-ms",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(p.options.listen.as_deref(), Some("127.0.0.1:7171"));
+        assert_eq!(p.options.unix.as_deref(), Some("/tmp/relogic.sock"));
+        assert_eq!(p.options.cache_bytes, 1_048_576);
+        assert_eq!(p.options.timeout_ms, 500);
     }
 
     #[test]

@@ -186,6 +186,35 @@ impl Weights {
     pub fn is_empty(&self) -> bool {
         self.signal_probs.is_empty()
     }
+
+    /// Approximate heap footprint of this table in bytes (weight-vector
+    /// payloads, per-vector headers, and the signal-probability array).
+    ///
+    /// Used by artifact caches to account byte budgets; intentionally a
+    /// structural estimate rather than an allocator-exact figure.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        let vector_payload: usize = self.vectors.iter().map(|v| v.len() * 8).sum();
+        let vector_headers = self.vectors.len() * std::mem::size_of::<Vec<f64>>();
+        vector_payload + vector_headers + self.signal_probs.len() * 8
+    }
+
+    /// The heap footprint [`Weights::try_compute`] *would* produce for
+    /// `circuit`, computable without running either backend (vector sizes
+    /// are `2^arity`, a pure function of circuit structure).
+    ///
+    /// Lets a cache charge an entry for its weight table before the table
+    /// is lazily materialized.
+    #[must_use]
+    pub fn projected_heap_bytes(circuit: &Circuit) -> usize {
+        let mut payload = 0usize;
+        for (_, node) in circuit.iter() {
+            if node.kind().is_gate() {
+                payload += (1usize << node.arity().min(MAX_ANALYSIS_ARITY)) * 8;
+            }
+        }
+        payload + circuit.len() * (std::mem::size_of::<Vec<f64>>() + 8)
+    }
 }
 
 /// Exact (BDD) or sampled joint value distribution of a set of nodes:
@@ -423,6 +452,19 @@ mod tests {
         // y1=0,y2=1 impossible? y1 = g|c, y2 = g^c: y2=1 means exactly one
         // of (g,c) is 1, which forces y1=1. So combo (y1=0, y2=1) has mass 0.
         assert!(exact[0b10] < 1e-12);
+    }
+
+    #[test]
+    fn byte_projection_matches_computed_footprint() {
+        let mut c = Circuit::new("t");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let g = c.and([a, b]);
+        let h = c.or([g, a]);
+        c.add_output("y", h);
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        assert_eq!(w.approx_heap_bytes(), Weights::projected_heap_bytes(&c));
+        assert!(w.approx_heap_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Result-object builders shared by the daemon and the CLI's `--json`
+//! output.
+//!
+//! Both surfaces call these functions with the same inputs and encode the
+//! returned [`Json`] with the same encoder, so a script migrating from
+//! `relogic-cli analyze --json` to the socket protocol parses an identical
+//! schema — the only divergence is the `"cache"` member the caller appends
+//! (`"hit"`/`"miss"` on the server, `"bypass"` on the one-shot CLI).
+
+use crate::json::Json;
+use crate::proto::{AnalyzeRequestOptions, ServeError};
+use relogic::{GateEps, ObservabilityMatrix, SinglePass, Weights};
+use relogic_netlist::Circuit;
+use relogic_sim::MonteCarloConfig;
+
+fn output_names(circuit: &Circuit) -> Json {
+    Json::Arr(
+        circuit
+            .outputs()
+            .iter()
+            .map(|o| Json::from(o.name()))
+            .collect(),
+    )
+}
+
+fn delta_array(deltas: &[f64]) -> Json {
+    Json::Arr(deltas.iter().map(|&d| Json::Num(d)).collect())
+}
+
+fn diagnostics_json(d: &relogic::Diagnostics) -> Json {
+    Json::obj([
+        ("prob_clamps", Json::from(d.prob_clamps())),
+        ("coeff_saturations", Json::from(d.coeff_saturations())),
+        ("theta_clamps", Json::from(d.theta_clamps())),
+        (
+            "correlation_fallbacks",
+            Json::from(d.correlation_fallbacks()),
+        ),
+        ("worst_excursion", Json::Num(d.worst_excursion())),
+    ])
+}
+
+/// Runs the §4/§4.1 single-pass engine at each ε point and builds the
+/// `analyze` result object.
+///
+/// # Errors
+///
+/// Propagates engine errors ([`relogic::RelogicError`]) as typed
+/// [`ServeError`]s.
+pub fn analyze_result(
+    circuit: &Circuit,
+    weights: &Weights,
+    eps: &[f64],
+    options: &AnalyzeRequestOptions,
+) -> Result<Json, ServeError> {
+    let engine = SinglePass::try_new(circuit, weights, options.single_pass.clone())
+        .map_err(ServeError::from)?;
+    let mut diagnostics = relogic::Diagnostics::new();
+    let mut points = Vec::with_capacity(eps.len());
+    for &e in eps {
+        let gate_eps = GateEps::try_uniform(circuit, e).map_err(ServeError::from)?;
+        let result = engine.try_run(&gate_eps).map_err(ServeError::from)?;
+        let mut point = Json::obj([
+            ("eps", Json::Num(e)),
+            ("delta", delta_array(result.per_output())),
+        ]);
+        if options.per_node {
+            let nodes: Vec<Json> = circuit
+                .iter()
+                .filter(|(_, node)| node.kind().is_gate())
+                .map(|(id, _)| {
+                    Json::obj([
+                        ("node", Json::from(circuit.display_name(id))),
+                        ("p01", Json::Num(result.p01(id))),
+                        ("p10", Json::Num(result.p10(id))),
+                        ("delta", Json::Num(result.node_delta(id))),
+                    ])
+                })
+                .collect();
+            point.push("per_node", Json::Arr(nodes));
+        }
+        points.push(point);
+        diagnostics.merge(result.diagnostics());
+    }
+    let mut result = Json::obj([
+        ("outputs", output_names(circuit)),
+        ("points", Json::Arr(points)),
+    ]);
+    if options.diagnostics {
+        result.push("diagnostics", diagnostics_json(&diagnostics));
+    }
+    Ok(result)
+}
+
+/// Evaluates the §3 closed form at each ε point and builds the
+/// `observability` result object.
+///
+/// # Errors
+///
+/// Propagates ε-validation errors as typed [`ServeError`]s.
+pub fn observability_result(
+    circuit: &Circuit,
+    observability: &ObservabilityMatrix,
+    eps: &[f64],
+    per_gate: bool,
+) -> Result<Json, ServeError> {
+    let mut points = Vec::with_capacity(eps.len());
+    for &e in eps {
+        let gate_eps = GateEps::try_uniform(circuit, e).map_err(ServeError::from)?;
+        points.push(Json::obj([
+            ("eps", Json::Num(e)),
+            ("delta", delta_array(&observability.closed_form(&gate_eps))),
+        ]));
+    }
+    let mut result = Json::obj([
+        ("outputs", output_names(circuit)),
+        ("points", Json::Arr(points)),
+    ]);
+    if per_gate {
+        let gates: Vec<Json> = circuit
+            .iter()
+            .filter(|(_, node)| node.kind().is_gate())
+            .map(|(id, _)| {
+                Json::obj([
+                    ("node", Json::from(circuit.display_name(id))),
+                    ("observability", Json::Num(observability.any(id))),
+                ])
+            })
+            .collect();
+        result.push("per_gate", Json::Arr(gates));
+    }
+    Ok(result)
+}
+
+/// Runs the deterministic chunk-seeded Monte Carlo reference and builds
+/// the `monte_carlo` result object. Same seed ⇒ bit-identical result for
+/// any thread count or client interleaving.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`relogic_sim::SimError`]) as typed
+/// [`ServeError`]s.
+pub fn monte_carlo_result(
+    circuit: &Circuit,
+    eps: f64,
+    config: &MonteCarloConfig,
+) -> Result<Json, ServeError> {
+    let gate_eps = GateEps::try_uniform(circuit, eps).map_err(ServeError::from)?;
+    let estimate = relogic_sim::try_estimate(circuit, gate_eps.as_slice(), config)
+        .map_err(ServeError::from)?;
+    let std_errors: Vec<Json> = (0..circuit.output_count())
+        .map(|k| Json::Num(estimate.std_error(k)))
+        .collect();
+    Ok(Json::obj([
+        ("eps", Json::Num(eps)),
+        ("patterns", Json::from(estimate.patterns())),
+        ("seed", Json::from(config.seed)),
+        ("outputs", output_names(circuit)),
+        ("delta", delta_array(estimate.per_output())),
+        ("std_error", Json::Arr(std_errors)),
+        ("any_output", Json::Num(estimate.any_output())),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relogic::{Backend, InputDistribution, SinglePassOptions};
+
+    fn small() -> Circuit {
+        relogic_netlist::bench::parse("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = NAND(a, b)\ny = NOT(t)\n")
+            .unwrap()
+    }
+
+    fn options() -> AnalyzeRequestOptions {
+        AnalyzeRequestOptions {
+            single_pass: SinglePassOptions::default(),
+            diagnostics: false,
+            per_node: false,
+        }
+    }
+
+    #[test]
+    fn analyze_result_shape_and_values() {
+        let c = small();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let r = analyze_result(&c, &w, &[0.1], &options()).unwrap();
+        let points = r.get("points").and_then(Json::as_array).unwrap();
+        assert_eq!(points.len(), 1);
+        let delta = points[0].get("delta").and_then(Json::as_array).unwrap();
+        // Two noisy gates in series: δ = 2·0.1·0.9 = 0.18.
+        assert!((delta[0].as_f64().unwrap() - 0.18).abs() < 1e-12);
+        assert!(r.get("diagnostics").is_none());
+    }
+
+    #[test]
+    fn analyze_per_node_and_diagnostics_sections() {
+        let c = small();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let mut opts = options();
+        opts.per_node = true;
+        opts.diagnostics = true;
+        let r = analyze_result(&c, &w, &[0.05, 0.1], &opts).unwrap();
+        let points = r.get("points").and_then(Json::as_array).unwrap();
+        assert_eq!(points.len(), 2);
+        let per_node = points[0].get("per_node").and_then(Json::as_array).unwrap();
+        assert_eq!(per_node.len(), 2, "two gates");
+        assert!(r.get("diagnostics").is_some());
+    }
+
+    #[test]
+    fn observability_result_matches_closed_form() {
+        let c = small();
+        let obs = ObservabilityMatrix::try_compute(&c, &InputDistribution::Uniform, Backend::Bdd)
+            .unwrap();
+        let r = observability_result(&c, &obs, &[0.1], true).unwrap();
+        let points = r.get("points").and_then(Json::as_array).unwrap();
+        let delta = points[0].get("delta").and_then(Json::as_array).unwrap();
+        let expected = obs.closed_form(&GateEps::try_uniform(&c, 0.1).unwrap());
+        assert_eq!(delta[0].as_f64().unwrap(), expected[0]);
+        assert!(r.get("per_gate").is_some());
+    }
+
+    #[test]
+    fn monte_carlo_result_is_deterministic() {
+        let c = small();
+        let cfg = MonteCarloConfig {
+            patterns: 4096,
+            seed: 11,
+            ..MonteCarloConfig::default()
+        };
+        let a = monte_carlo_result(&c, 0.1, &cfg).unwrap().encode();
+        let mut cfg2 = cfg.clone();
+        cfg2.threads = 7;
+        let b = monte_carlo_result(&c, 0.1, &cfg2).unwrap().encode();
+        assert_eq!(a, b, "thread count must not change the estimate");
+    }
+
+    #[test]
+    fn invalid_eps_is_a_typed_analysis_error() {
+        let c = small();
+        let w = Weights::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        let err = analyze_result(&c, &w, &[1.5], &options()).unwrap_err();
+        assert_eq!(err.code(), "analysis_error");
+    }
+}

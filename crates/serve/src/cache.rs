@@ -1,0 +1,493 @@
+//! Content-addressed compiled-circuit artifact cache.
+//!
+//! The paper's economics are "pay once, query many": weight vectors and
+//! signal probabilities (and the §3 observability matrix) depend only on
+//! circuit structure, never on ε⃗, so a long-lived service should compute
+//! them once per distinct netlist and amortize them across every
+//! subsequent request (§4, Table 2). This cache implements that
+//! amortization:
+//!
+//! * **Keying** — an artifact is addressed by a 128-bit content hash (two
+//!   independent 64-bit FNV-1a streams) over the netlist text, its format
+//!   tag, and the backend descriptor. Identical text ⇒ same artifact; one
+//!   mutated byte ⇒ a different key. No canonicalization is attempted —
+//!   whitespace-different netlists compile twice, which is the cheap and
+//!   predictable trade.
+//! * **Laziness** — parsing happens on first use of a netlist; weight
+//!   vectors and the observability matrix are materialized on the first
+//!   request that needs them (a Monte Carlo-only client never pays for
+//!   BDDs). `OnceLock` gives single-flight semantics for free: concurrent
+//!   requests for the same artifact's weights block on one computation
+//!   instead of racing duplicates.
+//! * **Eviction** — least-recently-used, under a configurable byte budget.
+//!   Entry sizes are charged up front from circuit structure
+//!   ([`Weights::projected_heap_bytes`] plus netlist text and projected
+//!   observability payload), so lazy materialization never overdrafts the
+//!   budget. An artifact larger than the whole budget is served but not
+//!   cached.
+//!
+//! Evicting an entry another thread is still using is safe: entries hand
+//! out `Arc<Artifact>` clones, so memory is reclaimed when the last
+//! in-flight request drops its reference.
+
+use crate::proto::{BackendSpec, CircuitPayload, ServeError};
+use relogic::{InputDistribution, ObservabilityMatrix, RelogicError, Weights};
+use relogic_netlist::structure::CircuitStats;
+use relogic_netlist::Circuit;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// 64-bit FNV-1a over one byte stream.
+#[derive(Clone, Copy)]
+struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new(offset: u64) -> Self {
+        Fnv64 { state: offset }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// The 128-bit content address of an artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArtifactKey(u64, u64);
+
+impl ArtifactKey {
+    /// Hashes a circuit payload (netlist text + format + backend).
+    #[must_use]
+    pub fn of(payload: &CircuitPayload) -> ArtifactKey {
+        // Two FNV streams with different offsets ≈ a 128-bit digest;
+        // adversarial collisions are out of scope (the cache is a
+        // performance layer, not an integrity boundary), accidental ones
+        // are vanishingly unlikely.
+        let mut a = Fnv64::new(Fnv64::OFFSET);
+        let mut b = Fnv64::new(Fnv64::OFFSET ^ 0x5bd1_e995_9d1b_a6d5);
+        for stream in [&mut a, &mut b] {
+            stream.write(payload.format.tag().as_bytes());
+            stream.write(b"\x00");
+            stream.write(payload.backend.cache_tag().as_bytes());
+            stream.write(b"\x00");
+            stream.write(payload.netlist.as_bytes());
+        }
+        ArtifactKey(a.state, b.state)
+    }
+}
+
+/// A compiled circuit: the parsed netlist plus lazily materialized,
+/// ε-independent analysis state (weight vectors, correlation-seed inputs,
+/// observability matrix).
+#[derive(Debug)]
+pub struct Artifact {
+    circuit: Circuit,
+    stats: CircuitStats,
+    backend: BackendSpec,
+    weights: OnceLock<Result<Weights, RelogicError>>,
+    observability: OnceLock<Result<ObservabilityMatrix, RelogicError>>,
+}
+
+impl Artifact {
+    fn compile(payload: &CircuitPayload) -> Result<Artifact, ServeError> {
+        let circuit = payload
+            .format
+            .parse_netlist(&payload.netlist)
+            .map_err(|e| ServeError::netlist(&e))?;
+        let stats = CircuitStats::of(&circuit);
+        Ok(Artifact {
+            circuit,
+            stats,
+            backend: payload.backend,
+            weights: OnceLock::new(),
+            observability: OnceLock::new(),
+        })
+    }
+
+    /// The parsed circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Structural statistics, computed once at compile time.
+    #[must_use]
+    pub fn stats(&self) -> &CircuitStats {
+        &self.stats
+    }
+
+    /// The ε-independent weight vectors, materialized on first use.
+    /// `counters.weights_computed` increments only when this call actually
+    /// runs the backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the weight backend's [`RelogicError`] (also for callers
+    /// arriving after a failed first materialization).
+    pub fn weights(&self, counters: &CacheCounters) -> Result<&Weights, ServeError> {
+        let slot = self.weights.get_or_init(|| {
+            counters.weights_computed.fetch_add(1, Ordering::Relaxed);
+            Weights::try_compute(
+                &self.circuit,
+                &InputDistribution::Uniform,
+                self.backend.backend(),
+            )
+        });
+        match slot {
+            Ok(w) => Ok(w),
+            Err(e) => Err(ServeError::from(e.clone())),
+        }
+    }
+
+    /// The §3 observability matrix, materialized on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`RelogicError`].
+    pub fn observability(
+        &self,
+        counters: &CacheCounters,
+    ) -> Result<&ObservabilityMatrix, ServeError> {
+        let slot = self.observability.get_or_init(|| {
+            counters
+                .observability_computed
+                .fetch_add(1, Ordering::Relaxed);
+            ObservabilityMatrix::try_compute(
+                &self.circuit,
+                &InputDistribution::Uniform,
+                self.backend.backend(),
+            )
+        });
+        match slot {
+            Ok(o) => Ok(o),
+            Err(e) => Err(ServeError::from(e.clone())),
+        }
+    }
+
+    /// Up-front byte charge for this artifact: netlist-scale circuit
+    /// storage plus the projected weight and observability payloads. A
+    /// structural estimate (see module docs), deliberately charged before
+    /// lazy materialization so the budget cannot be overdrafted later.
+    #[must_use]
+    pub fn charged_bytes(&self) -> usize {
+        let nodes = self.circuit.len();
+        let circuit_bytes = nodes * 96; // node, fanin, and name storage
+        let weight_bytes = Weights::projected_heap_bytes(&self.circuit);
+        let obs_bytes = nodes * self.circuit.output_count() * 8 + nodes * 8;
+        circuit_bytes + weight_bytes + obs_bytes
+    }
+}
+
+/// Monotonic counters exposed through the `stats` request.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Requests served from an existing artifact.
+    pub hits: AtomicU64,
+    /// Requests that had to compile a new artifact.
+    pub misses: AtomicU64,
+    /// Artifacts evicted to respect the byte budget.
+    pub evictions: AtomicU64,
+    /// Netlists parsed (≤ misses; parse failures count here too).
+    pub circuits_parsed: AtomicU64,
+    /// Weight-vector tables actually computed (cache hits skip this).
+    pub weights_computed: AtomicU64,
+    /// Observability matrices actually computed.
+    pub observability_computed: AtomicU64,
+    /// Artifacts larger than the whole budget, served uncached.
+    pub uncacheable: AtomicU64,
+}
+
+struct Entry {
+    artifact: Arc<Artifact>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<ArtifactKey, Entry>,
+    total_bytes: usize,
+    tick: u64,
+}
+
+/// The shared artifact cache: `get_or_compile` is the only lookup path.
+pub struct ArtifactCache {
+    inner: Mutex<CacheInner>,
+    budget_bytes: usize,
+    counters: CacheCounters,
+}
+
+/// Whether a lookup was served from cache or had to compile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Artifact already compiled.
+    Hit,
+    /// Artifact compiled by this lookup.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// The wire tag (`"hit"` / `"miss"`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+impl ArtifactCache {
+    /// Creates a cache with the given byte budget.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> ArtifactCache {
+        ArtifactCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                total_bytes: 0,
+                tick: 0,
+            }),
+            budget_bytes,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The configured byte budget.
+    #[must_use]
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// The shared counters.
+    #[must_use]
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
+    }
+
+    /// Entries currently resident and the bytes charged for them.
+    #[must_use]
+    pub fn usage(&self) -> (usize, usize) {
+        let inner = self.lock();
+        (inner.entries.len(), inner.total_bytes)
+    }
+
+    /// Looks up (or compiles) the artifact for a payload.
+    ///
+    /// Parsing happens outside the cache lock, so a slow compile never
+    /// stalls hits on other circuits. Two threads racing to compile the
+    /// same new netlist may both parse it; the loser's artifact is dropped
+    /// and the winner's is shared (weights stay single-flight via
+    /// `OnceLock`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Netlist`] when the payload fails to parse.
+    pub fn get_or_compile(
+        &self,
+        payload: &CircuitPayload,
+    ) -> Result<(Arc<Artifact>, CacheOutcome), ServeError> {
+        let key = ArtifactKey::of(payload);
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.entries.get_mut(&key) {
+                entry.last_used = tick;
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(&entry.artifact), CacheOutcome::Hit));
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .circuits_parsed
+            .fetch_add(1, Ordering::Relaxed);
+        let artifact = Arc::new(Artifact::compile(payload)?);
+        let bytes = artifact.charged_bytes();
+        if bytes > self.budget_bytes {
+            self.counters.uncacheable.fetch_add(1, Ordering::Relaxed);
+            return Ok((artifact, CacheOutcome::Miss));
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            // Lost a compile race; share the incumbent.
+            entry.last_used = tick;
+            return Ok((Arc::clone(&entry.artifact), CacheOutcome::Miss));
+        }
+        inner.entries.insert(
+            key,
+            Entry {
+                artifact: Arc::clone(&artifact),
+                bytes,
+                last_used: tick,
+            },
+        );
+        inner.total_bytes += bytes;
+        self.evict_over_budget(&mut inner, key);
+        Ok((artifact, CacheOutcome::Miss))
+    }
+
+    /// Evicts least-recently-used entries (never `just_inserted`) until the
+    /// budget is respected. Linear scan per eviction: entry counts are
+    /// small (tens of circuits, not millions), so an ordered index would
+    /// cost more than it saves.
+    fn evict_over_budget(&self, inner: &mut CacheInner, just_inserted: ArtifactKey) {
+        while inner.total_bytes > self.budget_bytes && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != just_inserted)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some(entry) = inner.entries.remove(&victim) {
+                inner.total_bytes -= entry.bytes;
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::NetlistFormat;
+
+    fn payload(text: &str) -> CircuitPayload {
+        CircuitPayload {
+            netlist: text.to_owned(),
+            format: NetlistFormat::Bench,
+            backend: BackendSpec::Bdd,
+        }
+    }
+
+    const SMALL: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nt = NAND(a, b)\ny = NOT(t)\n";
+
+    #[test]
+    fn second_lookup_hits_and_skips_weight_recomputation() {
+        let cache = ArtifactCache::new(1 << 20);
+        let (a1, o1) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        let w1 = a1
+            .weights(cache.counters())
+            .unwrap()
+            .signal_probs()
+            .to_vec();
+        let (a2, o2) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        assert_eq!(o2, CacheOutcome::Hit);
+        let w2 = a2
+            .weights(cache.counters())
+            .unwrap()
+            .signal_probs()
+            .to_vec();
+        assert_eq!(w1, w2);
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(cache.counters().weights_computed.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.counters().hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.counters().misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn mutated_netlist_misses() {
+        let cache = ArtifactCache::new(1 << 20);
+        let _ = cache.get_or_compile(&payload(SMALL)).unwrap();
+        let mutated = SMALL.replace("NAND", "NOR");
+        let (_, o) = cache.get_or_compile(&payload(&mutated)).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(cache.counters().misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn format_and_backend_partition_the_key_space() {
+        let p = payload(SMALL);
+        let mut q = p.clone();
+        q.backend = BackendSpec::Sim {
+            patterns: 64,
+            seed: 1,
+        };
+        assert_ne!(ArtifactKey::of(&p), ArtifactKey::of(&q));
+        let mut r = p.clone();
+        r.format = NetlistFormat::Blif;
+        assert_ne!(ArtifactKey::of(&p), ArtifactKey::of(&r));
+    }
+
+    #[test]
+    fn parse_failures_are_typed() {
+        let cache = ArtifactCache::new(1 << 20);
+        let err = cache
+            .get_or_compile(&payload("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"))
+            .unwrap_err();
+        assert_eq!(err.code(), "netlist_error");
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        // Budget sized to hold roughly one artifact.
+        let one = {
+            let cache = ArtifactCache::new(usize::MAX);
+            let (a, _) = cache.get_or_compile(&payload(SMALL)).unwrap();
+            a.charged_bytes()
+        };
+        let cache = ArtifactCache::new(one + one / 2);
+        // Same circuit, four distinct texts (content addressing is exact).
+        let texts: Vec<String> = (0..4).map(|i| format!("{SMALL}# v{i}\n")).collect();
+        for t in &texts {
+            let _ = cache.get_or_compile(&payload(t)).unwrap();
+        }
+        let (entries, bytes) = cache.usage();
+        assert!(bytes <= cache.budget_bytes(), "{bytes} > budget");
+        assert!(entries >= 1);
+        assert!(cache.counters().evictions.load(Ordering::Relaxed) >= 2);
+        // The most recent artifact must still be resident.
+        let (_, o) = cache.get_or_compile(&payload(&texts[3])).unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn oversized_artifacts_are_served_uncached() {
+        let cache = ArtifactCache::new(1);
+        let (_, o) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        let (entries, _) = cache.usage();
+        assert_eq!(entries, 0);
+        assert_eq!(cache.counters().uncacheable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn observability_is_lazy_and_counted_once() {
+        let cache = ArtifactCache::new(1 << 20);
+        let (a, _) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        assert_eq!(
+            cache
+                .counters()
+                .observability_computed
+                .load(Ordering::Relaxed),
+            0
+        );
+        let _ = a.observability(cache.counters()).unwrap();
+        let _ = a.observability(cache.counters()).unwrap();
+        assert_eq!(
+            cache
+                .counters()
+                .observability_computed
+                .load(Ordering::Relaxed),
+            1
+        );
+    }
+}

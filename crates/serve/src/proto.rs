@@ -1,0 +1,760 @@
+//! Wire protocol: newline-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, in order. Every
+//! response is an object with `"ok"` (boolean), the request's `"id"` echoed
+//! back when one was supplied, `"kind"` when the request kind could be
+//! determined, and either `"result"` or `"error"`:
+//!
+//! ```text
+//! → {"kind":"analyze","netlist":"INPUT(a)\n...","format":"bench","eps":[0.05,0.1],"id":1}
+//! ← {"id":1,"ok":true,"kind":"analyze","result":{...}}
+//! → {"kind":"nonsense"}
+//! ← {"ok":false,"kind":null,"error":{"code":"bad_request","message":"unknown request kind `nonsense`"}}
+//! ```
+//!
+//! Error payloads always carry a stable machine-readable `"code"` (see
+//! [`ServeError::code`]) mapped from the workspace's typed error
+//! hierarchies ([`RelogicError`], [`SimError`],
+//! [`relogic_netlist::NetlistError`]) plus a human-readable `"message"`.
+
+use crate::json::{self, Json};
+use relogic::{RelogicError, SinglePassOptions};
+use relogic_netlist::{Circuit, NetlistError};
+use relogic_sim::SimError;
+use std::fmt;
+
+/// Default uniform gate failure probability when a request omits `eps`,
+/// matching the CLI default.
+pub const DEFAULT_EPS: f64 = 0.05;
+
+/// Default Monte Carlo pattern budget, matching the CLI default.
+pub const DEFAULT_PATTERNS: u64 = 65_536;
+
+/// Netlist text format of a request payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetlistFormat {
+    /// ISCAS-85 bench.
+    Bench,
+    /// Berkeley BLIF.
+    Blif,
+    /// Structural Verilog.
+    Verilog,
+}
+
+impl NetlistFormat {
+    /// The wire tag (`"bench"`, `"blif"`, `"verilog"`).
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            NetlistFormat::Bench => "bench",
+            NetlistFormat::Blif => "blif",
+            NetlistFormat::Verilog => "verilog",
+        }
+    }
+
+    /// Parses a wire tag.
+    #[must_use]
+    pub fn from_tag(tag: &str) -> Option<NetlistFormat> {
+        match tag {
+            "bench" => Some(NetlistFormat::Bench),
+            "blif" => Some(NetlistFormat::Blif),
+            "verilog" | "v" => Some(NetlistFormat::Verilog),
+            _ => None,
+        }
+    }
+
+    /// Parses netlist text in this format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the format parser's [`NetlistError`].
+    pub fn parse_netlist(self, text: &str) -> Result<Circuit, NetlistError> {
+        match self {
+            NetlistFormat::Bench => relogic_netlist::bench::parse(text),
+            NetlistFormat::Blif => relogic_netlist::blif::parse(text),
+            NetlistFormat::Verilog => relogic_netlist::verilog::parse(text),
+        }
+    }
+}
+
+/// Which statistics backend computes weight vectors and observabilities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendSpec {
+    /// Exact symbolic (BDD) backend.
+    Bdd,
+    /// Random-pattern sampling backend.
+    Sim {
+        /// Pattern budget for the sampling backend.
+        patterns: u64,
+        /// RNG seed for the sampling backend.
+        seed: u64,
+    },
+}
+
+impl BackendSpec {
+    /// The `relogic` backend value.
+    #[must_use]
+    pub fn backend(self) -> relogic::Backend {
+        match self {
+            BackendSpec::Bdd => relogic::Backend::Bdd,
+            BackendSpec::Sim { patterns, seed } => relogic::Backend::Simulation { patterns, seed },
+        }
+    }
+
+    /// A stable string mixed into cache keys: artifacts computed by
+    /// different backends must never collide.
+    #[must_use]
+    pub fn cache_tag(self) -> String {
+        match self {
+            BackendSpec::Bdd => "bdd".to_owned(),
+            BackendSpec::Sim { patterns, seed } => format!("sim:{patterns}:{seed}"),
+        }
+    }
+}
+
+/// The circuit-carrying part shared by every analysis request.
+#[derive(Clone, Debug)]
+pub struct CircuitPayload {
+    /// Netlist text.
+    pub netlist: String,
+    /// Its format.
+    pub format: NetlistFormat,
+    /// Statistics backend for weights/observability.
+    pub backend: BackendSpec,
+}
+
+/// Options for an `analyze` request.
+#[derive(Clone, Debug)]
+pub struct AnalyzeRequestOptions {
+    /// Engine options (correlations, partner cap, strictness …).
+    pub single_pass: SinglePassOptions,
+    /// Include clamp/fallback diagnostics in the result.
+    pub diagnostics: bool,
+    /// Include per-node error probabilities in each result point.
+    pub per_node: bool,
+}
+
+/// A parsed protocol request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Single-pass δ per output at one or many ε points (§4/§4.1).
+    Analyze {
+        /// Circuit payload.
+        circuit: CircuitPayload,
+        /// ε grid (uniform per gate).
+        eps: Vec<f64>,
+        /// Engine and reporting options.
+        options: AnalyzeRequestOptions,
+    },
+    /// Observability closed form (§3) at one or many ε points.
+    Observability {
+        /// Circuit payload.
+        circuit: CircuitPayload,
+        /// ε grid (uniform per gate).
+        eps: Vec<f64>,
+        /// Include per-gate any-output observabilities.
+        per_gate: bool,
+    },
+    /// Deterministic chunk-seeded Monte Carlo reference run.
+    MonteCarlo {
+        /// Circuit payload.
+        circuit: CircuitPayload,
+        /// Uniform gate failure probability.
+        eps: f64,
+        /// Pattern budget.
+        patterns: u64,
+        /// RNG seed (same seed ⇒ same estimate, any thread count).
+        seed: u64,
+        /// Worker threads (0 = auto).
+        threads: usize,
+    },
+    /// Service counters: requests, cache, latency percentiles.
+    Stats,
+}
+
+impl Request {
+    /// The wire tag of this request kind.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Analyze { .. } => "analyze",
+            Request::Observability { .. } => "observability",
+            Request::MonteCarlo { .. } => "monte_carlo",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+/// Validation ceilings applied while parsing requests.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestLimits {
+    /// Maximum ε points per analyze/observability request.
+    pub max_eps_points: usize,
+    /// Maximum Monte Carlo pattern budget per request.
+    pub max_patterns: u64,
+    /// Maximum worker threads a request may demand.
+    pub max_threads: usize,
+}
+
+impl Default for RequestLimits {
+    fn default() -> Self {
+        RequestLimits {
+            max_eps_points: 4096,
+            max_patterns: 1 << 32,
+            max_threads: 1024,
+        }
+    }
+}
+
+/// Typed service errors; each variant maps to a stable wire code.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The frame is not valid JSON, not an object, names an unknown kind,
+    /// or carries a malformed/out-of-limit field. Code `bad_request`.
+    BadRequest(String),
+    /// The frame exceeded the configured size limit. Code
+    /// `request_too_large`.
+    TooLarge {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The netlist failed to parse or validate. Code `netlist_error`.
+    Netlist {
+        /// The parser/validator message.
+        message: String,
+        /// 1-based line number for syntax errors.
+        line: Option<u64>,
+    },
+    /// The analytical engine rejected the request. Code `analysis_error`.
+    Analysis(RelogicError),
+    /// The Monte Carlo simulator rejected the request. Code `sim_error`.
+    Sim(SimError),
+    /// The request exceeded the per-request service timeout. Code
+    /// `timeout`.
+    Timeout {
+        /// The configured timeout in milliseconds.
+        ms: u64,
+    },
+    /// The server is draining and no longer accepts work. Code
+    /// `shutting_down`.
+    ShuttingDown,
+    /// The request died inside the service (worker panic). Code
+    /// `internal`.
+    Internal(String),
+}
+
+impl ServeError {
+    /// The stable machine-readable error code.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::TooLarge { .. } => "request_too_large",
+            ServeError::Netlist { .. } => "netlist_error",
+            ServeError::Analysis(_) => "analysis_error",
+            ServeError::Sim(_) => "sim_error",
+            ServeError::Timeout { .. } => "timeout",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// Converts a netlist error, preserving the line number of syntax
+    /// errors.
+    #[must_use]
+    pub fn netlist(e: &NetlistError) -> ServeError {
+        match e {
+            NetlistError::Parse { line, message } => ServeError::Netlist {
+                message: message.clone(),
+                line: Some(*line as u64),
+            },
+            other => ServeError::Netlist {
+                message: other.to_string(),
+                line: None,
+            },
+        }
+    }
+
+    /// The error payload object (`code`, `message`, optional `line`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj([
+            ("code", Json::from(self.code())),
+            ("message", Json::from(self.to_string())),
+        ]);
+        match self {
+            ServeError::Netlist {
+                line: Some(line), ..
+            } => obj.push("line", Json::from(*line)),
+            ServeError::TooLarge { limit } => obj.push("limit", Json::from(*limit)),
+            ServeError::Timeout { ms } => obj.push("ms", Json::from(*ms)),
+            _ => {}
+        }
+        obj
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::TooLarge { limit } => {
+                write!(f, "request exceeds the {limit}-byte frame limit")
+            }
+            ServeError::Netlist {
+                message,
+                line: Some(line),
+            } => write!(f, "netlist error on line {line}: {message}"),
+            ServeError::Netlist { message, .. } => write!(f, "netlist error: {message}"),
+            ServeError::Analysis(e) => write!(f, "analysis error: {e}"),
+            ServeError::Sim(e) => write!(f, "simulation error: {e}"),
+            ServeError::Timeout { ms } => write!(f, "request exceeded the {ms} ms timeout"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Analysis(e) => Some(e),
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelogicError> for ServeError {
+    fn from(e: RelogicError) -> Self {
+        // Unwrap the core crate's Sim wrapper so the wire code reflects
+        // the originating subsystem.
+        match e {
+            RelogicError::Sim(s) => ServeError::Sim(s),
+            other => ServeError::Analysis(other),
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}
+
+/// A response frame: echoed id, request kind when known, and the outcome.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The request's `id`, echoed verbatim.
+    pub id: Option<Json>,
+    /// The request kind, when it could be determined.
+    pub kind: Option<&'static str>,
+    /// Result payload or typed error.
+    pub body: Result<Json, ServeError>,
+}
+
+impl Response {
+    /// The response as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::Obj(Vec::with_capacity(4));
+        if let Some(id) = &self.id {
+            obj.push("id", id.clone());
+        }
+        obj.push("ok", Json::from(self.body.is_ok()));
+        obj.push("kind", self.kind.map_or(Json::Null, Json::from));
+        match &self.body {
+            Ok(result) => obj.push("result", result.clone()),
+            Err(e) => obj.push("error", e.to_json()),
+        }
+        obj
+    }
+
+    /// The response as one newline-terminated wire frame.
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        let mut line = self.to_json().encode();
+        line.push('\n');
+        line
+    }
+}
+
+/// Parses one request frame into its echoed id and a [`Request`] (or the
+/// typed error to send back).
+pub fn parse_request(
+    line: &str,
+    limits: &RequestLimits,
+) -> (Option<Json>, Result<Request, ServeError>) {
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return (None, Err(ServeError::BadRequest(e.to_string()))),
+    };
+    if !matches!(doc, Json::Obj(_)) {
+        return (
+            None,
+            Err(ServeError::BadRequest(
+                "request frame must be a JSON object".into(),
+            )),
+        );
+    }
+    // Echo scalar ids only; arbitrary nested ids would let a client make
+    // the server replay large payloads.
+    let id = match doc.get("id") {
+        Some(v @ (Json::Num(_) | Json::Str(_) | Json::Bool(_))) => Some(v.clone()),
+        Some(_) | None => None,
+    };
+    (id, build_request(&doc, limits))
+}
+
+fn build_request(doc: &Json, limits: &RequestLimits) -> Result<Request, ServeError> {
+    let kind = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing or non-string `kind`"))?;
+    match kind {
+        "analyze" => {
+            let circuit = circuit_payload(doc)?;
+            let eps = eps_list(doc, limits)?;
+            let options = analyze_options(doc)?;
+            Ok(Request::Analyze {
+                circuit,
+                eps,
+                options,
+            })
+        }
+        "observability" => {
+            let circuit = circuit_payload(doc)?;
+            let eps = eps_list(doc, limits)?;
+            let per_gate = opt_bool(doc, "per_gate", false)?;
+            Ok(Request::Observability {
+                circuit,
+                eps,
+                per_gate,
+            })
+        }
+        "monte_carlo" => {
+            let circuit = circuit_payload(doc)?;
+            let eps = opt_f64(doc, "eps", DEFAULT_EPS)?;
+            let patterns = opt_u64(doc, "patterns", DEFAULT_PATTERNS)?;
+            if patterns > limits.max_patterns {
+                return Err(bad(&format!(
+                    "patterns {patterns} exceeds the per-request limit {}",
+                    limits.max_patterns
+                )));
+            }
+            let seed = opt_u64(doc, "seed", 1)?;
+            let threads = usize::try_from(opt_u64(doc, "threads", 0)?)
+                .map_err(|_| bad("threads out of range"))?;
+            if threads > limits.max_threads {
+                return Err(bad(&format!(
+                    "threads {threads} exceeds the per-request limit {}",
+                    limits.max_threads
+                )));
+            }
+            Ok(Request::MonteCarlo {
+                circuit,
+                eps,
+                patterns,
+                seed,
+                threads,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        other => Err(bad(&format!("unknown request kind `{other}`"))),
+    }
+}
+
+fn bad(message: &str) -> ServeError {
+    ServeError::BadRequest(message.to_owned())
+}
+
+fn circuit_payload(doc: &Json) -> Result<CircuitPayload, ServeError> {
+    let netlist = doc
+        .get("netlist")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing or non-string `netlist`"))?
+        .to_owned();
+    let format = match doc.get("format") {
+        None => NetlistFormat::Bench,
+        Some(v) => {
+            let tag = v.as_str().ok_or_else(|| bad("non-string `format`"))?;
+            NetlistFormat::from_tag(tag).ok_or_else(|| {
+                bad(&format!(
+                    "unknown format `{tag}` (expected bench, blif, or verilog)"
+                ))
+            })?
+        }
+    };
+    let backend = match doc.get("backend") {
+        None => BackendSpec::Bdd,
+        Some(v) => match v.as_str() {
+            Some("bdd") => BackendSpec::Bdd,
+            Some("sim") => BackendSpec::Sim {
+                patterns: opt_u64(doc, "backend_patterns", DEFAULT_PATTERNS)?,
+                seed: opt_u64(doc, "backend_seed", 1)?,
+            },
+            _ => return Err(bad("unknown backend (expected \"bdd\" or \"sim\")")),
+        },
+    };
+    Ok(CircuitPayload {
+        netlist,
+        format,
+        backend,
+    })
+}
+
+fn eps_list(doc: &Json, limits: &RequestLimits) -> Result<Vec<f64>, ServeError> {
+    let eps = match doc.get("eps") {
+        None => vec![DEFAULT_EPS],
+        Some(Json::Num(v)) => vec![*v],
+        Some(Json::Arr(items)) => {
+            let mut eps = Vec::with_capacity(items.len());
+            for item in items {
+                eps.push(
+                    item.as_f64()
+                        .ok_or_else(|| bad("non-numeric `eps` entry"))?,
+                );
+            }
+            eps
+        }
+        Some(_) => return Err(bad("`eps` must be a number or an array of numbers")),
+    };
+    if eps.is_empty() {
+        return Err(bad("`eps` array is empty"));
+    }
+    if eps.len() > limits.max_eps_points {
+        return Err(bad(&format!(
+            "{} eps points exceed the per-request limit {}",
+            eps.len(),
+            limits.max_eps_points
+        )));
+    }
+    Ok(eps)
+}
+
+fn analyze_options(doc: &Json) -> Result<AnalyzeRequestOptions, ServeError> {
+    let mut single_pass = if opt_bool(doc, "no_correlations", false)? {
+        SinglePassOptions::without_correlations()
+    } else {
+        SinglePassOptions::default()
+    };
+    match doc.get("partner_cap") {
+        None => {}
+        Some(Json::Null) => single_pass.partner_cap = None,
+        Some(Json::Str(s)) if s == "none" => single_pass.partner_cap = None,
+        Some(v) => {
+            let cap = v.as_u64().ok_or_else(|| {
+                bad("`partner_cap` must be a non-negative integer, null, or \"none\"")
+            })?;
+            single_pass.partner_cap =
+                Some(usize::try_from(cap).map_err(|_| bad("`partner_cap` out of range"))?);
+        }
+    }
+    single_pass.strict = opt_bool(doc, "strict", false)?;
+    single_pass.value_conditioning = opt_bool(doc, "value_conditioning", false)?;
+    Ok(AnalyzeRequestOptions {
+        single_pass,
+        diagnostics: opt_bool(doc, "diagnostics", false)?,
+        per_node: opt_bool(doc, "per_node", false)?,
+    })
+}
+
+fn opt_bool(doc: &Json, key: &str, default: bool) -> Result<bool, ServeError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| bad(&format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn opt_u64(doc: &Json, key: &str, default: u64) -> Result<u64, ServeError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| bad(&format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn opt_f64(doc: &Json, key: &str, default: f64) -> Result<f64, ServeError> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| bad(&format!("`{key}` must be a number"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+
+    fn frame(extra: &str) -> String {
+        format!(
+            r#"{{"kind":"analyze","netlist":"INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n"{extra}}}"#
+        )
+    }
+
+    #[test]
+    fn parses_minimal_analyze() {
+        let (id, req) = parse_request(&frame(""), &RequestLimits::default());
+        assert!(id.is_none());
+        let Ok(Request::Analyze {
+            circuit,
+            eps,
+            options,
+        }) = req
+        else {
+            panic!("expected analyze: {req:?}");
+        };
+        assert_eq!(circuit.netlist, SMALL);
+        assert_eq!(circuit.format, NetlistFormat::Bench);
+        assert_eq!(circuit.backend, BackendSpec::Bdd);
+        assert_eq!(eps, vec![DEFAULT_EPS]);
+        assert_eq!(options.single_pass.partner_cap, Some(64));
+        assert!(!options.diagnostics);
+    }
+
+    #[test]
+    fn parses_full_analyze_options() {
+        let (id, req) = parse_request(
+            &frame(
+                r#","id":"r1","eps":[0.1,0.2],"partner_cap":"none","strict":true,"diagnostics":true,"per_node":true,"backend":"sim","backend_patterns":1024,"backend_seed":9"#,
+            ),
+            &RequestLimits::default(),
+        );
+        assert_eq!(id, Some(Json::Str("r1".into())));
+        let Ok(Request::Analyze {
+            circuit,
+            eps,
+            options,
+        }) = req
+        else {
+            panic!();
+        };
+        assert_eq!(eps, vec![0.1, 0.2]);
+        assert_eq!(options.single_pass.partner_cap, None);
+        assert!(options.single_pass.strict);
+        assert!(options.per_node);
+        assert_eq!(
+            circuit.backend,
+            BackendSpec::Sim {
+                patterns: 1024,
+                seed: 9
+            }
+        );
+    }
+
+    #[test]
+    fn parses_monte_carlo_and_stats() {
+        let (_, req) = parse_request(
+            r#"{"kind":"monte_carlo","netlist":"x","patterns":512,"seed":7,"threads":2}"#,
+            &RequestLimits::default(),
+        );
+        let Ok(Request::MonteCarlo {
+            patterns,
+            seed,
+            threads,
+            ..
+        }) = req
+        else {
+            panic!("{req:?}");
+        };
+        assert_eq!((patterns, seed, threads), (512, 7, 2));
+        let (_, req) = parse_request(r#"{"kind":"stats"}"#, &RequestLimits::default());
+        assert!(matches!(req, Ok(Request::Stats)));
+    }
+
+    #[test]
+    fn rejects_malformed_frames_with_bad_request() {
+        let limits = RequestLimits::default();
+        for line in [
+            "",
+            "not json",
+            "42",
+            "[]",
+            r#"{"kind":"frobnicate"}"#,
+            r#"{"netlist":"x"}"#,
+            r#"{"kind":"analyze"}"#,
+            r#"{"kind":"analyze","netlist":7}"#,
+            r#"{"kind":"analyze","netlist":"x","eps":"hi"}"#,
+            r#"{"kind":"analyze","netlist":"x","eps":[]}"#,
+            r#"{"kind":"analyze","netlist":"x","format":"pla"}"#,
+            r#"{"kind":"analyze","netlist":"x","partner_cap":-3}"#,
+            r#"{"kind":"monte_carlo","netlist":"x","patterns":99999999999999999999}"#,
+        ] {
+            let (_, req) = parse_request(line, &limits);
+            match req {
+                Err(ServeError::BadRequest(_)) => {}
+                other => panic!("{line} should be bad_request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let limits = RequestLimits {
+            max_eps_points: 2,
+            max_patterns: 100,
+            max_threads: 4,
+        };
+        let (_, req) = parse_request(&frame(r#","eps":[0.1,0.2,0.3]"#), &limits);
+        assert!(matches!(req, Err(ServeError::BadRequest(_))));
+        let (_, req) = parse_request(
+            r#"{"kind":"monte_carlo","netlist":"x","patterns":101}"#,
+            &limits,
+        );
+        assert!(matches!(req, Err(ServeError::BadRequest(_))));
+        let (_, req) = parse_request(
+            r#"{"kind":"monte_carlo","netlist":"x","threads":5}"#,
+            &limits,
+        );
+        assert!(matches!(req, Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn response_frames_have_stable_shape() {
+        let ok = Response {
+            id: Some(Json::Num(1.0)),
+            kind: Some("stats"),
+            body: Ok(Json::obj([("x", Json::from(1u64))])),
+        };
+        assert_eq!(
+            ok.to_line(),
+            "{\"id\":1,\"ok\":true,\"kind\":\"stats\",\"result\":{\"x\":1}}\n"
+        );
+        let err = Response {
+            id: None,
+            kind: None,
+            body: Err(ServeError::BadRequest("nope".into())),
+        };
+        let line = err.to_line();
+        assert!(line.contains("\"ok\":false"));
+        assert!(line.contains("\"code\":\"bad_request\""));
+        assert!(line.ends_with('\n'));
+    }
+
+    #[test]
+    fn netlist_errors_carry_line_numbers() {
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "what".into(),
+        };
+        let se = ServeError::netlist(&e);
+        assert_eq!(se.code(), "netlist_error");
+        let json = se.to_json();
+        assert_eq!(json.get("line").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn sim_errors_unwrap_from_relogic() {
+        let e = ServeError::from(RelogicError::Sim(SimError::ZeroPatternBudget));
+        assert_eq!(e.code(), "sim_error");
+        let e = ServeError::from(RelogicError::EmptyCircuit);
+        assert_eq!(e.code(), "analysis_error");
+    }
+}

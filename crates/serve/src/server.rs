@@ -1,0 +1,455 @@
+//! Socket front-end: TCP + Unix listeners, a bounded connection worker
+//! pool, per-connection frame loops, and graceful drain.
+//!
+//! Backpressure chain: accept threads hand connections to a
+//! [`relogic_sim::exec::WorkerPool`] with a bounded queue; when every
+//! worker is busy and the queue is full, `submit` blocks the accept
+//! thread, which in turn stops pulling from the listener backlog — the
+//! kernel's own accept queue becomes the final bound.
+
+use crate::proto::{Response, ServeError};
+use crate::service::{Service, ServiceConfig};
+use relogic_sim::exec::{Job, WorkerPool};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a connection read blocks before re-checking the drain flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Server configuration: transports plus the embedded [`ServiceConfig`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// TCP listen address (e.g. `127.0.0.1:7171`), or `None` for no TCP.
+    pub tcp: Option<String>,
+    /// Unix-socket path, or `None` for no Unix listener.
+    pub unix: Option<PathBuf>,
+    /// Connection worker threads; `0` auto-detects.
+    pub threads: usize,
+    /// Bounded depth of the pending-connection queue feeding the workers.
+    pub queue_capacity: usize,
+    /// Close a connection after this much idle time between frames; `0`
+    /// disables the idle timeout.
+    pub idle_timeout_ms: u64,
+    /// Transport-independent service settings.
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            tcp: None,
+            unix: None,
+            threads: 0,
+            queue_capacity: 64,
+            idle_timeout_ms: 30_000,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+struct Shared {
+    service: Service,
+    /// Set to stop accepting new connections and ask open connections to
+    /// finish their current frame and close.
+    draining: AtomicBool,
+    idle_timeout: Duration,
+    max_request_bytes: usize,
+}
+
+/// A running server; dropping it does **not** stop it — call
+/// [`Server::shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    pool: WorkerPool,
+    accept_threads: Vec<std::thread::JoinHandle<()>>,
+    tcp_addr: Option<SocketAddr>,
+    unix_path: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the configured listeners and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a listener cannot be bound (address in
+    /// use, bad path, permissions).
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let max_request_bytes = config.service.max_request_bytes;
+        let shared = Arc::new(Shared {
+            service: Service::new(config.service),
+            draining: AtomicBool::new(false),
+            idle_timeout: Duration::from_millis(config.idle_timeout_ms),
+            max_request_bytes,
+        });
+        let pool = WorkerPool::new(config.threads, config.queue_capacity.max(1));
+        let mut accept_threads = Vec::new();
+        let mut tcp_addr = None;
+        if let Some(addr) = &config.tcp {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            tcp_addr = Some(listener.local_addr()?);
+            accept_threads.push(spawn_acceptor(
+                "relogic-serve-tcp-accept",
+                listener,
+                Arc::clone(&shared),
+                pool_handle(&pool),
+                |stream: TcpStream, shared| {
+                    let _ = stream.set_nodelay(true);
+                    serve_connection(stream, &shared);
+                },
+            ));
+        }
+        let mut unix_path = None;
+        if let Some(path) = &config.unix {
+            // A stale socket file from a previous run would make bind fail.
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            unix_path = Some(path.clone());
+            accept_threads.push(spawn_acceptor(
+                "relogic-serve-unix-accept",
+                listener,
+                Arc::clone(&shared),
+                pool_handle(&pool),
+                |stream: UnixStream, shared| serve_connection(stream, &shared),
+            ));
+        }
+        Ok(Server {
+            shared,
+            pool,
+            accept_threads,
+            tcp_addr,
+            unix_path,
+        })
+    }
+
+    /// The bound TCP address, if a TCP listener was configured.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_addr
+    }
+
+    /// The bound Unix-socket path, if configured.
+    #[must_use]
+    pub fn unix_path(&self) -> Option<&PathBuf> {
+        self.unix_path.as_ref()
+    }
+
+    /// The underlying service (counters, cache — useful in tests).
+    #[must_use]
+    pub fn service(&self) -> &Service {
+        &self.shared.service
+    }
+
+    /// True once a drain has been requested.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight frames finish,
+    /// join every thread, and unlink the Unix socket.
+    pub fn shutdown(self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        for handle in self.accept_threads {
+            let _ = handle.join();
+        }
+        // Queued connections still run; each notices the drain flag after
+        // at most one poll interval and closes after its current frame.
+        self.pool.shutdown();
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// The subset of the pool the acceptors need, cloneable across threads.
+/// A cloneable handle that submits boxed jobs to the shared worker pool,
+/// blocking when the queue is full (this is the accept-side backpressure).
+type Submit = Arc<dyn Fn(Job) + Send + Sync>;
+
+fn pool_handle(pool: &WorkerPool) -> Submit {
+    let submitter = pool.submitter();
+    Arc::new(move |job| {
+        // During shutdown the pool rejects new jobs; the connection is
+        // dropped, which closes the socket — correct drain behaviour.
+        let _ = submitter.submit_boxed(job);
+    })
+}
+
+/// Generic accept loop over either listener type.
+fn spawn_acceptor<L, S>(
+    name: &str,
+    listener: L,
+    shared: Arc<Shared>,
+    submit: Submit,
+    handler: fn(S, Arc<Shared>),
+) -> std::thread::JoinHandle<()>
+where
+    L: Accept<Stream = S> + Send + 'static,
+    S: Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(move || loop {
+            if shared.draining.load(Ordering::SeqCst) {
+                return;
+            }
+            match listener.accept_stream() {
+                Ok(stream) => {
+                    shared
+                        .service
+                        .stats()
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    let conn_shared = Arc::clone(&shared);
+                    submit(Box::new(move || handler(stream, conn_shared)));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        })
+        .unwrap_or_else(|e| panic!("failed to spawn acceptor thread: {e}"))
+}
+
+/// Uniform non-blocking accept over TCP and Unix listeners.
+trait Accept {
+    /// The accepted stream type.
+    type Stream;
+    /// Accepts one pending connection, `WouldBlock` if none.
+    fn accept_stream(&self) -> std::io::Result<Self::Stream>;
+}
+
+impl Accept for TcpListener {
+    type Stream = TcpStream;
+    fn accept_stream(&self) -> std::io::Result<TcpStream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+impl Accept for UnixListener {
+    type Stream = UnixStream;
+    fn accept_stream(&self) -> std::io::Result<UnixStream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+/// A stream the frame loop can drive: read with a poll timeout, write.
+trait Connection: Read + Write {
+    /// Sets the read timeout used for drain-flag polling.
+    fn set_poll_timeout(&self, timeout: Duration) -> std::io::Result<()>;
+}
+
+impl Connection for TcpStream {
+    fn set_poll_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+impl Connection for UnixStream {
+    fn set_poll_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(timeout))
+    }
+}
+
+/// Runs the NDJSON frame loop on one connection until EOF, idle timeout,
+/// drain, or an unrecoverable I/O error.
+fn serve_connection<S: Connection>(stream: S, shared: &Arc<Shared>) {
+    let stats = shared.service.stats();
+    stats.connections_active.fetch_add(1, Ordering::Relaxed);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        frame_loop(stream, shared);
+    }));
+    stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+    // A panic in the frame loop kills only this connection; the counter
+    // stays balanced and the worker thread survives via the pool's own
+    // catch_unwind as well.
+    drop(result);
+}
+
+fn frame_loop<S: Connection>(stream: S, shared: &Arc<Shared>) {
+    if stream.set_poll_timeout(POLL_INTERVAL).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut idle = Duration::ZERO;
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            let line = Response {
+                id: None,
+                kind: None,
+                body: Err(ServeError::ShuttingDown),
+            }
+            .to_line();
+            let _ = reader.get_mut().write_all(line.as_bytes());
+            return;
+        }
+        match read_frame(&mut reader, &mut buf, shared.max_request_bytes) {
+            FrameRead::Frame => {
+                idle = Duration::ZERO;
+                let started = Instant::now();
+                let reply = match std::str::from_utf8(&buf) {
+                    Ok(text) => {
+                        let text = text.trim();
+                        if text.is_empty() {
+                            buf.clear();
+                            continue;
+                        }
+                        shared.service.handle_line(text)
+                    }
+                    Err(_) => Response {
+                        id: None,
+                        kind: None,
+                        body: Err(ServeError::BadRequest(
+                            "request frame is not valid UTF-8".into(),
+                        )),
+                    }
+                    .to_line(),
+                };
+                buf.clear();
+                if reader.get_mut().write_all(reply.as_bytes()).is_err()
+                    || reader.get_mut().flush().is_err()
+                {
+                    return;
+                }
+                // Time spent computing doesn't count against idleness.
+                let _ = started;
+            }
+            FrameRead::TooLarge => {
+                let line = Response {
+                    id: None,
+                    kind: None,
+                    body: Err(ServeError::TooLarge {
+                        limit: shared.max_request_bytes,
+                    }),
+                }
+                .to_line();
+                let _ = reader.get_mut().write_all(line.as_bytes());
+                // The stream is mid-frame; resynchronising is not worth
+                // it — close and let the client reconnect.
+                return;
+            }
+            FrameRead::Eof => return,
+            FrameRead::WouldBlock => {
+                idle += POLL_INTERVAL;
+                if !shared.idle_timeout.is_zero() && idle >= shared.idle_timeout {
+                    return;
+                }
+            }
+            FrameRead::Error => return,
+        }
+    }
+}
+
+enum FrameRead {
+    /// A full newline-terminated frame is in the buffer.
+    Frame,
+    /// The frame exceeded the size limit.
+    TooLarge,
+    /// Clean end of stream (a final unterminated frame is promoted to
+    /// `Frame` first if non-empty).
+    Eof,
+    /// Poll timeout expired with no new bytes.
+    WouldBlock,
+    /// Unrecoverable I/O error.
+    Error,
+}
+
+/// Reads until `\n`, EOF, size limit, or poll timeout. Partial data is
+/// kept in `buf` across `WouldBlock` returns so slow writers work.
+fn read_frame<R: BufRead>(reader: &mut R, buf: &mut Vec<u8>, limit: usize) -> FrameRead {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(available) => available,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return FrameRead::WouldBlock;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return FrameRead::Error,
+        };
+        if available.is_empty() {
+            if buf.is_empty() {
+                return FrameRead::Eof;
+            }
+            // Final frame without a trailing newline.
+            return FrameRead::Frame;
+        }
+        let (consume, done) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (available.len(), false),
+        };
+        if buf.len() + consume > limit {
+            reader.consume(consume);
+            buf.clear();
+            return FrameRead::TooLarge;
+        }
+        buf.extend_from_slice(&available[..consume]);
+        reader.consume(consume);
+        if done {
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+            }
+            return FrameRead::Frame;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_frame_splits_on_newlines() {
+        let mut reader = BufReader::new(Cursor::new(b"one\ntwo\n".to_vec()));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut reader, &mut buf, 1024),
+            FrameRead::Frame
+        ));
+        assert_eq!(buf, b"one");
+        buf.clear();
+        assert!(matches!(
+            read_frame(&mut reader, &mut buf, 1024),
+            FrameRead::Frame
+        ));
+        assert_eq!(buf, b"two");
+        buf.clear();
+        assert!(matches!(
+            read_frame(&mut reader, &mut buf, 1024),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn read_frame_promotes_trailing_partial_to_frame() {
+        let mut reader = BufReader::new(Cursor::new(b"tail".to_vec()));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut reader, &mut buf, 1024),
+            FrameRead::Frame
+        ));
+        assert_eq!(buf, b"tail");
+    }
+
+    #[test]
+    fn read_frame_enforces_the_size_limit() {
+        let mut reader = BufReader::new(Cursor::new(vec![b'x'; 64]));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_frame(&mut reader, &mut buf, 16),
+            FrameRead::TooLarge
+        ));
+        assert!(buf.is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! The transport-independent request service: parse → cache → execute →
+//! encode, with per-request timeouts and counters.
+//!
+//! [`Service`] owns no sockets; [`crate::server`] feeds it frames from
+//! TCP/Unix connections, tests feed it strings directly, and the CLI's
+//! `serve` subcommand wraps it in a daemon. It is cheaply cloneable
+//! (everything shared lives behind one `Arc`).
+
+use crate::api;
+use crate::cache::ArtifactCache;
+use crate::json::Json;
+use crate::proto::{self, Request, RequestLimits, Response, ServeError};
+use crate::stats::ServiceStats;
+use relogic_sim::MonteCarloConfig;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Service configuration (transport-independent parts).
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Artifact-cache byte budget.
+    pub cache_bytes: usize,
+    /// Per-request execution timeout in milliseconds; `0` disables the
+    /// timeout (requests run inline on the connection worker).
+    pub timeout_ms: u64,
+    /// Maximum request frame size in bytes.
+    pub max_request_bytes: usize,
+    /// Request-field validation ceilings.
+    pub limits: RequestLimits,
+    /// Default worker threads for Monte Carlo requests that ask for
+    /// auto-detection (`0` keeps auto-detection).
+    pub default_threads: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_bytes: 256 << 20,
+            timeout_ms: 10_000,
+            max_request_bytes: 4 << 20,
+            limits: RequestLimits::default(),
+            default_threads: 0,
+        }
+    }
+}
+
+struct ServiceInner {
+    config: ServiceConfig,
+    cache: ArtifactCache,
+    stats: ServiceStats,
+    started: Instant,
+}
+
+/// The reliability-analysis service.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+}
+
+impl Service {
+    /// Creates a service with the given configuration.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Service {
+        let cache = ArtifactCache::new(config.cache_bytes);
+        Service {
+            inner: Arc::new(ServiceInner {
+                config,
+                cache,
+                stats: ServiceStats::default(),
+                started: Instant::now(),
+            }),
+        }
+    }
+
+    /// The service configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Shared request/connection counters (the server increments the
+    /// connection gauges).
+    #[must_use]
+    pub fn stats(&self) -> &ServiceStats {
+        &self.inner.stats
+    }
+
+    /// The artifact cache (exposed for tests and counters).
+    #[must_use]
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.inner.cache
+    }
+
+    /// Handles one request frame end to end: parse, count, execute under
+    /// the configured timeout, record latency, encode. Never panics on any
+    /// input.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> String {
+        let started = Instant::now();
+        let (id, parsed) = proto::parse_request(line, &self.inner.config.limits);
+        let response = match parsed {
+            Ok(request) => {
+                self.inner.stats.count_kind(request.kind());
+                self.execute_with_timeout(id, request)
+            }
+            Err(error) => Response {
+                id,
+                kind: None,
+                body: Err(error),
+            },
+        };
+        if response.body.is_err() {
+            self.inner.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.stats.latency.record(started.elapsed());
+        response.to_line()
+    }
+
+    /// Executes a parsed request with no timeout (used by the CLI's
+    /// one-shot JSON mode and by the timeout worker).
+    #[must_use]
+    pub fn execute(&self, id: Option<Json>, request: Request) -> Response {
+        let kind = request.kind();
+        let body = self.execute_body(&request);
+        Response {
+            id,
+            kind: Some(kind),
+            body,
+        }
+    }
+
+    /// Executes a parsed request, bounding analysis kinds by the
+    /// configured per-request timeout. `stats` requests always run inline
+    /// (they must stay responsive while workers are saturated).
+    #[must_use]
+    pub fn execute_with_timeout(&self, id: Option<Json>, request: Request) -> Response {
+        let timeout_ms = self.inner.config.timeout_ms;
+        if timeout_ms == 0 || matches!(request, Request::Stats) {
+            return self.execute(id, request);
+        }
+        let kind = request.kind();
+        let timeout_id = id.clone();
+        let service = self.clone();
+        let (tx, rx) = mpsc::channel();
+        // The runner is detached on timeout: a runaway analysis finishes
+        // (or dies) on its own thread and its result is discarded. The
+        // thread count is bounded by the connection pool width times the
+        // rare timeout events, not by request volume.
+        std::thread::spawn(move || {
+            let _ = tx.send(service.execute(id, request));
+        });
+        match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
+            Ok(response) => response,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                Response {
+                    id: timeout_id,
+                    kind: Some(kind),
+                    body: Err(ServeError::Timeout { ms: timeout_ms }),
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Response {
+                id: timeout_id,
+                kind: Some(kind),
+                body: Err(ServeError::Internal(
+                    "request worker died before producing a response".into(),
+                )),
+            },
+        }
+    }
+
+    fn execute_body(&self, request: &Request) -> Result<Json, ServeError> {
+        match request {
+            Request::Analyze {
+                circuit,
+                eps,
+                options,
+            } => {
+                let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
+                let weights = artifact.weights(self.inner.cache.counters())?;
+                let mut result = api::analyze_result(artifact.circuit(), weights, eps, options)?;
+                result.push("cache", Json::from(outcome.tag()));
+                Ok(result)
+            }
+            Request::Observability {
+                circuit,
+                eps,
+                per_gate,
+            } => {
+                let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
+                let observability = artifact.observability(self.inner.cache.counters())?;
+                let mut result =
+                    api::observability_result(artifact.circuit(), observability, eps, *per_gate)?;
+                result.push("cache", Json::from(outcome.tag()));
+                Ok(result)
+            }
+            Request::MonteCarlo {
+                circuit,
+                eps,
+                patterns,
+                seed,
+                threads,
+            } => {
+                let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
+                let config = MonteCarloConfig {
+                    patterns: *patterns,
+                    seed: *seed,
+                    threads: if *threads == 0 {
+                        self.inner.config.default_threads
+                    } else {
+                        *threads
+                    },
+                    ..MonteCarloConfig::default()
+                };
+                let mut result = api::monte_carlo_result(artifact.circuit(), *eps, &config)?;
+                result.push("cache", Json::from(outcome.tag()));
+                Ok(result)
+            }
+            Request::Stats => Ok(self.stats_json()),
+        }
+    }
+
+    /// The `stats` result object: per-kind request counters, cache
+    /// counters, and service-time percentiles.
+    #[must_use]
+    pub fn stats_json(&self) -> Json {
+        let stats = &self.inner.stats;
+        let counters = self.inner.cache.counters();
+        let (entries, bytes) = self.inner.cache.usage();
+        Json::obj([
+            (
+                "uptime_ms",
+                Json::from(
+                    u64::try_from(self.inner.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                ),
+            ),
+            ("requests", stats.requests_json()),
+            ("errors", Json::from(stats.errors.load(Ordering::Relaxed))),
+            (
+                "timeouts",
+                Json::from(stats.timeouts.load(Ordering::Relaxed)),
+            ),
+            (
+                "connections",
+                Json::obj([
+                    (
+                        "accepted",
+                        Json::from(stats.connections_accepted.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "active",
+                        Json::from(stats.connections_active.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("entries", Json::from(entries)),
+                    ("bytes", Json::from(bytes)),
+                    ("budget_bytes", Json::from(self.inner.cache.budget_bytes())),
+                    ("hits", Json::from(counters.hits.load(Ordering::Relaxed))),
+                    (
+                        "misses",
+                        Json::from(counters.misses.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "evictions",
+                        Json::from(counters.evictions.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "uncacheable",
+                        Json::from(counters.uncacheable.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "circuits_parsed",
+                        Json::from(counters.circuits_parsed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "weights_computed",
+                        Json::from(counters.weights_computed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "observability_computed",
+                        Json::from(counters.observability_computed.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            ("latency_us", stats.latency.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMALL: &str = "INPUT(a)\\nINPUT(b)\\nOUTPUT(y)\\nt = NAND(a, b)\\ny = NOT(t)\\n";
+
+    fn service() -> Service {
+        Service::new(ServiceConfig {
+            timeout_ms: 0,
+            ..ServiceConfig::default()
+        })
+    }
+
+    fn analyze_frame(extra: &str) -> String {
+        format!(r#"{{"kind":"analyze","netlist":"{SMALL}"{extra}}}"#)
+    }
+
+    #[test]
+    fn analyze_round_trip_and_cache_tagging() {
+        let svc = service();
+        let first = svc.handle_line(&analyze_frame(r#","eps":0.1,"id":1"#));
+        assert!(first.contains("\"ok\":true"), "{first}");
+        assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        assert!(first.contains("\"id\":1"), "{first}");
+        let second = svc.handle_line(&analyze_frame(r#","eps":0.1,"id":2"#));
+        assert!(second.contains("\"cache\":\"hit\""), "{second}");
+        // Identical payloads modulo id/cache tag.
+        let strip = |s: &str| {
+            s.replace("\"cache\":\"hit\"", "")
+                .replace("\"cache\":\"miss\"", "")
+                .replace("\"id\":1,", "")
+                .replace("\"id\":2,", "")
+        };
+        assert_eq!(strip(&first), strip(&second));
+    }
+
+    #[test]
+    fn stats_request_reports_counters() {
+        let svc = service();
+        let _ = svc.handle_line(&analyze_frame(""));
+        let _ = svc.handle_line(&analyze_frame(""));
+        let _ = svc.handle_line("garbage");
+        let stats = svc.handle_line(r#"{"kind":"stats"}"#);
+        let doc = crate::json::parse(stats.trim()).unwrap();
+        let result = doc.get("result").unwrap();
+        let requests = result.get("requests").unwrap();
+        assert_eq!(requests.get("analyze").and_then(Json::as_u64), Some(2));
+        assert_eq!(result.get("errors").and_then(Json::as_u64), Some(1));
+        let cache = result.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            cache.get("weights_computed").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(result.get("latency_us").unwrap().get("count").is_some());
+    }
+
+    #[test]
+    fn malformed_lines_never_panic_and_return_typed_errors() {
+        let svc = service();
+        for line in ["", "{", "[]", "\"x\"", "{\"kind\":\"zap\"}", "{\"kind\":1}"] {
+            let out = svc.handle_line(line);
+            assert!(out.contains("\"ok\":false"), "{line} -> {out}");
+            assert!(out.contains("\"code\":\"bad_request\""), "{line} -> {out}");
+        }
+    }
+
+    #[test]
+    fn timeouts_produce_typed_errors() {
+        let svc = Service::new(ServiceConfig {
+            timeout_ms: 1,
+            ..ServiceConfig::default()
+        });
+        // A large MC budget cannot finish in 1 ms.
+        let out = svc.handle_line(&format!(
+            r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":400000000,"threads":1}}"#
+        ));
+        assert!(out.contains("\"code\":\"timeout\""), "{out}");
+        assert_eq!(svc.stats().timeouts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_through_the_service() {
+        let svc = service();
+        let frame = format!(
+            r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":4096,"seed":3,"threads":2}}"#
+        );
+        let a = svc.handle_line(&frame);
+        let b = svc.handle_line(&frame);
+        // First run is a cache miss, second a hit; estimates identical.
+        assert_eq!(
+            a.replace("\"cache\":\"miss\"", ""),
+            b.replace("\"cache\":\"hit\"", "")
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Minimal SIGTERM/SIGINT handling without any external crate.
+//!
+//! The daemon needs exactly one bit from the OS: "please drain". A full
+//! signal-handling crate is out of bounds (offline build, std-only), and
+//! `signal(2)` with a flag-setting handler is async-signal-safe — the
+//! handler only stores to a static `AtomicBool`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; polled by the serve loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    // `signal` is in every libc the workspace targets; declaring it
+    // directly avoids depending on the `libc` crate.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `on_signal` only performs an atomic store, which is
+        // async-signal-safe; `signal` itself is safe to call with a valid
+        // function pointer.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs SIGTERM/SIGINT handlers (no-op off Unix) and returns the
+/// shutdown flag they set. Safe to call more than once.
+pub fn install_shutdown_flag() -> &'static AtomicBool {
+    imp::install();
+    &SHUTDOWN
+}
+
+/// True once a shutdown signal has been received (or
+/// [`request_shutdown`] was called).
+#[must_use]
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the shutdown flag programmatically (tests, embedding).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_shutdown_sets_the_flag() {
+        let flag = install_shutdown_flag();
+        assert!(!flag.load(Ordering::SeqCst) || shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

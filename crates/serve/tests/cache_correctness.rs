@@ -1,0 +1,144 @@
+//! Cache-correctness tests driven through the public service API: repeat
+//! requests must be bit-identical and skip recomputation (verified via the
+//! `stats` counters), and any netlist mutation must miss.
+
+// Test helpers may unwrap: a panic here is a test failure, not a crash path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use relogic_serve::json::{self, Json};
+use relogic_serve::{Service, ServiceConfig};
+use std::sync::atomic::Ordering;
+
+const SMALL: &str = "INPUT(a)\\nINPUT(b)\\nOUTPUT(y)\\nt = NAND(a, b)\\ny = NOT(t)\\n";
+
+fn service() -> Service {
+    Service::new(ServiceConfig {
+        timeout_ms: 0,
+        ..ServiceConfig::default()
+    })
+}
+
+fn counters_of(service: &Service) -> (u64, u64, u64, u64) {
+    let c = service.cache().counters();
+    (
+        c.hits.load(Ordering::Relaxed),
+        c.misses.load(Ordering::Relaxed),
+        c.circuits_parsed.load(Ordering::Relaxed),
+        c.weights_computed.load(Ordering::Relaxed),
+    )
+}
+
+#[test]
+fn repeat_analyze_is_bit_identical_and_skips_weight_recomputation() {
+    let svc = service();
+    let frame = format!(r#"{{"kind":"analyze","netlist":"{SMALL}","eps":[0.05,0.1,0.2]}}"#);
+    let first = svc.handle_line(&frame);
+    let second = svc.handle_line(&frame);
+    assert_eq!(
+        first.replace("\"cache\":\"miss\"", "X"),
+        second.replace("\"cache\":\"hit\"", "X"),
+        "second answer must be bit-identical"
+    );
+    let (hits, misses, parsed, weights) = counters_of(&svc);
+    assert_eq!(hits, 1);
+    assert_eq!(misses, 1);
+    assert_eq!(parsed, 1, "netlist parsed once, not twice");
+    assert_eq!(weights, 1, "weight vectors computed once, not twice");
+}
+
+#[test]
+fn stats_request_exposes_the_hit() {
+    let svc = service();
+    let frame = format!(r#"{{"kind":"analyze","netlist":"{SMALL}"}}"#);
+    let _ = svc.handle_line(&frame);
+    let _ = svc.handle_line(&frame);
+    let reply = svc.handle_line(r#"{"kind":"stats"}"#);
+    let doc = json::parse(reply.trim()).unwrap();
+    let cache = doc.get("result").unwrap().get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        cache.get("weights_computed").and_then(Json::as_u64),
+        Some(1)
+    );
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+}
+
+#[test]
+fn mutated_netlist_misses() {
+    let svc = service();
+    let frame = format!(r#"{{"kind":"analyze","netlist":"{SMALL}"}}"#);
+    let _ = svc.handle_line(&frame);
+    // Same circuit, one extra comment byte: different content address.
+    let mutated =
+        format!(r#"{{"kind":"analyze","netlist":"{SMALL}# x\n"}}"#).replace("\n\"", "\\n\"");
+    let reply = svc.handle_line(&mutated);
+    assert!(reply.contains("\"cache\":\"miss\""), "{reply}");
+    let (hits, misses, parsed, weights) = counters_of(&svc);
+    assert_eq!(hits, 0);
+    assert_eq!(misses, 2);
+    assert_eq!(parsed, 2);
+    assert_eq!(weights, 2);
+}
+
+#[test]
+fn backend_is_part_of_the_cache_key() {
+    let svc = service();
+    let bdd = format!(r#"{{"kind":"analyze","netlist":"{SMALL}"}}"#);
+    let sim = format!(
+        r#"{{"kind":"analyze","netlist":"{SMALL}","backend":"sim","backend_patterns":4096,"backend_seed":7}}"#
+    );
+    let _ = svc.handle_line(&bdd);
+    let reply = svc.handle_line(&sim);
+    assert!(reply.contains("\"cache\":\"miss\""), "{reply}");
+    let (_, misses, ..) = counters_of(&svc);
+    assert_eq!(misses, 2, "bdd and sim artifacts are distinct entries");
+}
+
+#[test]
+fn observability_and_analyze_share_one_artifact() {
+    let svc = service();
+    let analyze = format!(r#"{{"kind":"analyze","netlist":"{SMALL}"}}"#);
+    let observability = format!(r#"{{"kind":"observability","netlist":"{SMALL}"}}"#);
+    let _ = svc.handle_line(&analyze);
+    let reply = svc.handle_line(&observability);
+    // Same compiled circuit: the observability request hits the artifact
+    // parsed by analyze and only adds the lazily-computed matrix.
+    assert!(reply.contains("\"cache\":\"hit\""), "{reply}");
+    let c = svc.cache().counters();
+    assert_eq!(c.circuits_parsed.load(Ordering::Relaxed), 1);
+    assert_eq!(c.weights_computed.load(Ordering::Relaxed), 1);
+    assert_eq!(c.observability_computed.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn single_flight_under_a_thundering_herd() {
+    let svc = service();
+    let frame = format!(r#"{{"kind":"analyze","netlist":"{SMALL}","eps":0.1}}"#);
+    let replies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let svc = svc.clone();
+                let frame = frame.clone();
+                scope.spawn(move || svc.handle_line(&frame))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Every reply carries the same result payload.
+    let canon: Vec<String> = replies
+        .iter()
+        .map(|r| {
+            r.replace("\"cache\":\"miss\"", "X")
+                .replace("\"cache\":\"hit\"", "X")
+        })
+        .collect();
+    assert!(canon.iter().all(|r| r == &canon[0]));
+    // Weights were computed exactly once despite 16 concurrent requests
+    // (OnceLock single-flight); the circuit may be parsed a handful of
+    // times by racing threads but only one artifact wins.
+    let c = svc.cache().counters();
+    assert_eq!(c.weights_computed.load(Ordering::Relaxed), 1);
+    let (entries, _) = svc.cache().usage();
+    assert_eq!(entries, 1);
+}

@@ -1,0 +1,366 @@
+//! Protocol-robustness tests over real sockets: malformed, truncated, and
+//! oversized frames, unknown request kinds, and concurrent clients — the
+//! server must answer every one with a typed error or a result, and never
+//! panic, deadlock, or return non-deterministic Monte Carlo estimates.
+
+// Test helpers may unwrap: a panic here is a test failure, not a crash path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use relogic_serve::json::{self, Json};
+use relogic_serve::{RequestLimits, Server, ServerConfig, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+const SMALL: &str = "INPUT(a)\\nINPUT(b)\\nOUTPUT(y)\\nt = NAND(a, b)\\ny = NOT(t)\\n";
+
+fn start_tcp() -> Server {
+    start_with(ServiceConfig {
+        timeout_ms: 30_000,
+        ..ServiceConfig::default()
+    })
+}
+
+fn start_with(service: ServiceConfig) -> Server {
+    Server::start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        threads: 4,
+        service,
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.tcp_addr().unwrap()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+/// Sends one frame and reads one reply line.
+fn round_trip(stream: &mut TcpStream, frame: &str) -> Json {
+    stream.write_all(frame.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    json::parse(line.trim()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+}
+
+fn error_code(reply: &Json) -> Option<String> {
+    reply
+        .get("error")?
+        .get("code")
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_not_disconnects() {
+    let server = start_tcp();
+    let mut stream = connect(&server);
+    for frame in [
+        "not json at all",
+        "{\"kind\":",
+        "[1,2,3]",
+        "\"just a string\"",
+        "{}",
+        "{\"kind\":\"launch_missiles\"}",
+        "{\"kind\":42}",
+        "{\"kind\":\"analyze\"}",
+        "{\"kind\":\"analyze\",\"netlist\":7}",
+        "{\"kind\":\"analyze\",\"netlist\":\"INPUT(a)\",\"eps\":\"high\"}",
+    ] {
+        let reply = round_trip(&mut stream, frame);
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{frame}"
+        );
+        assert_eq!(
+            error_code(&reply).as_deref(),
+            Some("bad_request"),
+            "{frame}"
+        );
+    }
+    // The connection survives all of that and still serves real work.
+    let reply = round_trip(
+        &mut stream,
+        &format!(r#"{{"kind":"analyze","netlist":"{SMALL}","eps":0.1}}"#),
+    );
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn netlist_and_analysis_errors_are_distinguished() {
+    let server = start_tcp();
+    let mut stream = connect(&server);
+    let reply = round_trip(
+        &mut stream,
+        r#"{"kind":"analyze","netlist":"INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"}"#,
+    );
+    assert_eq!(error_code(&reply).as_deref(), Some("netlist_error"));
+    let line = reply
+        .get("error")
+        .unwrap()
+        .get("line")
+        .and_then(Json::as_u64);
+    assert_eq!(line, Some(3), "syntax errors carry the line number");
+
+    let reply = round_trip(
+        &mut stream,
+        &format!(r#"{{"kind":"analyze","netlist":"{SMALL}","eps":1.5}}"#),
+    );
+    assert_eq!(error_code(&reply).as_deref(), Some("analysis_error"));
+
+    let reply = round_trip(
+        &mut stream,
+        &format!(r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":0}}"#),
+    );
+    assert_eq!(error_code(&reply).as_deref(), Some("sim_error"));
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_rejected_with_the_limit() {
+    let server = start_with(ServiceConfig {
+        max_request_bytes: 4096,
+        ..ServiceConfig::default()
+    });
+    let mut stream = connect(&server);
+    let huge = format!(r#"{{"kind":"analyze","netlist":"{}"}}"#, "x".repeat(10_000));
+    stream.write_all(huge.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply = json::parse(line.trim()).unwrap();
+    assert_eq!(error_code(&reply).as_deref(), Some("request_too_large"));
+    assert_eq!(
+        reply
+            .get("error")
+            .unwrap()
+            .get("limit")
+            .and_then(Json::as_u64),
+        Some(4096)
+    );
+    // The server closes the connection after an oversized frame (the
+    // stream is mid-frame and cannot be resynchronised). Depending on
+    // what was still in flight the close shows up as EOF or a reset.
+    let mut rest = String::new();
+    match reader.read_to_string(&mut rest) {
+        Ok(n) => assert_eq!(n, 0, "connection must be closed, got {rest:?}"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+            ),
+            "{e}"
+        ),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn truncated_frame_at_eof_is_still_answered() {
+    let server = start_tcp();
+    let stream = connect(&server);
+    let mut write_half = stream.try_clone().unwrap();
+    // No trailing newline, then a write-side shutdown: the server must
+    // promote the partial frame and answer before closing.
+    write_half.write_all(br#"{"kind":"stats"}"#).unwrap();
+    write_half.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply = json::parse(line.trim()).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("stats"));
+    server.shutdown();
+}
+
+#[test]
+fn request_ids_are_echoed_and_binary_garbage_is_survivable() {
+    let server = start_tcp();
+    let mut stream = connect(&server);
+    let reply = round_trip(&mut stream, r#"{"kind":"stats","id":"req-77"}"#);
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("req-77"));
+
+    // Invalid UTF-8 bytes in a frame: typed bad_request, connection lives.
+    stream.write_all(&[0xff, 0xfe, b'{', 0x80, b'\n']).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply = json::parse(line.trim()).unwrap();
+    assert_eq!(error_code(&reply).as_deref(), Some("bad_request"));
+    let reply = round_trip(&mut stream, r#"{"kind":"stats"}"#);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn limits_cap_eps_points_patterns_and_threads() {
+    let server = start_with(ServiceConfig {
+        limits: RequestLimits {
+            max_eps_points: 3,
+            max_patterns: 10_000,
+            max_threads: 2,
+        },
+        ..ServiceConfig::default()
+    });
+    let mut stream = connect(&server);
+    let reply = round_trip(
+        &mut stream,
+        &format!(r#"{{"kind":"analyze","netlist":"{SMALL}","eps":[0.1,0.2,0.3,0.4]}}"#),
+    );
+    assert_eq!(error_code(&reply).as_deref(), Some("bad_request"));
+    let reply = round_trip(
+        &mut stream,
+        &format!(r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":1000000}}"#),
+    );
+    assert_eq!(error_code(&reply).as_deref(), Some("bad_request"));
+    let reply = round_trip(
+        &mut stream,
+        &format!(r#"{{"kind":"monte_carlo","netlist":"{SMALL}","threads":64}}"#),
+    );
+    assert_eq!(error_code(&reply).as_deref(), Some("bad_request"));
+    server.shutdown();
+}
+
+#[test]
+fn unix_socket_serves_the_same_protocol() {
+    let path = std::env::temp_dir().join(format!("relogic-serve-test-{}.sock", std::process::id()));
+    let server = Server::start(ServerConfig {
+        unix: Some(path.clone()),
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let mut stream = UnixStream::connect(&path).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(format!("{{\"kind\":\"observability\",\"netlist\":\"{SMALL}\"}}\n").as_bytes())
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let reply = json::parse(line.trim()).unwrap();
+    assert_eq!(
+        reply.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{line}"
+    );
+    assert_eq!(
+        reply.get("kind").and_then(Json::as_str),
+        Some("observability")
+    );
+    server.shutdown();
+    assert!(!path.exists(), "socket file unlinked on shutdown");
+}
+
+#[test]
+fn concurrent_clients_hammering_one_cached_circuit() {
+    let server = start_tcp();
+    let addr = server.tcp_addr().unwrap();
+    const CLIENTS: usize = 10;
+    const FRAMES_PER_CLIENT: usize = 8;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                let mut deltas = Vec::new();
+                for i in 0..FRAMES_PER_CLIENT {
+                    // Mix request kinds and inject malformed frames to
+                    // shake out interleaving bugs.
+                    let frame = match (k + i) % 4 {
+                        0 => format!(r#"{{"kind":"analyze","netlist":"{SMALL}","eps":0.1}}"#),
+                        1 => format!(
+                            r#"{{"kind":"monte_carlo","netlist":"{SMALL}","eps":0.1,"patterns":4096,"seed":9,"threads":{}}}"#,
+                            1 + (k % 3)
+                        ),
+                        2 => "definitely not json".to_owned(),
+                        _ => r#"{"kind":"stats"}"#.to_owned(),
+                    };
+                    stream.write_all(frame.as_bytes()).unwrap();
+                    stream.write_all(b"\n").unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let reply = json::parse(line.trim()).unwrap();
+                    match (k + i) % 4 {
+                        2 => assert_eq!(
+                            reply.get("ok").and_then(Json::as_bool),
+                            Some(false),
+                            "{line}"
+                        ),
+                        1 => {
+                            let delta = reply
+                                .get("result")
+                                .and_then(|r| r.get("delta"))
+                                .map(Json::encode)
+                                .unwrap_or_else(|| panic!("no delta in {line}"));
+                            deltas.push(delta);
+                        }
+                        _ => assert_eq!(
+                            reply.get("ok").and_then(Json::as_bool),
+                            Some(true),
+                            "{line}"
+                        ),
+                    }
+                }
+                deltas
+            })
+        })
+        .collect();
+    let mut all_mc: Vec<String> = Vec::new();
+    for h in handles {
+        all_mc.extend(h.join().expect("client thread panicked"));
+    }
+    // Same seed + patterns ⇒ every MC estimate is bit-identical no matter
+    // which client ran it, on how many threads, in what interleaving.
+    assert!(!all_mc.is_empty());
+    assert!(
+        all_mc.iter().all(|d| d == &all_mc[0]),
+        "non-deterministic MC under concurrency: {all_mc:?}"
+    );
+    // All that traffic parsed the circuit exactly once.
+    let counters = server.service().cache().counters();
+    assert_eq!(
+        counters
+            .circuits_parsed
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn draining_server_answers_shutting_down_then_closes() {
+    let server = start_tcp();
+    let mut stream = connect(&server);
+    // Prove the connection works first.
+    let reply = round_trip(&mut stream, r#"{"kind":"stats"}"#);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+    // After shutdown the listener is gone; existing connections were told
+    // to go away with a typed error or closed outright.
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => {} // closed without a farewell — acceptable
+        Ok(_) => {
+            let reply = json::parse(line.trim()).unwrap();
+            assert_eq!(error_code(&reply).as_deref(), Some("shutting_down"));
+        }
+        Err(_) => {} // reset — also a close
+    }
+}

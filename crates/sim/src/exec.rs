@@ -19,8 +19,10 @@
 //!   [`ChunkExecutor::map_chunks_with`], amortizing allocations across all
 //!   chunks a worker processes.
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// Number of hardware threads available to this process (at least 1).
 #[must_use]
@@ -130,6 +132,228 @@ impl ChunkExecutor {
     }
 }
 
+/// Error returned by [`WorkerPool::submit`] once the pool has begun
+/// shutting down: the job was not (and will never be) executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool is shutting down; job rejected")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+/// A boxed job as consumed by [`WorkerPool`] workers.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    open: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl PoolShared {
+    /// Locks the pool state, recovering from a poisoned mutex (a panicking
+    /// job must not wedge every other connection).
+    fn lock(&self) -> MutexGuard<'_, PoolState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A long-lived pool of worker threads consuming a **bounded** job queue.
+///
+/// [`ChunkExecutor`] covers the *batch* shape (N indexed chunks, merged in
+/// order, workers die at the end); `WorkerPool` covers the *service* shape
+/// layered above it: jobs arrive continuously (one per client connection in
+/// `relogic-serve`), each job may itself fan out through a `ChunkExecutor`,
+/// and the pool outlives every job. The queue bound is the backpressure
+/// mechanism — [`WorkerPool::submit`] blocks while the queue is full, so an
+/// accept loop naturally stops pulling work off the listener when the
+/// workers are saturated.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_sim::exec::WorkerPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(2, 8);
+/// let done = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..5 {
+///     let done = Arc::clone(&done);
+///     pool.submit(move || {
+///         done.fetch_add(1, Ordering::SeqCst);
+///     })
+///     .unwrap();
+/// }
+/// pool.shutdown(); // drains the queue, then joins the workers
+/// assert_eq!(done.load(Ordering::SeqCst), 5);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with `threads` workers (`0` auto-detects
+    /// [`available_threads`]) and a job queue bounded at `queue_capacity`
+    /// pending jobs (at least 1).
+    #[must_use]
+    pub fn new(threads: usize, queue_capacity: usize) -> Self {
+        let threads = if threads == 0 {
+            available_threads()
+        } else {
+            threads
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: queue_capacity.max(1),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// The number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Enqueues a job, blocking while the queue is at capacity
+    /// (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] if [`WorkerPool::shutdown`] has begun; the
+    /// job is dropped unexecuted.
+    pub fn submit<F>(&self, job: F) -> Result<(), PoolClosed>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut state = self.shared.lock();
+        while state.open && state.queue.len() >= self.shared.capacity {
+            state = match self.shared.not_full.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if !state.open {
+            return Err(PoolClosed);
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// A cloneable submit handle that can outlive borrows of the pool
+    /// (e.g. held by accept threads while the owner retains the pool for
+    /// shutdown). Submitting through the handle behaves exactly like
+    /// [`WorkerPool::submit`].
+    #[must_use]
+    pub fn submitter(&self) -> PoolSubmitter {
+        PoolSubmitter {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Drains and joins the pool: no new jobs are accepted, every job
+    /// already queued still runs, and the call returns once all workers
+    /// have exited. A worker that panicked is ignored (its panic was
+    /// confined to its own job).
+    pub fn shutdown(self) {
+        {
+            let mut state = self.shared.lock();
+            state.open = false;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A detached, cloneable handle for submitting jobs to a [`WorkerPool`].
+#[derive(Clone)]
+pub struct PoolSubmitter {
+    shared: Arc<PoolShared>,
+}
+
+impl PoolSubmitter {
+    /// Enqueues an already-boxed job, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] if the pool has begun shutting down.
+    pub fn submit_boxed(&self, job: Job) -> Result<(), PoolClosed> {
+        let mut state = self.shared.lock();
+        while state.open && state.queue.len() >= self.shared.capacity {
+            state = match self.shared.not_full.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        if !state.open {
+            return Err(PoolClosed);
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut state = shared.lock();
+    loop {
+        if let Some(job) = state.queue.pop_front() {
+            drop(state);
+            shared.not_full.notify_one();
+            // A panicking job must not kill the worker: the pool serves
+            // many independent clients and its width is part of the
+            // service's capacity contract.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            state = shared.lock();
+        } else if state.open {
+            state = match shared.not_empty.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        } else {
+            break;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +403,71 @@ mod tests {
         let exec = ChunkExecutor::new(16);
         let out = exec.map_chunks(4, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_pool_runs_every_submitted_job() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(3, 4);
+        assert_eq!(pool.threads(), 3);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn worker_pool_rejects_jobs_after_shutdown_started() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(1, 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Flip the pool closed from another handle before submitting more.
+        let shared = Arc::clone(&pool.shared);
+        shared.lock().open = false;
+        shared.not_empty.notify_all();
+        assert_eq!(pool.submit(|| ()), Err(PoolClosed));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_survives_a_panicking_job() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = WorkerPool::new(1, 8);
+        pool.submit(|| panic!("job panic must stay confined"))
+            .unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            1,
+            "the worker must outlive a panicking job"
+        );
+    }
+
+    #[test]
+    fn worker_pool_zero_threads_auto_detects() {
+        let pool = WorkerPool::new(0, 1);
+        assert!(pool.threads() >= 1);
+        pool.shutdown();
     }
 }
