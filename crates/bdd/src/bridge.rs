@@ -79,6 +79,53 @@ impl VarOrder {
         VarOrder { var_of }
     }
 
+    /// Fanin-weight order: each output carries weight 1.0, split evenly
+    /// down its fanin cone in reverse topological order, and inputs are
+    /// numbered by descending accumulated weight (declaration position as
+    /// the tie-break, so the order is deterministic).
+    ///
+    /// Inputs feeding many outputs through shallow logic accumulate large
+    /// weights and land near the top of the order — the classic static
+    /// heuristic for reconvergent circuits, complementing [`VarOrder::dfs`]
+    /// (which optimizes for locality rather than influence).
+    #[must_use]
+    pub fn weighted(circuit: &Circuit) -> Self {
+        let mut weight = vec![0.0f64; circuit.len()];
+        for out in circuit.outputs() {
+            weight[out.node().index()] += 1.0;
+        }
+        // Nodes are stored in topological order, so a reverse scan sees
+        // every node after all of its fanouts.
+        for idx in (0..circuit.len()).rev() {
+            let node = circuit.node(NodeId::from_index(idx));
+            let fanins = node.fanins();
+            if fanins.is_empty() || weight[idx] == 0.0 {
+                continue;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let share = weight[idx] / fanins.len() as f64;
+            for f in fanins {
+                weight[f.index()] += share;
+            }
+        }
+        let mut by_weight: Vec<(usize, f64)> = (0..circuit.input_count())
+            .map(|pos| {
+                let id = circuit.inputs()[pos];
+                (pos, weight[id.index()])
+            })
+            .collect();
+        by_weight.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut var_of = vec![Var::MAX; circuit.input_count()];
+        for (rank, (pos, _)) in by_weight.into_iter().enumerate() {
+            var_of[pos] = Var::try_from(rank).expect("input count overflow");
+        }
+        VarOrder { var_of }
+    }
+
     /// Number of inputs covered by this order.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -213,6 +260,122 @@ impl CircuitBdds {
             }
         }
         funcs
+    }
+
+    /// Boolean difference of `gate`'s *local* function with respect to its
+    /// fanin `wrt`: the predicate (over primary inputs) that flipping the
+    /// value on the `wrt` pins flips the gate's output.
+    ///
+    /// Built as `f_gate[wrt ← 1] ⊕ f_gate[wrt ← 0]` over the base fanin
+    /// functions, which stays exact when the gate reads `wrt` on several
+    /// pins. This is the chain-rule factor for exact observability on
+    /// fanout-free paths: if `wrt`'s only observer is `gate`, then
+    /// `∂y/∂wrt = local_difference(gate, wrt) ∧ ∂y/∂gate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not actually a gate or does not read `wrt`.
+    #[must_use]
+    pub fn local_difference(
+        &self,
+        manager: &mut BddManager,
+        circuit: &Circuit,
+        gate: NodeId,
+        wrt: NodeId,
+    ) -> BddRef {
+        let node = circuit.node(gate);
+        assert!(
+            node.kind().is_gate(),
+            "local_difference target must be a gate"
+        );
+        assert!(
+            node.fanins().contains(&wrt),
+            "gate does not read the differentiation node"
+        );
+        let with = |manager: &mut BddManager, value: BddRef| {
+            let lookup: Vec<BddRef> = node
+                .fanins()
+                .iter()
+                .map(|&f| {
+                    if f == wrt {
+                        value
+                    } else {
+                        self.funcs[f.index()]
+                    }
+                })
+                .collect();
+            let pins: Vec<NodeId> = (0..lookup.len()).map(NodeId::from_index).collect();
+            build_gate(manager, node.kind(), &pins, &lookup)
+        };
+        let hi = with(manager, BddRef::TRUE);
+        let lo = with(manager, BddRef::FALSE);
+        manager.xor(hi, lo)
+    }
+
+    /// Boolean difference of `dom`'s function with respect to the value at
+    /// `target`, where `dom` post-dominates `target` in the circuit DAG
+    /// (every path from `target` to any output runs through `dom`).
+    ///
+    /// Splices `aux` in at `target` and rebuilds **only** the nodes inside
+    /// the reconvergence region — the intersection of `target`'s fanout
+    /// cone with `dom`'s fanin cone — then reads `∂f_dom/∂aux`. Because
+    /// reconvergent fanout in real netlists is local, the region is
+    /// typically a handful of gates, which makes this the cheap middle
+    /// ground between [`CircuitBdds::local_difference`] (single observer)
+    /// and a full-cone splice (no post-dominator short of the outputs).
+    ///
+    /// This is the generalized chain-rule factor: if `dom` post-dominates
+    /// `target`, then `∂y/∂target = region_difference(target, dom) ∧
+    /// ∂y/∂dom` for every output `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aux` collides with a primary-input variable or is out of
+    /// range, or if `dom` does not come after `target` in topological
+    /// order.
+    #[must_use]
+    pub fn region_difference(
+        &self,
+        manager: &mut BddManager,
+        circuit: &Circuit,
+        target: NodeId,
+        dom: NodeId,
+        aux: Var,
+    ) -> BddRef {
+        assert!(
+            (aux as usize) < manager.var_count(),
+            "auxiliary variable out of range"
+        );
+        assert!(target.index() < dom.index(), "dominator must follow target");
+        // Fanin cone of `dom`, truncated at `target` (nothing below the
+        // splice point can become dirty).
+        let mut in_cone = vec![false; dom.index() + 1];
+        in_cone[dom.index()] = true;
+        let mut stack = vec![dom];
+        while let Some(id) = stack.pop() {
+            for &f in circuit.node(id).fanins() {
+                if f.index() >= target.index() && !std::mem::replace(&mut in_cone[f.index()], true)
+                {
+                    stack.push(f);
+                }
+            }
+        }
+        let mut funcs = self.funcs.clone();
+        let mut dirty = vec![false; dom.index() + 1];
+        funcs[target.index()] = manager.var(aux);
+        dirty[target.index()] = true;
+        for idx in target.index() + 1..=dom.index() {
+            if !in_cone[idx] {
+                continue;
+            }
+            let id = NodeId::from_index(idx);
+            let node = circuit.node(id);
+            if node.kind().is_gate() && node.fanins().iter().any(|f| dirty[f.index()]) {
+                funcs[idx] = build_gate(manager, node.kind(), node.fanins(), &funcs);
+                dirty[idx] = true;
+            }
+        }
+        manager.boolean_difference(funcs[dom.index()], aux)
     }
 }
 
@@ -374,6 +537,35 @@ mod tests {
         let sum_f = funcs[c.outputs()[0].node().index()];
         let d = m.boolean_difference(sum_f, 3);
         assert_eq!(d, BddRef::TRUE);
+    }
+
+    #[test]
+    fn weighted_order_matches_semantics_and_ranks_influence() {
+        let c = full_adder();
+        let order = VarOrder::weighted(&c);
+        assert_eq!(order.len(), 3);
+        // All three variables assigned, all distinct.
+        let mut seen: Vec<Var> = (0..3).map(|p| order.var_of_position(p)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        let mut m = BddManager::new(order.len());
+        let bdds = CircuitBdds::build(&mut m, &c, &order);
+        for p in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|j| p >> j & 1 != 0).collect();
+            let mut asg = vec![false; 3];
+            for (pos, &bit) in bits.iter().enumerate() {
+                asg[order.var_of_position(pos) as usize] = bit;
+            }
+            let expect = c.eval(&bits);
+            for (k, out) in c.outputs().iter().enumerate() {
+                assert_eq!(m.eval(bdds.func(out.node()), &asg), expect[k]);
+            }
+        }
+        // cin reaches both outputs through shallower logic than a or b
+        // (weight 0.75 vs 0.625), so it lands nearest the top; a and b tie
+        // and keep declaration order.
+        assert_eq!(order.var_of_position(2), 0);
+        assert!(order.var_of_position(0) < order.var_of_position(1));
     }
 
     #[test]

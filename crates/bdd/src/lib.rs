@@ -14,6 +14,14 @@
 //!    [`BddRef`]s equality of functions, used to verify the synthesis
 //!    transforms in `relogic-gen`.
 //!
+//! The manager uses **complement edges** (negation is a tag bit, so `NOT`
+//! is O(1) and XOR-reconvergent circuits like the c499/c1355 analogues stay
+//! linear-size), open-addressed unique/operation tables with hit-rate
+//! counters ([`BddStats`]), a memoized `ite` kernel with standard-triple
+//! normalization, mark-and-sweep garbage collection with external roots,
+//! and optional sifting-based dynamic reordering
+//! ([`BddManager::enable_reordering`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -39,4 +47,4 @@ mod bridge;
 mod manager;
 
 pub use bridge::{CircuitBdds, VarOrder};
-pub use manager::{BddManager, BddOp, BddRef, Var};
+pub use manager::{BddManager, BddOp, BddRef, BddStats, Var};

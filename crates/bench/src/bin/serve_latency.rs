@@ -73,7 +73,7 @@ fn main() {
     })
     .expect("start server");
 
-    let circuit = relogic_gen::suite::b9();
+    let circuit = relogic_gen::suite::c499();
     let netlist = relogic_netlist::bench::write(&circuit);
     let netlist_json = Json::from(netlist).encode();
     let frames: Vec<(&str, String)> = vec![
@@ -95,7 +95,7 @@ fn main() {
     ];
 
     println!(
-        "serve latency on b9 ({} gates), {} rounds x {} clients per kind\n",
+        "serve latency on c499 ({} gates), {} rounds x {} clients per kind\n",
         circuit.gate_count(),
         ROUNDS,
         CLIENTS
@@ -163,7 +163,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"benchmark\": \"serve_latency\",");
-    let _ = writeln!(json, "  \"circuit\": \"b9\",");
+    let _ = writeln!(json, "  \"circuit\": \"c499\",");
     let _ = writeln!(json, "  \"gates\": {},", circuit.gate_count());
     let _ = writeln!(json, "  \"transport\": \"unix\",");
     let _ = writeln!(json, "  \"clients\": {CLIENTS},");

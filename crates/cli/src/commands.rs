@@ -327,6 +327,9 @@ fn observability(c: &Circuit, opts: &Options) -> Result<String, CliError> {
             ));
         }
     }
+    if opts.diagnostics {
+        out.push_str(&format!("\ndiagnostics:\n{}\n", obs.diagnostics()));
+    }
     Ok(out)
 }
 
@@ -461,6 +464,9 @@ fn rank(c: &Circuit, opts: &Options) -> Result<String, CliError> {
             crit,
             obs.any(id)
         ));
+    }
+    if opts.diagnostics {
+        out.push_str(&format!("\ndiagnostics:\n{}\n", obs.diagnostics()));
     }
     Ok(out)
 }

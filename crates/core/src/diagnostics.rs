@@ -19,6 +19,73 @@ use std::fmt;
 /// counted as an event (the value is still clamped).
 pub(crate) const CLAMP_SLACK: f64 = 1e-12;
 
+/// Symbolic-engine counters attached to a run that used the BDD backend.
+///
+/// Aggregated across every per-worker manager the run created (counters
+/// sum; peaks and load factors take the maximum), so the numbers describe
+/// the whole computation regardless of thread count.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BddEngineStats {
+    /// High-water mark of live decision nodes in any one manager.
+    pub peak_live_nodes: usize,
+    /// Live decision nodes at the end of the run (summed over managers).
+    pub live_nodes: usize,
+    /// Worst occupied fraction of any manager's unique table.
+    pub unique_load: f64,
+    /// Operation-cache (ite / restrict) lookups that hit.
+    pub cache_hits: u64,
+    /// Operation-cache lookups that missed.
+    pub cache_misses: u64,
+    /// Mark-and-sweep garbage collections run.
+    pub gc_runs: u64,
+    /// Sifting-based reorder passes run.
+    pub reorders: u64,
+}
+
+impl BddEngineStats {
+    /// Hit fraction of the operation cache (0 when never consulted).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cache_hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// Folds another engine's counters into this one (sums counters, maxes
+    /// extrema).
+    pub fn merge(&mut self, other: &BddEngineStats) {
+        self.peak_live_nodes = self.peak_live_nodes.max(other.peak_live_nodes);
+        self.live_nodes += other.live_nodes;
+        self.unique_load = self.unique_load.max(other.unique_load);
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.gc_runs += other.gc_runs;
+        self.reorders += other.reorders;
+    }
+}
+
+impl fmt::Display for BddEngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "peak live BDD nodes:      {}", self.peak_live_nodes)?;
+        writeln!(f, "unique-table load:        {:.3}", self.unique_load)?;
+        writeln!(
+            f,
+            "op-cache hit rate:        {:.3} ({} hits / {} misses)",
+            self.cache_hit_rate(),
+            self.cache_hits,
+            self.cache_misses
+        )?;
+        writeln!(f, "GC runs:                  {}", self.gc_runs)?;
+        write!(f, "reorder passes:           {}", self.reorders)
+    }
+}
+
 /// Counters and extrema accumulated over one analysis run.
 ///
 /// Obtained from [`crate::SinglePassResult::diagnostics`], from the
@@ -31,6 +98,7 @@ pub struct Diagnostics {
     theta_clamps: u64,
     correlation_fallbacks: u64,
     worst_excursion: f64,
+    bdd: Option<BddEngineStats>,
 }
 
 impl Diagnostics {
@@ -84,10 +152,26 @@ impl Diagnostics {
     }
 
     /// `true` when the run completed without a single clamp, saturation,
-    /// or fallback.
+    /// or fallback. BDD engine statistics are informational and do not
+    /// affect cleanliness.
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.total_events() == 0
+    }
+
+    /// Symbolic-engine statistics, present when the run used the BDD
+    /// backend.
+    #[must_use]
+    pub fn bdd_stats(&self) -> Option<&BddEngineStats> {
+        self.bdd.as_ref()
+    }
+
+    /// Attaches (or merges in) BDD engine statistics for this run.
+    pub fn record_bdd_stats(&mut self, stats: BddEngineStats) {
+        match &mut self.bdd {
+            Some(existing) => existing.merge(&stats),
+            slot @ None => *slot = Some(stats),
+        }
     }
 
     /// Folds another accumulator into this one.
@@ -97,6 +181,9 @@ impl Diagnostics {
         self.theta_clamps += other.theta_clamps;
         self.correlation_fallbacks += other.correlation_fallbacks;
         self.worst_excursion = self.worst_excursion.max(other.worst_excursion);
+        if let Some(stats) = &other.bdd {
+            self.record_bdd_stats(*stats);
+        }
     }
 
     /// Clamps `value` into `[lo, hi]`, recording a probability-clamp event
@@ -176,7 +263,11 @@ impl fmt::Display for Diagnostics {
             "correlation fallbacks:    {}",
             self.correlation_fallbacks
         )?;
-        write!(f, "worst excursion:          {:.3e}", self.worst_excursion)
+        write!(f, "worst excursion:          {:.3e}", self.worst_excursion)?;
+        if let Some(stats) = &self.bdd {
+            write!(f, "\n{stats}")?;
+        }
+        Ok(())
     }
 }
 
@@ -235,6 +326,43 @@ mod tests {
         assert_eq!(a.coeff_saturations(), 1);
         assert_eq!(a.correlation_fallbacks(), 1);
         assert!((a.worst_excursion() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bdd_stats_attach_merge_and_display() {
+        let mut d = Diagnostics::new();
+        assert!(d.bdd_stats().is_none());
+        d.record_bdd_stats(BddEngineStats {
+            peak_live_nodes: 1000,
+            live_nodes: 400,
+            unique_load: 0.5,
+            cache_hits: 30,
+            cache_misses: 70,
+            gc_runs: 2,
+            reorders: 1,
+        });
+        // Informational only: a run with engine stats is still clean.
+        assert!(d.is_clean());
+        let mut other = Diagnostics::new();
+        other.record_bdd_stats(BddEngineStats {
+            peak_live_nodes: 2000,
+            live_nodes: 100,
+            unique_load: 0.25,
+            cache_hits: 70,
+            cache_misses: 30,
+            gc_runs: 1,
+            reorders: 0,
+        });
+        d.merge(&other);
+        let s = d.bdd_stats().unwrap();
+        assert_eq!(s.peak_live_nodes, 2000);
+        assert_eq!(s.live_nodes, 500);
+        assert_eq!(s.cache_hits, 100);
+        assert_eq!(s.gc_runs, 3);
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+        let text = d.to_string();
+        assert!(text.contains("peak live BDD nodes:      2000"));
+        assert!(text.contains("op-cache hit rate"));
     }
 
     #[test]

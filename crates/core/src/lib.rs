@@ -64,7 +64,7 @@ pub mod sweep;
 mod weights;
 
 pub use backend::{Backend, InputDistribution};
-pub use diagnostics::Diagnostics;
+pub use diagnostics::{BddEngineStats, Diagnostics};
 pub use epsilon::GateEps;
 pub use error::RelogicError;
 pub use observability::ObservabilityMatrix;

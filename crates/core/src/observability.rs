@@ -13,15 +13,178 @@
 //! rate estimation) and accurate whenever multiple simultaneous failures
 //! are improbable.
 
-use crate::{Backend, GateEps, InputDistribution, RelogicError};
-use relogic_bdd::{BddManager, CircuitBdds, VarOrder};
+use crate::{Backend, BddEngineStats, Diagnostics, GateEps, InputDistribution, RelogicError};
+use relogic_bdd::{BddManager, BddRef, CircuitBdds, VarOrder};
 use relogic_netlist::{Circuit, NodeId};
+use relogic_sim::exec::ChunkExecutor;
+use std::collections::HashMap;
+
+/// Number of output columns handed to a worker at a time. Workers fan out
+/// over *outputs* (plus one extra chunk for the any-output column), so the
+/// expensive per-stem splices are shared by all columns a worker owns.
+const OUTPUTS_PER_CHUNK: usize = 8;
+
+/// Live-node count headroom above the base circuit functions before a
+/// worker garbage-collects. Collection wipes the operation caches and the
+/// probability memo — both of which carry most of the algorithm's shared
+/// work — so it is deliberately rare.
+const GC_HEADROOM_NODES: usize = 2_000_000;
+
+/// Live-node count above which a worker's manager runs a sifting pass (a
+/// backstop for pathological growth; the static DFS order handles the
+/// common case).
+const REORDER_TRIGGER_NODES: usize = 6_000_000;
+
+/// Compact `u32` node/output key. Circuit node indices fit `u32` by
+/// construction (`NodeId` is `u32`-backed), and output/variable counts are
+/// bounded by the node count.
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+fn key32(index: usize) -> u32 {
+    index as u32
+}
 
 /// Per-node, per-output noiseless observabilities.
 #[derive(Clone, Debug)]
 pub struct ObservabilityMatrix {
     per_output: Vec<Vec<f64>>, // [node][output]
     any_output: Vec<f64>,
+    diagnostics: Diagnostics,
+}
+
+/// How a node's observability predicates are obtained during the backward
+/// sweep (see [`ObsPlan`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum NodeMode {
+    /// No live path to any output: all zeros.
+    Dead,
+    /// Only output ports observe the node: the predicate is TRUE for the
+    /// columns whose port reads it and FALSE elsewhere — no symbolic work.
+    PortsOnly,
+    /// The node's flips reconverge at its immediate post-dominator (the
+    /// payload) before reaching any output, so the generalized chain rule
+    /// is *exact* for every column:
+    /// `∂y/∂g = region_difference(g, dom) ∧ ∂y/∂dom`.
+    /// A node with a single gate observer is the degenerate case (the
+    /// region is just that gate).
+    Region(u32),
+    /// The node's flips reach two or more outputs along paths that only
+    /// reconverge at the output boundary — no post-dominator short of the
+    /// virtual sink — so the node pays the full auxiliary-variable splice.
+    Stem,
+}
+
+/// Static sweep plan: classifies every node by computing immediate
+/// post-dominators over the observation DAG (gate fanouts, with every
+/// output port feeding a virtual sink) and counts how long each node's
+/// predicate row must stay alive.
+struct ObsPlan {
+    mode: Vec<NodeMode>,
+    /// Output columns whose port reads the node directly.
+    ports: Vec<Vec<u32>>,
+    /// Number of [`NodeMode::Region`] fanins that will read this node's
+    /// predicate row (rows with zero readers are dropped immediately).
+    readers: Vec<u32>,
+}
+
+impl ObsPlan {
+    fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut ports: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (k, out) in circuit.outputs().iter().enumerate() {
+            ports[out.node().index()].push(key32(k));
+        }
+        // Distinct gate observers per node: a gate reading a node on two
+        // pins flips both together, so it counts once (the region
+        // derivative handles the multi-pin case exactly).
+        let mut observers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (id, node) in circuit.iter() {
+            for &f in node.fanins() {
+                let obs = &mut observers[f.index()];
+                let tag = key32(id.index());
+                if !obs.contains(&tag) {
+                    obs.push(tag);
+                }
+            }
+        }
+        // Immediate post-dominators (Cooper–Harvey–Kennedy intersect on
+        // the acyclic observation DAG, one reverse-topological pass). The
+        // virtual sink — index `n` — post-dominates everything observable;
+        // `usize::MAX` marks dead nodes.
+        let sink = n;
+        let order = |v: usize| if v == sink { 0 } else { n - v };
+        let mut idom: Vec<usize> = vec![usize::MAX; n + 1];
+        idom[sink] = sink;
+        let intersect = |idom: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while order(a) > order(b) {
+                    a = idom[a];
+                }
+                while order(b) > order(a) {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+        for v in (0..n).rev() {
+            let mut dom: Option<usize> = if ports[v].is_empty() {
+                None
+            } else {
+                Some(sink)
+            };
+            for &h in &observers[v] {
+                let h = h as usize;
+                if idom[h] == usize::MAX {
+                    continue; // dead observer: flips through it vanish
+                }
+                dom = Some(match dom {
+                    None => h,
+                    Some(d) => intersect(&idom, d, h),
+                });
+            }
+            if let Some(d) = dom {
+                idom[v] = d;
+            }
+        }
+        let mode: Vec<NodeMode> = (0..n)
+            .map(|v| {
+                let live_gates = observers[v].iter().any(|&h| idom[h as usize] != usize::MAX);
+                match idom[v] {
+                    usize::MAX => NodeMode::Dead,
+                    d if d == sink && !live_gates => NodeMode::PortsOnly,
+                    d if d == sink => NodeMode::Stem,
+                    d => NodeMode::Region(key32(d)),
+                }
+            })
+            .collect();
+        let mut readers = vec![0u32; n];
+        for m in &mode {
+            if let NodeMode::Region(d) = m {
+                readers[*d as usize] += 1;
+            }
+        }
+        ObsPlan {
+            mode,
+            ports,
+            readers,
+        }
+    }
+}
+
+/// Per-worker symbolic state: a full BDD manager plus the base circuit
+/// functions it splices auxiliaries into. Each worker builds its own copy
+/// through the identical deterministic construction sequence, so any
+/// worker computes bit-identical results for any node — which is what
+/// makes the fan-out independent of thread count and scheduling.
+struct BddWorker {
+    manager: BddManager,
+    bdds: CircuitBdds,
+    var_probs: Vec<f64>,
+    aux: relogic_bdd::Var,
+    /// Probability memo shared across nodes; keyed by node index, so it
+    /// must be dropped whenever the manager collects or reorders.
+    memo: HashMap<BddRef, f64>,
+    gc_floor: usize,
 }
 
 impl ObservabilityMatrix {
@@ -56,9 +219,29 @@ impl ObservabilityMatrix {
         dist: &InputDistribution,
         backend: Backend,
     ) -> Result<Self, RelogicError> {
+        Self::try_compute_threads(circuit, dist, backend, 0)
+    }
+
+    /// Like [`ObservabilityMatrix::try_compute`] with an explicit worker
+    /// thread count for the BDD backend (`0` auto-detects the hardware).
+    ///
+    /// Results are **bit-identical for every thread count**: each worker
+    /// rebuilds the circuit's BDDs through the same deterministic
+    /// construction sequence, so a node's row does not depend on which
+    /// worker computed it, and rows are reassembled in node order.
+    ///
+    /// # Errors
+    ///
+    /// As [`ObservabilityMatrix::try_compute`].
+    pub fn try_compute_threads(
+        circuit: &Circuit,
+        dist: &InputDistribution,
+        backend: Backend,
+        threads: usize,
+    ) -> Result<Self, RelogicError> {
         let _ = dist.try_position_probs(circuit)?;
         match backend {
-            Backend::Bdd => Self::compute_bdd(circuit, dist),
+            Backend::Bdd => Self::compute_bdd(circuit, dist, threads),
             Backend::Simulation { patterns, seed } => {
                 let sampler = relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
                 let est = relogic_sim::observabilities_biased(circuit, &sampler, patterns, seed);
@@ -74,44 +257,284 @@ impl ObservabilityMatrix {
                 Ok(ObservabilityMatrix {
                     per_output,
                     any_output,
+                    diagnostics: Diagnostics::new(),
                 })
             }
         }
     }
 
-    fn compute_bdd(circuit: &Circuit, dist: &InputDistribution) -> Result<Self, RelogicError> {
+    fn build_worker(circuit: &Circuit, dist: &InputDistribution) -> BddWorker {
         let order = VarOrder::dfs(circuit);
         let mut manager = BddManager::new(order.len() + 1);
-        let aux =
-            relogic_bdd::Var::try_from(order.len()).map_err(|_| RelogicError::CircuitTooLarge {
-                nodes: circuit.len(),
-            })?;
+        let aux: relogic_bdd::Var = key32(order.len());
+        // The auxiliary goes at the TOP of the order: spliced cones then
+        // cost one node per gate above the splice point, and the Boolean
+        // difference reads the root's two cofactors instead of dragging
+        // the auxiliary through every path of the diagram.
+        manager.place_var_at_top(aux);
         let bdds = CircuitBdds::build(&mut manager, circuit, &order);
         let var_probs = order.permute_probs(&dist.position_probs(circuit), order.len() + 1, 0.5);
-        let out_nodes: Vec<NodeId> = circuit.outputs().iter().map(|o| o.node()).collect();
+        // Collect back to the base functions once the splice garbage
+        // outgrows the circuit itself by a wide margin.
+        let gc_floor = manager.live_node_count() + GC_HEADROOM_NODES;
+        manager.enable_reordering(REORDER_TRIGGER_NODES);
+        BddWorker {
+            manager,
+            bdds,
+            var_probs,
+            aux,
+            memo: HashMap::new(),
+            gc_floor,
+        }
+    }
 
-        let mut per_output: Vec<Vec<f64>> = Vec::with_capacity(circuit.len());
-        let mut any_output: Vec<f64> = Vec::with_capacity(circuit.len());
-        for id in circuit.node_ids() {
-            let funcs = bdds.with_aux_at(&mut manager, circuit, id, aux);
-            let mut row = Vec::with_capacity(out_nodes.len());
-            let mut any = relogic_bdd::BddRef::FALSE;
-            for &on in &out_nodes {
-                let diff = manager.boolean_difference(funcs[on.index()], aux);
-                row.push(manager.probability(diff, &var_probs));
-                any = manager.or(any, diff);
+    /// One backward sweep over the netlist, producing the observability
+    /// values for a set of columns.
+    ///
+    /// `cols` names the output columns to compute; with `include_any` set
+    /// an extra *last* column holds the any-output observability (the OR,
+    /// in ascending output order, of every output's predicate).
+    ///
+    /// Nodes are visited in reverse topological order. A node's predicate
+    /// row is one of:
+    ///
+    /// * **Stem** (post-dominated only by the virtual sink): full
+    ///   auxiliary-variable splice — the only expensive case, and exact
+    ///   under arbitrary reconvergence. Ports need no special casing: the
+    ///   splice replaces the node's own function with the auxiliary, so a
+    ///   port column's Boolean difference collapses to TRUE by itself.
+    /// * **Region** (immediate post-dominator `d` short of the sink):
+    ///   `D ∧ P_d` per column, where `D = region_difference(node, d)` is
+    ///   the Boolean difference of `d` over the reconvergent region
+    ///   between them. Exact because every sensitized path to every
+    ///   output runs through `d`; distributing `D ∧ ·` over the OR in the
+    ///   any column is sound for the same reason. A region node never
+    ///   feeds a port directly (a port would pull its post-dominator up
+    ///   to the sink), so no column overrides exist.
+    /// * **PortsOnly / Dead**: constant TRUE/FALSE rows, no symbolic work.
+    ///
+    /// Rows are dropped as soon as their last region reader has consumed
+    /// them, and the manager garbage-collects (rooting the base functions
+    /// plus every live row) only when splice garbage exceeds
+    /// [`GC_HEADROOM_NODES`].
+    fn sweep(
+        worker: &mut BddWorker,
+        circuit: &Circuit,
+        plan: &ObsPlan,
+        cols: &[usize],
+        include_any: bool,
+    ) -> Vec<Vec<f64>> {
+        let n = circuit.len();
+        let width = cols.len() + usize::from(include_any);
+        let out_nodes: Vec<usize> = circuit.outputs().iter().map(|o| o.node().index()).collect();
+        let mut vals: Vec<Vec<f64>> = vec![vec![0.0; width]; n];
+        let mut rows: Vec<Option<Vec<BddRef>>> = vec![None; n];
+        let mut pending: Vec<u32> = plan.readers.clone();
+        for i in (0..n).rev() {
+            let id = NodeId::from_index(i);
+            let preds: Vec<BddRef> = match plan.mode[i] {
+                NodeMode::Dead => vec![BddRef::FALSE; width],
+                NodeMode::PortsOnly => {
+                    let mut preds: Vec<BddRef> = cols
+                        .iter()
+                        .map(|&y| {
+                            let y = key32(y);
+                            if plan.ports[i].contains(&y) {
+                                BddRef::TRUE
+                            } else {
+                                BddRef::FALSE
+                            }
+                        })
+                        .collect();
+                    if include_any {
+                        preds.push(BddRef::TRUE);
+                    }
+                    preds
+                }
+                NodeMode::Region(d) => {
+                    let d = d as usize;
+                    let manager = &mut worker.manager;
+                    let diff = worker.bdds.region_difference(
+                        manager,
+                        circuit,
+                        id,
+                        NodeId::from_index(d),
+                        worker.aux,
+                    );
+                    // The dominator's row is pinned until its last region
+                    // reader (this node, at the latest) is done.
+                    let Some(drow) = rows[d].as_ref() else {
+                        unreachable!("region dominator row dropped before its readers")
+                    };
+                    drow.iter().map(|&p| manager.and(diff, p)).collect()
+                }
+                NodeMode::Stem => {
+                    let BddWorker {
+                        manager, bdds, aux, ..
+                    } = worker;
+                    let funcs = bdds.with_aux_at(manager, circuit, id, *aux);
+                    let mut preds: Vec<BddRef> = cols
+                        .iter()
+                        .map(|&y| manager.boolean_difference(funcs[out_nodes[y]], *aux))
+                        .collect();
+                    if include_any {
+                        // Fixed ascending fold order keeps the any column
+                        // bit-identical across thread counts.
+                        let mut acc = BddRef::FALSE;
+                        for &on in &out_nodes {
+                            let diff = manager.boolean_difference(funcs[on], *aux);
+                            acc = manager.or(acc, diff);
+                        }
+                        preds.push(acc);
+                    }
+                    preds
+                }
+            };
+            for (j, &p) in preds.iter().enumerate() {
+                vals[i][j] =
+                    worker
+                        .manager
+                        .probability_memo(p, &worker.var_probs, &mut worker.memo);
             }
-            any_output.push(manager.probability(any, &var_probs));
-            per_output.push(row);
-            // Bound memory growth across the per-node rebuilds.
-            if manager.node_count() > 4_000_000 {
-                manager.clear_op_caches();
+            if plan.readers[i] > 0 {
+                rows[i] = Some(preds);
+            }
+            if let NodeMode::Region(d) = plan.mode[i] {
+                let d = d as usize;
+                pending[d] -= 1;
+                if pending[d] == 0 {
+                    rows[d] = None;
+                }
+            }
+            if worker.manager.live_node_count() > worker.gc_floor {
+                let mut roots: Vec<BddRef> = worker.bdds.funcs().to_vec();
+                for row in rows.iter().flatten() {
+                    roots.extend_from_slice(row);
+                }
+                // maybe_reorder gc's as part of sifting; otherwise collect
+                // explicitly. Either way node indices are recycled, so the
+                // probability memo goes with them.
+                if !worker.manager.maybe_reorder(&roots) {
+                    worker.manager.gc(&roots);
+                }
+                worker.memo.clear();
+                worker.gc_floor = worker.manager.live_node_count() + GC_HEADROOM_NODES;
             }
         }
+        vals
+    }
+
+    fn compute_bdd(
+        circuit: &Circuit,
+        dist: &InputDistribution,
+        threads: usize,
+    ) -> Result<Self, RelogicError> {
+        let order_len = circuit.input_count();
+        let _aux =
+            relogic_bdd::Var::try_from(order_len).map_err(|_| RelogicError::CircuitTooLarge {
+                nodes: circuit.len(),
+            })?;
+        let n = circuit.len();
+        let m = circuit.output_count();
+        let plan = ObsPlan::build(circuit);
+        let exec = ChunkExecutor::new(threads);
+        // A lone worker computes every column (plus the any column) in a
+        // single sweep so the expensive per-stem splices are paid once.
+        // With real parallelism, workers fan out over output chunks and
+        // the any column rides in a dedicated chunk; either way the
+        // numbers are bit-identical because every predicate is a
+        // canonical BDD evaluated against the same variable order.
+        let (out_chunks, chunks) = if exec.threads() <= 1 {
+            (0, 1)
+        } else {
+            (
+                m.div_ceil(OUTPUTS_PER_CHUNK),
+                m.div_ceil(OUTPUTS_PER_CHUNK) + 1,
+            )
+        };
+        let (chunk_vals, workers) = exec.map_chunks_with_state(
+            chunks,
+            || Self::build_worker(circuit, dist),
+            |worker, chunk| {
+                if out_chunks == 0 {
+                    let cols: Vec<usize> = (0..m).collect();
+                    Self::sweep(worker, circuit, &plan, &cols, true)
+                } else if chunk == out_chunks {
+                    Self::sweep(worker, circuit, &plan, &[], true)
+                } else {
+                    let cols: Vec<usize> = (chunk * OUTPUTS_PER_CHUNK
+                        ..m.min((chunk + 1) * OUTPUTS_PER_CHUNK))
+                        .collect();
+                    Self::sweep(worker, circuit, &plan, &cols, false)
+                }
+            },
+        );
+        let mut per_output: Vec<Vec<f64>> = vec![Vec::with_capacity(m); n];
+        let mut any_output: Vec<f64> = vec![0.0; n];
+        for (chunk, vals) in chunk_vals.into_iter().enumerate() {
+            if out_chunks == 0 || chunk == out_chunks {
+                for (i, mut row) in vals.into_iter().enumerate() {
+                    let Some(any) = row.pop() else {
+                        unreachable!("sweep rows always carry the any column last")
+                    };
+                    any_output[i] = any;
+                    per_output[i].extend(row);
+                }
+            } else {
+                for (i, row) in vals.into_iter().enumerate() {
+                    per_output[i].extend(row);
+                }
+            }
+        }
+        let mut engine = BddEngineStats::default();
+        for w in &workers {
+            let s = w.manager.stats();
+            engine.merge(&BddEngineStats {
+                peak_live_nodes: s.peak_live_nodes,
+                live_nodes: s.live_nodes,
+                unique_load: s.unique_load,
+                cache_hits: s.cache_hits,
+                cache_misses: s.cache_misses,
+                gc_runs: s.gc_runs,
+                reorders: s.reorders,
+            });
+        }
+        let mut diagnostics = Diagnostics::new();
+        diagnostics.record_bdd_stats(engine);
         Ok(ObservabilityMatrix {
             per_output,
             any_output,
+            diagnostics,
         })
+    }
+
+    /// Numerical and symbolic-engine diagnostics for the computation that
+    /// produced this matrix (BDD engine statistics are present when the
+    /// BDD backend ran).
+    #[must_use]
+    pub fn diagnostics(&self) -> &Diagnostics {
+        &self.diagnostics
+    }
+
+    /// Approximate heap footprint of this matrix in bytes (per-output row
+    /// payloads and headers plus the any-output array). A structural
+    /// estimate for cache byte-accounting, not an allocator-exact figure.
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        let row_payload: usize = self.per_output.iter().map(|r| r.len() * 8).sum();
+        let row_headers = self.per_output.len() * std::mem::size_of::<Vec<f64>>();
+        row_payload + row_headers + self.any_output.len() * 8
+    }
+
+    /// The heap footprint [`ObservabilityMatrix::try_compute`] *would*
+    /// produce for `circuit`, computable without running either backend
+    /// (rows are `output_count` wide for every node — a pure function of
+    /// circuit structure). Lets a cache charge an entry for its
+    /// observability matrix before the matrix is lazily materialized.
+    #[must_use]
+    pub fn projected_heap_bytes(circuit: &Circuit) -> usize {
+        let n = circuit.len();
+        n * (std::mem::size_of::<Vec<f64>>() + circuit.output_count() * 8) + n * 8
     }
 
     /// Observability of `node` at output `output_index`.

@@ -161,11 +161,17 @@ impl Artifact {
             counters
                 .observability_computed
                 .fetch_add(1, Ordering::Relaxed);
-            ObservabilityMatrix::try_compute(
+            let matrix = ObservabilityMatrix::try_compute(
                 &self.circuit,
                 &InputDistribution::Uniform,
                 self.backend.backend(),
-            )
+            );
+            if let Ok(m) = &matrix {
+                if let Some(stats) = m.diagnostics().bdd_stats() {
+                    counters.bdd_engine.record(stats);
+                }
+            }
+            matrix
         });
         match slot {
             Ok(o) => Ok(o),
@@ -182,7 +188,7 @@ impl Artifact {
         let nodes = self.circuit.len();
         let circuit_bytes = nodes * 96; // node, fanin, and name storage
         let weight_bytes = Weights::projected_heap_bytes(&self.circuit);
-        let obs_bytes = nodes * self.circuit.output_count() * 8 + nodes * 8;
+        let obs_bytes = ObservabilityMatrix::projected_heap_bytes(&self.circuit);
         circuit_bytes + weight_bytes + obs_bytes
     }
 }
@@ -204,6 +210,75 @@ pub struct CacheCounters {
     pub observability_computed: AtomicU64,
     /// Artifacts larger than the whole budget, served uncached.
     pub uncacheable: AtomicU64,
+    /// BDD engine statistics aggregated over every observability
+    /// materialization this process has run.
+    pub bdd_engine: BddEngineAggregate,
+}
+
+/// Lock-free aggregate of [`relogic::BddEngineStats`] across runs: sums
+/// for the monotonic counters, maxima for the extrema. `unique_load` is
+/// stored in millionths so it fits an atomic integer.
+#[derive(Debug, Default)]
+pub struct BddEngineAggregate {
+    /// Observability materializations that reported engine statistics.
+    pub runs: AtomicU64,
+    /// High-water mark of live decision nodes in any one run.
+    pub peak_live_nodes: AtomicU64,
+    /// Worst unique-table load factor seen, in millionths.
+    pub unique_load_millionths: AtomicU64,
+    /// Operation-cache hits, summed over runs.
+    pub cache_hits: AtomicU64,
+    /// Operation-cache misses, summed over runs.
+    pub cache_misses: AtomicU64,
+    /// Garbage collections, summed over runs.
+    pub gc_runs: AtomicU64,
+    /// Sifting reorder passes, summed over runs.
+    pub reorders: AtomicU64,
+}
+
+impl BddEngineAggregate {
+    /// Folds one run's statistics into the aggregate.
+    pub fn record(&self, stats: &relogic::BddEngineStats) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.peak_live_nodes.fetch_max(
+            u64::try_from(stats.peak_live_nodes).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let load = (stats.unique_load.clamp(0.0, 1.0) * 1_000_000.0) as u64;
+        self.unique_load_millionths
+            .fetch_max(load, Ordering::Relaxed);
+        self.cache_hits
+            .fetch_add(stats.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(stats.cache_misses, Ordering::Relaxed);
+        self.gc_runs.fetch_add(stats.gc_runs, Ordering::Relaxed);
+        self.reorders.fetch_add(stats.reorders, Ordering::Relaxed);
+    }
+
+    /// Worst unique-table load factor seen, as a fraction.
+    #[must_use]
+    pub fn unique_load(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.unique_load_millionths.load(Ordering::Relaxed) as f64 / 1_000_000.0
+        }
+    }
+
+    /// Aggregate operation-cache hit rate (0 when never consulted).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let total = hits + self.cache_misses.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                hits as f64 / total as f64
+            }
+        }
+    }
 }
 
 struct Entry {
@@ -467,6 +542,18 @@ mod tests {
         let (entries, _) = cache.usage();
         assert_eq!(entries, 0);
         assert_eq!(cache.counters().uncacheable.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn observability_charge_matches_materialized_footprint() {
+        let cache = ArtifactCache::new(1 << 20);
+        let (a, _) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        let obs = a.observability(cache.counters()).unwrap();
+        assert_eq!(
+            ObservabilityMatrix::projected_heap_bytes(a.circuit()),
+            obs.approx_heap_bytes(),
+            "cache must charge exactly the projected observability footprint"
+        );
     }
 
     #[test]

@@ -287,6 +287,40 @@ impl Service {
                     ),
                 ]),
             ),
+            (
+                "bdd_engine",
+                Json::obj([
+                    (
+                        "runs",
+                        Json::from(counters.bdd_engine.runs.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "peak_live_nodes",
+                        Json::from(counters.bdd_engine.peak_live_nodes.load(Ordering::Relaxed)),
+                    ),
+                    ("unique_load", Json::from(counters.bdd_engine.unique_load())),
+                    (
+                        "cache_hits",
+                        Json::from(counters.bdd_engine.cache_hits.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "cache_misses",
+                        Json::from(counters.bdd_engine.cache_misses.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "cache_hit_rate",
+                        Json::from(counters.bdd_engine.cache_hit_rate()),
+                    ),
+                    (
+                        "gc_runs",
+                        Json::from(counters.bdd_engine.gc_runs.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "reorders",
+                        Json::from(counters.bdd_engine.reorders.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
             ("latency_us", stats.latency.to_json()),
         ])
     }

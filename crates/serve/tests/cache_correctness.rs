@@ -142,3 +142,40 @@ fn single_flight_under_a_thundering_herd() {
     let (entries, _) = svc.cache().usage();
     assert_eq!(entries, 1);
 }
+
+#[test]
+fn stats_reports_bdd_engine_statistics_after_observability() {
+    let svc = service();
+    let stats_frame = r#"{"kind":"stats"}"#;
+    let before = json::parse(&svc.handle_line(stats_frame)).unwrap();
+    let engine = before.get("result").and_then(|r| r.get("bdd_engine"));
+    assert_eq!(
+        engine.and_then(|e| e.get("runs")).and_then(Json::as_u64),
+        Some(0),
+        "no BDD runs before any observability request"
+    );
+    let obs = format!(r#"{{"kind":"observability","netlist":"{SMALL}"}}"#);
+    let reply = svc.handle_line(&obs);
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    let after = json::parse(&svc.handle_line(stats_frame)).unwrap();
+    let engine = after
+        .get("result")
+        .and_then(|r| r.get("bdd_engine"))
+        .expect("bdd_engine block present");
+    assert_eq!(engine.get("runs").and_then(Json::as_u64), Some(1));
+    let peak = engine
+        .get("peak_live_nodes")
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(peak > 0, "a BDD run must report live nodes");
+    let misses = engine.get("cache_misses").and_then(Json::as_u64).unwrap();
+    assert!(misses > 0, "building BDDs must touch the operation cache");
+    // Aggregates are monotonic: a cached replay adds no new run.
+    let _ = svc.handle_line(&obs);
+    let replay = json::parse(&svc.handle_line(stats_frame)).unwrap();
+    let engine = replay
+        .get("result")
+        .and_then(|r| r.get("bdd_engine"))
+        .unwrap();
+    assert_eq!(engine.get("runs").and_then(Json::as_u64), Some(1));
+}

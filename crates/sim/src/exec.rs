@@ -89,17 +89,45 @@ impl ChunkExecutor {
     pub fn map_chunks_with<S, T, I, F>(&self, chunks: usize, init: I, work: F) -> Vec<T>
     where
         T: Send,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        self.map_chunks_with_state(chunks, init, work).0
+    }
+
+    /// Like [`ChunkExecutor::map_chunks_with`], but also returns the final
+    /// scratch state of every worker that ran (in no particular order).
+    ///
+    /// This is the hook for workloads whose per-worker state accumulates
+    /// reportable information — the BDD-backed observability engine keeps a
+    /// whole decision-diagram manager per worker and merges the managers'
+    /// statistics after the fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker thread.
+    pub fn map_chunks_with_state<S, T, I, F>(
+        &self,
+        chunks: usize,
+        init: I,
+        work: F,
+    ) -> (Vec<T>, Vec<S>)
+    where
+        T: Send,
+        S: Send,
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> T + Sync,
     {
         if self.threads <= 1 || chunks <= 1 {
             let mut scratch = init();
-            return (0..chunks).map(|i| work(&mut scratch, i)).collect();
+            let results = (0..chunks).map(|i| work(&mut scratch, i)).collect();
+            return (results, vec![scratch]);
         }
 
         let workers = self.threads.min(chunks);
         let cursor = AtomicUsize::new(0);
-        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let (mut tagged, states): (Vec<(usize, T)>, Vec<S>) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -112,23 +140,28 @@ impl ChunkExecutor {
                             }
                             produced.push((i, work(&mut scratch, i)));
                         }
-                        produced
+                        (produced, scratch)
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| match h.join() {
-                    Ok(produced) => produced,
+            let mut tagged = Vec::with_capacity(chunks);
+            let mut states = Vec::with_capacity(workers);
+            for h in handles {
+                match h.join() {
+                    Ok((produced, scratch)) => {
+                        tagged.extend(produced);
+                        states.push(scratch);
+                    }
                     // Re-raise the worker's panic payload on the caller's
                     // thread instead of aborting with a generic message.
                     Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
+                }
+            }
+            (tagged, states)
         });
         tagged.sort_unstable_by_key(|&(i, _)| i);
         debug_assert_eq!(tagged.len(), chunks);
-        tagged.into_iter().map(|(_, t)| t).collect()
+        (tagged.into_iter().map(|(_, t)| t).collect(), states)
     }
 }
 
@@ -396,6 +429,24 @@ mod tests {
         );
         assert_eq!(counts.len(), 24);
         assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn final_worker_states_cover_every_chunk() {
+        for threads in [1, 2, 5] {
+            let exec = ChunkExecutor::new(threads);
+            let (results, states) = exec.map_chunks_with_state(
+                20,
+                || 0usize,
+                |seen: &mut usize, i| {
+                    *seen += 1;
+                    i * 2
+                },
+            );
+            assert_eq!(results, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+            assert!(!states.is_empty() && states.len() <= threads.max(1));
+            assert_eq!(states.iter().sum::<usize>(), 20, "threads={threads}");
+        }
     }
 
     #[test]
