@@ -345,6 +345,17 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
             "`serve` needs --listen <addr> and/or --unix <path>".into(),
         ));
     }
+    #[cfg(feature = "chaos")]
+    let chaos = match &opts.chaos_profile {
+        Some(spec) => {
+            let config = relogic_serve::chaos::ChaosConfig::parse(spec).map_err(CliError::Usage)?;
+            eprintln!(
+                "relogic-serve: CHAOS ACTIVE — profile `{spec}` (deterministic fault injection)"
+            );
+            Some(relogic_serve::chaos::Chaos::new(config))
+        }
+        None => None,
+    };
     let config = relogic_serve::ServerConfig {
         tcp: opts.listen.clone(),
         unix: opts.unix.clone().map(std::path::PathBuf::from),
@@ -352,6 +363,9 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
         service: relogic_serve::ServiceConfig {
             cache_bytes: opts.cache_bytes,
             timeout_ms: opts.timeout_ms,
+            max_inflight: opts.max_inflight,
+            #[cfg(feature = "chaos")]
+            chaos,
             ..relogic_serve::ServiceConfig::default()
         },
         ..relogic_serve::ServerConfig::default()

@@ -58,6 +58,12 @@ SERVE OPTIONS:
     --unix <PATH>           Unix-socket path
     --cache-bytes <N>       artifact-cache byte budget      [default: 268435456]
     --timeout-ms <N>        per-request timeout, 0 disables [default: 10000]
+    --max-inflight <N>      cap concurrently executing analysis requests;
+                            excess get `overloaded` + retry_after_ms
+                            (0 = unlimited)                 [default: 0]
+    --chaos-profile <P>     deterministic fault injection, P = NAME[:SEED]
+                            with NAME in worker|io|cache|all (builds with
+                            the `chaos` feature only)
 
 FILES:
     *.bench parses as ISCAS-85 bench, *.v/*.verilog as structural Verilog,

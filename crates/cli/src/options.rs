@@ -57,6 +57,14 @@ pub struct Options {
     pub cache_bytes: usize,
     /// Per-request timeout for `serve`, in milliseconds (0 = no timeout).
     pub timeout_ms: u64,
+    /// Admission-control cap on concurrently executing analysis requests
+    /// for `serve` (0 = unlimited); excess requests are answered with a
+    /// typed `overloaded` error carrying a retry hint.
+    pub max_inflight: usize,
+    /// Chaos fault-injection profile for `serve` (`NAME[:SEED]`). Only
+    /// compiled in with the `chaos` feature.
+    #[cfg(feature = "chaos")]
+    pub chaos_profile: Option<String>,
 }
 
 /// Which statistics backend the user asked for.
@@ -104,6 +112,9 @@ impl Default for Options {
             unix: None,
             cache_bytes: 256 << 20,
             timeout_ms: 10_000,
+            max_inflight: 0,
+            #[cfg(feature = "chaos")]
+            chaos_profile: None,
         }
     }
 }
@@ -154,6 +165,14 @@ impl ParsedArgs {
                 "--unix" => options.unix = Some(parse_value(&arg, iter.next())?),
                 "--cache-bytes" => options.cache_bytes = parse_value(&arg, iter.next())?,
                 "--timeout-ms" => options.timeout_ms = parse_value(&arg, iter.next())?,
+                "--max-inflight" => options.max_inflight = parse_value(&arg, iter.next())?,
+                // Without the `chaos` feature this arm does not exist, so
+                // the flag falls through to `unknown option` — production
+                // builds cannot even spell fault injection.
+                #[cfg(feature = "chaos")]
+                "--chaos-profile" => {
+                    options.chaos_profile = Some(parse_value(&arg, iter.next())?);
+                }
                 "--partner-cap" => {
                     let v: String = parse_value(&arg, iter.next())?;
                     options.partner_cap = Some(if v == "none" {
@@ -295,6 +314,32 @@ mod tests {
         assert_eq!(p.options.unix.as_deref(), Some("/tmp/relogic.sock"));
         assert_eq!(p.options.cache_bytes, 1_048_576);
         assert_eq!(p.options.timeout_ms, 500);
+    }
+
+    #[test]
+    fn max_inflight_option() {
+        let p = ParsedArgs::parse(["serve", "--unix", "/tmp/x.sock"]).unwrap();
+        assert_eq!(p.options.max_inflight, 0, "default is unlimited");
+        let p =
+            ParsedArgs::parse(["serve", "--unix", "/tmp/x.sock", "--max-inflight", "8"]).unwrap();
+        assert_eq!(p.options.max_inflight, 8);
+        assert!(ParsedArgs::parse(["serve", "--max-inflight", "lots"]).is_err());
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[test]
+    fn chaos_profile_flag_is_unknown_without_the_feature() {
+        let err = ParsedArgs::parse(["serve", "--unix", "/tmp/x.sock", "--chaos-profile", "io"])
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown option"), "{err}");
+    }
+
+    #[cfg(feature = "chaos")]
+    #[test]
+    fn chaos_profile_flag_parses_with_the_feature() {
+        let p = ParsedArgs::parse(["serve", "--unix", "/tmp/x.sock", "--chaos-profile", "io:7"])
+            .unwrap();
+        assert_eq!(p.options.chaos_profile.as_deref(), Some("io:7"));
     }
 
     #[test]

@@ -298,6 +298,8 @@ pub struct ArtifactCache {
     inner: Mutex<CacheInner>,
     budget_bytes: usize,
     counters: CacheCounters,
+    #[cfg(feature = "chaos")]
+    chaos: Option<Arc<relogic_sim::chaos::Chaos>>,
 }
 
 /// Whether a lookup was served from cache or had to compile.
@@ -332,7 +334,25 @@ impl ArtifactCache {
             }),
             budget_bytes,
             counters: CacheCounters::default(),
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
+    }
+
+    /// Attaches a fault injector: every lookup first draws
+    /// [`ChaosSite::CacheEvict`] (forced full eviction — churn) and
+    /// [`ChaosSite::CacheFail`] (the lookup fails with a typed `internal`
+    /// error, simulating a materialization failure). The failure is
+    /// injected *before* any `OnceLock` is touched, so a retry of the same
+    /// request can still succeed.
+    ///
+    /// [`ChaosSite::CacheEvict`]: relogic_sim::chaos::ChaosSite::CacheEvict
+    /// [`ChaosSite::CacheFail`]: relogic_sim::chaos::ChaosSite::CacheFail
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: Arc<relogic_sim::chaos::Chaos>) -> ArtifactCache {
+        self.chaos = Some(chaos);
+        self
     }
 
     fn lock(&self) -> MutexGuard<'_, CacheInner> {
@@ -376,6 +396,18 @@ impl ArtifactCache {
         &self,
         payload: &CircuitPayload,
     ) -> Result<(Arc<Artifact>, CacheOutcome), ServeError> {
+        #[cfg(feature = "chaos")]
+        if let Some(chaos) = &self.chaos {
+            use relogic_sim::chaos::ChaosSite;
+            if chaos.should(ChaosSite::CacheEvict) {
+                self.evict_all();
+            }
+            if chaos.should(ChaosSite::CacheFail) {
+                return Err(ServeError::Internal(
+                    "chaos: injected artifact materialization failure".into(),
+                ));
+            }
+        }
         let key = ArtifactKey::of(payload);
         {
             let mut inner = self.lock();
@@ -435,6 +467,22 @@ impl ArtifactCache {
                 inner.total_bytes -= entry.bytes;
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
             }
+        }
+    }
+
+    /// Drops every resident artifact, counting each as an eviction. An
+    /// operational hook (and the chaos engine's churn lever): in-flight
+    /// requests holding `Arc<Artifact>` clones are unaffected; memory is
+    /// reclaimed as they finish.
+    pub fn evict_all(&self) {
+        let mut inner = self.lock();
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.total_bytes = 0;
+        if dropped > 0 {
+            self.counters
+                .evictions
+                .fetch_add(dropped, Ordering::Relaxed);
         }
     }
 }
@@ -554,6 +602,27 @@ mod tests {
             obs.approx_heap_bytes(),
             "cache must charge exactly the projected observability footprint"
         );
+    }
+
+    #[test]
+    fn evict_all_clears_residency_but_not_inflight_references() {
+        let cache = ArtifactCache::new(1 << 20);
+        let (held, _) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        let _ = cache
+            .get_or_compile(&payload(&SMALL.replace("NOT", "BUF")))
+            .unwrap();
+        let (entries, bytes) = cache.usage();
+        assert_eq!(entries, 2);
+        assert!(bytes > 0);
+        cache.evict_all();
+        let (entries, bytes) = cache.usage();
+        assert_eq!((entries, bytes), (0, 0));
+        assert_eq!(cache.counters().evictions.load(Ordering::Relaxed), 2);
+        // The held artifact keeps working after eviction.
+        assert!(held.weights(cache.counters()).is_ok());
+        // And the next lookup recompiles.
+        let (_, o) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
     }
 
     #[test]

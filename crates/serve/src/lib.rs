@@ -23,12 +23,19 @@
 //! - [`server`] — TCP + Unix-socket listeners, a bounded connection
 //!   worker pool, and graceful drain.
 //! - [`signal`] — SIGTERM/SIGINT → drain flag, with no libc crate.
+//! - [`client`] — a retrying std-only client with deadline-capped,
+//!   seeded decorrelated-jitter backoff and retry-budget accounting.
+//!
+//! With the `chaos` feature, [`relogic_sim::chaos`] is re-exported as
+//! [`chaos`] and the daemon accepts a fault-injection config that
+//! deterministically perturbs the pool, connection I/O, and the cache.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod api;
 pub mod cache;
+pub mod client;
 pub mod json;
 pub mod proto;
 pub mod server;
@@ -36,7 +43,11 @@ pub mod service;
 pub mod signal;
 pub mod stats;
 
+#[cfg(feature = "chaos")]
+pub use relogic_sim::chaos;
+
 pub use cache::{ArtifactCache, CacheOutcome};
+pub use client::{Client, ClientConfig, ClientError, Endpoint};
 pub use json::Json;
 pub use proto::{Request, RequestLimits, Response, ServeError};
 pub use server::{Server, ServerConfig};

@@ -170,6 +170,11 @@ pub enum Request {
     },
     /// Service counters: requests, cache, latency percentiles.
     Stats,
+    /// Readiness probe: drain state, in-flight gauge, queue depth, shed
+    /// count. Always answered inline — never queued, timed out, or
+    /// admission-controlled — so load balancers get an honest signal even
+    /// when the service is saturated.
+    Health,
 }
 
 impl Request {
@@ -181,7 +186,19 @@ impl Request {
             Request::Observability { .. } => "observability",
             Request::MonteCarlo { .. } => "monte_carlo",
             Request::Stats => "stats",
+            Request::Health => "health",
         }
+    }
+
+    /// Whether this request counts against the in-flight admission limit.
+    /// Only analysis work does; `stats` and `health` stay answerable under
+    /// overload precisely so operators can observe the overload.
+    #[must_use]
+    pub fn needs_admission(&self) -> bool {
+        matches!(
+            self,
+            Request::Analyze { .. } | Request::Observability { .. } | Request::MonteCarlo { .. }
+        )
     }
 }
 
@@ -239,6 +256,13 @@ pub enum ServeError {
     /// The server is draining and no longer accepts work. Code
     /// `shutting_down`.
     ShuttingDown,
+    /// The server shed this request under load (in-flight limit reached or
+    /// worker-pool queue saturated). Code `overloaded`. The client should
+    /// back off at least `retry_after_ms` before retrying.
+    Overloaded {
+        /// Suggested minimum backoff before the next attempt.
+        retry_after_ms: u64,
+    },
     /// The request died inside the service (worker panic). Code
     /// `internal`.
     Internal(String),
@@ -256,6 +280,7 @@ impl ServeError {
             ServeError::Sim(_) => "sim_error",
             ServeError::Timeout { .. } => "timeout",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::Overloaded { .. } => "overloaded",
             ServeError::Internal(_) => "internal",
         }
     }
@@ -289,6 +314,9 @@ impl ServeError {
             } => obj.push("line", Json::from(*line)),
             ServeError::TooLarge { limit } => obj.push("limit", Json::from(*limit)),
             ServeError::Timeout { ms } => obj.push("ms", Json::from(*ms)),
+            ServeError::Overloaded { retry_after_ms } => {
+                obj.push("retry_after_ms", Json::from(*retry_after_ms));
+            }
             _ => {}
         }
         obj
@@ -311,6 +339,9 @@ impl fmt::Display for ServeError {
             ServeError::Sim(e) => write!(f, "simulation error: {e}"),
             ServeError::Timeout { ms } => write!(f, "request exceeded the {ms} ms timeout"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Overloaded { retry_after_ms } => {
+                write!(f, "server is overloaded; retry after {retry_after_ms} ms")
+            }
             ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -461,6 +492,7 @@ fn build_request(doc: &Json, limits: &RequestLimits) -> Result<Request, ServeErr
             })
         }
         "stats" => Ok(Request::Stats),
+        "health" => Ok(Request::Health),
         other => Err(bad(&format!("unknown request kind `{other}`"))),
     }
 }
@@ -667,6 +699,30 @@ mod tests {
         assert_eq!((patterns, seed, threads), (512, 7, 2));
         let (_, req) = parse_request(r#"{"kind":"stats"}"#, &RequestLimits::default());
         assert!(matches!(req, Ok(Request::Stats)));
+    }
+
+    #[test]
+    fn parses_health_and_admission_classification() {
+        let (_, req) = parse_request(r#"{"kind":"health","id":3}"#, &RequestLimits::default());
+        let Ok(req) = req else { panic!("{req:?}") };
+        assert!(matches!(req, Request::Health));
+        assert_eq!(req.kind(), "health");
+        assert!(!req.needs_admission());
+        assert!(!Request::Stats.needs_admission());
+        let (_, req) = parse_request(
+            r#"{"kind":"monte_carlo","netlist":"x"}"#,
+            &RequestLimits::default(),
+        );
+        assert!(req.map(|r| r.needs_admission()).unwrap_or(false));
+    }
+
+    #[test]
+    fn overloaded_error_carries_retry_hint() {
+        let e = ServeError::Overloaded { retry_after_ms: 75 };
+        assert_eq!(e.code(), "overloaded");
+        let json = e.to_json();
+        assert_eq!(json.get("retry_after_ms").and_then(Json::as_u64), Some(75));
+        assert!(e.to_string().contains("75 ms"));
     }
 
     #[test]

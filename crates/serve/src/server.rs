@@ -3,9 +3,11 @@
 //!
 //! Backpressure chain: accept threads hand connections to a
 //! [`relogic_sim::exec::WorkerPool`] with a bounded queue; when every
-//! worker is busy and the queue is full, `submit` blocks the accept
-//! thread, which in turn stops pulling from the listener backlog — the
-//! kernel's own accept queue becomes the final bound.
+//! worker is busy and the queue is full, the acceptor waits a bounded
+//! [`SUBMIT_WAIT`] for space and then sheds the connection with a typed
+//! `overloaded` farewell (carrying a retry hint), so a saturated or
+//! wedged pool surfaces to clients as a retryable error rather than a
+//! stuck accept loop.
 
 use crate::proto::{Response, ServeError};
 use crate::service::{Service, ServiceConfig};
@@ -14,12 +16,18 @@ use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long a connection read blocks before re-checking the drain flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// How long an acceptor waits for worker-pool queue space before shedding
+/// the connection with an `overloaded` farewell. Bounded so a wedged pool
+/// surfaces as a typed error on the client, never as a silently stuck
+/// accept loop.
+const SUBMIT_WAIT: Duration = Duration::from_millis(500);
 
 /// Server configuration: transports plus the embedded [`ServiceConfig`].
 #[derive(Clone, Debug)]
@@ -54,9 +62,6 @@ impl Default for ServerConfig {
 
 struct Shared {
     service: Service,
-    /// Set to stop accepting new connections and ask open connections to
-    /// finish their current frame and close.
-    draining: AtomicBool,
     idle_timeout: Duration,
     max_request_bytes: usize,
 }
@@ -82,44 +87,71 @@ impl Server {
         let max_request_bytes = config.service.max_request_bytes;
         let shared = Arc::new(Shared {
             service: Service::new(config.service),
-            draining: AtomicBool::new(false),
             idle_timeout: Duration::from_millis(config.idle_timeout_ms),
             max_request_bytes,
         });
         let pool = WorkerPool::new(config.threads, config.queue_capacity.max(1));
+        #[cfg(feature = "chaos")]
+        if let Some(chaos) = shared.service.chaos() {
+            pool.install_chaos(Arc::clone(chaos));
+        }
+        {
+            let submitter = pool.submitter();
+            shared
+                .service
+                .install_queue_probe(move || submitter.queued());
+        }
         let mut accept_threads = Vec::new();
         let mut tcp_addr = None;
-        if let Some(addr) = &config.tcp {
-            let listener = TcpListener::bind(addr)?;
-            listener.set_nonblocking(true)?;
-            tcp_addr = Some(listener.local_addr()?);
-            accept_threads.push(spawn_acceptor(
-                "relogic-serve-tcp-accept",
-                listener,
-                Arc::clone(&shared),
-                pool_handle(&pool),
-                |stream: TcpStream, shared| {
-                    let _ = stream.set_nodelay(true);
-                    serve_connection(stream, &shared);
-                },
-            ));
-        }
         let mut unix_path = None;
-        if let Some(path) = &config.unix {
-            // A stale socket file from a previous run would make bind fail.
-            if path.exists() {
-                std::fs::remove_file(path)?;
+        // Any failure past this point (bind, listener setup, acceptor
+        // spawn) must tear the partially started server down instead of
+        // leaking accept threads or the socket file.
+        let setup = (|| -> std::io::Result<()> {
+            if let Some(addr) = &config.tcp {
+                let listener = TcpListener::bind(addr)?;
+                listener.set_nonblocking(true)?;
+                tcp_addr = Some(listener.local_addr()?);
+                accept_threads.push(spawn_acceptor(
+                    "relogic-serve-tcp-accept",
+                    listener,
+                    Arc::clone(&shared),
+                    pool_handle(&pool),
+                    |stream: TcpStream, shared| {
+                        let _ = stream.set_nodelay(true);
+                        serve_connection(stream, &shared);
+                    },
+                )?);
             }
-            let listener = UnixListener::bind(path)?;
-            listener.set_nonblocking(true)?;
-            unix_path = Some(path.clone());
-            accept_threads.push(spawn_acceptor(
-                "relogic-serve-unix-accept",
-                listener,
-                Arc::clone(&shared),
-                pool_handle(&pool),
-                |stream: UnixStream, shared| serve_connection(stream, &shared),
-            ));
+            if let Some(path) = &config.unix {
+                // A stale socket file from a previous run would make bind
+                // fail.
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                unix_path = Some(path.clone());
+                accept_threads.push(spawn_acceptor(
+                    "relogic-serve-unix-accept",
+                    listener,
+                    Arc::clone(&shared),
+                    pool_handle(&pool),
+                    |stream: UnixStream, shared| serve_connection(stream, &shared),
+                )?);
+            }
+            Ok(())
+        })();
+        if let Err(e) = setup {
+            shared.service.begin_drain();
+            for handle in accept_threads {
+                let _ = handle.join();
+            }
+            pool.shutdown();
+            if let Some(path) = &unix_path {
+                let _ = std::fs::remove_file(path);
+            }
+            return Err(e);
         }
         Ok(Server {
             shared,
@@ -151,13 +183,13 @@ impl Server {
     /// True once a drain has been requested.
     #[must_use]
     pub fn is_draining(&self) -> bool {
-        self.shared.draining.load(Ordering::SeqCst)
+        self.shared.service.is_draining()
     }
 
     /// Graceful shutdown: stop accepting, let in-flight frames finish,
     /// join every thread, and unlink the Unix socket.
     pub fn shutdown(self) {
-        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.service.begin_drain();
         for handle in self.accept_threads {
             let _ = handle.join();
         }
@@ -172,34 +204,90 @@ impl Server {
 
 /// The subset of the pool the acceptors need, cloneable across threads.
 /// A cloneable handle that submits boxed jobs to the shared worker pool,
-/// blocking when the queue is full (this is the accept-side backpressure).
+/// waiting at most [`SUBMIT_WAIT`] for queue space. Rejections are
+/// handled by the job's own drop guard (see [`PendingConn`]), so the
+/// result is intentionally discarded here.
 type Submit = Arc<dyn Fn(Job) + Send + Sync>;
 
 fn pool_handle(pool: &WorkerPool) -> Submit {
     let submitter = pool.submitter();
     Arc::new(move |job| {
-        // During shutdown the pool rejects new jobs; the connection is
-        // dropped, which closes the socket — correct drain behaviour.
-        let _ = submitter.submit_boxed(job);
+        // Bounded patience: if the queue stays full (overload, or a
+        // wedged pool) the job is dropped and its PendingConn guard
+        // answers the client with `overloaded` instead of leaving the
+        // connection silently stuck behind the accept loop.
+        let _ = submitter.submit_timeout_boxed(job, SUBMIT_WAIT);
     })
 }
 
+/// An accepted connection on its way to a pool worker. If the job never
+/// runs — the queue stayed full, or the pool is already draining — the
+/// guard's `Drop` still answers the client with a typed farewell
+/// (`overloaded` with a retry hint, or `shutting_down` during drain) and
+/// accounts the shed, so no client is ever left staring at a silent
+/// close.
+struct PendingConn<S: Write> {
+    stream: Option<S>,
+    shared: Arc<Shared>,
+}
+
+impl<S: Write> PendingConn<S> {
+    /// Runs the connection handler, disarming the farewell guard.
+    fn serve(mut self, handler: fn(S, Arc<Shared>)) {
+        if let Some(stream) = self.stream.take() {
+            let shared = Arc::clone(&self.shared);
+            handler(stream, shared);
+        }
+    }
+}
+
+impl<S: Write> Drop for PendingConn<S> {
+    fn drop(&mut self) {
+        let Some(mut stream) = self.stream.take() else {
+            return;
+        };
+        let service = &self.shared.service;
+        let error = if service.is_draining() {
+            ServeError::ShuttingDown
+        } else {
+            service.stats().shed.fetch_add(1, Ordering::Relaxed);
+            ServeError::Overloaded {
+                retry_after_ms: service.retry_after_hint_ms(),
+            }
+        };
+        let line = Response {
+            id: None,
+            kind: None,
+            body: Err(error),
+        }
+        .to_line();
+        let _ = stream.write_all(line.as_bytes());
+        let _ = stream.flush();
+    }
+}
+
 /// Generic accept loop over either listener type.
+///
+/// # Errors
+///
+/// Returns the spawn error if the acceptor thread cannot be created
+/// (resource exhaustion); the caller is responsible for tearing down any
+/// partially started server state.
 fn spawn_acceptor<L, S>(
     name: &str,
     listener: L,
     shared: Arc<Shared>,
     submit: Submit,
     handler: fn(S, Arc<Shared>),
-) -> std::thread::JoinHandle<()>
+) -> std::io::Result<std::thread::JoinHandle<()>>
 where
     L: Accept<Stream = S> + Send + 'static,
-    S: Send + 'static,
+    S: Write + Send + 'static,
 {
     std::thread::Builder::new()
         .name(name.to_string())
         .spawn(move || loop {
-            if shared.draining.load(Ordering::SeqCst) {
+            if shared.service.is_draining() {
                 return;
             }
             match listener.accept_stream() {
@@ -209,8 +297,11 @@ where
                         .stats()
                         .connections_accepted
                         .fetch_add(1, Ordering::Relaxed);
-                    let conn_shared = Arc::clone(&shared);
-                    submit(Box::new(move || handler(stream, conn_shared)));
+                    let pending = PendingConn {
+                        stream: Some(stream),
+                        shared: Arc::clone(&shared),
+                    };
+                    submit(Box::new(move || pending.serve(handler)));
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(20));
@@ -218,7 +309,6 @@ where
                 Err(_) => std::thread::sleep(Duration::from_millis(20)),
             }
         })
-        .unwrap_or_else(|e| panic!("failed to spawn acceptor thread: {e}"))
 }
 
 /// Uniform non-blocking accept over TCP and Unix listeners.
@@ -261,9 +351,88 @@ impl Connection for UnixStream {
     }
 }
 
+/// A fault-injecting wrapper around a live connection stream. Reads can
+/// stall (latency spike) or come back torn into single bytes; a write can
+/// be cut mid-frame, after which the stream reports `BrokenPipe` forever —
+/// the closest a userspace shim gets to a peer dying between two
+/// `write(2)` calls.
+#[cfg(feature = "chaos")]
+struct ChaosStream<S: Connection> {
+    inner: S,
+    chaos: Arc<relogic_sim::chaos::Chaos>,
+    /// Set after an injected mid-write EOF; every later write fails.
+    dead: bool,
+}
+
+#[cfg(feature = "chaos")]
+impl<S: Connection> Read for ChaosStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        use relogic_sim::chaos::ChaosSite;
+        self.chaos.maybe_delay(ChaosSite::ReadStall);
+        if buf.len() > 1 && self.chaos.should(ChaosSite::TornRead) {
+            // A torn read: deliver one byte, forcing the frame loop to
+            // reassemble the request across many short reads.
+            return self.inner.read(&mut buf[..1]);
+        }
+        self.inner.read(buf)
+    }
+}
+
+#[cfg(feature = "chaos")]
+impl<S: Connection> Write for ChaosStream<S> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        use relogic_sim::chaos::ChaosSite;
+        if self.dead {
+            return Err(std::io::Error::new(
+                ErrorKind::BrokenPipe,
+                "chaos: connection torn down by injected EOF",
+            ));
+        }
+        if self.chaos.should(ChaosSite::WriteEof) {
+            // Push half the frame out, then die: the client sees a
+            // truncated line with no newline — a torn frame it must
+            // discard and retry on a fresh connection.
+            let _ = self.inner.write(&buf[..buf.len() / 2]);
+            let _ = self.inner.flush();
+            self.dead = true;
+            return Err(std::io::Error::new(
+                ErrorKind::BrokenPipe,
+                "chaos: injected mid-write EOF",
+            ));
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(feature = "chaos")]
+impl<S: Connection> Connection for ChaosStream<S> {
+    fn set_poll_timeout(&self, timeout: Duration) -> std::io::Result<()> {
+        self.inner.set_poll_timeout(timeout)
+    }
+}
+
 /// Runs the NDJSON frame loop on one connection until EOF, idle timeout,
-/// drain, or an unrecoverable I/O error.
+/// drain, or an unrecoverable I/O error. With an active chaos config the
+/// stream is first wrapped in the fault-injecting [`ChaosStream`].
 fn serve_connection<S: Connection>(stream: S, shared: &Arc<Shared>) {
+    #[cfg(feature = "chaos")]
+    if let Some(chaos) = shared.service.chaos() {
+        let wrapped = ChaosStream {
+            inner: stream,
+            chaos: Arc::clone(chaos),
+            dead: false,
+        };
+        serve_connection_impl(wrapped, shared);
+        return;
+    }
+    serve_connection_impl(stream, shared);
+}
+
+fn serve_connection_impl<S: Connection>(stream: S, shared: &Arc<Shared>) {
     let stats = shared.service.stats();
     stats.connections_active.fetch_add(1, Ordering::Relaxed);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -284,7 +453,7 @@ fn frame_loop<S: Connection>(stream: S, shared: &Arc<Shared>) {
     let mut buf: Vec<u8> = Vec::new();
     let mut idle = Duration::ZERO;
     loop {
-        if shared.draining.load(Ordering::SeqCst) {
+        if shared.service.is_draining() {
             let line = Response {
                 id: None,
                 kind: None,

@@ -12,8 +12,8 @@ use crate::json::Json;
 use crate::proto::{self, Request, RequestLimits, Response, ServeError};
 use crate::stats::ServiceStats;
 use relogic_sim::MonteCarloConfig;
-use std::sync::atomic::Ordering;
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Service configuration (transport-independent parts).
@@ -31,6 +31,17 @@ pub struct ServiceConfig {
     /// Default worker threads for Monte Carlo requests that ask for
     /// auto-detection (`0` keeps auto-detection).
     pub default_threads: usize,
+    /// Maximum analysis requests executing at once; further analysis
+    /// frames are shed with an `overloaded` error and a `retry_after_ms`
+    /// hint instead of queueing behind saturated workers. `0` disables
+    /// admission control. `stats`/`health` are exempt (they must stay
+    /// answerable precisely when the service is overloaded).
+    pub max_inflight: usize,
+    /// Optional fault injector threaded through the execution path, the
+    /// artifact cache, the worker pool, and connection I/O. Only exists
+    /// with the `chaos` feature; release builds carry no injection code.
+    #[cfg(feature = "chaos")]
+    pub chaos: Option<Arc<relogic_sim::chaos::Chaos>>,
 }
 
 impl Default for ServiceConfig {
@@ -41,6 +52,9 @@ impl Default for ServiceConfig {
             max_request_bytes: 4 << 20,
             limits: RequestLimits::default(),
             default_threads: 0,
+            max_inflight: 0,
+            #[cfg(feature = "chaos")]
+            chaos: None,
         }
     }
 }
@@ -50,6 +64,24 @@ struct ServiceInner {
     cache: ArtifactCache,
     stats: ServiceStats,
     started: Instant,
+    /// Set once shutdown begins; the server farewells new work and the
+    /// `health` kind reports not-ready.
+    draining: AtomicBool,
+    /// Installed by the server: reports the worker-pool queue depth for
+    /// the `health` kind (absent when the service runs without a server,
+    /// e.g. in the CLI's one-shot mode).
+    queue_probe: OnceLock<Box<dyn Fn() -> usize + Send + Sync>>,
+}
+
+/// RAII admission permit: holds one slot of the in-flight gauge.
+struct InflightPermit<'a> {
+    gauge: &'a AtomicU64,
+}
+
+impl Drop for InflightPermit<'_> {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// The reliability-analysis service.
@@ -63,14 +95,82 @@ impl Service {
     #[must_use]
     pub fn new(config: ServiceConfig) -> Service {
         let cache = ArtifactCache::new(config.cache_bytes);
+        #[cfg(feature = "chaos")]
+        let cache = match &config.chaos {
+            Some(chaos) => cache.with_chaos(Arc::clone(chaos)),
+            None => cache,
+        };
         Service {
             inner: Arc::new(ServiceInner {
                 config,
                 cache,
                 stats: ServiceStats::default(),
                 started: Instant::now(),
+                draining: AtomicBool::new(false),
+                queue_probe: OnceLock::new(),
             }),
         }
+    }
+
+    /// Marks the service as draining: `health` flips to not-ready and the
+    /// server turns away new work. Idempotent.
+    pub fn begin_drain(&self) {
+        self.inner.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has begun.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::SeqCst)
+    }
+
+    /// Installs the worker-pool queue-depth probe reported by `health`.
+    /// The first installation wins; later calls are ignored.
+    pub fn install_queue_probe<F>(&self, probe: F)
+    where
+        F: Fn() -> usize + Send + Sync + 'static,
+    {
+        let _ = self.inner.queue_probe.set(Box::new(probe));
+    }
+
+    /// The configured fault injector, if any.
+    #[cfg(feature = "chaos")]
+    #[must_use]
+    pub fn chaos(&self) -> Option<&Arc<relogic_sim::chaos::Chaos>> {
+        self.inner.config.chaos.as_ref()
+    }
+
+    /// The backoff hint attached to `overloaded` responses: tracks the
+    /// median observed service time (an honest "one request's worth of
+    /// breathing room"), clamped to [10 ms, 5 s]; 50 ms before any sample
+    /// exists.
+    #[must_use]
+    pub fn retry_after_hint_ms(&self) -> u64 {
+        let latency = &self.inner.stats.latency;
+        if latency.count() == 0 {
+            return 50;
+        }
+        (latency.quantile_us(0.5) / 1000).clamp(10, 5000)
+    }
+
+    /// Tries to claim an in-flight slot for an analysis request.
+    fn admit(&self) -> Option<InflightPermit<'_>> {
+        let gauge = &self.inner.stats.inflight;
+        let max = u64::try_from(self.inner.config.max_inflight).unwrap_or(u64::MAX);
+        if max == 0 {
+            gauge.fetch_add(1, Ordering::Relaxed);
+            return Some(InflightPermit { gauge });
+        }
+        gauge
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                if n < max {
+                    Some(n + 1)
+                } else {
+                    None
+                }
+            })
+            .ok()
+            .map(|_| InflightPermit { gauge })
     }
 
     /// The service configuration.
@@ -102,7 +202,27 @@ impl Service {
         let response = match parsed {
             Ok(request) => {
                 self.inner.stats.count_kind(request.kind());
-                self.execute_with_timeout(id, request)
+                if request.needs_admission() {
+                    match self.admit() {
+                        Some(permit) => {
+                            let response = self.execute_with_timeout(id, request);
+                            drop(permit);
+                            response
+                        }
+                        None => {
+                            self.inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                            Response {
+                                id,
+                                kind: Some(request.kind()),
+                                body: Err(ServeError::Overloaded {
+                                    retry_after_ms: self.retry_after_hint_ms(),
+                                }),
+                            }
+                        }
+                    }
+                } else {
+                    self.execute_with_timeout(id, request)
+                }
             }
             Err(error) => Response {
                 id,
@@ -136,7 +256,7 @@ impl Service {
     #[must_use]
     pub fn execute_with_timeout(&self, id: Option<Json>, request: Request) -> Response {
         let timeout_ms = self.inner.config.timeout_ms;
-        if timeout_ms == 0 || matches!(request, Request::Stats) {
+        if timeout_ms == 0 || matches!(request, Request::Stats | Request::Health) {
             return self.execute(id, request);
         }
         let kind = request.kind();
@@ -146,9 +266,22 @@ impl Service {
         // The runner is detached on timeout: a runaway analysis finishes
         // (or dies) on its own thread and its result is discarded. The
         // thread count is bounded by the connection pool width times the
-        // rare timeout events, not by request volume.
+        // rare timeout events, not by request volume. A panic inside the
+        // runner (a bug — or an injected chaos fault) is contained here:
+        // it bumps the panic counter and drops `tx`, which the receiver
+        // observes as a disconnect and answers with a typed `internal`.
         std::thread::spawn(move || {
-            let _ = tx.send(service.execute(id, request));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                service.execute(id, request)
+            }));
+            match outcome {
+                Ok(response) => {
+                    let _ = tx.send(response);
+                }
+                Err(_) => {
+                    service.inner.stats.panics.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         });
         match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
             Ok(response) => response,
@@ -171,6 +304,14 @@ impl Service {
     }
 
     fn execute_body(&self, request: &Request) -> Result<Json, ServeError> {
+        #[cfg(feature = "chaos")]
+        if request.needs_admission() {
+            if let Some(chaos) = &self.inner.config.chaos {
+                use relogic_sim::chaos::ChaosSite;
+                chaos.maybe_delay(ChaosSite::ExecDelay);
+                chaos.maybe_panic(ChaosSite::ExecPanic);
+            }
+        }
         match request {
             Request::Analyze {
                 circuit,
@@ -218,7 +359,39 @@ impl Service {
                 Ok(result)
             }
             Request::Stats => Ok(self.stats_json()),
+            Request::Health => Ok(self.health_json()),
         }
+    }
+
+    /// The `health` result object: readiness (not draining), the drain
+    /// flag, the in-flight gauge against its limit, worker-pool queue
+    /// depth, shed count, and active connections.
+    #[must_use]
+    pub fn health_json(&self) -> Json {
+        let stats = &self.inner.stats;
+        let draining = self.is_draining();
+        let queue_depth = self.inner.queue_probe.get().map_or(0, |probe| probe());
+        Json::obj([
+            ("ready", Json::from(!draining)),
+            ("draining", Json::from(draining)),
+            (
+                "inflight",
+                Json::from(stats.inflight.load(Ordering::Relaxed)),
+            ),
+            ("max_inflight", Json::from(self.inner.config.max_inflight)),
+            ("queue_depth", Json::from(queue_depth)),
+            ("shed", Json::from(stats.shed.load(Ordering::Relaxed))),
+            (
+                "connections_active",
+                Json::from(stats.connections_active.load(Ordering::Relaxed)),
+            ),
+            (
+                "uptime_ms",
+                Json::from(
+                    u64::try_from(self.inner.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                ),
+            ),
+        ])
     }
 
     /// The `stats` result object: per-kind request counters, cache
@@ -240,6 +413,12 @@ impl Service {
             (
                 "timeouts",
                 Json::from(stats.timeouts.load(Ordering::Relaxed)),
+            ),
+            ("shed", Json::from(stats.shed.load(Ordering::Relaxed))),
+            ("panics", Json::from(stats.panics.load(Ordering::Relaxed))),
+            (
+                "inflight",
+                Json::from(stats.inflight.load(Ordering::Relaxed)),
             ),
             (
                 "connections",
@@ -405,6 +584,56 @@ mod tests {
         ));
         assert!(out.contains("\"code\":\"timeout\""), "{out}");
         assert_eq!(svc.stats().timeouts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn health_reports_readiness_and_flips_on_drain() {
+        let svc = service();
+        svc.install_queue_probe(|| 3);
+        let out = svc.handle_line(r#"{"kind":"health","id":"h1"}"#);
+        let doc = crate::json::parse(out.trim()).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("ready").and_then(Json::as_bool), Some(true));
+        assert_eq!(result.get("draining").and_then(Json::as_bool), Some(false));
+        assert_eq!(result.get("queue_depth").and_then(Json::as_u64), Some(3));
+        assert_eq!(result.get("inflight").and_then(Json::as_u64), Some(0));
+        svc.begin_drain();
+        let out = svc.handle_line(r#"{"kind":"health"}"#);
+        let doc = crate::json::parse(out.trim()).unwrap();
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("ready").and_then(Json::as_bool), Some(false));
+        assert_eq!(result.get("draining").and_then(Json::as_bool), Some(true));
+        assert_eq!(svc.stats().health.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn admission_sheds_analysis_but_not_stats_or_health() {
+        let svc = Service::new(ServiceConfig {
+            timeout_ms: 0,
+            max_inflight: 1,
+            ..ServiceConfig::default()
+        });
+        // Occupy the only slot directly through the gauge; the next
+        // analysis frame must be shed with a retry hint while stats and
+        // health stay answerable.
+        svc.stats().inflight.fetch_add(1, Ordering::Relaxed);
+        let out = svc.handle_line(&analyze_frame(r#","id":9"#));
+        assert!(out.contains("\"code\":\"overloaded\""), "{out}");
+        assert!(out.contains("\"retry_after_ms\""), "{out}");
+        assert!(out.contains("\"id\":9"), "{out}");
+        assert_eq!(svc.stats().shed.load(Ordering::Relaxed), 1);
+        let stats = svc.handle_line(r#"{"kind":"stats"}"#);
+        assert!(stats.contains("\"ok\":true"), "{stats}");
+        assert!(stats.contains("\"shed\":1"), "{stats}");
+        let health = svc.handle_line(r#"{"kind":"health"}"#);
+        assert!(health.contains("\"ok\":true"), "{health}");
+        // Release the slot: analysis admits again and the permit is
+        // returned after execution.
+        svc.stats().inflight.fetch_sub(1, Ordering::Relaxed);
+        let out = svc.handle_line(&analyze_frame(""));
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert_eq!(svc.stats().inflight.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -115,10 +115,20 @@ pub struct ServiceStats {
     pub monte_carlo: AtomicU64,
     /// `stats` requests received.
     pub stats: AtomicU64,
+    /// `health` requests received.
+    pub health: AtomicU64,
     /// Frames answered with a typed error.
     pub errors: AtomicU64,
     /// Requests that hit the per-request timeout.
     pub timeouts: AtomicU64,
+    /// Requests shed under load: admission-control rejections plus
+    /// connections turned away with an `overloaded` farewell because the
+    /// worker-pool queue stayed full.
+    pub shed: AtomicU64,
+    /// Requests or connections that died to a contained panic.
+    pub panics: AtomicU64,
+    /// Analysis requests currently executing (admission gauge).
+    pub inflight: AtomicU64,
     /// Connections accepted (TCP + Unix).
     pub connections_accepted: AtomicU64,
     /// Connections currently open.
@@ -134,6 +144,7 @@ impl ServiceStats {
             "analyze" => &self.analyze,
             "observability" => &self.observability,
             "monte_carlo" => &self.monte_carlo,
+            "health" => &self.health,
             _ => &self.stats,
         }
         .fetch_add(1, Ordering::Relaxed);
@@ -153,6 +164,7 @@ impl ServiceStats {
                 Json::from(self.monte_carlo.load(Ordering::Relaxed)),
             ),
             ("stats", Json::from(self.stats.load(Ordering::Relaxed))),
+            ("health", Json::from(self.health.load(Ordering::Relaxed))),
         ])
     }
 }
@@ -184,8 +196,10 @@ mod tests {
         s.count_kind("analyze");
         s.count_kind("monte_carlo");
         s.count_kind("stats");
+        s.count_kind("health");
         let j = s.requests_json();
         assert_eq!(j.get("analyze").and_then(Json::as_u64), Some(2));
         assert_eq!(j.get("monte_carlo").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("health").and_then(Json::as_u64), Some(1));
     }
 }

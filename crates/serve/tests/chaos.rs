@@ -1,0 +1,328 @@
+//! Chaos suite: drives the daemon over real sockets while the
+//! deterministic fault-injection engine perturbs the worker pool,
+//! connection I/O, and the artifact cache. Requires `--features chaos`.
+//!
+//! Invariants asserted at every seed, independent of thread scheduling:
+//!
+//! - **no hang** — every test runs under an explicit deadline;
+//! - **no wrong answer** — every successful Monte Carlo reply is
+//!   bit-identical to the fault-free baseline;
+//! - **typed failures only** — clients see wire errors from a known set
+//!   or clean transport failures, never corrupted complete frames;
+//! - **bounded memory** — the artifact cache never exceeds its byte
+//!   budget, eviction churn or not;
+//! - **clean drain** — SIGTERM-style shutdown completes promptly while
+//!   chaos is firing.
+
+// Test helpers may unwrap: a panic here is a test failure, not a crash path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use relogic_serve::chaos::{Chaos, ChaosConfig, ChaosSite, SitePolicy};
+use relogic_serve::json::{self, Json};
+use relogic_serve::{Server, ServerConfig, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// The three fixed seeds the CI chaos-smoke job pins.
+const SEEDS: [u64; 3] = [1, 7, 1234];
+
+/// Wire error codes a chaos-stressed request may legitimately produce.
+const RETRYABLE: &[&str] = &["overloaded", "shutting_down", "internal", "timeout"];
+
+/// A small circuit keeps torn-read amplification cheap (reads shrink to
+/// one byte under `TornRead`, so frame size bounds the draw count).
+fn small_bench() -> String {
+    let c = relogic_gen::suite::b9();
+    relogic_netlist::bench::write(&c)
+}
+
+fn mc_frame(netlist: &str, id: u64) -> String {
+    Json::obj([
+        ("kind", Json::from("monte_carlo")),
+        ("id", Json::from(id)),
+        ("netlist", Json::from(netlist)),
+        ("eps", Json::from(0.1)),
+        ("patterns", Json::from(4096u64)),
+        ("seed", Json::from(9u64)),
+        ("threads", Json::from(2u64)),
+    ])
+    .encode()
+}
+
+fn start_chaos_server(chaos: std::sync::Arc<Chaos>) -> Server {
+    Server::start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        threads: 4,
+        service: ServiceConfig {
+            timeout_ms: 30_000,
+            chaos: Some(chaos),
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+/// The fault-free Monte Carlo answer for [`mc_frame`] — the ground truth
+/// every chaos-stressed success must reproduce bit for bit.
+fn baseline_delta(netlist: &str) -> String {
+    let server = Server::start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        threads: 2,
+        service: ServiceConfig {
+            timeout_ms: 30_000,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let reply = call_until_ok(&server, &mc_frame(netlist, 0), 3);
+    server.shutdown();
+    delta_of(&reply)
+}
+
+fn delta_of(reply: &Json) -> String {
+    reply
+        .get("result")
+        .and_then(|r| r.get("delta"))
+        .map(Json::encode)
+        .unwrap_or_else(|| panic!("no delta in {}", reply.encode()))
+}
+
+/// One request on a fresh connection. `Ok` carries the parsed reply;
+/// `Err` describes a transport-level failure (torn frame, reset, EOF) —
+/// legitimate under chaos, but never a corrupt *complete* frame.
+fn call_once(server: &Server, frame: &str) -> Result<Json, String> {
+    let mut stream =
+        TcpStream::connect(server.tcp_addr().unwrap()).map_err(|e| format!("connect: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(frame.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Err("closed before reply".into()),
+        Ok(_) if !line.ends_with('\n') => Err(format!("torn frame: {line:?}")),
+        Ok(_) => Ok(json::parse(line.trim())
+            .unwrap_or_else(|e| panic!("complete frame must parse, got {line:?}: {e}"))),
+        Err(e) => Err(format!("read: {e}")),
+    }
+}
+
+/// Retries [`call_once`] until an `ok` reply, asserting every failure on
+/// the way is a transport error or a whitelisted typed error.
+fn call_until_ok(server: &Server, frame: &str, max_attempts: usize) -> Json {
+    let mut failures = Vec::new();
+    for _ in 0..max_attempts {
+        match call_once(server, frame) {
+            Ok(reply) => {
+                if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                    return reply;
+                }
+                let code = reply
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_owned();
+                assert!(
+                    RETRYABLE.contains(&code.as_str()),
+                    "unexpected error code `{code}` in {}",
+                    reply.encode()
+                );
+                failures.push(code);
+            }
+            Err(transport) => failures.push(transport),
+        }
+    }
+    panic!("no success in {max_attempts} attempts; failures: {failures:?}")
+}
+
+#[test]
+fn worker_chaos_injected_panics_never_corrupt_monte_carlo() {
+    let netlist = small_bench();
+    let truth = baseline_delta(&netlist);
+    for seed in SEEDS {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let chaos = Chaos::new(ChaosConfig::worker_profile(seed));
+        let server = start_chaos_server(chaos);
+        for i in 0..12u64 {
+            let reply = call_until_ok(&server, &mc_frame(&netlist, i), 12);
+            assert_eq!(delta_of(&reply), truth, "seed {seed}, request {i}");
+            assert!(Instant::now() < deadline, "seed {seed} hung");
+        }
+        // Panic-site budgets are finite, so the service must end healthy.
+        let reply = call_until_ok(&server, r#"{"kind":"stats"}"#, 6);
+        assert_eq!(reply.get("kind").and_then(Json::as_str), Some("stats"));
+        server.shutdown();
+    }
+}
+
+#[test]
+fn io_chaos_torn_frames_and_write_eof_yield_no_corrupt_replies() {
+    let netlist = small_bench();
+    let truth = baseline_delta(&netlist);
+    for seed in SEEDS {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let chaos = Chaos::new(ChaosConfig::io_profile(seed));
+        let server = start_chaos_server(chaos);
+        let mut successes = 0;
+        for i in 0..8u64 {
+            // `call_once`/`call_until_ok` already assert that any
+            // complete reply parses and any error is typed; torn frames
+            // surface as transport failures and are retried.
+            let reply = call_until_ok(&server, &mc_frame(&netlist, i), 20);
+            assert_eq!(delta_of(&reply), truth, "seed {seed}, request {i}");
+            successes += 1;
+            assert!(Instant::now() < deadline, "seed {seed} hung");
+        }
+        assert_eq!(successes, 8);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn cache_chaos_eviction_churn_stays_within_budget_and_exact() {
+    let netlist = small_bench();
+    let truth = baseline_delta(&netlist);
+    for seed in SEEDS {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let chaos = Chaos::new(ChaosConfig::cache_profile(seed));
+        let server = start_chaos_server(chaos);
+        for i in 0..10u64 {
+            let reply = call_until_ok(&server, &mc_frame(&netlist, i), 12);
+            assert_eq!(delta_of(&reply), truth, "seed {seed}, request {i}");
+            let cache = server.service().cache();
+            let (_, bytes) = cache.usage();
+            assert!(
+                bytes <= cache.budget_bytes(),
+                "cache over budget under churn: {bytes} > {}",
+                cache.budget_bytes()
+            );
+            assert!(Instant::now() < deadline, "seed {seed} hung");
+        }
+        // The materialization-failure budget (8) is finite: the cache
+        // must still be serving, not permanently poisoned.
+        let reply = call_until_ok(&server, &mc_frame(&netlist, 99), 12);
+        assert_eq!(delta_of(&reply), truth);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn drain_mid_chaos_completes_promptly() {
+    let netlist = small_bench();
+    for seed in SEEDS {
+        let chaos = Chaos::new(ChaosConfig::all_profile(seed));
+        let server = start_chaos_server(chaos);
+        let addr = server.tcp_addr().unwrap();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let clients: Vec<_> = (0..4u64)
+            .map(|k| {
+                let netlist = netlist.clone();
+                let stop = std::sync::Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::SeqCst) {
+                        // Outcomes are irrelevant here — only that the
+                        // hammering never wedges the drain below.
+                        let Ok(mut stream) = TcpStream::connect(addr) else {
+                            return;
+                        };
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                        let frame = mc_frame(&netlist, k * 1000 + i);
+                        if stream
+                            .write_all(frame.as_bytes())
+                            .and_then(|()| stream.write_all(b"\n"))
+                            .is_err()
+                        {
+                            return;
+                        }
+                        let mut reader = BufReader::new(stream);
+                        let mut line = String::new();
+                        let _ = reader.read_line(&mut line);
+                        i += 1;
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(300));
+        // SIGTERM analogue: drain while requests are mid-flight and
+        // chaos is still firing. Must finish well within the deadline.
+        let shutdown = std::thread::spawn(move || server.shutdown());
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while !shutdown.is_finished() {
+            assert!(Instant::now() < deadline, "seed {seed}: drain hung");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        shutdown.join().unwrap();
+        stop.store(true, Ordering::SeqCst);
+        for c in clients {
+            c.join().expect("client thread panicked");
+        }
+    }
+}
+
+/// Satellite: one injected panic mid-`monte_carlo` under concurrent
+/// clients maps to exactly one `internal` wire error; every other client
+/// gets the right answer and the pool keeps serving.
+#[test]
+fn a_panic_mid_monte_carlo_is_contained_to_one_request() {
+    let netlist = small_bench();
+    let truth = baseline_delta(&netlist);
+    for seed in SEEDS {
+        let chaos = Chaos::new(
+            ChaosConfig::quiet(seed).site(ChaosSite::ExecPanic, SitePolicy::limited(1.0, 1)),
+        );
+        let server = start_chaos_server(std::sync::Arc::clone(&chaos));
+        let addr = server.tcp_addr().unwrap();
+        let handles: Vec<_> = (0..8u64)
+            .map(|i| {
+                let frame = mc_frame(&netlist, i);
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    stream.write_all(frame.as_bytes()).unwrap();
+                    stream.write_all(b"\n").unwrap();
+                    let mut reader = BufReader::new(stream);
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    json::parse(line.trim()).unwrap()
+                })
+            })
+            .collect();
+        let replies: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let mut internals = 0;
+        for reply in &replies {
+            if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                assert_eq!(delta_of(reply), truth, "seed {seed}");
+            } else {
+                let code = reply
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str);
+                assert_eq!(code, Some("internal"), "seed {seed}: {}", reply.encode());
+                internals += 1;
+            }
+        }
+        assert_eq!(internals, 1, "seed {seed}: exactly one request dies");
+        assert_eq!(chaos.fired(ChaosSite::ExecPanic), 1);
+        assert_eq!(
+            server.service().stats().panics.load(Ordering::Relaxed),
+            1,
+            "seed {seed}"
+        );
+        // The pool survived: a fresh request still succeeds.
+        let reply = call_until_ok(&server, &mc_frame(&netlist, 777), 3);
+        assert_eq!(delta_of(&reply), truth, "seed {seed}");
+        server.shutdown();
+    }
+}

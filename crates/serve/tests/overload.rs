@@ -1,0 +1,206 @@
+//! Overload-protection tests (no chaos feature required): admission
+//! control sheds excess analysis requests with typed `overloaded`
+//! errors, the shed counter accounts every rejection, the `health` kind
+//! answers over the wire, and the retrying client grinds through an
+//! overloaded server to completion.
+
+// Test helpers may unwrap: a panic here is a test failure, not a crash path.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use relogic_serve::client::{Client, ClientConfig, Endpoint};
+use relogic_serve::json::{self, Json};
+use relogic_serve::{Server, ServerConfig, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+fn bench_text() -> String {
+    let c = relogic_gen::suite::b9();
+    relogic_netlist::bench::write(&c)
+}
+
+/// A Monte Carlo request slow enough (~hundreds of ms) that concurrent
+/// copies genuinely overlap inside the admission window.
+fn slow_mc_frame(netlist: &str, id: u64) -> String {
+    Json::obj([
+        ("kind", Json::from("monte_carlo")),
+        ("id", Json::from(id)),
+        ("netlist", Json::from(netlist)),
+        ("eps", Json::from(0.1)),
+        ("patterns", Json::from(200_000u64)),
+        ("seed", Json::from(9u64)),
+        ("threads", Json::from(1u64)),
+    ])
+    .encode()
+}
+
+fn start_server(max_inflight: usize, threads: usize) -> Server {
+    Server::start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        threads,
+        service: ServiceConfig {
+            timeout_ms: 60_000,
+            max_inflight,
+            ..ServiceConfig::default()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+fn round_trip(addr: std::net::SocketAddr, frame: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .unwrap();
+    stream.write_all(frame.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    json::parse(line.trim()).unwrap_or_else(|e| panic!("bad reply {line:?}: {e}"))
+}
+
+/// Acceptance: with `--max-inflight N`, a burst of 4·N concurrent
+/// requests produces only `ok` and `overloaded` outcomes, and the shed
+/// counter matches the number of `overloaded` replies exactly.
+#[test]
+fn a_burst_beyond_max_inflight_yields_only_ok_or_overloaded() {
+    const N: usize = 2;
+    let netlist = bench_text();
+    let server = start_server(N, 16);
+    let addr = server.tcp_addr().unwrap();
+    let handles: Vec<_> = (0..4 * N as u64)
+        .map(|i| {
+            let frame = slow_mc_frame(&netlist, i);
+            std::thread::spawn(move || round_trip(addr, &frame))
+        })
+        .collect();
+    let replies: Vec<Json> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut ok = 0u64;
+    let mut overloaded = 0u64;
+    let mut deltas = Vec::new();
+    for reply in &replies {
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            ok += 1;
+            deltas.push(
+                reply
+                    .get("result")
+                    .and_then(|r| r.get("delta"))
+                    .map(Json::encode)
+                    .unwrap(),
+            );
+        } else {
+            let error = reply.get("error").unwrap();
+            assert_eq!(
+                error.get("code").and_then(Json::as_str),
+                Some("overloaded"),
+                "only ok/overloaded allowed: {}",
+                reply.encode()
+            );
+            assert!(
+                error.get("retry_after_ms").and_then(Json::as_u64).is_some(),
+                "overloaded must carry retry_after_ms: {}",
+                reply.encode()
+            );
+            overloaded += 1;
+        }
+    }
+    assert_eq!(ok + overloaded, 4 * N as u64);
+    assert!(ok >= 1, "at least one request must get through");
+    assert!(
+        overloaded >= 1,
+        "4N simultaneous slow requests against N slots must shed"
+    );
+    // Every success computed the same Monte Carlo answer.
+    assert!(deltas.iter().all(|d| d == &deltas[0]));
+    // The stats counter accounts every shed exactly once.
+    let shed = server.service().stats().shed.load(Ordering::Relaxed);
+    assert_eq!(shed, overloaded, "shed counter must match rejections");
+    let stats = round_trip(addr, r#"{"kind":"stats"}"#);
+    assert_eq!(
+        stats
+            .get("result")
+            .and_then(|r| r.get("shed"))
+            .and_then(Json::as_u64),
+        Some(shed),
+        "stats must report the shed count"
+    );
+    server.shutdown();
+}
+
+/// Acceptance: a retrying client with a sufficient deadline completes
+/// every request against an overloaded server, deterministically under a
+/// fixed backoff seed.
+#[test]
+fn retrying_clients_complete_all_requests_against_an_overloaded_server() {
+    const CLIENTS: u64 = 6;
+    const CALLS: u64 = 3;
+    let netlist = bench_text();
+    let server = start_server(1, 8);
+    let addr = server.tcp_addr().unwrap();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|k| {
+            let netlist = netlist.clone();
+            std::thread::spawn(move || {
+                let mut config =
+                    ClientConfig::new(Endpoint::Tcp(format!("127.0.0.1:{}", addr.port())));
+                config.deadline = Duration::from_secs(120);
+                config.backoff_seed = k; // fixed per client, reproducible
+                config.retry_budget = 100.0;
+                config.base_backoff = Duration::from_millis(5);
+                config.max_backoff = Duration::from_millis(100);
+                let client = Client::new(config);
+                let mut deltas = Vec::new();
+                for i in 0..CALLS {
+                    let result = client
+                        .call(&slow_mc_frame(&netlist, k * 100 + i))
+                        .expect("sufficient deadline must complete");
+                    deltas.push(result.get("delta").map(Json::encode).unwrap());
+                }
+                (deltas, client.attempts(), client.retries())
+            })
+        })
+        .collect();
+    let mut all_deltas = Vec::new();
+    let mut total_attempts = 0;
+    let mut total_retries = 0;
+    for h in handles {
+        let (deltas, attempts, retries) = h.join().expect("client thread panicked");
+        all_deltas.extend(deltas);
+        total_attempts += attempts;
+        total_retries += retries;
+    }
+    assert_eq!(all_deltas.len() as u64, CLIENTS * CALLS);
+    assert!(all_deltas.iter().all(|d| d == &all_deltas[0]));
+    assert_eq!(total_attempts, CLIENTS * CALLS + total_retries);
+    server.shutdown();
+}
+
+#[test]
+fn health_answers_over_the_wire_and_is_admission_exempt() {
+    let netlist = bench_text();
+    let server = start_server(1, 8);
+    let addr = server.tcp_addr().unwrap();
+    // Saturate the single admission slot with a slow request…
+    let busy = {
+        let frame = slow_mc_frame(&netlist, 1);
+        std::thread::spawn(move || round_trip(addr, &frame))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    // …and health must still answer, reporting readiness and gauges.
+    let reply = round_trip(addr, r#"{"kind":"health","id":"h1"}"#);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("kind").and_then(Json::as_str), Some("health"));
+    assert_eq!(reply.get("id").and_then(Json::as_str), Some("h1"));
+    let result = reply.get("result").unwrap();
+    assert_eq!(result.get("ready").and_then(Json::as_bool), Some(true));
+    assert_eq!(result.get("draining").and_then(Json::as_bool), Some(false));
+    assert_eq!(result.get("max_inflight").and_then(Json::as_u64), Some(1));
+    assert!(result.get("queue_depth").and_then(Json::as_u64).is_some());
+    assert!(result.get("inflight").and_then(Json::as_u64).is_some());
+    let reply = busy.join().unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}

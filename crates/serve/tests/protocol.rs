@@ -11,6 +11,7 @@ use relogic_serve::{RequestLimits, Server, ServerConfig, ServiceConfig};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 const SMALL: &str = "INPUT(a)\\nINPUT(b)\\nOUTPUT(y)\\nt = NAND(a, b)\\ny = NOT(t)\\n";
@@ -341,6 +342,43 @@ fn concurrent_clients_hammering_one_cached_circuit() {
         1
     );
     server.shutdown();
+}
+
+#[test]
+fn idle_timeout_racing_graceful_drain_closes_exactly_once() {
+    // An idle connection whose timeout expires while the server drains
+    // exercises both close paths at once; the active-connection gauge
+    // must end at exactly zero (a double decrement would wrap the
+    // unsigned counter to a huge value).
+    let server = Server::start(ServerConfig {
+        tcp: Some("127.0.0.1:0".to_owned()),
+        threads: 2,
+        idle_timeout_ms: 300,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let service = server.service().clone();
+    let mut stream = connect(&server);
+    let reply = round_trip(&mut stream, r#"{"kind":"stats"}"#);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    let stats = service.stats();
+    assert_eq!(stats.connections_accepted.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.connections_active.load(Ordering::Relaxed), 1);
+    // Let the connection go idle right up to its timeout, then drain
+    // while the idle close is happening.
+    std::thread::sleep(Duration::from_millis(250));
+    server.shutdown();
+    // Whatever the connection saw — idle close, drain farewell, or a
+    // reset — drain has joined every thread, so the gauge is settled.
+    let mut rest = String::new();
+    let _ = BufReader::new(stream).read_to_string(&mut rest);
+    let stats = service.stats();
+    assert_eq!(
+        stats.connections_active.load(Ordering::Relaxed),
+        0,
+        "active gauge must settle at zero, not wrap"
+    );
+    assert_eq!(stats.connections_accepted.load(Ordering::Relaxed), 1);
 }
 
 #[test]

@@ -23,6 +23,7 @@ use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Number of hardware threads available to this process (at least 1).
 #[must_use]
@@ -178,6 +179,33 @@ impl std::fmt::Display for PoolClosed {
 
 impl std::error::Error for PoolClosed {}
 
+/// Why a non-blocking submission was rejected.
+///
+/// Returned by the [`WorkerPool::try_submit`] / [`WorkerPool::submit_timeout`]
+/// family. In every rejection case the job is **dropped unexecuted** — its
+/// destructor runs on the submitting thread, which callers can exploit to
+/// attach cleanup (e.g. `relogic-serve` answers a rejected connection with an
+/// `overloaded` farewell from the job's drop guard).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitRejection {
+    /// The pool has begun shutting down; it will never accept the job.
+    Closed,
+    /// The queue stayed at capacity for the allowed wait (zero for
+    /// `try_submit`); the pool is overloaded or wedged.
+    Full,
+}
+
+impl std::fmt::Display for SubmitRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitRejection::Closed => write!(f, "worker pool is shutting down; job rejected"),
+            SubmitRejection::Full => write!(f, "worker pool queue is full; job rejected"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitRejection {}
+
 /// A boxed job as consumed by [`WorkerPool`] workers.
 pub type Job = Box<dyn FnOnce() + Send>;
 
@@ -191,6 +219,19 @@ struct PoolShared {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    #[cfg(any(test, feature = "chaos"))]
+    chaos: std::sync::OnceLock<Arc<crate::chaos::Chaos>>,
+}
+
+/// How long a submission may wait for queue space.
+#[derive(Clone, Copy)]
+enum Wait {
+    /// Fail immediately if the queue is at capacity.
+    None,
+    /// Block until space frees up or the pool closes.
+    Forever,
+    /// Block until the deadline, then fail with [`SubmitRejection::Full`].
+    Until(Instant),
 }
 
 impl PoolShared {
@@ -200,6 +241,42 @@ impl PoolShared {
         match self.state.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Single enqueue path behind every submit variant. On `Err` the job
+    /// has been dropped (running its destructor on the calling thread).
+    fn push(&self, job: Job, wait: Wait) -> Result<(), SubmitRejection> {
+        let mut state = self.lock();
+        loop {
+            if !state.open {
+                return Err(SubmitRejection::Closed);
+            }
+            if state.queue.len() < self.capacity {
+                state.queue.push_back(job);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            match wait {
+                Wait::None => return Err(SubmitRejection::Full),
+                Wait::Forever => {
+                    state = match self.not_full.wait(state) {
+                        Ok(g) => g,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+                Wait::Until(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(SubmitRejection::Full);
+                    }
+                    state = match self.not_full.wait_timeout(state, deadline - now) {
+                        Ok((g, _)) => g,
+                        Err(poisoned) => poisoned.into_inner().0,
+                    };
+                }
+            }
         }
     }
 }
@@ -258,6 +335,8 @@ impl WorkerPool {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity: queue_capacity.max(1),
+            #[cfg(any(test, feature = "chaos"))]
+            chaos: std::sync::OnceLock::new(),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -291,20 +370,51 @@ impl WorkerPool {
     where
         F: FnOnce() + Send + 'static,
     {
-        let mut state = self.shared.lock();
-        while state.open && state.queue.len() >= self.shared.capacity {
-            state = match self.shared.not_full.wait(state) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-        }
-        if !state.open {
-            return Err(PoolClosed);
-        }
-        state.queue.push_back(Box::new(job));
-        drop(state);
-        self.shared.not_empty.notify_one();
-        Ok(())
+        self.shared
+            .push(Box::new(job), Wait::Forever)
+            .map_err(|_| PoolClosed)
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitRejection::Full`] if the queue is at capacity right now, or
+    /// [`SubmitRejection::Closed`] if shutdown has begun. Either way the
+    /// job is dropped unexecuted (its destructor runs here).
+    pub fn try_submit<F>(&self, job: F) -> Result<(), SubmitRejection>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.push(Box::new(job), Wait::None)
+    }
+
+    /// Enqueues a job, blocking at most `timeout` for queue space — the
+    /// bounded-patience middle ground between [`WorkerPool::submit`]
+    /// (which can wedge the caller behind a stuck pool) and
+    /// [`WorkerPool::try_submit`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitRejection::Full`] if no space freed up within `timeout`, or
+    /// [`SubmitRejection::Closed`] if shutdown began while waiting. Either
+    /// way the job is dropped unexecuted (its destructor runs here).
+    pub fn submit_timeout<F>(&self, job: F, timeout: Duration) -> Result<(), SubmitRejection>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared
+            .push(Box::new(job), Wait::Until(Instant::now() + timeout))
+    }
+
+    /// Installs a fault injector: every job the pool subsequently runs is
+    /// preceded by [`crate::chaos::Chaos::pool_job_hook`] (a possible
+    /// latency spike and/or injected panic, confined by the pool's per-job
+    /// `catch_unwind`). The first installation wins; later calls are
+    /// ignored.
+    #[cfg(any(test, feature = "chaos"))]
+    pub fn install_chaos(&self, chaos: Arc<crate::chaos::Chaos>) {
+        let _ = self.shared.chaos.set(chaos);
     }
 
     /// A cloneable submit handle that can outlive borrows of the pool
@@ -348,20 +458,35 @@ impl PoolSubmitter {
     ///
     /// Returns [`PoolClosed`] if the pool has begun shutting down.
     pub fn submit_boxed(&self, job: Job) -> Result<(), PoolClosed> {
-        let mut state = self.shared.lock();
-        while state.open && state.queue.len() >= self.shared.capacity {
-            state = match self.shared.not_full.wait(state) {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-        }
-        if !state.open {
-            return Err(PoolClosed);
-        }
-        state.queue.push_back(job);
-        drop(state);
-        self.shared.not_empty.notify_one();
-        Ok(())
+        self.shared.push(job, Wait::Forever).map_err(|_| PoolClosed)
+    }
+
+    /// Enqueues an already-boxed job without blocking; see
+    /// [`WorkerPool::try_submit`] for the rejection contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitRejection`] on a full queue or a closed pool; the job is
+    /// dropped unexecuted either way.
+    pub fn try_submit_boxed(&self, job: Job) -> Result<(), SubmitRejection> {
+        self.shared.push(job, Wait::None)
+    }
+
+    /// Enqueues an already-boxed job, blocking at most `timeout`; see
+    /// [`WorkerPool::submit_timeout`] for the rejection contract.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitRejection`] if no space freed up in time or the pool
+    /// closed; the job is dropped unexecuted either way.
+    pub fn submit_timeout_boxed(&self, job: Job, timeout: Duration) -> Result<(), SubmitRejection> {
+        self.shared.push(job, Wait::Until(Instant::now() + timeout))
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.lock().queue.len()
     }
 }
 
@@ -373,8 +498,15 @@ fn worker_loop(shared: &PoolShared) {
             shared.not_full.notify_one();
             // A panicking job must not kill the worker: the pool serves
             // many independent clients and its width is part of the
-            // service's capacity contract.
-            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            // service's capacity contract. An installed fault injector runs
+            // inside the same boundary so injected panics stay confined.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(any(test, feature = "chaos"))]
+                if let Some(chaos) = shared.chaos.get() {
+                    chaos.pool_job_hook();
+                }
+                job();
+            }));
             state = shared.lock();
         } else if state.open {
             state = match shared.not_empty.wait(state) {
@@ -520,5 +652,129 @@ mod tests {
         let pool = WorkerPool::new(0, 1);
         assert!(pool.threads() >= 1);
         pool.shutdown();
+    }
+
+    /// A pool whose single worker is parked on a barrier-like gate, so the
+    /// queue can be filled deterministically.
+    fn wedged_pool(capacity: usize) -> (WorkerPool, Arc<(Mutex<bool>, Condvar)>) {
+        let pool = WorkerPool::new(1, capacity);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(move || {
+                let (lock, cv) = &*gate;
+                let mut released = lock.lock().unwrap();
+                while !*released {
+                    released = cv.wait(released).unwrap();
+                }
+            })
+            .unwrap();
+        }
+        // Wait until the worker has actually picked the gate job up, so the
+        // queue length is exactly what the tests subsequently submit.
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+        (pool, gate)
+    }
+
+    fn release(gate: &Arc<(Mutex<bool>, Condvar)>) {
+        let (lock, cv) = &**gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn try_submit_rejects_when_full_and_runs_rejected_jobs_destructor() {
+        let (pool, gate) = wedged_pool(1);
+        pool.try_submit(|| ()).unwrap(); // fills the queue
+        struct DropFlag(Arc<AtomicUsize>);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicUsize::new(0));
+        let flag = DropFlag(Arc::clone(&dropped));
+        let rejected = pool.try_submit(move || {
+            let _keep = &flag;
+        });
+        assert_eq!(rejected, Err(SubmitRejection::Full));
+        assert_eq!(
+            dropped.load(Ordering::SeqCst),
+            1,
+            "rejected job must be dropped on the submitting thread"
+        );
+        release(&gate);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn submit_timeout_times_out_on_a_wedged_pool_then_succeeds_after_release() {
+        let (pool, gate) = wedged_pool(1);
+        pool.try_submit(|| ()).unwrap();
+        let t0 = Instant::now();
+        let rejected = pool.submit_timeout(|| (), Duration::from_millis(50));
+        assert_eq!(rejected, Err(SubmitRejection::Full));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(40),
+            "must actually wait out the timeout"
+        );
+        release(&gate);
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let done = Arc::clone(&done);
+            pool.submit_timeout(
+                move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                },
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn submit_variants_report_closed_after_shutdown_started() {
+        let pool = WorkerPool::new(1, 2);
+        let submitter = pool.submitter();
+        pool.shared.lock().open = false;
+        pool.shared.not_empty.notify_all();
+        assert_eq!(pool.try_submit(|| ()), Err(SubmitRejection::Closed));
+        assert_eq!(
+            pool.submit_timeout(|| (), Duration::from_millis(10)),
+            Err(SubmitRejection::Closed)
+        );
+        assert_eq!(
+            submitter.try_submit_boxed(Box::new(|| ())),
+            Err(SubmitRejection::Closed)
+        );
+        assert_eq!(submitter.queued(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_chaos_hook_panics_are_confined_and_counted() {
+        use crate::chaos::{Chaos, ChaosConfig, ChaosSite, SitePolicy};
+        let pool = WorkerPool::new(1, 8);
+        let chaos = Chaos::new(
+            ChaosConfig::quiet(7).site(ChaosSite::PoolPanic, SitePolicy::limited(1.0, 2)),
+        );
+        pool.install_chaos(Arc::clone(&chaos));
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let done = Arc::clone(&done);
+            pool.submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        // The first two jobs were replaced by injected panics; the worker
+        // survived and ran the remaining three.
+        assert_eq!(chaos.fired(ChaosSite::PoolPanic), 2);
+        assert_eq!(done.load(Ordering::SeqCst), 3);
     }
 }

@@ -27,6 +27,8 @@
 #![warn(clippy::all)]
 
 mod bits;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
 mod error;
 mod estimate;
 pub mod exec;
@@ -36,13 +38,23 @@ mod packed;
 pub mod parallel;
 mod sampler;
 
+/// Pins the `chaos` feature gate: without `--features chaos` the fault
+/// injector must not exist in the compiled library, so this doctest —
+/// which only runs in non-chaos builds — must fail to compile.
+///
+/// ```compile_fail
+/// use relogic_sim::chaos::Chaos; // the `chaos` feature is off
+/// ```
+#[cfg(not(any(test, feature = "chaos")))]
+pub const CHAOS_FEATURE_GATED: () = ();
+
 pub use bits::{stats, BiasedBits, DEFAULT_RESOLUTION};
 pub use error::SimError;
 pub use estimate::{
     joint_input_counts, joint_input_counts_biased, observabilities, observabilities_biased,
     signal_probabilities, signal_probabilities_biased, ObservabilityEstimate, MAX_COUNTED_ARITY,
 };
-pub use exec::{available_threads, ChunkExecutor};
+pub use exec::{available_threads, ChunkExecutor, SubmitRejection};
 pub use exhaustive::{exact_reliability, flip_influence, ExactReliability};
 pub use monte_carlo::{
     estimate, try_estimate, MonteCarloConfig, NodeErrorStats, ReliabilityEstimate,
