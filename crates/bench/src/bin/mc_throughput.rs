@@ -1,7 +1,9 @@
 //! Measures Monte Carlo fault-injection throughput (patterns/second) of
-//! the deterministic parallel execution layer at 1/2/4/8 worker threads
-//! on the i10 analogue (c6288-class, 2643 gates), and writes the numbers
-//! as JSON for `results/mc_throughput.json`.
+//! the compiled-tape execution layer at 1/2/4/8 worker threads on the
+//! i10 analogue (c6288-class, 2643 gates), and writes the numbers as
+//! JSON for `results/mc_throughput.json`. The graph walker the tape
+//! replaced is measured in the same run and archived under the
+//! `"baseline"` key, so the file carries its own before/after.
 //!
 //! ```text
 //! cargo run -p relogic-bench --release --bin mc_throughput [-- --out results/mc_throughput.json]
@@ -12,12 +14,25 @@
 //! machine at hand.
 
 use relogic::GateEps;
-use relogic_sim::{available_threads, estimate, MonteCarloConfig};
+use relogic_sim::{
+    available_threads, estimate, estimate_tape, CircuitTape, MonteCarloConfig, DEFAULT_LANES,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const PATTERNS: u64 = 1 << 17;
 const REPS: u32 = 3;
+
+fn row_json(json: &mut String, rows: &[(usize, f64, f64, f64)], indent: &str) {
+    for (i, (threads, secs, pps, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "{indent}{{ \"threads\": {threads}, \"seconds\": {secs:.6}, \
+             \"patterns_per_sec\": {pps:.0}, \"speedup\": {speedup:.3} }}{comma}"
+        );
+    }
+}
 
 fn main() {
     let out_path = {
@@ -35,48 +50,69 @@ fn main() {
     let eps = GateEps::uniform(&circuit, 0.1);
     let hw_threads = available_threads();
     println!(
-        "MC throughput on i10 ({} gates), {} patterns x {} reps, {} hardware thread(s)\n",
+        "MC throughput on i10 ({} gates), {} patterns x {} reps, {} lanes, {} hardware thread(s)\n",
         circuit.gate_count(),
         PATTERNS,
         REPS,
+        DEFAULT_LANES,
         hw_threads
     );
 
-    let reference = estimate(
+    let tape = CircuitTape::compile(&circuit);
+    let reference = estimate_tape(
         &circuit,
+        &tape,
         eps.as_slice(),
         &MonteCarloConfig {
             patterns: PATTERNS,
             threads: 1,
             ..MonteCarloConfig::default()
         },
+        DEFAULT_LANES,
     );
 
-    let mut rows = Vec::new();
-    let mut base_pps = 0.0f64;
+    let mut tape_rows = Vec::new();
+    let mut graph_rows = Vec::new();
+    let mut tape_base = 0.0f64;
+    let mut graph_base = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
         let cfg = MonteCarloConfig {
             patterns: PATTERNS,
             threads,
             ..MonteCarloConfig::default()
         };
-        // One warmup, then the best of REPS timed runs.
-        let r = estimate(&circuit, eps.as_slice(), &cfg);
+        // One warmup (also the invariance check), then best of REPS.
+        let r = estimate_tape(&circuit, &tape, eps.as_slice(), &cfg, DEFAULT_LANES);
         assert_eq!(r, reference, "estimate must be thread-count invariant");
-        let mut best = f64::INFINITY;
+        let mut tape_best = f64::INFINITY;
+        let mut graph_best = f64::INFINITY;
         for _ in 0..REPS {
             let t = Instant::now();
+            std::hint::black_box(estimate_tape(
+                &circuit,
+                &tape,
+                eps.as_slice(),
+                &cfg,
+                DEFAULT_LANES,
+            ));
+            tape_best = tape_best.min(t.elapsed().as_secs_f64());
+            let t = Instant::now();
             std::hint::black_box(estimate(&circuit, eps.as_slice(), &cfg));
-            best = best.min(t.elapsed().as_secs_f64());
+            graph_best = graph_best.min(t.elapsed().as_secs_f64());
         }
         #[allow(clippy::cast_precision_loss)]
-        let pps = PATTERNS as f64 / best;
+        let (tape_pps, graph_pps) = (PATTERNS as f64 / tape_best, PATTERNS as f64 / graph_best);
         if threads == 1 {
-            base_pps = pps;
+            tape_base = tape_pps;
+            graph_base = graph_pps;
         }
-        let speedup = pps / base_pps;
-        println!("threads {threads:>2}:  {pps:>12.0} patterns/s   speedup x{speedup:.2}");
-        rows.push((threads, best, pps, speedup));
+        println!(
+            "threads {threads:>2}:  tape {tape_pps:>12.0} patterns/s (x{:.2})   graph {graph_pps:>12.0} patterns/s (x{:.2})",
+            tape_pps / tape_base,
+            graph_pps / graph_base
+        );
+        tape_rows.push((threads, tape_best, tape_pps, tape_pps / tape_base));
+        graph_rows.push((threads, graph_best, graph_pps, graph_pps / graph_base));
     }
 
     let mut json = String::from("{\n");
@@ -85,6 +121,8 @@ fn main() {
     let _ = writeln!(json, "  \"gates\": {},", circuit.gate_count());
     let _ = writeln!(json, "  \"patterns\": {PATTERNS},");
     let _ = writeln!(json, "  \"eps\": 0.1,");
+    let _ = writeln!(json, "  \"engine\": \"tape\",");
+    let _ = writeln!(json, "  \"lanes\": {DEFAULT_LANES},");
     let _ = writeln!(json, "  \"hardware_threads\": {hw_threads},");
     let _ = writeln!(json, "  \"deterministic\": true,");
     if hw_threads == 1 {
@@ -94,15 +132,14 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  \"rows\": [");
-    for (i, (threads, secs, pps, speedup)) in rows.iter().enumerate() {
-        let comma = if i + 1 == rows.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{ \"threads\": {threads}, \"seconds\": {secs:.6}, \
-             \"patterns_per_sec\": {pps:.0}, \"speedup\": {speedup:.3} }}{comma}"
-        );
-    }
-    let _ = writeln!(json, "  ]");
+    row_json(&mut json, &tape_rows, "    ");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": {{ \"engine\": \"graph\", \"rows\": ["
+    );
+    row_json(&mut json, &graph_rows, "    ");
+    let _ = writeln!(json, "  ] }}");
     json.push_str("}\n");
 
     if let Some(path) = out_path {

@@ -232,6 +232,54 @@ fn json_line(mut result: Json) -> String {
     line
 }
 
+/// One analyze run, from either engine. Both engines expose the same
+/// per-output/per-node accessors and — by the tape's bit-identity
+/// contract — the same numbers, so the printing code below is shared.
+enum AnalyzeRun {
+    Graph(relogic::SinglePassResult),
+    Tape {
+        point: relogic::SweepPoint,
+        compile_us: u128,
+    },
+}
+
+impl AnalyzeRun {
+    fn per_output(&self) -> &[f64] {
+        match self {
+            AnalyzeRun::Graph(r) => r.per_output(),
+            AnalyzeRun::Tape { point, .. } => point.per_output(),
+        }
+    }
+
+    fn p01(&self, id: relogic_netlist::NodeId) -> f64 {
+        match self {
+            AnalyzeRun::Graph(r) => r.p01(id),
+            AnalyzeRun::Tape { point, .. } => point.p01(id),
+        }
+    }
+
+    fn p10(&self, id: relogic_netlist::NodeId) -> f64 {
+        match self {
+            AnalyzeRun::Graph(r) => r.p10(id),
+            AnalyzeRun::Tape { point, .. } => point.p10(id),
+        }
+    }
+
+    fn node_delta(&self, id: relogic_netlist::NodeId) -> f64 {
+        match self {
+            AnalyzeRun::Graph(r) => r.node_delta(id),
+            AnalyzeRun::Tape { point, .. } => point.node_delta(id),
+        }
+    }
+
+    fn diagnostics(&self) -> &relogic::Diagnostics {
+        match self {
+            AnalyzeRun::Graph(r) => r.diagnostics(),
+            AnalyzeRun::Tape { point, .. } => point.diagnostics(),
+        }
+    }
+}
+
 fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     let weights = analysis_weights(c, opts)?;
     if opts.json {
@@ -243,8 +291,27 @@ fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
         let result = relogic_serve::api::analyze_result(c, &weights, &[opts.eps], &request)?;
         return Ok(json_line(result));
     }
-    let engine = SinglePass::try_new(c, &weights, engine_options(opts))?;
-    let result = engine.try_run(&GateEps::try_uniform(c, opts.eps)?)?;
+    // The tape engine carries the uncorrelated recurrence only; the §4.1
+    // correlation correction, the strict numeric policy, and the
+    // any-output consolidation (which needs the graph result's joint
+    // marginals) all stay on the graph engine. Either way the numbers
+    // match bit for bit — see `relogic::SweepTape`'s module docs.
+    let use_tape = opts.engine == crate::options::EngineKind::Tape
+        && opts.no_correlations
+        && !opts.strict
+        && !(opts.diagnostics && c.output_count() > 1);
+    let result = if use_tape {
+        let start = std::time::Instant::now();
+        let tape = relogic::SweepTape::try_new(c, &weights)?;
+        let compile_us = start.elapsed().as_micros();
+        AnalyzeRun::Tape {
+            point: tape.try_run_point(&GateEps::try_uniform(c, opts.eps)?)?,
+            compile_us,
+        }
+    } else {
+        let engine = SinglePass::try_new(c, &weights, engine_options(opts))?;
+        AnalyzeRun::Graph(engine.try_run(&GateEps::try_uniform(c, opts.eps)?)?)
+    };
     let mut out = format!(
         "single-pass reliability at eps = {} ({} backend{})\n",
         opts.eps,
@@ -282,16 +349,24 @@ fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     }
     if opts.diagnostics {
         let mut diag = result.diagnostics().clone();
-        if c.output_count() > 1 {
-            let cons = relogic::consolidate::Consolidator::try_new(
-                c,
-                &InputDistribution::Uniform,
-                opts.backend(),
-            )?;
-            let any = cons.any_output_error_with(&result, &mut diag)?;
-            out.push_str(&format!("{:>24}  any-output = {any:.6}\n", "*"));
+        if let AnalyzeRun::Graph(graph_result) = &result {
+            if c.output_count() > 1 {
+                let cons = relogic::consolidate::Consolidator::try_new(
+                    c,
+                    &InputDistribution::Uniform,
+                    opts.backend(),
+                )?;
+                let any = cons.any_output_error_with(graph_result, &mut diag)?;
+                out.push_str(&format!("{:>24}  any-output = {any:.6}\n", "*"));
+            }
         }
-        out.push_str(&format!("\ndiagnostics:\n{diag}\n"));
+        let engine_line = match &result {
+            AnalyzeRun::Graph(_) => "engine: graph".to_owned(),
+            AnalyzeRun::Tape { compile_us, .. } => {
+                format!("engine: tape (compiled in {compile_us} us)")
+            }
+        };
+        out.push_str(&format!("\ndiagnostics:\n{engine_line}\n{diag}\n"));
     }
     Ok(out)
 }
@@ -430,12 +505,39 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
         threads: opts.threads,
         ..MonteCarloConfig::default()
     };
+    let use_tape = opts.engine == crate::options::EngineKind::Tape;
     if opts.json {
-        let result = relogic_serve::api::monte_carlo_result(c, opts.eps, &config)?;
+        let result = if use_tape {
+            let tape = relogic_sim::CircuitTape::compile(c);
+            relogic_serve::api::monte_carlo_result_tape(c, &tape, opts.eps, &config)?
+        } else {
+            relogic_serve::api::monte_carlo_result(c, opts.eps, &config)?
+        };
         return Ok(json_line(result));
     }
     let eps = GateEps::try_uniform(c, opts.eps)?;
-    let r = relogic_sim::try_estimate(c, eps.as_slice(), &config)?;
+    let (r, engine_line) = if use_tape {
+        let start = std::time::Instant::now();
+        let tape = relogic_sim::CircuitTape::compile(c);
+        let compile_us = start.elapsed().as_micros();
+        let r = relogic_sim::try_estimate_tape(
+            c,
+            &tape,
+            eps.as_slice(),
+            &config,
+            relogic_sim::DEFAULT_LANES,
+        )?;
+        (
+            r,
+            format!(
+                "engine: tape ({} x 64-bit lanes, compiled in {compile_us} us)",
+                relogic_sim::DEFAULT_LANES
+            ),
+        )
+    } else {
+        let r = relogic_sim::try_estimate(c, eps.as_slice(), &config)?;
+        (r, "engine: graph".to_owned())
+    };
     let mut out = format!(
         "monte carlo at eps = {} ({} patterns)\n",
         opts.eps,
@@ -454,6 +556,9 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
         "*",
         r.any_output()
     ));
+    if opts.diagnostics {
+        out.push_str(&format!("\ndiagnostics:\n{engine_line}\n"));
+    }
     Ok(out)
 }
 
@@ -528,9 +633,14 @@ y = NOT(t)
 ";
 
     fn run_on_file(command: &str, extra: &[&str]) -> String {
+        // One file per invocation: tests run concurrently, and
+        // `fs::write` truncates before writing, so a shared path would
+        // let one test read another's half-written netlist.
+        static CALL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = CALL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let dir = std::env::temp_dir().join("relogic-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("{command}.bench"));
+        let path = dir.join(format!("{command}-{n}.bench"));
         std::fs::write(&path, SMALL).unwrap();
         let mut argv: Vec<String> = vec![command.to_owned(), path.display().to_string()];
         argv.extend(extra.iter().map(|s| (*s).to_owned()));
@@ -758,6 +868,47 @@ y = NOT(t)
             cli_result.encode().replace("\"cache\":\"bypass\"", ""),
             server_result.encode().replace("\"cache\":\"miss\"", "")
         );
+    }
+
+    #[test]
+    fn analyze_engines_agree_bit_for_bit() {
+        let tape = run_on_file(
+            "analyze",
+            &["--eps", "0.1", "--no-correlations", "--per-node"],
+        );
+        let graph = run_on_file(
+            "analyze",
+            &[
+                "--eps",
+                "0.1",
+                "--no-correlations",
+                "--per-node",
+                "--engine",
+                "graph",
+            ],
+        );
+        assert_eq!(tape, graph, "tape and graph engines must print the same");
+        let diag = run_on_file(
+            "analyze",
+            &["--eps", "0.1", "--no-correlations", "--diagnostics"],
+        );
+        assert!(diag.contains("engine: tape (compiled in"), "{diag}");
+        let diag = run_on_file("analyze", &["--eps", "0.1", "--diagnostics"]);
+        assert!(
+            diag.contains("engine: graph"),
+            "correlations force the graph engine: {diag}"
+        );
+    }
+
+    #[test]
+    fn mc_engine_flag_and_diagnostics() {
+        let out = run_on_file("mc", &["--patterns", "4096", "--diagnostics"]);
+        assert!(out.contains("engine: tape ("), "{out}");
+        let out = run_on_file(
+            "mc",
+            &["--patterns", "4096", "--engine", "graph", "--diagnostics"],
+        );
+        assert!(out.contains("engine: graph"), "{out}");
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod metrics;
 mod observability;
 mod single_pass;
 pub mod sweep;
+mod tape;
 mod weights;
 
 pub use backend::{Backend, InputDistribution};
@@ -69,4 +70,5 @@ pub use epsilon::GateEps;
 pub use error::RelogicError;
 pub use observability::ObservabilityMatrix;
 pub use single_pass::{CorrCoeffs, ErrorEvent, SinglePass, SinglePassOptions, SinglePassResult};
+pub use tape::{SweepPoint, SweepTape};
 pub use weights::{joint_value_distribution, Weights, MAX_ANALYSIS_ARITY};

@@ -626,7 +626,7 @@ impl<'a> SinglePass<'a> {
     }
 }
 
-const COEFF_EPS: f64 = 1e-15;
+pub(crate) const COEFF_EPS: f64 = 1e-15;
 
 fn ratio_or_one(num: f64, den: f64) -> f64 {
     if den <= COEFF_EPS {

@@ -153,6 +153,13 @@ pub fn try_sweep_single_pass_threads(
     eps_values: &[f64],
     threads: usize,
 ) -> Result<DeltaCurves, RelogicError> {
+    // Uncorrelated, non-strict sweeps take the compiled grid engine: one
+    // tape traversal carries many grid points at once and produces the
+    // same curves as the per-point engine (same arithmetic per lane).
+    // Strict mode stays on the per-point path for its ε ≤ 0.5 policy.
+    if !options.correlations && !options.strict {
+        return crate::SweepTape::try_new(circuit, weights)?.try_run_grid(eps_values, threads);
+    }
     let engine = SinglePass::try_new(circuit, weights, options)?;
     let rows = ChunkExecutor::new(threads).map_chunks(eps_values.len(), |i| {
         let eps = GateEps::try_uniform(circuit, eps_values[i])?;

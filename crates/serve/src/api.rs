@@ -148,6 +148,41 @@ pub fn monte_carlo_result(
     let gate_eps = GateEps::try_uniform(circuit, eps).map_err(ServeError::from)?;
     let estimate = relogic_sim::try_estimate(circuit, gate_eps.as_slice(), config)
         .map_err(ServeError::from)?;
+    monte_carlo_json(circuit, eps, config, &estimate)
+}
+
+/// Like [`monte_carlo_result`], but runs the compiled tape engine against
+/// a pre-compiled [`relogic_sim::CircuitTape`] (e.g. one cached on a serve
+/// artifact). Same JSON shape; the numbers come from the tape engine's
+/// position-based RNG stream, matching the CLI's default engine.
+///
+/// # Errors
+///
+/// Any validation error of the ε value or Monte Carlo configuration.
+pub fn monte_carlo_result_tape(
+    circuit: &Circuit,
+    tape: &relogic_sim::CircuitTape,
+    eps: f64,
+    config: &MonteCarloConfig,
+) -> Result<Json, ServeError> {
+    let gate_eps = GateEps::try_uniform(circuit, eps).map_err(ServeError::from)?;
+    let estimate = relogic_sim::try_estimate_tape(
+        circuit,
+        tape,
+        gate_eps.as_slice(),
+        config,
+        relogic_sim::DEFAULT_LANES,
+    )
+    .map_err(ServeError::from)?;
+    monte_carlo_json(circuit, eps, config, &estimate)
+}
+
+fn monte_carlo_json(
+    circuit: &Circuit,
+    eps: f64,
+    config: &MonteCarloConfig,
+    estimate: &relogic_sim::ReliabilityEstimate,
+) -> Result<Json, ServeError> {
     let std_errors: Vec<Json> = (0..circuit.output_count())
         .map(|k| Json::Num(estimate.std_error(k)))
         .collect();

@@ -34,9 +34,10 @@ use crate::proto::{BackendSpec, CircuitPayload, ServeError};
 use relogic::{InputDistribution, ObservabilityMatrix, RelogicError, Weights};
 use relogic_netlist::structure::CircuitStats;
 use relogic_netlist::Circuit;
-use std::collections::HashMap;
+use relogic_sim::CircuitTape;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// 64-bit FNV-1a over one byte stream.
 #[derive(Clone, Copy)]
@@ -95,6 +96,7 @@ pub struct Artifact {
     backend: BackendSpec,
     weights: OnceLock<Result<Weights, RelogicError>>,
     observability: OnceLock<Result<ObservabilityMatrix, RelogicError>>,
+    tape: OnceLock<CircuitTape>,
 }
 
 impl Artifact {
@@ -110,6 +112,7 @@ impl Artifact {
             backend: payload.backend,
             weights: OnceLock::new(),
             observability: OnceLock::new(),
+            tape: OnceLock::new(),
         })
     }
 
@@ -146,6 +149,18 @@ impl Artifact {
             Ok(w) => Ok(w),
             Err(e) => Err(ServeError::from(e.clone())),
         }
+    }
+
+    /// The compiled instruction tape (see [`CircuitTape`]), materialized
+    /// on first use and shared by every Monte Carlo request against this
+    /// artifact. Compilation is infallible for parsed circuits.
+    /// `counters.tapes_compiled` increments only when this call actually
+    /// compiles.
+    pub fn tape(&self, counters: &CacheCounters) -> &CircuitTape {
+        self.tape.get_or_init(|| {
+            counters.tapes_compiled.fetch_add(1, Ordering::Relaxed);
+            CircuitTape::compile(&self.circuit)
+        })
     }
 
     /// The §3 observability matrix, materialized on first use.
@@ -189,7 +204,8 @@ impl Artifact {
         let circuit_bytes = nodes * 96; // node, fanin, and name storage
         let weight_bytes = Weights::projected_heap_bytes(&self.circuit);
         let obs_bytes = ObservabilityMatrix::projected_heap_bytes(&self.circuit);
-        circuit_bytes + weight_bytes + obs_bytes
+        let tape_bytes = CircuitTape::projected_heap_bytes(&self.circuit);
+        circuit_bytes + weight_bytes + obs_bytes + tape_bytes
     }
 }
 
@@ -208,6 +224,8 @@ pub struct CacheCounters {
     pub weights_computed: AtomicU64,
     /// Observability matrices actually computed.
     pub observability_computed: AtomicU64,
+    /// Circuit tapes actually compiled (cache hits skip this).
+    pub tapes_compiled: AtomicU64,
     /// Artifacts larger than the whole budget, served uncached.
     pub uncacheable: AtomicU64,
     /// BDD engine statistics aggregated over every observability
@@ -287,8 +305,29 @@ struct Entry {
     last_used: u64,
 }
 
+/// Releases a claimed in-flight compile key on drop and wakes waiters.
+/// Dropped on every exit from the compile path (success, parse error,
+/// uncacheable, or panic), so a waiter can never block forever.
+struct PendingGuard<'a> {
+    cache: &'a ArtifactCache,
+    key: ArtifactKey,
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.cache.lock();
+        inner.pending.remove(&self.key);
+        drop(inner);
+        self.cache.compile_done.notify_all();
+    }
+}
+
 struct CacheInner {
     entries: HashMap<ArtifactKey, Entry>,
+    /// Keys being compiled right now. A miss claims its key here before
+    /// parsing (single-flight); concurrent lookups for the same key wait
+    /// on [`ArtifactCache::compile_done`] instead of re-parsing.
+    pending: HashSet<ArtifactKey>,
     total_bytes: usize,
     tick: u64,
 }
@@ -296,6 +335,8 @@ struct CacheInner {
 /// The shared artifact cache: `get_or_compile` is the only lookup path.
 pub struct ArtifactCache {
     inner: Mutex<CacheInner>,
+    /// Signalled whenever a key leaves `CacheInner::pending`.
+    compile_done: Condvar,
     budget_bytes: usize,
     counters: CacheCounters,
     #[cfg(feature = "chaos")]
@@ -329,9 +370,11 @@ impl ArtifactCache {
         ArtifactCache {
             inner: Mutex::new(CacheInner {
                 entries: HashMap::new(),
+                pending: HashSet::new(),
                 total_bytes: 0,
                 tick: 0,
             }),
+            compile_done: Condvar::new(),
             budget_bytes,
             counters: CacheCounters::default(),
             #[cfg(feature = "chaos")]
@@ -383,15 +426,18 @@ impl ArtifactCache {
 
     /// Looks up (or compiles) the artifact for a payload.
     ///
-    /// Parsing happens outside the cache lock, so a slow compile never
-    /// stalls hits on other circuits. Two threads racing to compile the
-    /// same new netlist may both parse it; the loser's artifact is dropped
-    /// and the winner's is shared (weights stay single-flight via
-    /// `OnceLock`).
+    /// Compilation is single-flight: the first lookup to miss claims the
+    /// key and parses outside the cache lock (a slow compile never stalls
+    /// hits on *other* circuits); concurrent lookups for the same key wait
+    /// for it and then share its artifact as a hit. A netlist is therefore
+    /// parsed exactly once per residency no matter how many clients race
+    /// the cold cache.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Netlist`] when the payload fails to parse.
+    /// [`ServeError::Netlist`] when the payload fails to parse. A parse
+    /// failure releases the key, so waiting lookups retry (and report
+    /// their own parse error) rather than observing a cached failure.
     pub fn get_or_compile(
         &self,
         payload: &CircuitPayload,
@@ -411,14 +457,29 @@ impl ArtifactCache {
         let key = ArtifactKey::of(payload);
         {
             let mut inner = self.lock();
-            inner.tick += 1;
-            let tick = inner.tick;
-            if let Some(entry) = inner.entries.get_mut(&key) {
-                entry.last_used = tick;
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
-                return Ok((Arc::clone(&entry.artifact), CacheOutcome::Hit));
+            loop {
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(entry) = inner.entries.get_mut(&key) {
+                    entry.last_used = tick;
+                    self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((Arc::clone(&entry.artifact), CacheOutcome::Hit));
+                }
+                if !inner.pending.contains(&key) {
+                    break;
+                }
+                // Another thread is compiling this key; wait for it, then
+                // re-check (the entry appears before the key is released).
+                inner = match self.compile_done.wait(inner) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
+            inner.pending.insert(key);
         }
+        // We own the compile for `key`. The guard releases it on every exit
+        // path — including a parse panic — so waiters never hang.
+        let pending = PendingGuard { cache: self, key };
         self.counters.misses.fetch_add(1, Ordering::Relaxed);
         self.counters
             .circuits_parsed
@@ -426,17 +487,14 @@ impl ArtifactCache {
         let artifact = Arc::new(Artifact::compile(payload)?);
         let bytes = artifact.charged_bytes();
         if bytes > self.budget_bytes {
+            // Served uncached: the guard releases the key and waiters
+            // compile for themselves, matching "never resident" semantics.
             self.counters.uncacheable.fetch_add(1, Ordering::Relaxed);
             return Ok((artifact, CacheOutcome::Miss));
         }
         let mut inner = self.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        if let Some(entry) = inner.entries.get_mut(&key) {
-            // Lost a compile race; share the incumbent.
-            entry.last_used = tick;
-            return Ok((Arc::clone(&entry.artifact), CacheOutcome::Miss));
-        }
         inner.entries.insert(
             key,
             Entry {
@@ -447,6 +505,8 @@ impl ArtifactCache {
         );
         inner.total_bytes += bytes;
         self.evict_over_budget(&mut inner, key);
+        drop(inner);
+        drop(pending);
         Ok((artifact, CacheOutcome::Miss))
     }
 

@@ -354,7 +354,9 @@ impl Service {
                     },
                     ..MonteCarloConfig::default()
                 };
-                let mut result = api::monte_carlo_result(artifact.circuit(), *eps, &config)?;
+                let tape = artifact.tape(self.inner.cache.counters());
+                let mut result =
+                    api::monte_carlo_result_tape(artifact.circuit(), tape, *eps, &config)?;
                 result.push("cache", Json::from(outcome.tag()));
                 Ok(result)
             }
@@ -463,6 +465,10 @@ impl Service {
                     (
                         "observability_computed",
                         Json::from(counters.observability_computed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "tapes_compiled",
+                        Json::from(counters.tapes_compiled.load(Ordering::Relaxed)),
                     ),
                 ]),
             ),

@@ -71,6 +71,13 @@ impl BiasedBits {
         }
     }
 
+    /// `p` quantized to `resolution` binary digits, as an integer in
+    /// `[0, 2^resolution]`. The tape executor reuses this so both Monte
+    /// Carlo paths realize the exact same quantized probability.
+    pub(crate) fn quantized(&self) -> u64 {
+        self.quantized
+    }
+
     /// The probability actually realized after quantization.
     #[must_use]
     pub fn effective_probability(&self) -> f64 {

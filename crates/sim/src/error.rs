@@ -45,6 +45,11 @@ pub enum SimError {
         /// Biases supplied.
         actual: usize,
     },
+    /// An unsupported SIMD lane width was requested from the tape executor.
+    InvalidLaneWidth {
+        /// The requested number of `u64` lanes.
+        lanes: usize,
+    },
     /// An output index passed to a result accessor is out of range.
     OutputIndexOutOfRange {
         /// The requested output index.
@@ -75,6 +80,9 @@ impl fmt::Display for SimError {
                 f,
                 "one bias per input (got {actual}, circuit has {expected})"
             ),
+            SimError::InvalidLaneWidth { lanes } => {
+                write!(f, "unsupported lane width {lanes} (expected 1, 2, 4, or 8)")
+            }
             SimError::OutputIndexOutOfRange { index, outputs } => write!(
                 f,
                 "output index {index} out of range ({outputs} outputs covered)"

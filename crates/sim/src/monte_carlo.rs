@@ -291,6 +291,41 @@ pub fn try_estimate(
     node_eps: &[f64],
     config: &MonteCarloConfig,
 ) -> Result<ReliabilityEstimate, SimError> {
+    let outputs = validate_run(circuit, node_eps, config)?;
+
+    let gens: Vec<Option<BiasedBits>> = node_eps
+        .iter()
+        .map(|&e| {
+            if e == 0.0 {
+                None
+            } else {
+                Some(BiasedBits::new(e, config.bit_resolution))
+            }
+        })
+        .collect();
+
+    let sampler = match &config.input_probs {
+        None => crate::InputSampler::uniform(circuit.input_count()),
+        Some(p) => crate::InputSampler::independent(p),
+    };
+    let blocks = config.patterns.div_ceil(64).max(1);
+    let total = blocks * 64;
+    let counts =
+        crate::parallel::fault_injection_counts(circuit, &gens, &sampler, &outputs, config, blocks);
+    Ok(finalize_counts(total, counts, &config.joint_pairs))
+}
+
+/// Shared up-front validation for the graph and tape estimators: checks the
+/// pattern budget, the ε vector, the joint-pair indices, and the input-bias
+/// vector, returning the output node indices in declaration order.
+///
+/// Both engines must agree on what constitutes a valid run, so this is the
+/// single place the checks live.
+pub(crate) fn validate_run(
+    circuit: &Circuit,
+    node_eps: &[f64],
+    config: &MonteCarloConfig,
+) -> Result<Vec<usize>, SimError> {
     if config.patterns == 0 {
         return Err(SimError::ZeroPatternBudget);
     }
@@ -315,42 +350,30 @@ pub fn try_estimate(
             });
         }
     }
-
-    let gens: Vec<Option<BiasedBits>> = node_eps
-        .iter()
-        .map(|&e| {
-            if e == 0.0 {
-                None
-            } else {
-                Some(BiasedBits::new(e, config.bit_resolution))
-            }
-        })
-        .collect();
-
-    let sampler = match &config.input_probs {
-        None => crate::InputSampler::uniform(circuit.input_count()),
-        Some(p) => {
-            if p.len() != circuit.input_count() {
-                return Err(SimError::InputProbsMismatch {
-                    expected: circuit.input_count(),
-                    actual: p.len(),
-                });
-            }
-            crate::InputSampler::independent(p)
+    if let Some(p) = &config.input_probs {
+        if p.len() != circuit.input_count() {
+            return Err(SimError::InputProbsMismatch {
+                expected: circuit.input_count(),
+                actual: p.len(),
+            });
         }
-    };
-    let blocks = config.patterns.div_ceil(64).max(1);
-    let total = blocks * 64;
-    let counts =
-        crate::parallel::fault_injection_counts(circuit, &gens, &sampler, &outputs, config, blocks);
+    }
+    Ok(outputs)
+}
 
+/// Turns merged integer tallies into the final probability estimate.
+/// Shared by the graph and tape engines, so both normalize identically.
+pub(crate) fn finalize_counts(
+    total: u64,
+    counts: crate::parallel::FaultCounts,
+    joint_pairs: &[(usize, usize)],
+) -> ReliabilityEstimate {
     #[allow(clippy::cast_precision_loss)]
     let tf = total as f64;
     #[allow(clippy::cast_precision_loss)]
     let per_output: Vec<f64> = counts.out_err.iter().map(|&c| c as f64 / tf).collect();
     #[allow(clippy::cast_precision_loss)]
-    let joint: Vec<((usize, usize), f64)> = config
-        .joint_pairs
+    let joint: Vec<((usize, usize), f64)> = joint_pairs
         .iter()
         .zip(&counts.joint_err)
         .map(|(&(a, b), &c)| ((a.min(b), a.max(b)), c as f64 / tf))
@@ -358,13 +381,13 @@ pub fn try_estimate(
     #[allow(clippy::cast_precision_loss)]
     let any_output = counts.any_err as f64 / tf;
 
-    Ok(ReliabilityEstimate {
+    ReliabilityEstimate {
         patterns: total,
         per_output,
         any_output,
         joint,
         node_stats: counts.node_stats,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,36 @@
 use rand::RngCore;
 use relogic_netlist::{Circuit, GateKind, NodeId};
 
+/// Evaluates one gate over a 64-pattern word, fetching each fanin word
+/// through `fetch` (called with the fanin position `0..arity`).
+///
+/// This is the single per-op word kernel shared by the graph-walking
+/// simulator ([`PackedSim::propagate`] and friends) and the compiled tape
+/// executor, so the two paths cannot drift apart. The closure form lets
+/// each caller supply its own storage layout (`NodeId`-indexed words here,
+/// slot×lane-strided words on the tape) without a gather into a scratch
+/// buffer.
+///
+/// # Panics
+///
+/// Panics on [`GateKind::Input`], which has no evaluation rule.
+#[inline(always)]
+pub(crate) fn gate_word<F: FnMut(usize) -> u64>(kind: GateKind, arity: usize, mut fetch: F) -> u64 {
+    match kind {
+        GateKind::Input => panic!("primary inputs have no evaluation rule"),
+        GateKind::Const(false) => 0,
+        GateKind::Const(true) => u64::MAX,
+        GateKind::Buf => fetch(0),
+        GateKind::Not => !fetch(0),
+        GateKind::And => (0..arity).fold(u64::MAX, |acc, i| acc & fetch(i)),
+        GateKind::Nand => !(0..arity).fold(u64::MAX, |acc, i| acc & fetch(i)),
+        GateKind::Or => (0..arity).fold(0, |acc, i| acc | fetch(i)),
+        GateKind::Nor => !(0..arity).fold(0, |acc, i| acc | fetch(i)),
+        GateKind::Xor => (0..arity).fold(0, |acc, i| acc ^ fetch(i)),
+        GateKind::Xnor => !(0..arity).fold(0, |acc, i| acc ^ fetch(i)),
+    }
+}
+
 /// Reusable buffers for simulating one circuit block-by-block.
 ///
 /// # Examples
@@ -75,14 +105,13 @@ impl PackedSim {
 
     /// Propagates input words through the circuit (no faults).
     pub fn propagate(&mut self, circuit: &Circuit) {
-        let mut fanin_words: Vec<u64> = Vec::with_capacity(8);
         for (id, node) in circuit.iter() {
             match node.kind() {
                 GateKind::Input => {}
                 kind => {
-                    fanin_words.clear();
-                    fanin_words.extend(node.fanins().iter().map(|f| self.words[f.index()]));
-                    self.words[id.index()] = kind.eval_word(&fanin_words);
+                    let fanins = node.fanins();
+                    let w = gate_word(kind, fanins.len(), |i| self.words[fanins[i].index()]);
+                    self.words[id.index()] = w;
                 }
             }
         }
@@ -100,7 +129,6 @@ impl PackedSim {
     /// Panics if `flip_masks.len() != circuit.len()`.
     pub fn propagate_with_flips(&mut self, circuit: &Circuit, flip_masks: &[u64]) {
         assert_eq!(flip_masks.len(), circuit.len());
-        let mut fanin_words: Vec<u64> = Vec::with_capacity(8);
         for (id, node) in circuit.iter() {
             let idx = id.index();
             match node.kind() {
@@ -108,9 +136,9 @@ impl PackedSim {
                     self.words[idx] ^= flip_masks[idx];
                 }
                 kind => {
-                    fanin_words.clear();
-                    fanin_words.extend(node.fanins().iter().map(|f| self.words[f.index()]));
-                    self.words[idx] = kind.eval_word(&fanin_words) ^ flip_masks[idx];
+                    let fanins = node.fanins();
+                    let w = gate_word(kind, fanins.len(), |i| self.words[fanins[i].index()]);
+                    self.words[idx] = w ^ flip_masks[idx];
                 }
             }
         }

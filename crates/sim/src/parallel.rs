@@ -57,7 +57,7 @@ pub(crate) struct FaultCounts {
 }
 
 impl FaultCounts {
-    fn new(outputs: usize, joint: usize, nodes: Option<usize>) -> Self {
+    pub(crate) fn new(outputs: usize, joint: usize, nodes: Option<usize>) -> Self {
         FaultCounts {
             out_err: vec![0; outputs],
             any_err: 0,
@@ -68,7 +68,7 @@ impl FaultCounts {
 
     /// Adds another tally into this one (pure integer sums, so the merge
     /// is order-independent).
-    fn merge(&mut self, other: &FaultCounts) {
+    pub(crate) fn merge(&mut self, other: &FaultCounts) {
         for (a, b) in self.out_err.iter_mut().zip(&other.out_err) {
             *a += b;
         }

@@ -1,0 +1,313 @@
+//! Compilation of a levelized [`Circuit`] into a flat instruction tape.
+//!
+//! The graph-walking simulators chase `NodeId` pointers through the node
+//! table for every pattern block. [`CircuitTape`] lowers the circuit once
+//! into a structure-of-arrays form the execution kernels can stream:
+//!
+//! * **Slots** — every node gets a dense *slot* index; slots are ordered by
+//!   `(level, NodeId)`, so a single forward pass over the slot axis visits
+//!   nodes in topological order and every fanin slot precedes its reader.
+//! * **Ops** — one contiguous `GateKind` array, one flattened fanin-slot
+//!   array with CSR-style offsets. No per-node heap indirection remains at
+//!   execution time.
+//! * **Levels** — `level_starts` records where each level's slot range
+//!   begins, so kernels that want to process level-by-level (the ε-grid
+//!   sweep engine) can do so without re-deriving structure.
+//!
+//! The tape is pure structure: it carries no ε values and no RNG state, so
+//! one compiled tape serves every Monte Carlo configuration and every
+//! sweep grid over the same netlist. That makes it the natural unit for
+//! the serve artifact cache (see `projected_heap_bytes`).
+
+use relogic_netlist::{Circuit, GateKind};
+
+/// A circuit lowered to a flat, slot-indexed instruction tape.
+///
+/// # Examples
+///
+/// ```
+/// use relogic_netlist::Circuit;
+/// use relogic_sim::CircuitTape;
+///
+/// let mut c = Circuit::new("t");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let g = c.xor([a, b]);
+/// c.add_output("y", g);
+///
+/// let tape = CircuitTape::compile(&c);
+/// assert_eq!(tape.n_slots(), 3);
+/// assert_eq!(tape.levels(), 2); // sources, then the XOR
+/// ```
+#[derive(Clone, Debug)]
+pub struct CircuitTape {
+    /// Slot of each node, indexed by `NodeId::index`.
+    slot_of_node: Vec<u32>,
+    /// Node index of each slot (the inverse permutation).
+    node_of_slot: Vec<u32>,
+    /// Op of each slot.
+    kinds: Vec<GateKind>,
+    /// CSR offsets into `fanin_slots`, length `n_slots + 1`.
+    fanin_start: Vec<u32>,
+    /// Flattened fanin slots; every entry is `<` the slot that reads it.
+    fanin_slots: Vec<u32>,
+    /// First slot of each level, length `levels + 1`.
+    level_starts: Vec<u32>,
+    /// Slot of each primary input, in input-position order.
+    input_slots: Vec<u32>,
+    /// Slot of each primary output, in declaration order.
+    output_slots: Vec<u32>,
+}
+
+impl CircuitTape {
+    /// Lowers `circuit` into a tape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than `u32::MAX` nodes or fanin edges
+    /// (far beyond any netlist this crate targets).
+    #[must_use]
+    pub fn compile(circuit: &Circuit) -> CircuitTape {
+        let n = circuit.len();
+        assert!(
+            u32::try_from(n).is_ok(),
+            "circuit has more than u32::MAX nodes"
+        );
+        let lv = relogic_netlist::structure::levels(circuit);
+        let max_level = lv.iter().copied().max().unwrap_or(0);
+
+        // Counting sort by level keeps slot order stable in NodeId within a
+        // level, which makes the layout deterministic for a given netlist.
+        let levels = max_level as usize + 1;
+        let mut counts = vec![0u32; levels + 1];
+        for &l in &lv {
+            counts[l as usize + 1] += 1;
+        }
+        for i in 0..levels {
+            counts[i + 1] += counts[i];
+        }
+        let level_starts = counts.clone();
+        let mut slot_of_node = vec![0u32; n];
+        let mut node_of_slot = vec![0u32; n];
+        for (i, &l) in lv.iter().enumerate() {
+            let slot = counts[l as usize];
+            counts[l as usize] += 1;
+            slot_of_node[i] = slot;
+            node_of_slot[slot as usize] = i as u32;
+        }
+
+        let mut kinds = Vec::with_capacity(n);
+        let mut fanin_start = Vec::with_capacity(n + 1);
+        let mut fanin_slots = Vec::new();
+        fanin_start.push(0);
+        for &node_idx in &node_of_slot {
+            let node = circuit.node(relogic_netlist::NodeId::from_index(node_idx as usize));
+            kinds.push(node.kind());
+            for f in node.fanins() {
+                fanin_slots.push(slot_of_node[f.index()]);
+            }
+            assert!(
+                u32::try_from(fanin_slots.len()).is_ok(),
+                "circuit has more than u32::MAX fanin edges"
+            );
+            fanin_start.push(fanin_slots.len() as u32);
+        }
+
+        let input_slots = circuit
+            .inputs()
+            .iter()
+            .map(|id| slot_of_node[id.index()])
+            .collect();
+        let output_slots = circuit
+            .outputs()
+            .iter()
+            .map(|o| slot_of_node[o.node().index()])
+            .collect();
+
+        CircuitTape {
+            slot_of_node,
+            node_of_slot,
+            kinds,
+            fanin_start,
+            fanin_slots,
+            level_starts,
+            input_slots,
+            output_slots,
+        }
+    }
+
+    /// Number of slots (= nodes in the source circuit).
+    #[must_use]
+    pub fn n_slots(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of levels (sources are level 0).
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.level_starts.len() - 1
+    }
+
+    /// The slot holding node `i` (by `NodeId::index`).
+    #[must_use]
+    pub fn slot_of_node(&self, i: usize) -> usize {
+        self.slot_of_node[i] as usize
+    }
+
+    /// The node index stored in `slot`.
+    #[must_use]
+    pub fn node_of_slot(&self, slot: usize) -> usize {
+        self.node_of_slot[slot] as usize
+    }
+
+    /// The op executed by `slot`.
+    #[must_use]
+    pub fn kind(&self, slot: usize) -> GateKind {
+        self.kinds[slot]
+    }
+
+    /// The fanin slots read by `slot` (all strictly less than `slot`).
+    #[must_use]
+    pub fn fanins(&self, slot: usize) -> &[u32] {
+        &self.fanin_slots[self.fanin_start[slot] as usize..self.fanin_start[slot + 1] as usize]
+    }
+
+    /// First slot of each level, with a final sentinel equal to
+    /// [`CircuitTape::n_slots`].
+    #[must_use]
+    pub fn level_starts(&self) -> &[u32] {
+        &self.level_starts
+    }
+
+    /// Slot of each primary input, in input-position order.
+    #[must_use]
+    pub fn input_slots(&self) -> &[u32] {
+        &self.input_slots
+    }
+
+    /// Slot of each primary output, in declaration order.
+    #[must_use]
+    pub fn output_slots(&self) -> &[u32] {
+        &self.output_slots
+    }
+
+    /// Projected heap footprint of the tape compiled from `circuit`,
+    /// computable without compiling. Used by the serve artifact cache to
+    /// charge entries up front.
+    #[must_use]
+    pub fn projected_heap_bytes(circuit: &Circuit) -> usize {
+        let n = circuit.len();
+        let edges: usize = circuit.iter().map(|(_, node)| node.fanins().len()).sum();
+        let lv = relogic_netlist::structure::levels(circuit);
+        let levels = lv.iter().copied().max().unwrap_or(0) as usize + 1;
+        // slot_of_node + node_of_slot + fanin_start + level_starts + edges
+        // + I/O slot maps, all u32-sized, plus the op array.
+        let index_words = 2 * n
+            + (n + 1)
+            + (levels + 1)
+            + edges
+            + circuit.input_count()
+            + circuit.outputs().len();
+        index_words * 4 + n * std::mem::size_of::<GateKind>()
+    }
+
+    /// Measured heap footprint of this tape (cross-checks the projection).
+    #[must_use]
+    pub fn approx_heap_bytes(&self) -> usize {
+        (self.slot_of_node.len()
+            + self.node_of_slot.len()
+            + self.fanin_start.len()
+            + self.fanin_slots.len()
+            + self.level_starts.len()
+            + self.input_slots.len()
+            + self.output_slots.len())
+            * 4
+            + self.kinds.len() * std::mem::size_of::<GateKind>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_adder() -> Circuit {
+        let mut c = Circuit::new("fa");
+        let a = c.add_input("a");
+        let b = c.add_input("b");
+        let cin = c.add_input("cin");
+        let s1 = c.xor([a, b]);
+        let sum = c.xor([s1, cin]);
+        let c1 = c.and([a, b]);
+        let c2 = c.and([s1, cin]);
+        let cout = c.or([c1, c2]);
+        c.add_output("sum", sum);
+        c.add_output("cout", cout);
+        c
+    }
+
+    #[test]
+    fn slots_are_topologically_ordered() {
+        let c = full_adder();
+        let tape = CircuitTape::compile(&c);
+        assert_eq!(tape.n_slots(), c.len());
+        for slot in 0..tape.n_slots() {
+            for &f in tape.fanins(slot) {
+                assert!((f as usize) < slot, "fanin slot {f} >= reader {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn slot_and_node_maps_are_inverse() {
+        let c = full_adder();
+        let tape = CircuitTape::compile(&c);
+        for i in 0..c.len() {
+            assert_eq!(tape.node_of_slot(tape.slot_of_node(i)), i);
+        }
+    }
+
+    #[test]
+    fn levels_group_contiguously() {
+        let c = full_adder();
+        let tape = CircuitTape::compile(&c);
+        let starts = tape.level_starts();
+        assert_eq!(starts[0], 0);
+        assert_eq!(*starts.last().unwrap() as usize, tape.n_slots());
+        // Sources fill level 0.
+        assert_eq!(starts[1], 3);
+        for w in starts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn io_slots_match_circuit_declarations() {
+        let c = full_adder();
+        let tape = CircuitTape::compile(&c);
+        assert_eq!(tape.input_slots().len(), 3);
+        assert_eq!(tape.output_slots().len(), 2);
+        for (pos, &id) in c.inputs().iter().enumerate() {
+            assert_eq!(
+                tape.input_slots()[pos] as usize,
+                tape.slot_of_node(id.index())
+            );
+            assert_eq!(tape.kind(tape.input_slots()[pos] as usize), GateKind::Input);
+        }
+        for (k, o) in c.outputs().iter().enumerate() {
+            assert_eq!(
+                tape.output_slots()[k] as usize,
+                tape.slot_of_node(o.node().index())
+            );
+        }
+    }
+
+    #[test]
+    fn projection_matches_measured_footprint() {
+        let c = full_adder();
+        let tape = CircuitTape::compile(&c);
+        assert_eq!(
+            CircuitTape::projected_heap_bytes(&c),
+            tape.approx_heap_bytes()
+        );
+    }
+}
