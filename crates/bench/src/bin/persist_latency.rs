@@ -1,0 +1,157 @@
+//! Measures what the on-disk artifact store buys across restarts: a cold
+//! service computes c499 observability from scratch, then fresh service
+//! instances pointed at the same `--cache-dir` answer the same request
+//! from disk. Each warm sample includes service construction, so it is an
+//! honest "restart to first answer" number. Results go to
+//! `results/persist_latency.json`.
+//!
+//! ```text
+//! cargo run -p relogic-bench --release --bin persist_latency [-- --smoke --out results/persist_latency.json]
+//! ```
+//!
+//! The run fails (non-zero exit) if the warm-restart p50 exceeds the
+//! 10 ms budget pinned in ROADMAP/ISSUE acceptance criteria, or if the
+//! store does not verify clean afterwards.
+
+use relogic_serve::json::Json;
+use relogic_serve::{Service, ServiceConfig};
+use std::path::Path;
+use std::time::Instant;
+
+const WARM_RESTARTS: usize = 20;
+const WARM_RESTARTS_SMOKE: usize = 5;
+const WARM_BUDGET_US: u64 = 10_000;
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let idx = ((sorted_us.len() as f64 - 1.0) * q).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)]
+}
+
+fn service_on(dir: &Path) -> Service {
+    Service::new(ServiceConfig {
+        timeout_ms: 0,
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServiceConfig::default()
+    })
+}
+
+fn main() {
+    let mut out_path = None;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next(),
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let restarts = if smoke {
+        WARM_RESTARTS_SMOKE
+    } else {
+        WARM_RESTARTS
+    };
+
+    let dir = std::env::temp_dir().join(format!("relogic-persist-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let circuit = relogic_gen::suite::c499();
+    let netlist = relogic_netlist::bench::write(&circuit);
+    let netlist_json = Json::from(netlist).encode();
+    let frame = format!(r#"{{"kind":"observability","netlist":{netlist_json},"eps":0.1}}"#);
+
+    println!(
+        "persistence latency on c499 ({} gates), {restarts} warm restarts\n",
+        circuit.gate_count()
+    );
+
+    // Cold: compute everything and write through to the store.
+    let cold_service = service_on(&dir);
+    let started = Instant::now();
+    let cold_reply = cold_service.handle_line(&frame);
+    let cold_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    assert!(cold_reply.contains("\"ok\":true"), "{cold_reply}");
+    drop(cold_service);
+
+    // Warm: every fresh service is a fresh process image; the timed window
+    // spans construction plus the first answer.
+    let mut samples = Vec::with_capacity(restarts);
+    for _ in 0..restarts {
+        let started = Instant::now();
+        let service = service_on(&dir);
+        let reply = service.handle_line(&frame);
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert_eq!(
+            cold_reply, reply,
+            "a disk-served answer diverged from the computed one"
+        );
+        let computed = service
+            .cache()
+            .counters()
+            .observability_computed
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(computed, 0, "warm restart recomputed observability");
+        samples.push(us);
+    }
+    samples.sort_unstable();
+    let p50 = quantile(&samples, 0.50);
+    let p99 = quantile(&samples, 0.99);
+    let max = *samples.last().unwrap_or(&0);
+
+    // The store must still verify clean after all that traffic.
+    let store = relogic_store::Store::open(&dir).expect("open store");
+    let report = store.verify().expect("verify store");
+    assert!(
+        report.quarantined.is_empty(),
+        "store corrupt after benchmark: {:?}",
+        report.quarantined
+    );
+    let bytes_on_disk = store.bytes_on_disk().expect("bytes on disk");
+
+    println!(
+        "cold observability {cold_us} us; warm restart p50 {p50} us  p99 {p99} us  max {max} us"
+    );
+    println!(
+        "store: {} artifacts verified clean, {bytes_on_disk} bytes on disk",
+        report.ok
+    );
+    let speedup = cold_us.checked_div(p50).unwrap_or(0);
+    println!("restart speedup: {speedup}x (budget: p50 < {WARM_BUDGET_US} us)");
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"persist_latency\",\n");
+    json.push_str("  \"circuit\": \"c499\",\n");
+    json.push_str(&format!("  \"gates\": {},\n", circuit.gate_count()));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str(&format!("  \"cold_observability_us\": {cold_us},\n"));
+    json.push_str(&format!(
+        "  \"warm_restart\": {{ \"p50_us\": {p50}, \"p99_us\": {p99}, \"max_us\": {max}, \
+         \"samples\": {}, \"budget_us\": {WARM_BUDGET_US} }},\n",
+        samples.len()
+    ));
+    json.push_str(&format!("  \"verify_ok\": {},\n", report.ok));
+    json.push_str(&format!("  \"bytes_on_disk\": {bytes_on_disk}\n"));
+    json.push_str("}\n");
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, &json).expect("write results JSON");
+        println!("wrote {path}");
+    } else {
+        println!("\n{json}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(
+        p50 < WARM_BUDGET_US,
+        "warm restart p50 {p50} us blew the {WARM_BUDGET_US} us budget"
+    );
+}

@@ -7,9 +7,10 @@ use relogic::{
 use relogic_netlist::structure::{output_cone_sizes, CircuitStats, FanoutMap};
 use relogic_netlist::{bench, blif, dot, verilog, Circuit};
 use relogic_serve::json::Json;
-use relogic_serve::proto::AnalyzeRequestOptions;
+use relogic_serve::proto::{AnalyzeRequestOptions, BackendSpec, NetlistFormat};
 use relogic_serve::ServeError;
 use relogic_sim::MonteCarloConfig;
+use relogic_store::{ArtifactMeta, Loaded, Store, StoreKey};
 use std::error::Error;
 use std::fmt;
 
@@ -41,6 +42,9 @@ pub enum CliError {
     Analysis(relogic::RelogicError),
     /// The Monte Carlo simulator rejected the request. Exit code 6.
     Sim(relogic_sim::SimError),
+    /// The on-disk artifact store failed, or `cache verify` found
+    /// corruption. Exit code 7.
+    Store(String),
 }
 
 impl CliError {
@@ -54,6 +58,7 @@ impl CliError {
             CliError::Netlist { .. } => 4,
             CliError::Analysis(_) => 5,
             CliError::Sim(_) => 6,
+            CliError::Store(_) => 7,
         }
     }
 }
@@ -72,6 +77,7 @@ impl fmt::Display for CliError {
             CliError::Netlist { path, source } => write!(f, "netlist error: {path}: {source}"),
             CliError::Analysis(e) => write!(f, "analysis error: {e}"),
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
+            CliError::Store(m) => write!(f, "store error: {m}"),
         }
     }
 }
@@ -84,6 +90,7 @@ impl Error for CliError {
             CliError::Netlist { source, .. } => Some(source),
             CliError::Analysis(e) => Some(e),
             CliError::Sim(e) => Some(e),
+            CliError::Store(_) => None,
         }
     }
 }
@@ -97,6 +104,12 @@ impl From<relogic::RelogicError> for CliError {
 impl From<relogic_sim::SimError> for CliError {
     fn from(e: relogic_sim::SimError) -> Self {
         CliError::Sim(e)
+    }
+}
+
+impl From<relogic_store::StoreError> for CliError {
+    fn from(e: relogic_store::StoreError) -> Self {
+        CliError::Store(e.to_string())
     }
 }
 
@@ -121,22 +134,71 @@ impl From<ServeError> for CliError {
 pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
     match args.command.as_str() {
         "help" | "--help" | "-h" => Ok(crate::USAGE.to_owned()),
-        "stats" => stats(&load(args)?),
+        "stats" => stats(&load(args)?.circuit),
         "analyze" => analyze(&load(args)?, &args.options),
         "observability" => observability(&load(args)?, &args.options),
-        "sweep" => sweep(&load(args)?, &args.options),
-        "mc" => monte_carlo(&load(args)?, &args.options),
+        "sweep" => sweep(&load(args)?.circuit, &args.options),
+        "mc" => monte_carlo(&load(args)?.circuit, &args.options),
         "rank" => rank(&load(args)?, &args.options),
         "serve" => serve(args),
-        "convert" => convert(&load(args)?, &args.options),
+        "convert" => convert(&load(args)?.circuit, &args.options),
         "gen" => gen(args),
+        "cache ls" => cache_ls(&cache_store(args)?),
+        "cache verify" => cache_verify(&cache_store(args)?),
+        "cache gc" => cache_gc(&cache_store(args)?),
+        "cache warm" => cache_warm(&cache_store(args)?, &load(args)?, &args.options),
+        other if other.starts_with("cache ") => Err(CliError::Usage(format!(
+            "unknown cache action `{}` (expected ls, verify, gc, or warm)",
+            &other["cache ".len()..]
+        ))),
         other => Err(CliError::Usage(format!(
             "unknown command `{other}` (try `relogic-cli help`)"
         ))),
     }
 }
 
-fn load(args: &ParsedArgs) -> Result<Circuit, CliError> {
+/// A parsed netlist plus the raw text and path it came from, so the
+/// one-shot commands can address the on-disk artifact store with the
+/// exact digest scheme the serve daemon uses.
+struct LoadedNetlist {
+    path: String,
+    text: String,
+    circuit: Circuit,
+}
+
+impl LoadedNetlist {
+    /// The wire format tag, chosen by extension exactly like
+    /// [`parse_netlist`] chooses the parser.
+    fn format(&self) -> NetlistFormat {
+        if self.path.ends_with(".bench") {
+            NetlistFormat::Bench
+        } else if self.path.ends_with(".v") || self.path.ends_with(".verilog") {
+            NetlistFormat::Verilog
+        } else {
+            NetlistFormat::Blif
+        }
+    }
+
+    /// The store key under the given backend: identical inputs hit the
+    /// artifacts a `relogic-cli serve --cache-dir` daemon wrote, and vice
+    /// versa.
+    fn store_key(&self, opts: &Options) -> StoreKey {
+        StoreKey::digest(
+            self.format().tag(),
+            &backend_spec(opts).cache_tag(),
+            &self.text,
+        )
+    }
+}
+
+fn backend_spec(opts: &Options) -> BackendSpec {
+    match opts.backend() {
+        relogic::Backend::Bdd => BackendSpec::Bdd,
+        relogic::Backend::Simulation { patterns, seed } => BackendSpec::Sim { patterns, seed },
+    }
+}
+
+fn load(args: &ParsedArgs) -> Result<LoadedNetlist, CliError> {
     let path = args
         .target
         .as_deref()
@@ -145,7 +207,12 @@ fn load(args: &ParsedArgs) -> Result<Circuit, CliError> {
         path: path.to_owned(),
         source,
     })?;
-    parse_netlist(path, &text)
+    let circuit = parse_netlist(path, &text)?;
+    Ok(LoadedNetlist {
+        path: path.to_owned(),
+        text,
+        circuit,
+    })
 }
 
 /// Parses netlist text, choosing the format from the file name
@@ -205,6 +272,145 @@ fn stats(c: &Circuit) -> Result<String, CliError> {
 fn analysis_weights(c: &Circuit, opts: &Options) -> Result<Weights, CliError> {
     Ok(Weights::try_compute(
         c,
+        &InputDistribution::Uniform,
+        opts.backend(),
+    )?)
+}
+
+/// One-shot-command view of the on-disk artifact store: best-effort
+/// read-through/write-through, keyed identically to the serve daemon,
+/// with a provenance trail surfaced by `--diagnostics`.
+///
+/// The cache must never make an analysis fail: an unusable directory or a
+/// failed write downgrades to computing in memory (with one stderr line),
+/// and corrupt artifacts are quarantined by the store and recomputed.
+struct DiskCache {
+    store: Store,
+    key: StoreKey,
+    dir: String,
+    trail: std::cell::RefCell<Vec<String>>,
+}
+
+impl DiskCache {
+    fn open(opts: &Options, loaded: &LoadedNetlist) -> Option<DiskCache> {
+        let dir = opts.cache_dir.clone()?;
+        match Store::open(dir.as_str()) {
+            Ok(store) => Some(DiskCache {
+                store,
+                key: loaded.store_key(opts),
+                dir,
+                trail: std::cell::RefCell::new(Vec::new()),
+            }),
+            Err(err) => {
+                eprintln!("relogic-cli: cache dir unusable, continuing without persistence: {err}");
+                None
+            }
+        }
+    }
+
+    fn note(&self, line: String) {
+        self.trail.borrow_mut().push(line);
+    }
+
+    /// The provenance block appended to `--diagnostics` output.
+    fn provenance(&self) -> String {
+        let mut out = format!("disk cache ({}): key {}\n", self.dir, self.key.hex());
+        for line in self.trail.borrow().iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the meta sidecar once per key so `cache ls`/`warm` can name
+    /// what a digest refers to.
+    fn save_meta(&self, loaded: &LoadedNetlist, opts: &Options) {
+        if matches!(self.store.load_meta(self.key), Ok(Loaded::Hit(_))) {
+            return;
+        }
+        let meta = ArtifactMeta {
+            format_tag: loaded.format().tag().to_owned(),
+            backend_tag: backend_spec(opts).cache_tag(),
+            netlist: loaded.text.clone(),
+        };
+        if let Err(err) = self.store.save_meta(self.key, &meta) {
+            eprintln!("relogic-cli: failed to persist artifact meta: {err}");
+        }
+    }
+
+    fn loaded_note<T>(
+        &self,
+        artifact: &str,
+        loaded: Result<Loaded<T>, relogic_store::StoreError>,
+    ) -> Option<T> {
+        match loaded {
+            Ok(Loaded::Hit(v)) => {
+                self.note(format!("{artifact}: disk hit"));
+                Some(v)
+            }
+            Ok(Loaded::Miss) => {
+                self.note(format!("{artifact}: disk miss (computed and stored)"));
+                None
+            }
+            Ok(Loaded::Quarantined(reason)) => {
+                self.note(format!(
+                    "{artifact}: corrupt artifact quarantined ({reason}), recomputed"
+                ));
+                None
+            }
+            Err(err) => {
+                self.note(format!("{artifact}: read failed ({err}), recomputed"));
+                None
+            }
+        }
+    }
+}
+
+/// Weights through the optional disk cache.
+fn cached_weights(
+    loaded: &LoadedNetlist,
+    opts: &Options,
+    disk: Option<&DiskCache>,
+) -> Result<Weights, CliError> {
+    if let Some(disk) = disk {
+        if let Some(w) = disk.loaded_note("weights", disk.store.load_weights(disk.key)) {
+            return Ok(w);
+        }
+        let w = analysis_weights(&loaded.circuit, opts)?;
+        disk.save_meta(loaded, opts);
+        if let Err(err) = disk.store.save_weights(disk.key, &w) {
+            eprintln!("relogic-cli: failed to persist weights: {err}");
+        }
+        return Ok(w);
+    }
+    analysis_weights(&loaded.circuit, opts)
+}
+
+/// Observability through the optional disk cache.
+fn cached_observability(
+    loaded: &LoadedNetlist,
+    opts: &Options,
+    disk: Option<&DiskCache>,
+) -> Result<ObservabilityMatrix, CliError> {
+    if let Some(disk) = disk {
+        if let Some(obs) =
+            disk.loaded_note("observability", disk.store.load_observability(disk.key))
+        {
+            return Ok(obs);
+        }
+        let obs = ObservabilityMatrix::try_compute(
+            &loaded.circuit,
+            &InputDistribution::Uniform,
+            opts.backend(),
+        )?;
+        disk.save_meta(loaded, opts);
+        if let Err(err) = disk.store.save_observability(disk.key, &obs) {
+            eprintln!("relogic-cli: failed to persist observability: {err}");
+        }
+        return Ok(obs);
+    }
+    Ok(ObservabilityMatrix::try_compute(
+        &loaded.circuit,
         &InputDistribution::Uniform,
         opts.backend(),
     )?)
@@ -280,8 +486,10 @@ impl AnalyzeRun {
     }
 }
 
-fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
-    let weights = analysis_weights(c, opts)?;
+fn analyze(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
+    let c = &loaded.circuit;
+    let disk = DiskCache::open(opts, loaded);
+    let weights = cached_weights(loaded, opts, disk.as_ref())?;
     if opts.json {
         let request = AnalyzeRequestOptions {
             single_pass: engine_options(opts),
@@ -367,12 +575,17 @@ fn analyze(c: &Circuit, opts: &Options) -> Result<String, CliError> {
             }
         };
         out.push_str(&format!("\ndiagnostics:\n{engine_line}\n{diag}\n"));
+        if let Some(disk) = &disk {
+            out.push_str(&disk.provenance());
+        }
     }
     Ok(out)
 }
 
-fn observability(c: &Circuit, opts: &Options) -> Result<String, CliError> {
-    let obs = ObservabilityMatrix::try_compute(c, &InputDistribution::Uniform, opts.backend())?;
+fn observability(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
+    let c = &loaded.circuit;
+    let disk = DiskCache::open(opts, loaded);
+    let obs = cached_observability(loaded, opts, disk.as_ref())?;
     if opts.json {
         let result = relogic_serve::api::observability_result(c, &obs, &[opts.eps], opts.per_node)?;
         return Ok(json_line(result));
@@ -404,6 +617,9 @@ fn observability(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     }
     if opts.diagnostics {
         out.push_str(&format!("\ndiagnostics:\n{}\n", obs.diagnostics()));
+        if let Some(disk) = &disk {
+            out.push_str(&disk.provenance());
+        }
     }
     Ok(out)
 }
@@ -439,6 +655,7 @@ fn serve(args: &ParsedArgs) -> Result<String, CliError> {
             cache_bytes: opts.cache_bytes,
             timeout_ms: opts.timeout_ms,
             max_inflight: opts.max_inflight,
+            cache_dir: opts.cache_dir.clone().map(std::path::PathBuf::from),
             #[cfg(feature = "chaos")]
             chaos,
             ..relogic_serve::ServiceConfig::default()
@@ -562,8 +779,10 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn rank(c: &Circuit, opts: &Options) -> Result<String, CliError> {
-    let obs = ObservabilityMatrix::try_compute(c, &InputDistribution::Uniform, opts.backend())?;
+fn rank(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
+    let c = &loaded.circuit;
+    let disk = DiskCache::open(opts, loaded);
+    let obs = cached_observability(loaded, opts, disk.as_ref())?;
     let eps = GateEps::try_uniform(c, opts.eps)?;
     let mut rows: Vec<(relogic_netlist::NodeId, f64)> = c
         .node_ids()
@@ -586,6 +805,101 @@ fn rank(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     }
     if opts.diagnostics {
         out.push_str(&format!("\ndiagnostics:\n{}\n", obs.diagnostics()));
+        if let Some(disk) = &disk {
+            out.push_str(&disk.provenance());
+        }
+    }
+    Ok(out)
+}
+
+/// Opens the store named by `--cache-dir` for the offline `cache`
+/// actions. Unlike the read/write-through paths, these are *about* the
+/// store, so an unusable directory is a hard error (exit code 7).
+fn cache_store(args: &ParsedArgs) -> Result<Store, CliError> {
+    let dir =
+        args.options.cache_dir.as_deref().ok_or_else(|| {
+            CliError::Usage(format!("`{}` needs --cache-dir <DIR>", args.command))
+        })?;
+    Ok(Store::open(dir)?)
+}
+
+fn cache_ls(store: &Store) -> Result<String, CliError> {
+    let entries = store.ls()?;
+    let mut out = String::new();
+    let mut total = 0u64;
+    for entry in &entries {
+        total += entry.bytes;
+        out.push_str(&format!(
+            "{}  {:<13} {:>12} bytes\n",
+            entry.key.hex(),
+            entry.kind.name(),
+            entry.bytes
+        ));
+    }
+    out.push_str(&format!("{} artifacts, {total} bytes\n", entries.len()));
+    Ok(out)
+}
+
+fn cache_verify(store: &Store) -> Result<String, CliError> {
+    let report = store.verify()?;
+    if report.quarantined.is_empty() {
+        return Ok(format!("verified {} artifacts, all clean\n", report.ok));
+    }
+    let mut msg = format!(
+        "{} artifacts verified, {} corrupt (renamed to *.corrupt):",
+        report.ok,
+        report.quarantined.len()
+    );
+    for (path, reason) in &report.quarantined {
+        msg.push_str(&format!("\n  {}: {reason}", path.display()));
+    }
+    Err(CliError::Store(msg))
+}
+
+fn cache_gc(store: &Store) -> Result<String, CliError> {
+    let report = store.gc()?;
+    Ok(format!(
+        "removed {} files (*.tmp, *.corrupt), freed {} bytes\n",
+        report.removed, report.bytes_freed
+    ))
+}
+
+/// Precomputes every artifact for a netlist so a later `serve
+/// --cache-dir` (or one-shot command) starts warm. Idempotent: artifacts
+/// already present are left alone.
+fn cache_warm(store: &Store, loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
+    let key = loaded.store_key(opts);
+    let c = &loaded.circuit;
+    let mut out = format!("warming {} as {}\n", loaded.path, key.hex());
+    let meta = ArtifactMeta {
+        format_tag: loaded.format().tag().to_owned(),
+        backend_tag: backend_spec(opts).cache_tag(),
+        netlist: loaded.text.clone(),
+    };
+    if matches!(store.load_meta(key)?, Loaded::Hit(_)) {
+        out.push_str("meta:          already present\n");
+    } else {
+        store.save_meta(key, &meta)?;
+        out.push_str("meta:          stored\n");
+    }
+    if matches!(store.load_tape(key)?, Loaded::Hit(_)) {
+        out.push_str("tape:          already present\n");
+    } else {
+        store.save_tape(key, &relogic_sim::CircuitTape::compile(c))?;
+        out.push_str("tape:          compiled and stored\n");
+    }
+    if matches!(store.load_weights(key)?, Loaded::Hit(_)) {
+        out.push_str("weights:       already present\n");
+    } else {
+        store.save_weights(key, &analysis_weights(c, opts)?)?;
+        out.push_str("weights:       computed and stored\n");
+    }
+    if matches!(store.load_observability(key)?, Loaded::Hit(_)) {
+        out.push_str("observability: already present\n");
+    } else {
+        let obs = ObservabilityMatrix::try_compute(c, &InputDistribution::Uniform, opts.backend())?;
+        store.save_observability(key, &obs)?;
+        out.push_str("observability: computed and stored\n");
     }
     Ok(out)
 }
@@ -919,6 +1233,123 @@ y = NOT(t)
         let uncapped = run_on_file("analyze", &["--eps", "0.1", "--partner-cap", "none"]);
         assert!(capped.contains("0.180000"), "{capped}");
         assert_eq!(capped, uncapped);
+    }
+
+    #[test]
+    fn cache_dir_round_trip_and_provenance() {
+        let dir = std::env::temp_dir().join(format!("relogic-cli-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let netlist_dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&netlist_dir).unwrap();
+        let path = netlist_dir.join("cached.bench");
+        std::fs::write(&path, SMALL).unwrap();
+        let p = path.display().to_string();
+        let d = dir.display().to_string();
+
+        // First run computes and stores; second hits and prints identically.
+        let argv = [
+            "analyze",
+            p.as_str(),
+            "--eps",
+            "0.1",
+            "--cache-dir",
+            d.as_str(),
+            "--diagnostics",
+        ];
+        let first = run(&ParsedArgs::parse(argv).unwrap()).unwrap();
+        assert!(first.contains("disk miss"), "{first}");
+        let second = run(&ParsedArgs::parse(argv).unwrap()).unwrap();
+        assert!(second.contains("disk hit"), "{second}");
+        assert_eq!(
+            first.replace("disk miss (computed and stored)", "X"),
+            second.replace("disk hit", "X"),
+            "cached artifacts must not change the numbers"
+        );
+        // observability and rank share the same store.
+        let obs_argv = [
+            "observability",
+            p.as_str(),
+            "--cache-dir",
+            d.as_str(),
+            "--diagnostics",
+        ];
+        let obs_first = run(&ParsedArgs::parse(obs_argv).unwrap()).unwrap();
+        assert!(obs_first.contains("disk miss"), "{obs_first}");
+        let rank_argv = [
+            "rank",
+            p.as_str(),
+            "--cache-dir",
+            d.as_str(),
+            "--diagnostics",
+        ];
+        let ranked = run(&ParsedArgs::parse(rank_argv).unwrap()).unwrap();
+        assert!(ranked.contains("disk hit"), "{ranked}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_subcommands_manage_the_store_offline() {
+        let dir = std::env::temp_dir().join(format!("relogic-cli-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let netlist_dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&netlist_dir).unwrap();
+        let path = netlist_dir.join("warmme.bench");
+        std::fs::write(&path, SMALL).unwrap();
+        let p = path.display().to_string();
+        let d = dir.display().to_string();
+
+        // --cache-dir is mandatory for the offline actions.
+        let err = run(&ParsedArgs::parse(["cache", "ls"]).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("--cache-dir"), "{err}");
+        let err = run(&ParsedArgs::parse(["cache", "zap", "--cache-dir", d.as_str()]).unwrap())
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown cache action"), "{err}");
+
+        // warm → ls → verify, twice (idempotent).
+        let warm =
+            run(
+                &ParsedArgs::parse(["cache", "warm", p.as_str(), "--cache-dir", d.as_str()])
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(warm.contains("computed and stored"), "{warm}");
+        let warm2 =
+            run(
+                &ParsedArgs::parse(["cache", "warm", p.as_str(), "--cache-dir", d.as_str()])
+                    .unwrap(),
+            )
+            .unwrap();
+        assert!(warm2.contains("already present"), "{warm2}");
+        let ls =
+            run(&ParsedArgs::parse(["cache", "ls", "--cache-dir", d.as_str()]).unwrap()).unwrap();
+        assert!(ls.contains("4 artifacts"), "{ls}");
+        let verify =
+            run(&ParsedArgs::parse(["cache", "verify", "--cache-dir", d.as_str()]).unwrap())
+                .unwrap();
+        assert!(verify.contains("all clean"), "{verify}");
+
+        // Corrupt one artifact: verify must fail with exit code 7 and
+        // quarantine, then gc sweeps the corpse.
+        let victim = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "wts"))
+            .unwrap();
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&victim, &bytes).unwrap();
+        let err = run(&ParsedArgs::parse(["cache", "verify", "--cache-dir", d.as_str()]).unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+        assert_eq!(err.exit_code(), 7);
+        assert!(err.to_string().contains("corrupt"), "{err}");
+        let gc =
+            run(&ParsedArgs::parse(["cache", "gc", "--cache-dir", d.as_str()]).unwrap()).unwrap();
+        assert!(gc.contains("removed 1 files"), "{gc}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -30,6 +30,8 @@ COMMANDS:
     convert <FILE>          convert between bench / blif / dot
     gen <NAME>              emit a benchmark-suite analogue as .bench text
     serve                   run the relogic-serve analysis daemon
+    cache <ACTION>          manage the on-disk artifact store (offline):
+                            ls | verify | gc | warm <FILE>, with --cache-dir
     help                    this message
 
 OPTIONS:
@@ -57,6 +59,12 @@ OPTIONS:
                             (accuracy/time dial; `none` lifts the cap)
     --json                  emit machine-readable JSON (analyze, observability,
                             mc) using the relogic-serve result schema
+    --cache-dir <DIR>       versioned, checksummed on-disk artifact store:
+                            analyze/observability/rank read and write it,
+                            serve persists its cache across restarts in it,
+                            and `cache ls|verify|gc|warm` manage it offline.
+                            Corrupt files are quarantined (*.corrupt) and
+                            recomputed — never served.
 
 SERVE OPTIONS:
     --listen <ADDR>         TCP listen address (e.g. 127.0.0.1:7171)
@@ -76,7 +84,7 @@ FILES:
 
 EXIT CODES:
     0 success    2 usage error    3 i/o error    4 netlist error
-    5 analysis error    6 simulation error
+    5 analysis error    6 simulation error    7 store error/corruption
 
 EXAMPLES:
     relogic-cli gen b9 > b9.bench
@@ -87,4 +95,7 @@ EXAMPLES:
     relogic-cli convert b9.bench --to dot | dot -Tsvg > b9.svg
     relogic-cli analyze b9.bench --eps 0.1 --json
     relogic-cli serve --unix /tmp/relogic.sock --threads 8
+    relogic-cli serve --unix /tmp/relogic.sock --cache-dir /var/cache/relogic
+    relogic-cli cache warm b9.bench --cache-dir /var/cache/relogic
+    relogic-cli cache verify --cache-dir /var/cache/relogic
 ";

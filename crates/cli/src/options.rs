@@ -64,6 +64,11 @@ pub struct Options {
     /// for `serve` (0 = unlimited); excess requests are answered with a
     /// typed `overloaded` error carrying a retry hint.
     pub max_inflight: usize,
+    /// On-disk artifact store directory: `serve` persists compiled
+    /// artifacts across restarts, the one-shot analysis commands
+    /// (`analyze`, `observability`, `rank`) read/write it, and the
+    /// `cache` subcommand manages it offline.
+    pub cache_dir: Option<String>,
     /// Chaos fault-injection profile for `serve` (`NAME[:SEED]`). Only
     /// compiled in with the `chaos` feature.
     #[cfg(feature = "chaos")]
@@ -132,6 +137,7 @@ impl Default for Options {
             cache_bytes: 256 << 20,
             timeout_ms: 10_000,
             max_inflight: 0,
+            cache_dir: None,
             #[cfg(feature = "chaos")]
             chaos_profile: None,
         }
@@ -151,9 +157,18 @@ impl ParsedArgs {
         S: Into<String>,
     {
         let mut args = args.into_iter().map(Into::into);
-        let command = args
+        let mut command = args
             .next()
             .ok_or_else(|| CliError::Usage("missing command (try `relogic-cli help`)".into()))?;
+        // `cache` takes an action word (`cache verify ...`); fold it into
+        // the command so the positional slot stays free for `warm`'s
+        // netlist file.
+        if command == "cache" {
+            let action = args.next().ok_or_else(|| {
+                CliError::Usage("`cache` needs an action: ls, verify, gc, or warm".into())
+            })?;
+            command = format!("cache {action}");
+        }
         let mut target = None;
         let mut options = Options::default();
 
@@ -195,6 +210,7 @@ impl ParsedArgs {
                 "--listen" => options.listen = Some(parse_value(&arg, iter.next())?),
                 "--unix" => options.unix = Some(parse_value(&arg, iter.next())?),
                 "--cache-bytes" => options.cache_bytes = parse_value(&arg, iter.next())?,
+                "--cache-dir" => options.cache_dir = Some(parse_value(&arg, iter.next())?),
                 "--timeout-ms" => options.timeout_ms = parse_value(&arg, iter.next())?,
                 "--max-inflight" => options.max_inflight = parse_value(&arg, iter.next())?,
                 // Without the `chaos` feature this arm does not exist, so
@@ -383,6 +399,31 @@ mod tests {
         assert_eq!(p.options.engine, EngineKind::Tape);
         assert!(ParsedArgs::parse(["mc", "x.bench", "--engine", "warp"]).is_err());
         assert!(ParsedArgs::parse(["mc", "x.bench", "--engine"]).is_err());
+    }
+
+    #[test]
+    fn cache_dir_and_cache_command() {
+        let p = ParsedArgs::parse(["serve", "--unix", "/tmp/x.sock"]).unwrap();
+        assert_eq!(p.options.cache_dir, None, "default is in-memory only");
+        let p = ParsedArgs::parse([
+            "serve",
+            "--unix",
+            "/tmp/x.sock",
+            "--cache-dir",
+            "/tmp/store",
+        ])
+        .unwrap();
+        assert_eq!(p.options.cache_dir.as_deref(), Some("/tmp/store"));
+        // The cache action folds into the command; `warm` keeps the
+        // positional slot for its netlist file.
+        let p = ParsedArgs::parse(["cache", "verify", "--cache-dir", "/tmp/store"]).unwrap();
+        assert_eq!(p.command, "cache verify");
+        assert_eq!(p.target, None);
+        let p =
+            ParsedArgs::parse(["cache", "warm", "c.bench", "--cache-dir", "/tmp/store"]).unwrap();
+        assert_eq!(p.command, "cache warm");
+        assert_eq!(p.target.as_deref(), Some("c.bench"));
+        assert!(ParsedArgs::parse(["cache"]).is_err());
     }
 
     #[test]

@@ -108,6 +108,33 @@ impl Diagnostics {
         Diagnostics::default()
     }
 
+    /// Reconstructs an accumulator from previously-recorded counters, for
+    /// deserializing a persisted run. `worst_excursion` is pinned
+    /// non-negative (NaN and negatives become 0) so a restored value obeys
+    /// the same invariants a live accumulator does.
+    #[must_use]
+    pub fn restore(
+        prob_clamps: u64,
+        coeff_saturations: u64,
+        theta_clamps: u64,
+        correlation_fallbacks: u64,
+        worst_excursion: f64,
+        bdd: Option<BddEngineStats>,
+    ) -> Self {
+        Diagnostics {
+            prob_clamps,
+            coeff_saturations,
+            theta_clamps,
+            correlation_fallbacks,
+            worst_excursion: if worst_excursion > 0.0 {
+                worst_excursion
+            } else {
+                0.0
+            },
+            bdd,
+        }
+    }
+
     /// Number of probability clamp events: a propagated error probability
     /// left `[0, 1]` by more than floating-point slack and was clamped.
     #[must_use]

@@ -516,6 +516,60 @@ impl ObservabilityMatrix {
         &self.diagnostics
     }
 
+    /// All per-output rows, indexed `[node][output]`; exposed for the
+    /// persistent artifact store.
+    #[must_use]
+    pub fn per_output_rows(&self) -> &[Vec<f64>] {
+        &self.per_output
+    }
+
+    /// All any-output observabilities, indexed by [`NodeId::index`].
+    #[must_use]
+    pub fn any_output_values(&self) -> &[f64] {
+        &self.any_output
+    }
+
+    /// Rebuilds a matrix from deserialized arrays, validating what
+    /// [`ObservabilityMatrix::try_compute`] guarantees: one row per node,
+    /// uniform row width, and every value finite. Checksummed payloads
+    /// still route through here so a hash collision degrades into an
+    /// error, never a panic downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn from_parts(
+        per_output: Vec<Vec<f64>>,
+        any_output: Vec<f64>,
+        diagnostics: Diagnostics,
+    ) -> Result<Self, String> {
+        if per_output.len() != any_output.len() {
+            return Err(format!(
+                "{} rows but {} any-output entries",
+                per_output.len(),
+                any_output.len()
+            ));
+        }
+        let width = per_output.first().map_or(0, Vec::len);
+        for (i, row) in per_output.iter().enumerate() {
+            if row.len() != width {
+                return Err(format!("row {i} has width {} != {width}", row.len()));
+            }
+            if row.iter().any(|x| !x.is_finite()) {
+                return Err(format!("non-finite entry in row {i}"));
+            }
+        }
+        if any_output.iter().any(|x| !x.is_finite()) {
+            return Err("non-finite any-output entry".to_owned());
+        }
+        Ok(ObservabilityMatrix {
+            per_output,
+            any_output,
+            diagnostics,
+        })
+    }
+
     /// Approximate heap footprint of this matrix in bytes (per-output row
     /// payloads and headers plus the any-output array). A structural
     /// estimate for cache byte-accounting, not an allocator-exact figure.

@@ -175,6 +175,49 @@ impl Weights {
         &self.signal_probs
     }
 
+    /// All weight vectors, indexed by [`NodeId::index`]; non-gate nodes
+    /// hold an empty vector. Exposed for the persistent artifact store.
+    #[must_use]
+    pub fn vectors(&self) -> &[Vec<f64>] {
+        &self.vectors
+    }
+
+    /// Rebuilds weights from deserialized arrays, validating what
+    /// [`Weights::try_compute`] guarantees: one vector per node, every
+    /// value finite, and each vector either empty (non-gate node) or a
+    /// power of two no larger than `2^`[`MAX_ANALYSIS_ARITY`] entries.
+    /// Checksummed payloads still route through here so a hash collision
+    /// degrades into an error, never a panic downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// invariant.
+    pub fn from_parts(vectors: Vec<Vec<f64>>, signal_probs: Vec<f64>) -> Result<Self, String> {
+        if vectors.len() != signal_probs.len() {
+            return Err(format!(
+                "{} vectors but {} signal probabilities",
+                vectors.len(),
+                signal_probs.len()
+            ));
+        }
+        if signal_probs.iter().any(|p| !p.is_finite()) {
+            return Err("non-finite signal probability".to_owned());
+        }
+        for (i, v) in vectors.iter().enumerate() {
+            if !v.is_empty() && (!v.len().is_power_of_two() || v.len() > 1 << MAX_ANALYSIS_ARITY) {
+                return Err(format!("vector {i} has invalid length {}", v.len()));
+            }
+            if v.iter().any(|x| !x.is_finite()) {
+                return Err(format!("non-finite entry in vector {i}"));
+            }
+        }
+        Ok(Weights {
+            vectors,
+            signal_probs,
+        })
+    }
+
     /// Number of nodes covered.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -35,54 +35,207 @@ use relogic::{InputDistribution, ObservabilityMatrix, RelogicError, Weights};
 use relogic_netlist::structure::CircuitStats;
 use relogic_netlist::Circuit;
 use relogic_sim::CircuitTape;
+use relogic_store::{ArtifactMeta, Loaded, Store, StoreCountersSnapshot, StoreError, StoreKey};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::io::ErrorKind;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
-
-/// 64-bit FNV-1a over one byte stream.
-#[derive(Clone, Copy)]
-struct Fnv64 {
-    state: u64,
-}
-
-impl Fnv64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-
-    fn new(offset: u64) -> Self {
-        Fnv64 { state: offset }
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(Self::PRIME);
-        }
-    }
-}
 
 /// The 128-bit content address of an artifact.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct ArtifactKey(u64, u64);
+pub struct ArtifactKey(StoreKey);
 
 impl ArtifactKey {
     /// Hashes a circuit payload (netlist text + format + backend).
+    ///
+    /// Delegates to [`StoreKey::digest`], so the in-memory cache and the
+    /// on-disk store can never disagree about a circuit's address.
     #[must_use]
     pub fn of(payload: &CircuitPayload) -> ArtifactKey {
-        // Two FNV streams with different offsets ≈ a 128-bit digest;
-        // adversarial collisions are out of scope (the cache is a
-        // performance layer, not an integrity boundary), accidental ones
-        // are vanishingly unlikely.
-        let mut a = Fnv64::new(Fnv64::OFFSET);
-        let mut b = Fnv64::new(Fnv64::OFFSET ^ 0x5bd1_e995_9d1b_a6d5);
-        for stream in [&mut a, &mut b] {
-            stream.write(payload.format.tag().as_bytes());
-            stream.write(b"\x00");
-            stream.write(payload.backend.cache_tag().as_bytes());
-            stream.write(b"\x00");
-            stream.write(payload.netlist.as_bytes());
+        ArtifactKey(StoreKey::digest(
+            payload.format.tag(),
+            &payload.backend.cache_tag(),
+            &payload.netlist,
+        ))
+    }
+
+    /// The equivalent on-disk store key.
+    #[must_use]
+    pub fn store_key(self) -> StoreKey {
+        self.0
+    }
+}
+
+/// The persistent tier behind the in-memory cache: a `relogic-store`
+/// directory plus the serve-side degradation policy.
+///
+/// Every operation is best-effort. A read that misses, quarantines, or
+/// errors simply falls back to recompute; a write that fails loses
+/// durability, not correctness. When the directory itself is unusable —
+/// missing, unwritable, or out of space — the tier **degrades**: one loud
+/// stderr line, `cache_dir: "degraded"` in stats/health, and no further
+/// disk I/O until restart. Transient error kinds (including every
+/// chaos-injected fault) never degrade the tier.
+#[derive(Debug)]
+pub struct DiskTier {
+    store: Option<Store>,
+    degraded: AtomicBool,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) the store directory. Never fails: an
+    /// unusable directory yields a tier that starts degraded.
+    #[must_use]
+    pub fn open(dir: &Path) -> DiskTier {
+        match Store::open(dir) {
+            Ok(store) => DiskTier {
+                store: Some(store),
+                degraded: AtomicBool::new(false),
+            },
+            Err(err) => {
+                eprintln!(
+                    "relogic-serve: cache dir unusable, persistence DEGRADED \
+                     (serving from memory only): {err}"
+                );
+                DiskTier {
+                    store: None,
+                    degraded: AtomicBool::new(true),
+                }
+            }
         }
-        ArtifactKey(a.state, b.state)
+    }
+
+    /// Attaches a fault injector to the underlying store (disk sites).
+    #[cfg(feature = "chaos")]
+    pub fn set_chaos(&mut self, chaos: Arc<relogic_sim::chaos::Chaos>) {
+        if let Some(store) = &mut self.store {
+            store.set_chaos(chaos);
+        }
+    }
+
+    /// `true` once the tier has stopped doing disk I/O.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Store counters (hits/misses/quarantined/writes); zeros when
+    /// degraded from the start.
+    #[must_use]
+    pub fn counters(&self) -> StoreCountersSnapshot {
+        self.store.as_ref().map(Store::counters).unwrap_or_default()
+    }
+
+    /// Live artifact bytes in the store directory (0 when degraded or
+    /// unscannable).
+    #[must_use]
+    pub fn bytes_on_disk(&self) -> u64 {
+        if self.is_degraded() {
+            return 0;
+        }
+        self.store
+            .as_ref()
+            .and_then(|s| s.bytes_on_disk().ok())
+            .unwrap_or(0)
+    }
+
+    fn active(&self) -> Option<&Store> {
+        if self.is_degraded() {
+            None
+        } else {
+            self.store.as_ref()
+        }
+    }
+
+    /// Applies the degradation policy to a store failure: persistent
+    /// error kinds switch the tier off (loudly, once); transient kinds —
+    /// including every chaos-injected fault — are tolerated silently.
+    fn note(&self, err: &StoreError) {
+        let persistent = matches!(
+            err.kind(),
+            ErrorKind::PermissionDenied
+                | ErrorKind::StorageFull
+                | ErrorKind::NotFound
+                | ErrorKind::NotADirectory
+                | ErrorKind::ReadOnlyFilesystem
+        );
+        if persistent && !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "relogic-serve: cache dir unusable, persistence DEGRADED \
+                 (serving from memory only): {err}"
+            );
+        }
+    }
+
+    fn load_weights(&self, key: StoreKey) -> Option<Weights> {
+        let loaded = match self.active()?.load_weights(key) {
+            Ok(l) => l,
+            Err(e) => {
+                self.note(&e);
+                return None;
+            }
+        };
+        loaded.hit()
+    }
+
+    fn load_observability(&self, key: StoreKey) -> Option<ObservabilityMatrix> {
+        let loaded = match self.active()?.load_observability(key) {
+            Ok(l) => l,
+            Err(e) => {
+                self.note(&e);
+                return None;
+            }
+        };
+        loaded.hit()
+    }
+
+    fn load_tape(&self, key: StoreKey) -> Option<CircuitTape> {
+        let loaded = match self.active()?.load_tape(key) {
+            Ok(l) => l,
+            Err(e) => {
+                self.note(&e);
+                return None;
+            }
+        };
+        loaded.hit()
+    }
+
+    fn save_meta(&self, key: StoreKey, meta: &ArtifactMeta) {
+        // Skip rewriting provenance the store already has: meta is tiny
+        // but every serve hit would otherwise pay a disk write.
+        if let Some(store) = self.active() {
+            if matches!(store.load_meta(key), Ok(Loaded::Hit(_))) {
+                return;
+            }
+            if let Err(e) = store.save_meta(key, meta) {
+                self.note(&e);
+            }
+        }
+    }
+
+    fn save_weights(&self, key: StoreKey, weights: &Weights) {
+        if let Some(store) = self.active() {
+            if let Err(e) = store.save_weights(key, weights) {
+                self.note(&e);
+            }
+        }
+    }
+
+    fn save_observability(&self, key: StoreKey, matrix: &ObservabilityMatrix) {
+        if let Some(store) = self.active() {
+            if let Err(e) = store.save_observability(key, matrix) {
+                self.note(&e);
+            }
+        }
+    }
+
+    fn save_tape(&self, key: StoreKey, tape: &CircuitTape) {
+        if let Some(store) = self.active() {
+            if let Err(e) = store.save_tape(key, tape) {
+                self.note(&e);
+            }
+        }
     }
 }
 
@@ -94,22 +247,46 @@ pub struct Artifact {
     circuit: Circuit,
     stats: CircuitStats,
     backend: BackendSpec,
+    key: ArtifactKey,
+    /// The persistent tier, when the service runs with `--cache-dir`.
+    /// Read-through and write-through happen inside the `OnceLock`
+    /// initializers below, so disk I/O inherits their single-flight
+    /// semantics for free.
+    disk: Option<Arc<DiskTier>>,
     weights: OnceLock<Result<Weights, RelogicError>>,
     observability: OnceLock<Result<ObservabilityMatrix, RelogicError>>,
     tape: OnceLock<CircuitTape>,
 }
 
 impl Artifact {
-    fn compile(payload: &CircuitPayload) -> Result<Artifact, ServeError> {
+    fn compile(
+        payload: &CircuitPayload,
+        key: ArtifactKey,
+        disk: Option<Arc<DiskTier>>,
+    ) -> Result<Artifact, ServeError> {
         let circuit = payload
             .format
             .parse_netlist(&payload.netlist)
             .map_err(|e| ServeError::netlist(&e))?;
         let stats = CircuitStats::of(&circuit);
+        if let Some(disk) = &disk {
+            // Write-through provenance on first compile: `relogic cache
+            // warm`/`ls` need it, and a warm restart re-parses from it.
+            disk.save_meta(
+                key.store_key(),
+                &ArtifactMeta {
+                    format_tag: payload.format.tag().to_owned(),
+                    backend_tag: payload.backend.cache_tag(),
+                    netlist: payload.netlist.clone(),
+                },
+            );
+        }
         Ok(Artifact {
             circuit,
             stats,
             backend: payload.backend,
+            key,
+            disk,
             weights: OnceLock::new(),
             observability: OnceLock::new(),
             tape: OnceLock::new(),
@@ -138,12 +315,25 @@ impl Artifact {
     /// arriving after a failed first materialization).
     pub fn weights(&self, counters: &CacheCounters) -> Result<&Weights, ServeError> {
         let slot = self.weights.get_or_init(|| {
+            // Read-through: a verified disk artifact is bit-identical to
+            // a recompute by the store's contract, so it short-circuits
+            // the backend entirely. Misses, quarantines, and I/O errors
+            // all fall through to compute + write-through.
+            if let Some(disk) = &self.disk {
+                if let Some(w) = disk.load_weights(self.key.store_key()) {
+                    return Ok(w);
+                }
+            }
             counters.weights_computed.fetch_add(1, Ordering::Relaxed);
-            Weights::try_compute(
+            let weights = Weights::try_compute(
                 &self.circuit,
                 &InputDistribution::Uniform,
                 self.backend.backend(),
-            )
+            );
+            if let (Some(disk), Ok(w)) = (&self.disk, &weights) {
+                disk.save_weights(self.key.store_key(), w);
+            }
+            weights
         });
         match slot {
             Ok(w) => Ok(w),
@@ -158,8 +348,17 @@ impl Artifact {
     /// compiles.
     pub fn tape(&self, counters: &CacheCounters) -> &CircuitTape {
         self.tape.get_or_init(|| {
+            if let Some(disk) = &self.disk {
+                if let Some(t) = disk.load_tape(self.key.store_key()) {
+                    return t;
+                }
+            }
             counters.tapes_compiled.fetch_add(1, Ordering::Relaxed);
-            CircuitTape::compile(&self.circuit)
+            let tape = CircuitTape::compile(&self.circuit);
+            if let Some(disk) = &self.disk {
+                disk.save_tape(self.key.store_key(), &tape);
+            }
+            tape
         })
     }
 
@@ -173,6 +372,13 @@ impl Artifact {
         counters: &CacheCounters,
     ) -> Result<&ObservabilityMatrix, ServeError> {
         let slot = self.observability.get_or_init(|| {
+            if let Some(disk) = &self.disk {
+                if let Some(m) = disk.load_observability(self.key.store_key()) {
+                    // Persisted diagnostics ride along, but the engine
+                    // aggregate counts only runs this process executed.
+                    return Ok(m);
+                }
+            }
             counters
                 .observability_computed
                 .fetch_add(1, Ordering::Relaxed);
@@ -184,6 +390,9 @@ impl Artifact {
             if let Ok(m) = &matrix {
                 if let Some(stats) = m.diagnostics().bdd_stats() {
                     counters.bdd_engine.record(stats);
+                }
+                if let Some(disk) = &self.disk {
+                    disk.save_observability(self.key.store_key(), m);
                 }
             }
             matrix
@@ -339,6 +548,8 @@ pub struct ArtifactCache {
     compile_done: Condvar,
     budget_bytes: usize,
     counters: CacheCounters,
+    /// The persistent tier (`--cache-dir`); `None` runs memory-only.
+    disk: Option<Arc<DiskTier>>,
     #[cfg(feature = "chaos")]
     chaos: Option<Arc<relogic_sim::chaos::Chaos>>,
 }
@@ -377,9 +588,26 @@ impl ArtifactCache {
             compile_done: Condvar::new(),
             budget_bytes,
             counters: CacheCounters::default(),
+            disk: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
+    }
+
+    /// Attaches a persistent tier. Artifacts compiled afterwards
+    /// read-through on materialization miss and write-through on
+    /// materialization; disk hits are charged into the same LRU budget as
+    /// computed ones (the charge is projected up front either way).
+    #[must_use]
+    pub fn with_disk_tier(mut self, disk: Option<Arc<DiskTier>>) -> ArtifactCache {
+        self.disk = disk;
+        self
+    }
+
+    /// The persistent tier, when configured.
+    #[must_use]
+    pub fn disk(&self) -> Option<&Arc<DiskTier>> {
+        self.disk.as_ref()
     }
 
     /// Attaches a fault injector: every lookup first draws
@@ -484,7 +712,7 @@ impl ArtifactCache {
         self.counters
             .circuits_parsed
             .fetch_add(1, Ordering::Relaxed);
-        let artifact = Arc::new(Artifact::compile(payload)?);
+        let artifact = Arc::new(Artifact::compile(payload, key, self.disk.clone())?);
         let bytes = artifact.charged_bytes();
         if bytes > self.budget_bytes {
             // Served uncached: the guard releases the key and waiters

@@ -7,11 +7,12 @@
 //! (everything shared lives behind one `Arc`).
 
 use crate::api;
-use crate::cache::ArtifactCache;
+use crate::cache::{ArtifactCache, DiskTier};
 use crate::json::Json;
 use crate::proto::{self, Request, RequestLimits, Response, ServeError};
 use crate::stats::ServiceStats;
 use relogic_sim::MonteCarloConfig;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
@@ -37,6 +38,13 @@ pub struct ServiceConfig {
     /// admission control. `stats`/`health` are exempt (they must stay
     /// answerable precisely when the service is overloaded).
     pub max_inflight: usize,
+    /// Optional on-disk artifact store directory: compiled artifacts are
+    /// written through on materialization and read through on cache miss,
+    /// so a restarted daemon serves previously-seen circuits without
+    /// recomputing them. `None` keeps the cache purely in-memory. A
+    /// missing or unusable directory degrades the service to in-memory
+    /// operation (loudly, once) instead of failing requests.
+    pub cache_dir: Option<PathBuf>,
     /// Optional fault injector threaded through the execution path, the
     /// artifact cache, the worker pool, and connection I/O. Only exists
     /// with the `chaos` feature; release builds carry no injection code.
@@ -53,6 +61,7 @@ impl Default for ServiceConfig {
             limits: RequestLimits::default(),
             default_threads: 0,
             max_inflight: 0,
+            cache_dir: None,
             #[cfg(feature = "chaos")]
             chaos: None,
         }
@@ -94,7 +103,16 @@ impl Service {
     /// Creates a service with the given configuration.
     #[must_use]
     pub fn new(config: ServiceConfig) -> Service {
-        let cache = ArtifactCache::new(config.cache_bytes);
+        let disk = config.cache_dir.as_deref().map(|dir| {
+            #[allow(unused_mut)]
+            let mut tier = DiskTier::open(dir);
+            #[cfg(feature = "chaos")]
+            if let Some(chaos) = &config.chaos {
+                tier.set_chaos(Arc::clone(chaos));
+            }
+            Arc::new(tier)
+        });
+        let cache = ArtifactCache::new(config.cache_bytes).with_disk_tier(disk);
         #[cfg(feature = "chaos")]
         let cache = match &config.chaos {
             Some(chaos) => cache.with_chaos(Arc::clone(chaos)),
@@ -190,6 +208,19 @@ impl Service {
     #[must_use]
     pub fn cache(&self) -> &ArtifactCache {
         &self.inner.cache
+    }
+
+    /// Persistence state as reported by `stats`/`health`: `"none"` when no
+    /// cache dir is configured, `"degraded"` when the configured dir turned
+    /// out to be unusable (the service keeps running from memory), and
+    /// `"ready"` otherwise.
+    #[must_use]
+    pub fn cache_dir_state(&self) -> &'static str {
+        match self.inner.cache.disk() {
+            None => "none",
+            Some(disk) if disk.is_degraded() => "degraded",
+            Some(_) => "ready",
+        }
     }
 
     /// Handles one request frame end to end: parse, count, execute under
@@ -383,6 +414,7 @@ impl Service {
             ("max_inflight", Json::from(self.inner.config.max_inflight)),
             ("queue_depth", Json::from(queue_depth)),
             ("shed", Json::from(stats.shed.load(Ordering::Relaxed))),
+            ("cache_dir", Json::from(self.cache_dir_state())),
             (
                 "connections_active",
                 Json::from(stats.connections_active.load(Ordering::Relaxed)),
@@ -472,6 +504,27 @@ impl Service {
                     ),
                 ]),
             ),
+            ("cache_dir", Json::from(self.cache_dir_state())),
+            ("disk", {
+                let snapshot = self
+                    .inner
+                    .cache
+                    .disk()
+                    .map(|disk| disk.counters())
+                    .unwrap_or_default();
+                let bytes = self
+                    .inner
+                    .cache
+                    .disk()
+                    .map_or(0, |disk| disk.bytes_on_disk());
+                Json::obj([
+                    ("disk_hits", Json::from(snapshot.hits)),
+                    ("disk_misses", Json::from(snapshot.misses)),
+                    ("corrupt_quarantined", Json::from(snapshot.quarantined)),
+                    ("disk_writes", Json::from(snapshot.writes)),
+                    ("bytes_on_disk", Json::from(bytes)),
+                ])
+            }),
             (
                 "bdd_engine",
                 Json::obj([

@@ -65,10 +65,26 @@ pub enum ChaosSite {
     /// The artifact cache fails the lookup outright (simulated
     /// materialization failure, surfaced as a typed `internal` error).
     CacheFail,
+    /// A disk-store write crashes after flushing only the first half of
+    /// the bytes to the *final* path (a non-atomic filesystem or a power
+    /// cut mid-write): the next read must quarantine the truncated file.
+    DiskShortWrite,
+    /// A disk-store write completes its temp file but dies before the
+    /// atomic rename (torn rename): the artifact is absent on restart and
+    /// the stale `*.tmp` must be garbage-collectable.
+    DiskTornRename,
+    /// A disk-store fsync reports failure after the data was handed to
+    /// the kernel: the write is reported failed even though the bytes may
+    /// later prove durable.
+    DiskFsyncFail,
+    /// A disk-store read observes one flipped bit in the returned buffer
+    /// (bit rot / torn sector): the checksum must reject it and the file
+    /// must be quarantined, never decoded.
+    DiskBitFlip,
 }
 
 /// Number of distinct sites (array-index bound).
-pub const SITE_COUNT: usize = 9;
+pub const SITE_COUNT: usize = 13;
 
 impl ChaosSite {
     /// All sites, in index order.
@@ -82,6 +98,10 @@ impl ChaosSite {
         ChaosSite::WriteEof,
         ChaosSite::CacheEvict,
         ChaosSite::CacheFail,
+        ChaosSite::DiskShortWrite,
+        ChaosSite::DiskTornRename,
+        ChaosSite::DiskFsyncFail,
+        ChaosSite::DiskBitFlip,
     ];
 
     /// The site's dense index.
@@ -97,6 +117,10 @@ impl ChaosSite {
             ChaosSite::WriteEof => 6,
             ChaosSite::CacheEvict => 7,
             ChaosSite::CacheFail => 8,
+            ChaosSite::DiskShortWrite => 9,
+            ChaosSite::DiskTornRename => 10,
+            ChaosSite::DiskFsyncFail => 11,
+            ChaosSite::DiskBitFlip => 12,
         }
     }
 
@@ -113,6 +137,10 @@ impl ChaosSite {
             ChaosSite::WriteEof => "write_eof",
             ChaosSite::CacheEvict => "cache_evict",
             ChaosSite::CacheFail => "cache_fail",
+            ChaosSite::DiskShortWrite => "disk_short_write",
+            ChaosSite::DiskTornRename => "disk_torn_rename",
+            ChaosSite::DiskFsyncFail => "disk_fsync_fail",
+            ChaosSite::DiskBitFlip => "disk_bit_flip",
         }
     }
 
@@ -220,6 +248,20 @@ impl ChaosConfig {
             .site(ChaosSite::CacheFail, SitePolicy::limited(0.25, 8))
     }
 
+    /// The `disk` profile: short writes, torn renames, fsync failures,
+    /// and read-time bit flips in the persistent artifact store. Failure
+    /// sites carry finite budgets so every run dries up into a healthy
+    /// store; the bit-flip site is unbudgeted because a quarantined read
+    /// always heals by recompute.
+    #[must_use]
+    pub fn disk_profile(seed: u64) -> ChaosConfig {
+        ChaosConfig::quiet(seed)
+            .site(ChaosSite::DiskShortWrite, SitePolicy::limited(0.20, 4))
+            .site(ChaosSite::DiskTornRename, SitePolicy::limited(0.20, 4))
+            .site(ChaosSite::DiskFsyncFail, SitePolicy::limited(0.15, 4))
+            .site(ChaosSite::DiskBitFlip, SitePolicy::with_probability(0.20))
+    }
+
     /// The `all` profile: every fault class at reduced intensity.
     #[must_use]
     pub fn all_profile(seed: u64) -> ChaosConfig {
@@ -233,6 +275,10 @@ impl ChaosConfig {
             .site(ChaosSite::WriteEof, SitePolicy::limited(0.08, 5))
             .site(ChaosSite::CacheEvict, SitePolicy::with_probability(0.25))
             .site(ChaosSite::CacheFail, SitePolicy::limited(0.10, 5))
+            .site(ChaosSite::DiskShortWrite, SitePolicy::limited(0.10, 2))
+            .site(ChaosSite::DiskTornRename, SitePolicy::limited(0.10, 2))
+            .site(ChaosSite::DiskFsyncFail, SitePolicy::limited(0.08, 2))
+            .site(ChaosSite::DiskBitFlip, SitePolicy::with_probability(0.10))
     }
 
     /// Parses a `--chaos-profile` spec: `NAME[:SEED]` where `NAME` is
@@ -257,9 +303,10 @@ impl ChaosConfig {
             "worker" => Ok(ChaosConfig::worker_profile(seed)),
             "io" => Ok(ChaosConfig::io_profile(seed)),
             "cache" => Ok(ChaosConfig::cache_profile(seed)),
+            "disk" => Ok(ChaosConfig::disk_profile(seed)),
             "all" => Ok(ChaosConfig::all_profile(seed)),
             other => Err(format!(
-                "unknown chaos profile `{other}` (expected worker, io, cache, or all)"
+                "unknown chaos profile `{other}` (expected worker, io, cache, disk, or all)"
             )),
         }
     }
@@ -466,6 +513,23 @@ mod tests {
         assert!(ChaosConfig::parse("worker:banana").is_err());
         assert!(ChaosConfig::parse("all:7").is_ok());
         assert!(ChaosConfig::parse("cache").is_ok());
+        let c = ChaosConfig::parse("disk:5").unwrap();
+        assert_eq!(c.seed, 5);
+        assert!(c.sites[ChaosSite::DiskShortWrite.index()].probability > 0.0);
+        assert!(c.sites[ChaosSite::DiskBitFlip.index()].probability > 0.0);
+        assert_eq!(c.sites[ChaosSite::ExecPanic.index()], SitePolicy::OFF);
+    }
+
+    #[test]
+    fn all_profile_covers_every_site() {
+        let c = ChaosConfig::all_profile(1);
+        for site in ChaosSite::ALL {
+            assert!(
+                c.sites[site.index()].probability > 0.0,
+                "site {} missing from the all profile",
+                site.name()
+            );
+        }
     }
 
     #[test]

@@ -69,5 +69,5 @@ pub use monte_carlo::{
 };
 pub use packed::{exhaustive_block_count, exhaustive_lane_mask, exhaustive_word, PackedSim};
 pub use sampler::InputSampler;
-pub use tape::CircuitTape;
+pub use tape::{CircuitTape, OwnedTapeParts, TapeParts};
 pub use tape_exec::{estimate_tape, try_estimate_tape, DEFAULT_LANES};
