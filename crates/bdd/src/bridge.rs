@@ -161,6 +161,34 @@ impl VarOrder {
     }
 }
 
+/// Returned by [`CircuitBdds::try_build_budgeted`] when the base circuit
+/// construction exceeds its live-node budget.
+///
+/// The construction sequence is deterministic (node order, operand order,
+/// and manager state are pure functions of the circuit and variable
+/// order), so for a given `(circuit, order, budget)` either every build
+/// exceeds the budget at the same gate or none does — the error is
+/// reproducible and independent of thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuildBudgetExceeded {
+    /// Live decision nodes when the budget check tripped.
+    pub live_nodes: usize,
+    /// The configured budget.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for BuildBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BDD build exceeded its live-node budget ({} live nodes > {})",
+            self.live_nodes, self.budget
+        )
+    }
+}
+
+impl std::error::Error for BuildBudgetExceeded {}
+
 /// Symbolic representation of a circuit: one BDD per node, over the
 /// primary-input variables.
 #[derive(Debug)]
@@ -198,6 +226,56 @@ impl CircuitBdds {
             funcs,
             order: order.clone(),
         }
+    }
+
+    /// Like [`CircuitBdds::build`], but checks the manager's live-node
+    /// count after every gate and aborts once it exceeds `budget`.
+    ///
+    /// This is the enforcement point for tiered estimation: the *base*
+    /// construction is the deterministic part of exact analysis (every
+    /// worker replays the identical sequence), so a budget enforced here
+    /// trips identically for every thread count — and it is where
+    /// multiplier-class circuits (c6288) blow up in the first place.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildBudgetExceeded`] as soon as the live-node count passes
+    /// `budget`; the partially-built functions are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager has fewer variables than the order requires.
+    pub fn try_build_budgeted(
+        manager: &mut BddManager,
+        circuit: &Circuit,
+        order: &VarOrder,
+        budget: usize,
+    ) -> Result<Self, BuildBudgetExceeded> {
+        assert!(manager.var_count() >= order.len());
+        let mut funcs: Vec<BddRef> = Vec::with_capacity(circuit.len());
+        for (id, node) in circuit.iter() {
+            let f = match node.kind() {
+                GateKind::Input => {
+                    let pos = circuit
+                        .input_position(id)
+                        .expect("input node has a position");
+                    manager.var(order.var_of_position(pos))
+                }
+                kind => build_gate(manager, kind, node.fanins(), &funcs),
+            };
+            funcs.push(f);
+            let live = manager.live_node_count();
+            if live > budget {
+                return Err(BuildBudgetExceeded {
+                    live_nodes: live,
+                    budget,
+                });
+            }
+        }
+        Ok(CircuitBdds {
+            funcs,
+            order: order.clone(),
+        })
     }
 
     /// The function computed by `node`.

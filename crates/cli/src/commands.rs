@@ -4,6 +4,7 @@ use crate::options::{Options, ParsedArgs};
 use relogic::{
     GateEps, InputDistribution, ObservabilityMatrix, SinglePass, SinglePassOptions, Weights,
 };
+use relogic_estimate::{EstimatorPolicy, EstimatorTier, PropagationEstimate};
 use relogic_netlist::structure::{output_cone_sizes, CircuitStats, FanoutMap};
 use relogic_netlist::{bench, blif, dot, verilog, Circuit};
 use relogic_serve::json::Json;
@@ -45,6 +46,10 @@ pub enum CliError {
     /// The on-disk artifact store failed, or `cache verify` found
     /// corruption. Exit code 7.
     Store(String),
+    /// The hybrid estimator subsystem (`estimate`, `harden`,
+    /// `critical-eps`) rejected the request or failed past the point
+    /// where escalation could save it. Exit code 8.
+    Estimator(relogic::RelogicError),
 }
 
 impl CliError {
@@ -59,6 +64,7 @@ impl CliError {
             CliError::Analysis(_) => 5,
             CliError::Sim(_) => 6,
             CliError::Store(_) => 7,
+            CliError::Estimator(_) => 8,
         }
     }
 }
@@ -78,6 +84,7 @@ impl fmt::Display for CliError {
             CliError::Analysis(e) => write!(f, "analysis error: {e}"),
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
             CliError::Store(m) => write!(f, "store error: {m}"),
+            CliError::Estimator(e) => write!(f, "estimator error: {e}"),
         }
     }
 }
@@ -91,6 +98,7 @@ impl Error for CliError {
             CliError::Analysis(e) => Some(e),
             CliError::Sim(e) => Some(e),
             CliError::Store(_) => None,
+            CliError::Estimator(e) => Some(e),
         }
     }
 }
@@ -140,6 +148,9 @@ pub fn run(args: &ParsedArgs) -> Result<String, CliError> {
         "sweep" => sweep(&load(args)?.circuit, &args.options),
         "mc" => monte_carlo(&load(args)?.circuit, &args.options),
         "rank" => rank(&load(args)?, &args.options),
+        "estimate" => estimate(&load(args)?, &args.options),
+        "harden" => harden(&load(args)?, &args.options),
+        "critical-eps" => critical_eps(&load(args)?, &args.options),
         "serve" => serve(args),
         "convert" => convert(&load(args)?.circuit, &args.options),
         "gen" => gen(args),
@@ -812,6 +823,212 @@ fn rank(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The auto-escalating hybrid estimator: exact observability under a BDD
+/// live-node budget, then the propagation estimator, then Monte Carlo
+/// refinement when the propagation answer saturates. Mirrors the serve
+/// daemon's `estimate` request, with the disk cache standing in for the
+/// in-memory artifact cache.
+fn estimate(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
+    let c = &loaded.circuit;
+    let disk = DiskCache::open(opts, loaded);
+    let gate_eps = GateEps::try_uniform(c, opts.eps).map_err(CliError::Estimator)?;
+    let policy = EstimatorPolicy {
+        bdd_node_budget: opts.bdd_node_budget,
+        mc_patterns: opts.patterns,
+        mc_seed: opts.seed,
+        ..EstimatorPolicy::default()
+    };
+    let exact = |budget: usize| -> Result<Vec<f64>, relogic::RelogicError> {
+        // A cached observability matrix is a free exact answer: the budget
+        // only guards fresh BDD builds.
+        if let Some(disk) = disk.as_ref() {
+            if let Ok(Loaded::Hit(obs)) = disk.store.load_observability(disk.key) {
+                disk.note("observability: disk hit (exact tier)".to_owned());
+                return Ok(obs.closed_form(&gate_eps));
+            }
+        }
+        let obs = ObservabilityMatrix::try_compute_budgeted(
+            c,
+            &InputDistribution::Uniform,
+            opts.threads,
+            budget,
+        )?;
+        if let Some(disk) = disk.as_ref() {
+            disk.save_meta(loaded, opts);
+            if let Err(err) = disk.store.save_observability(disk.key, &obs) {
+                eprintln!("relogic-cli: failed to persist observability: {err}");
+            }
+            disk.note("observability: computed under budget and stored".to_owned());
+        }
+        Ok(obs.closed_form(&gate_eps))
+    };
+    let propagation = || -> Result<Vec<f64>, relogic::RelogicError> {
+        if let Some(disk) = disk.as_ref() {
+            if let Ok(Loaded::Hit(est)) = disk.store.load_estimate(disk.key) {
+                disk.note("estimator: disk hit".to_owned());
+                return Ok(est.closed_form(&gate_eps));
+            }
+        }
+        let est = PropagationEstimate::try_compute(c, &InputDistribution::Uniform)?;
+        if let Some(disk) = disk.as_ref() {
+            disk.save_meta(loaded, opts);
+            if let Err(err) = disk.store.save_estimate(disk.key, &est) {
+                eprintln!("relogic-cli: failed to persist estimator: {err}");
+            }
+            disk.note("estimator: computed and stored".to_owned());
+        }
+        Ok(est.closed_form(&gate_eps))
+    };
+    let mc = |patterns: u64, seed: u64| -> Result<Vec<f64>, relogic::RelogicError> {
+        let config = MonteCarloConfig {
+            patterns,
+            seed,
+            threads: opts.threads,
+            ..MonteCarloConfig::default()
+        };
+        let r = relogic_sim::try_estimate(c, gate_eps.as_slice(), &config)
+            .map_err(relogic::RelogicError::from)?;
+        Ok(r.per_output().to_vec())
+    };
+    let report = relogic_estimate::run_estimate(&policy, exact, propagation, mc)
+        .map_err(CliError::Estimator)?;
+    if opts.json {
+        return Ok(json_line(relogic_serve::api::estimate_result(
+            c, opts.eps, &report,
+        )));
+    }
+    let mut out = format!(
+        "hybrid estimate at eps = {} (tier: {})\nreason: {}\n",
+        opts.eps,
+        report.tier.name(),
+        report.reason
+    );
+    for (k, o) in c.outputs().iter().enumerate() {
+        out.push_str(&format!(
+            "{:>24}  delta = {:.6}\n",
+            o.name(),
+            report.per_output[k]
+        ));
+    }
+    if report.tier == EstimatorTier::MonteCarlo {
+        if let Some(prop) = &report.propagation {
+            out.push_str("\npropagation tier before MC refinement:\n");
+            for (k, o) in c.outputs().iter().enumerate() {
+                out.push_str(&format!("{:>24}  delta = {:.6}\n", o.name(), prop[k]));
+            }
+        }
+    }
+    if opts.diagnostics {
+        out.push_str(&format!("\ndiagnostics:\n{}\n", report.diagnostics));
+        if let Some(disk) = &disk {
+            out.push_str(&disk.provenance());
+        }
+    }
+    Ok(out)
+}
+
+/// Selective-TMR hardening sweep: ranks gates by criticality, protects
+/// growing prefixes with `tmr_selected` under the area budget, and prints
+/// the reliability-per-area Pareto front.
+fn harden(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
+    let c = &loaded.circuit;
+    let report = relogic_estimate::harden(
+        c,
+        &InputDistribution::Uniform,
+        opts.eps,
+        opts.area_budget,
+        opts.max_steps,
+    )
+    .map_err(CliError::Estimator)?;
+    if opts.json {
+        return Ok(json_line(relogic_serve::api::harden_result(
+            c,
+            opts.eps,
+            opts.area_budget,
+            &report,
+        )));
+    }
+    let point_line = |p: &relogic_estimate::ParetoPoint| {
+        format!(
+            "protect {:>4}  {:>6} gates  area {:>6.2}x  mean delta = {:.6}  max delta = {:.6}\n",
+            p.protected, p.gates, p.area_ratio, p.mean_delta, p.max_delta
+        )
+    };
+    let mut out = format!(
+        "selective-TMR hardening sweep at eps = {} (area budget {:.2}x)\n",
+        opts.eps, opts.area_budget
+    );
+    out.push_str("baseline:  ");
+    out.push_str(&point_line(&report.baseline));
+    out.push_str(&format!(
+        "evaluated {} protection prefixes within budget\npareto front:\n",
+        report.evaluated.len()
+    ));
+    for p in &report.front {
+        out.push_str("  ");
+        out.push_str(&point_line(p));
+    }
+    out.push_str(&format!(
+        "\nprotection order (top {}, criticality = eps * any-output observability):\n",
+        opts.top.min(report.ranking.len())
+    ));
+    for &(id, crit) in report.ranking.iter().take(opts.top) {
+        out.push_str(&format!(
+            "{:>24}  criticality = {:.6}\n",
+            c.display_name(id),
+            crit
+        ));
+    }
+    Ok(out)
+}
+
+/// Deterministic bisection for the smallest uniform gate error rate at
+/// which the output error delta reaches `--threshold`, evaluated on the
+/// compiled sweep tape.
+fn critical_eps(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
+    let c = &loaded.circuit;
+    let disk = DiskCache::open(opts, loaded);
+    let weights = cached_weights(loaded, opts, disk.as_ref())?;
+    let tape = relogic::SweepTape::try_new(c, &weights).map_err(CliError::Estimator)?;
+    let report =
+        relogic_estimate::critical_eps(c, &tape, opts.metric, opts.threshold, opts.max_steps)
+            .map_err(CliError::Estimator)?;
+    if opts.json {
+        return Ok(json_line(relogic_serve::api::critical_eps_result(
+            c, &report,
+        )));
+    }
+    let mut out = format!(
+        "critical-eps bisection (metric {}, threshold {})\n",
+        report.metric.name(),
+        report.threshold
+    );
+    match report.critical {
+        Some(critical) => out.push_str(&format!(
+            "{} delta reaches {} at eps = {:.9} ({} steps)\n",
+            report.metric.name(),
+            report.threshold,
+            critical,
+            report.steps
+        )),
+        None => out.push_str(&format!(
+            "{} delta never reaches {} for eps in [0, 0.5]\n",
+            report.metric.name(),
+            report.threshold
+        )),
+    }
+    out.push_str(&format!(
+        "bracket: eps in [{:.9}, {:.9}], delta in [{:.6}, {:.6}]\n",
+        report.lo, report.hi, report.delta_lo, report.delta_hi
+    ));
+    if opts.diagnostics {
+        if let Some(disk) = &disk {
+            out.push_str(&format!("\ndiagnostics:\n{}", disk.provenance()));
+        }
+    }
+    Ok(out)
+}
+
 /// Opens the store named by `--cache-dir` for the offline `cache`
 /// actions. Unlike the read/write-through paths, these are *about* the
 /// store, so an unusable directory is a hard error (exit code 7).
@@ -900,6 +1117,14 @@ fn cache_warm(store: &Store, loaded: &LoadedNetlist, opts: &Options) -> Result<S
         let obs = ObservabilityMatrix::try_compute(c, &InputDistribution::Uniform, opts.backend())?;
         store.save_observability(key, &obs)?;
         out.push_str("observability: computed and stored\n");
+    }
+    if matches!(store.load_estimate(key)?, Loaded::Hit(_)) {
+        out.push_str("estimator:     already present\n");
+    } else {
+        let est = PropagationEstimate::try_compute(c, &InputDistribution::Uniform)
+            .map_err(CliError::Estimator)?;
+        store.save_estimate(key, &est)?;
+        out.push_str("estimator:     computed and stored\n");
     }
     Ok(out)
 }
@@ -1323,7 +1548,12 @@ y = NOT(t)
         assert!(warm2.contains("already present"), "{warm2}");
         let ls =
             run(&ParsedArgs::parse(["cache", "ls", "--cache-dir", d.as_str()]).unwrap()).unwrap();
-        assert!(ls.contains("4 artifacts"), "{ls}");
+        assert!(ls.contains("5 artifacts"), "{ls}");
+        assert!(
+            warm.contains("estimator:     computed and stored"),
+            "{warm}"
+        );
+        assert!(warm2.contains("estimator:     already present"), "{warm2}");
         let verify =
             run(&ParsedArgs::parse(["cache", "verify", "--cache-dir", d.as_str()]).unwrap())
                 .unwrap();
@@ -1350,6 +1580,116 @@ y = NOT(t)
         assert!(gc.contains("removed 1 files"), "{gc}");
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn estimate_command_exact_tier() {
+        let out = run_on_file("estimate", &["--eps", "0.1"]);
+        assert!(out.contains("tier: exact"), "{out}");
+        // Two noisy gates in series: delta = ½(1 − (1 − 2·0.1)²) = 0.18.
+        assert!(out.contains("0.180000"), "{out}");
+    }
+
+    #[test]
+    fn estimate_budget_zero_falls_back_loudly() {
+        let out = run_on_file(
+            "estimate",
+            &["--eps", "0.1", "--bdd-node-budget", "0", "--diagnostics"],
+        );
+        assert!(out.contains("tier: propagation"), "{out}");
+        assert!(out.contains("disabled"), "{out}");
+        assert!(out.contains("fallbacks 1"), "{out}");
+        // The propagation closed form is exact on this fanout-free chain.
+        assert!(out.contains("0.180000"), "{out}");
+    }
+
+    #[test]
+    fn estimate_json_matches_server_schema() {
+        let out = run_on_file("estimate", &["--eps", "0.1", "--json"]);
+        let doc = relogic_serve::json::parse(out.trim()).unwrap();
+        assert_eq!(doc.get("tier").and_then(Json::as_str), Some("exact"));
+        let d = doc.get("delta").unwrap().as_array().unwrap()[0]
+            .as_f64()
+            .unwrap();
+        assert!((d - 0.18).abs() < 1e-12, "{out}");
+        assert_eq!(doc.get("cache").and_then(Json::as_str), Some("bypass"));
+    }
+
+    #[test]
+    fn estimate_persists_artifacts_through_the_disk_cache() {
+        let dir = std::env::temp_dir().join(format!("relogic-cli-est-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let netlist_dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&netlist_dir).unwrap();
+        let path = netlist_dir.join("est-cache.bench");
+        std::fs::write(&path, SMALL).unwrap();
+        let p = path.display().to_string();
+        let d = dir.display().to_string();
+        // Budget 0 exercises the propagation tier, which persists its
+        // estimate; the second run must read it back.
+        let argv = [
+            "estimate",
+            p.as_str(),
+            "--bdd-node-budget",
+            "0",
+            "--cache-dir",
+            d.as_str(),
+            "--diagnostics",
+        ];
+        let first = run(&ParsedArgs::parse(argv).unwrap()).unwrap();
+        assert!(first.contains("estimator: computed and stored"), "{first}");
+        let second = run(&ParsedArgs::parse(argv).unwrap()).unwrap();
+        assert!(second.contains("estimator: disk hit"), "{second}");
+        assert_eq!(
+            first.replace("estimator: computed and stored", "X"),
+            second.replace("estimator: disk hit", "X"),
+            "cached estimator must not change the numbers"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn harden_command_reports_a_front() {
+        let out = run_on_file("harden", &["--eps", "0.1", "--area-budget", "20"]);
+        assert!(out.contains("baseline:"), "{out}");
+        assert!(out.contains("pareto front:"), "{out}");
+        assert!(out.contains("protection order"), "{out}");
+        let out = run_on_file("harden", &["--eps", "0.1", "--area-budget", "20", "--json"]);
+        let doc = relogic_serve::json::parse(out.trim()).unwrap();
+        assert!(
+            !doc.get("front").unwrap().as_array().unwrap().is_empty(),
+            "{out}"
+        );
+        assert_eq!(doc.get("cache").and_then(Json::as_str), Some("bypass"));
+    }
+
+    #[test]
+    fn critical_eps_command_bisects_the_chain() {
+        // delta(e) = 2e(1−e) on the two-gate chain, so delta = 0.18
+        // exactly at e = 0.1; the bisection must land there.
+        let out = run_on_file("critical-eps", &["--threshold", "0.18"]);
+        assert!(out.contains("reaches 0.18 at eps = 0.100000000"), "{out}");
+        let out = run_on_file("critical-eps", &["--threshold", "0.18", "--json"]);
+        let doc = relogic_serve::json::parse(out.trim()).unwrap();
+        assert_eq!(doc.get("crossed").and_then(Json::as_bool), Some(true));
+        let critical = doc.get("critical").unwrap().as_f64().unwrap();
+        assert!((critical - 0.1).abs() < 1e-8, "{out}");
+    }
+
+    #[test]
+    fn estimator_errors_exit_with_code_8() {
+        let dir = std::env::temp_dir().join("relogic-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("est-err.bench");
+        std::fs::write(&path, SMALL).unwrap();
+        let p = path.display().to_string();
+        // A threshold at or above the delta = ½ ceiling is an estimator
+        // parameter error, distinct from the analysis exit code.
+        let parsed = ParsedArgs::parse(["critical-eps", p.as_str(), "--threshold", "0.9"]).unwrap();
+        let err = run(&parsed).unwrap_err();
+        assert!(matches!(err, CliError::Estimator(_)), "{err}");
+        assert_eq!(err.exit_code(), 8);
+        assert!(err.to_string().contains("estimator error"), "{err}");
     }
 
     #[test]

@@ -27,6 +27,14 @@ COMMANDS:
     sweep <FILE>            delta(eps) curves over an epsilon grid (CSV)
     mc <FILE>               Monte Carlo fault-injection reference
     rank <FILE>             gates ranked by soft-error criticality (eps * observability)
+    estimate <FILE>         hybrid SER estimate: exact BDD under a live-node
+                            budget, auto-escalating to the propagation
+                            estimator and Monte Carlo refinement
+    harden <FILE>           selective-TMR hardening sweep under an area
+                            budget (reliability-per-area Pareto front)
+    critical-eps <FILE>     bisect for the smallest eps where delta
+                            reaches --threshold (deterministic, on the
+                            compiled sweep tape)
     convert <FILE>          convert between bench / blif / dot
     gen <NAME>              emit a benchmark-suite analogue as .bench text
     serve                   run the relogic-serve analysis daemon
@@ -58,7 +66,17 @@ OPTIONS:
     --partner-cap <N|none>  cap the correlation partners tracked per node
                             (accuracy/time dial; `none` lifts the cap)
     --json                  emit machine-readable JSON (analyze, observability,
-                            mc) using the relogic-serve result schema
+                            mc, estimate, harden, critical-eps) using the
+                            relogic-serve result schema
+    --bdd-node-budget <N>   BDD live-node budget for the estimate exact
+                            tier; 0 disables the exact tier
+                            (fallbacks are counted, never silent)
+                                                          [default: 2000000]
+    --area-budget <F>       max gate-count ratio for harden  [default: 2.0]
+    --threshold <F>         delta threshold for critical-eps [default: 0.1]
+    --metric <max|mean>     delta summary for critical-eps   [default: max]
+    --max-steps <N>         step cap for harden prefixes / critical-eps
+                            bisection (0 = command default)  [default: 0]
     --cache-dir <DIR>       versioned, checksummed on-disk artifact store:
                             analyze/observability/rank read and write it,
                             serve persists its cache across restarts in it,
@@ -85,6 +103,7 @@ FILES:
 EXIT CODES:
     0 success    2 usage error    3 i/o error    4 netlist error
     5 analysis error    6 simulation error    7 store error/corruption
+    8 estimator error (estimate / harden / critical-eps)
 
 EXAMPLES:
     relogic-cli gen b9 > b9.bench
@@ -92,6 +111,9 @@ EXAMPLES:
     relogic-cli sweep b9.bench --points 50 --threads 4 > curves.csv
     relogic-cli mc b9.bench --patterns 1000000 --threads 8
     relogic-cli rank b9.bench --top 5
+    relogic-cli estimate b9.bench --eps 0.05 --bdd-node-budget 100000
+    relogic-cli harden b9.bench --area-budget 2.5 --top 8
+    relogic-cli critical-eps b9.bench --threshold 0.2 --metric mean
     relogic-cli convert b9.bench --to dot | dot -Tsvg > b9.svg
     relogic-cli analyze b9.bench --eps 0.1 --json
     relogic-cli serve --unix /tmp/relogic.sock --threads 8

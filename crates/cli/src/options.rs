@@ -2,6 +2,7 @@
 
 use crate::commands::CliError;
 use relogic::Backend;
+use relogic_estimate::CriticalMetric;
 
 /// Raw command line split into command, positional argument, and options.
 #[derive(Clone, Debug, PartialEq)]
@@ -73,6 +74,18 @@ pub struct Options {
     /// compiled in with the `chaos` feature.
     #[cfg(feature = "chaos")]
     pub chaos_profile: Option<String>,
+    /// BDD live-node budget for the `estimate` exact tier (0 disables
+    /// the exact tier and goes straight to propagation).
+    pub bdd_node_budget: usize,
+    /// Gate-count-ratio budget for `harden` (baseline = 1.0).
+    pub area_budget: f64,
+    /// δ threshold for `critical-eps`.
+    pub threshold: f64,
+    /// δ summary the `critical-eps` threshold applies to.
+    pub metric: CriticalMetric,
+    /// Step cap for `harden` prefixes / `critical-eps` bisection
+    /// (0 = the command's default).
+    pub max_steps: usize,
 }
 
 /// Which statistics backend the user asked for.
@@ -140,6 +153,11 @@ impl Default for Options {
             cache_dir: None,
             #[cfg(feature = "chaos")]
             chaos_profile: None,
+            bdd_node_budget: relogic_estimate::DEFAULT_BDD_NODE_BUDGET,
+            area_budget: 2.0,
+            threshold: 0.1,
+            metric: CriticalMetric::Max,
+            max_steps: 0,
         }
     }
 }
@@ -231,6 +249,16 @@ impl ParsedArgs {
                             ))
                         })?)
                     });
+                }
+                "--bdd-node-budget" => options.bdd_node_budget = parse_value(&arg, iter.next())?,
+                "--area-budget" => options.area_budget = parse_value(&arg, iter.next())?,
+                "--threshold" => options.threshold = parse_value(&arg, iter.next())?,
+                "--max-steps" => options.max_steps = parse_value(&arg, iter.next())?,
+                "--metric" => {
+                    let v: String = parse_value(&arg, iter.next())?;
+                    options.metric = CriticalMetric::parse(&v).ok_or_else(|| {
+                        CliError::Usage(format!("unknown metric `{v}` (expected max or mean)"))
+                    })?;
                 }
                 "--json" => options.json = true,
                 "--no-correlations" => options.no_correlations = true,
@@ -424,6 +452,42 @@ mod tests {
         assert_eq!(p.command, "cache warm");
         assert_eq!(p.target.as_deref(), Some("c.bench"));
         assert!(ParsedArgs::parse(["cache"]).is_err());
+    }
+
+    #[test]
+    fn estimator_options() {
+        let p = ParsedArgs::parse(["estimate", "x.bench"]).unwrap();
+        assert_eq!(
+            p.options.bdd_node_budget,
+            relogic_estimate::DEFAULT_BDD_NODE_BUDGET
+        );
+        assert_eq!(p.options.area_budget, 2.0);
+        assert_eq!(p.options.threshold, 0.1);
+        assert_eq!(p.options.metric, CriticalMetric::Max);
+        assert_eq!(p.options.max_steps, 0);
+        let p = ParsedArgs::parse([
+            "critical-eps",
+            "x.bench",
+            "--bdd-node-budget",
+            "0",
+            "--area-budget",
+            "3.5",
+            "--threshold",
+            "0.25",
+            "--metric",
+            "mean",
+            "--max-steps",
+            "40",
+        ])
+        .unwrap();
+        assert_eq!(p.options.bdd_node_budget, 0);
+        assert_eq!(p.options.area_budget, 3.5);
+        assert_eq!(p.options.threshold, 0.25);
+        assert_eq!(p.options.metric, CriticalMetric::Mean);
+        assert_eq!(p.options.max_steps, 40);
+        let err = ParsedArgs::parse(["critical-eps", "x.bench", "--metric", "median"]).unwrap_err();
+        assert!(err.to_string().contains("unknown metric"), "{err}");
+        assert!(ParsedArgs::parse(["estimate", "x.bench", "--bdd-node-budget"]).is_err());
     }
 
     #[test]

@@ -99,6 +99,10 @@ pub struct Diagnostics {
     correlation_fallbacks: u64,
     worst_excursion: f64,
     bdd: Option<BddEngineStats>,
+    tier_exact: u64,
+    tier_propagation: u64,
+    tier_mc: u64,
+    estimator_fallbacks: u64,
 }
 
 impl Diagnostics {
@@ -132,6 +136,7 @@ impl Diagnostics {
                 0.0
             },
             bdd,
+            ..Diagnostics::default()
         }
     }
 
@@ -186,6 +191,57 @@ impl Diagnostics {
         self.total_events() == 0
     }
 
+    /// Times the auto-escalating estimator answered with the exact (BDD)
+    /// tier.
+    #[must_use]
+    pub fn tier_exact(&self) -> u64 {
+        self.tier_exact
+    }
+
+    /// Times the auto-escalating estimator answered with the
+    /// propagation-probability tier.
+    #[must_use]
+    pub fn tier_propagation(&self) -> u64 {
+        self.tier_propagation
+    }
+
+    /// Times the auto-escalating estimator answered with the Monte Carlo
+    /// refinement tier.
+    #[must_use]
+    pub fn tier_mc(&self) -> u64 {
+        self.tier_mc
+    }
+
+    /// Times the exact tier failed (budget trip or analysis error) and
+    /// the estimator fell back to a cheaper tier. Fallbacks are never
+    /// silent: the count survives merges and serialization.
+    #[must_use]
+    pub fn estimator_fallbacks(&self) -> u64 {
+        self.estimator_fallbacks
+    }
+
+    /// Records that the exact tier produced this run's answer.
+    pub fn record_tier_exact(&mut self) {
+        self.tier_exact += 1;
+    }
+
+    /// Records that the propagation-probability tier produced this run's
+    /// answer.
+    pub fn record_tier_propagation(&mut self) {
+        self.tier_propagation += 1;
+    }
+
+    /// Records that the Monte Carlo tier produced this run's answer.
+    pub fn record_tier_mc(&mut self) {
+        self.tier_mc += 1;
+    }
+
+    /// Records one exact-tier failure that forced a fallback to a cheaper
+    /// tier.
+    pub fn record_estimator_fallback(&mut self) {
+        self.estimator_fallbacks += 1;
+    }
+
     /// Symbolic-engine statistics, present when the run used the BDD
     /// backend.
     #[must_use]
@@ -208,6 +264,10 @@ impl Diagnostics {
         self.theta_clamps += other.theta_clamps;
         self.correlation_fallbacks += other.correlation_fallbacks;
         self.worst_excursion = self.worst_excursion.max(other.worst_excursion);
+        self.tier_exact += other.tier_exact;
+        self.tier_propagation += other.tier_propagation;
+        self.tier_mc += other.tier_mc;
+        self.estimator_fallbacks += other.estimator_fallbacks;
         if let Some(stats) = &other.bdd {
             self.record_bdd_stats(*stats);
         }
@@ -291,6 +351,14 @@ impl fmt::Display for Diagnostics {
             self.correlation_fallbacks
         )?;
         write!(f, "worst excursion:          {:.3e}", self.worst_excursion)?;
+        let tiers = self.tier_exact + self.tier_propagation + self.tier_mc;
+        if tiers + self.estimator_fallbacks > 0 {
+            write!(
+                f,
+                "\nestimator tiers:          exact {} / propagation {} / mc {} (fallbacks {})",
+                self.tier_exact, self.tier_propagation, self.tier_mc, self.estimator_fallbacks
+            )?;
+        }
         if let Some(stats) = &self.bdd {
             write!(f, "\n{stats}")?;
         }

@@ -98,6 +98,15 @@ pub enum RelogicError {
     },
     /// A simulation-backend failure (zero pattern budget, bad ε vector …).
     Sim(SimError),
+    /// A budgeted exact (BDD) computation exceeded its live-node budget
+    /// and aborted. The tiered estimator treats this as the signal to
+    /// fall back to a cheaper backend.
+    BddBudgetExceeded {
+        /// Live decision nodes when the budget check tripped.
+        live_nodes: usize,
+        /// The configured live-node budget.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for RelogicError {
@@ -151,6 +160,10 @@ impl fmt::Display for RelogicError {
                 "strict numeric policy violation: {context} = {value} outside [{lo}, {hi}]"
             ),
             RelogicError::Sim(e) => write!(f, "simulation error: {e}"),
+            RelogicError::BddBudgetExceeded { live_nodes, budget } => write!(
+                f,
+                "exact BDD analysis exceeded its live-node budget ({live_nodes} live nodes > {budget})"
+            ),
         }
     }
 }

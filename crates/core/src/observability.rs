@@ -263,6 +263,47 @@ impl ObservabilityMatrix {
         }
     }
 
+    /// Like [`ObservabilityMatrix::try_compute_threads`] with the BDD
+    /// backend, but the deterministic base circuit construction is bounded
+    /// by a live-node `budget`.
+    ///
+    /// The budget is checked gate-by-gate during a single-threaded probe
+    /// build — the identical sequence every parallel worker would replay —
+    /// so the trip decision is a pure function of `(circuit, budget)` and
+    /// cannot depend on thread count or scheduling. The subsequent
+    /// backward sweep is GC-managed (see [`GC_HEADROOM_NODES`]) rather
+    /// than budget-checked; the base build is where multiplier-class
+    /// reconvergence blows up.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::BddBudgetExceeded`] when the probe build trips the
+    /// budget, otherwise as [`ObservabilityMatrix::try_compute`].
+    pub fn try_compute_budgeted(
+        circuit: &Circuit,
+        dist: &InputDistribution,
+        threads: usize,
+        budget: usize,
+    ) -> Result<Self, RelogicError> {
+        let _ = dist.try_position_probs(circuit)?;
+        let order_len = circuit.input_count();
+        let _aux =
+            relogic_bdd::Var::try_from(order_len).map_err(|_| RelogicError::CircuitTooLarge {
+                nodes: circuit.len(),
+            })?;
+        let order = VarOrder::dfs(circuit);
+        let mut manager = BddManager::new(order.len() + 1);
+        manager.place_var_at_top(key32(order.len()));
+        CircuitBdds::try_build_budgeted(&mut manager, circuit, &order, budget).map_err(|e| {
+            RelogicError::BddBudgetExceeded {
+                live_nodes: e.live_nodes,
+                budget: e.budget,
+            }
+        })?;
+        drop(manager);
+        Self::compute_bdd(circuit, dist, threads)
+    }
+
     fn build_worker(circuit: &Circuit, dist: &InputDistribution) -> BddWorker {
         let order = VarOrder::dfs(circuit);
         let mut manager = BddManager::new(order.len() + 1);

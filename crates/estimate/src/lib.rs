@@ -1,0 +1,41 @@
+//! Tiered reliability estimation on top of the `relogic` analysis stack.
+//!
+//! The paper's exact observability analysis (and its BDD engine) is the
+//! gold standard, but it can blow up on multiplier-class reconvergence;
+//! Monte Carlo always works but pays per-pattern cost. This crate adds the
+//! missing middle tier and the policy that arbitrates between all three:
+//!
+//! * [`PropagationEstimate`] — a propagation-probability SER estimator in
+//!   the Asadi–Tahoori style: topological signal probabilities plus a
+//!   reverse-topological per-output observability estimate, both under a
+//!   fanin-independence assumption. Linear in circuit size, never blows
+//!   up, approximate under reconvergent fanout.
+//! * [`run_estimate`] / [`EstimatorPolicy`] — auto-escalation: try the
+//!   exact tier under a BDD live-node budget, fall back to propagation on
+//!   any exact failure (recording the fallback in
+//!   [`relogic::Diagnostics`], never silently), and refine with tape
+//!   Monte Carlo when the propagation answer saturates toward δ = ½ where
+//!   the closed form degrades.
+//! * [`harden`] — a selective-TMR optimizer driven by the estimator's
+//!   criticality ranking, emitting a reliability-per-area Pareto front
+//!   under an area budget.
+//! * [`critical_eps`] — deterministic bisection for the gate error rate ε
+//!   at which output error δ crosses a threshold, on the compiled
+//!   [`relogic::SweepTape`].
+
+#![warn(missing_docs)]
+
+mod critical;
+mod harden;
+mod policy;
+mod propagation;
+
+pub use critical::{critical_eps, CriticalEpsReport, CriticalMetric, DEFAULT_BISECTION_STEPS};
+pub use harden::{harden, HardenReport, ParetoPoint};
+pub use policy::{
+    run_estimate, EstimateReport, EstimatorPolicy, EstimatorTier, DEFAULT_BDD_NODE_BUDGET,
+    DEFAULT_MC_DELTA_THRESHOLD,
+};
+pub use propagation::{
+    PropagationEstimate, PROPAGATION_VS_MC_BOUND_EPS, PROPAGATION_VS_MC_MEAN_ABS_BOUND,
+};

@@ -10,6 +10,7 @@
 use crate::json::Json;
 use crate::proto::{AnalyzeRequestOptions, ServeError};
 use relogic::{GateEps, ObservabilityMatrix, SinglePass, Weights};
+use relogic_estimate::{CriticalEpsReport, EstimateReport, HardenReport, ParetoPoint};
 use relogic_netlist::Circuit;
 use relogic_sim::MonteCarloConfig;
 
@@ -175,6 +176,84 @@ pub fn monte_carlo_result_tape(
     )
     .map_err(ServeError::from)?;
     monte_carlo_json(circuit, eps, config, &estimate)
+}
+
+/// Builds the `estimate` result object from a tiered-estimation report:
+/// which tier answered, why, the per-output δ it produced, and (when the
+/// Monte Carlo tier refined a saturated estimate) the propagation deltas
+/// it replaced.
+#[must_use]
+pub fn estimate_result(circuit: &Circuit, eps: f64, report: &EstimateReport) -> Json {
+    let mut result = Json::obj([
+        ("eps", Json::Num(eps)),
+        ("tier", Json::from(report.tier.name())),
+        ("reason", Json::from(report.reason.as_str())),
+        ("outputs", output_names(circuit)),
+        ("delta", delta_array(&report.per_output)),
+        (
+            "estimator_fallbacks",
+            Json::from(report.diagnostics.estimator_fallbacks()),
+        ),
+    ]);
+    if let Some(prop) = &report.propagation {
+        result.push("propagation", delta_array(prop));
+    }
+    result
+}
+
+fn pareto_point_json(point: &ParetoPoint) -> Json {
+    Json::obj([
+        ("protected", Json::from(point.protected)),
+        ("gates", Json::from(point.gates)),
+        ("area_ratio", Json::Num(point.area_ratio)),
+        ("mean_delta", Json::Num(point.mean_delta)),
+        ("max_delta", Json::Num(point.max_delta)),
+    ])
+}
+
+/// Builds the `harden` result object: the unprotected baseline, every
+/// evaluated TMR candidate, the non-dominated reliability-per-area front,
+/// and the gate protection order with criticalities.
+#[must_use]
+pub fn harden_result(circuit: &Circuit, eps: f64, area_budget: f64, report: &HardenReport) -> Json {
+    let points = |ps: &[ParetoPoint]| Json::Arr(ps.iter().map(pareto_point_json).collect());
+    let ranking: Vec<Json> = report
+        .ranking
+        .iter()
+        .map(|&(id, criticality)| {
+            Json::obj([
+                ("node", Json::from(circuit.display_name(id))),
+                ("criticality", Json::Num(criticality)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("eps", Json::Num(eps)),
+        ("area_budget", Json::Num(area_budget)),
+        ("baseline", pareto_point_json(&report.baseline)),
+        ("evaluated", points(&report.evaluated)),
+        ("front", points(&report.front)),
+        ("ranking", Json::Arr(ranking)),
+    ])
+}
+
+/// Builds the `critical_eps` result object: whether δ crosses the
+/// threshold in `ε ∈ [0, ½]`, the bisected critical ε (or null), and the
+/// final bracket.
+#[must_use]
+pub fn critical_eps_result(circuit: &Circuit, report: &CriticalEpsReport) -> Json {
+    Json::obj([
+        ("metric", Json::from(report.metric.name())),
+        ("threshold", Json::Num(report.threshold)),
+        ("outputs", output_names(circuit)),
+        ("crossed", Json::from(report.crossed)),
+        ("critical", report.critical.map_or(Json::Null, Json::Num)),
+        ("lo", Json::Num(report.lo)),
+        ("hi", Json::Num(report.hi)),
+        ("delta_lo", Json::Num(report.delta_lo)),
+        ("delta_hi", Json::Num(report.delta_hi)),
+        ("steps", Json::from(report.steps)),
+    ])
 }
 
 fn monte_carlo_json(

@@ -32,6 +32,7 @@
 
 use crate::proto::{BackendSpec, CircuitPayload, ServeError};
 use relogic::{InputDistribution, ObservabilityMatrix, RelogicError, Weights};
+use relogic_estimate::PropagationEstimate;
 use relogic_netlist::structure::CircuitStats;
 use relogic_netlist::Circuit;
 use relogic_sim::CircuitTape;
@@ -201,6 +202,17 @@ impl DiskTier {
         loaded.hit()
     }
 
+    fn load_estimate(&self, key: StoreKey) -> Option<PropagationEstimate> {
+        let loaded = match self.active()?.load_estimate(key) {
+            Ok(l) => l,
+            Err(e) => {
+                self.note(&e);
+                return None;
+            }
+        };
+        loaded.hit()
+    }
+
     fn save_meta(&self, key: StoreKey, meta: &ArtifactMeta) {
         // Skip rewriting provenance the store already has: meta is tiny
         // but every serve hit would otherwise pay a disk write.
@@ -237,6 +249,14 @@ impl DiskTier {
             }
         }
     }
+
+    fn save_estimate(&self, key: StoreKey, estimate: &PropagationEstimate) {
+        if let Some(store) = self.active() {
+            if let Err(e) = store.save_estimate(key, estimate) {
+                self.note(&e);
+            }
+        }
+    }
 }
 
 /// A compiled circuit: the parsed netlist plus lazily materialized,
@@ -256,6 +276,7 @@ pub struct Artifact {
     weights: OnceLock<Result<Weights, RelogicError>>,
     observability: OnceLock<Result<ObservabilityMatrix, RelogicError>>,
     tape: OnceLock<CircuitTape>,
+    estimate: OnceLock<Result<PropagationEstimate, RelogicError>>,
 }
 
 impl Artifact {
@@ -290,6 +311,7 @@ impl Artifact {
             weights: OnceLock::new(),
             observability: OnceLock::new(),
             tape: OnceLock::new(),
+            estimate: OnceLock::new(),
         })
     }
 
@@ -403,6 +425,56 @@ impl Artifact {
         }
     }
 
+    /// The observability matrix **only if it is already materialized and
+    /// valid** — never triggers a compute. The estimator's exact tier uses
+    /// this peek: an answered `observability` request means the exact
+    /// answer is free, but a cold artifact must go through the *budgeted*
+    /// build instead (which must not poison this slot on a budget trip).
+    #[must_use]
+    pub fn observability_if_ready(&self) -> Option<&ObservabilityMatrix> {
+        match self.observability.get() {
+            Some(Ok(m)) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The propagation estimate (signal probabilities + per-output
+    /// observability estimates), materialized on first use.
+    /// `counters.estimates_computed` increments only when this call
+    /// actually runs the estimator.
+    ///
+    /// Returns the raw [`RelogicError`] (not a [`ServeError`]) because the
+    /// caller is the escalation policy, which needs the typed error to
+    /// decide whether to escalate; wrap with `ServeError::from` at the
+    /// protocol boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the estimator's [`RelogicError`].
+    pub fn propagation_estimate(
+        &self,
+        counters: &CacheCounters,
+    ) -> Result<&PropagationEstimate, RelogicError> {
+        let slot = self.estimate.get_or_init(|| {
+            if let Some(disk) = &self.disk {
+                if let Some(e) = disk.load_estimate(self.key.store_key()) {
+                    return Ok(e);
+                }
+            }
+            counters.estimates_computed.fetch_add(1, Ordering::Relaxed);
+            let estimate =
+                PropagationEstimate::try_compute(&self.circuit, &InputDistribution::Uniform);
+            if let (Some(disk), Ok(e)) = (&self.disk, &estimate) {
+                disk.save_estimate(self.key.store_key(), e);
+            }
+            estimate
+        });
+        match slot {
+            Ok(e) => Ok(e),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
     /// Up-front byte charge for this artifact: netlist-scale circuit
     /// storage plus the projected weight and observability payloads. A
     /// structural estimate (see module docs), deliberately charged before
@@ -414,7 +486,8 @@ impl Artifact {
         let weight_bytes = Weights::projected_heap_bytes(&self.circuit);
         let obs_bytes = ObservabilityMatrix::projected_heap_bytes(&self.circuit);
         let tape_bytes = CircuitTape::projected_heap_bytes(&self.circuit);
-        circuit_bytes + weight_bytes + obs_bytes + tape_bytes
+        let estimate_bytes = PropagationEstimate::projected_heap_bytes(&self.circuit);
+        circuit_bytes + weight_bytes + obs_bytes + tape_bytes + estimate_bytes
     }
 }
 
@@ -435,6 +508,8 @@ pub struct CacheCounters {
     pub observability_computed: AtomicU64,
     /// Circuit tapes actually compiled (cache hits skip this).
     pub tapes_compiled: AtomicU64,
+    /// Propagation estimates actually computed (cache hits skip this).
+    pub estimates_computed: AtomicU64,
     /// Artifacts larger than the whole budget, served uncached.
     pub uncacheable: AtomicU64,
     /// BDD engine statistics aggregated over every observability
@@ -911,6 +986,29 @@ mod tests {
         // And the next lookup recompiles.
         let (_, o) = cache.get_or_compile(&payload(SMALL)).unwrap();
         assert_eq!(o, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn propagation_estimate_is_lazy_and_peek_never_computes() {
+        let cache = ArtifactCache::new(1 << 20);
+        let (a, _) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        // The peek must not trigger a compute.
+        assert!(a.observability_if_ready().is_none());
+        assert_eq!(
+            cache
+                .counters()
+                .observability_computed
+                .load(Ordering::Relaxed),
+            0
+        );
+        let _ = a.propagation_estimate(cache.counters()).unwrap();
+        let _ = a.propagation_estimate(cache.counters()).unwrap();
+        assert_eq!(
+            cache.counters().estimates_computed.load(Ordering::Relaxed),
+            1
+        );
+        let _ = a.observability(cache.counters()).unwrap();
+        assert!(a.observability_if_ready().is_some());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use crate::json::{self, Json};
 use relogic::{RelogicError, SinglePassOptions};
+use relogic_estimate::CriticalMetric;
 use relogic_netlist::{Circuit, NetlistError};
 use relogic_sim::SimError;
 use std::fmt;
@@ -29,6 +30,13 @@ pub const DEFAULT_EPS: f64 = 0.05;
 
 /// Default Monte Carlo pattern budget, matching the CLI default.
 pub const DEFAULT_PATTERNS: u64 = 65_536;
+
+/// Default gate-count ratio ceiling for `harden` requests: up to 2× the
+/// unprotected circuit's area.
+pub const DEFAULT_AREA_BUDGET: f64 = 2.0;
+
+/// Default δ threshold a `critical_eps` request bisects for.
+pub const DEFAULT_CRITICAL_THRESHOLD: f64 = 0.1;
 
 /// Netlist text format of a request payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -168,6 +176,45 @@ pub enum Request {
         /// Worker threads (0 = auto).
         threads: usize,
     },
+    /// Tiered reliability estimate: exact BDD under a live-node budget,
+    /// falling back to the propagation estimator, refined by Monte Carlo
+    /// when the estimate saturates (see `relogic-estimate`).
+    Estimate {
+        /// Circuit payload.
+        circuit: CircuitPayload,
+        /// Uniform gate failure probability.
+        eps: f64,
+        /// Live-node budget for the exact tier (0 disables it).
+        bdd_node_budget: usize,
+        /// Pattern budget for the Monte Carlo refinement tier.
+        patterns: u64,
+        /// RNG seed for the Monte Carlo refinement tier.
+        seed: u64,
+    },
+    /// Selective-TMR hardening sweep: reliability-per-area Pareto front
+    /// under a gate-count budget.
+    Harden {
+        /// Circuit payload.
+        circuit: CircuitPayload,
+        /// Uniform gate failure probability.
+        eps: f64,
+        /// Maximum gate-count ratio versus the unprotected circuit.
+        area_budget: f64,
+        /// Cap on evaluated protection prefixes (0 = no cap).
+        max_steps: usize,
+    },
+    /// Deterministic bisection on ε for where output error δ crosses a
+    /// threshold, evaluated on the compiled sweep tape.
+    CriticalEps {
+        /// Circuit payload.
+        circuit: CircuitPayload,
+        /// δ threshold in (0, ½).
+        threshold: f64,
+        /// How δ is summarized across outputs.
+        metric: CriticalMetric,
+        /// Bisection step cap (0 = the library default).
+        max_steps: usize,
+    },
     /// Service counters: requests, cache, latency percentiles.
     Stats,
     /// Readiness probe: drain state, in-flight gauge, queue depth, shed
@@ -185,6 +232,9 @@ impl Request {
             Request::Analyze { .. } => "analyze",
             Request::Observability { .. } => "observability",
             Request::MonteCarlo { .. } => "monte_carlo",
+            Request::Estimate { .. } => "estimate",
+            Request::Harden { .. } => "harden",
+            Request::CriticalEps { .. } => "critical_eps",
             Request::Stats => "stats",
             Request::Health => "health",
         }
@@ -195,10 +245,7 @@ impl Request {
     /// overload precisely so operators can observe the overload.
     #[must_use]
     pub fn needs_admission(&self) -> bool {
-        matches!(
-            self,
-            Request::Analyze { .. } | Request::Observability { .. } | Request::MonteCarlo { .. }
-        )
+        !matches!(self, Request::Stats | Request::Health)
     }
 }
 
@@ -491,6 +538,67 @@ fn build_request(doc: &Json, limits: &RequestLimits) -> Result<Request, ServeErr
                 threads,
             })
         }
+        "estimate" => {
+            let circuit = circuit_payload(doc)?;
+            let eps = opt_f64(doc, "eps", DEFAULT_EPS)?;
+            let bdd_node_budget = usize::try_from(opt_u64(
+                doc,
+                "bdd_node_budget",
+                u64::try_from(relogic_estimate::DEFAULT_BDD_NODE_BUDGET).unwrap_or(u64::MAX),
+            )?)
+            .map_err(|_| bad("`bdd_node_budget` out of range"))?;
+            let patterns = opt_u64(doc, "patterns", DEFAULT_PATTERNS)?;
+            if patterns > limits.max_patterns {
+                return Err(bad(&format!(
+                    "patterns {patterns} exceeds the per-request limit {}",
+                    limits.max_patterns
+                )));
+            }
+            let seed = opt_u64(doc, "seed", 1)?;
+            Ok(Request::Estimate {
+                circuit,
+                eps,
+                bdd_node_budget,
+                patterns,
+                seed,
+            })
+        }
+        "harden" => {
+            let circuit = circuit_payload(doc)?;
+            let eps = opt_f64(doc, "eps", DEFAULT_EPS)?;
+            let area_budget = opt_f64(doc, "area_budget", DEFAULT_AREA_BUDGET)?;
+            let max_steps = usize::try_from(opt_u64(doc, "max_steps", 0)?)
+                .map_err(|_| bad("`max_steps` out of range"))?;
+            Ok(Request::Harden {
+                circuit,
+                eps,
+                area_budget,
+                max_steps,
+            })
+        }
+        "critical_eps" => {
+            let circuit = circuit_payload(doc)?;
+            let threshold = opt_f64(doc, "threshold", DEFAULT_CRITICAL_THRESHOLD)?;
+            let metric = match doc.get("metric") {
+                None => CriticalMetric::Max,
+                Some(v) => {
+                    let tag = v.as_str().ok_or_else(|| bad("non-string `metric`"))?;
+                    CriticalMetric::parse(tag).ok_or_else(|| {
+                        bad(&format!(
+                            "unknown metric `{tag}` (expected \"max\" or \"mean\")"
+                        ))
+                    })?
+                }
+            };
+            let max_steps = usize::try_from(opt_u64(doc, "max_steps", 0)?)
+                .map_err(|_| bad("`max_steps` out of range"))?;
+            Ok(Request::CriticalEps {
+                circuit,
+                threshold,
+                metric,
+                max_steps,
+            })
+        }
         "stats" => Ok(Request::Stats),
         "health" => Ok(Request::Health),
         other => Err(bad(&format!("unknown request kind `{other}`"))),
@@ -714,6 +822,81 @@ mod tests {
             &RequestLimits::default(),
         );
         assert!(req.map(|r| r.needs_admission()).unwrap_or(false));
+    }
+
+    #[test]
+    fn parses_estimator_kinds_with_defaults_and_admission() {
+        let limits = RequestLimits::default();
+        let (_, req) = parse_request(r#"{"kind":"estimate","netlist":"x"}"#, &limits);
+        let Ok(Request::Estimate {
+            eps,
+            bdd_node_budget,
+            patterns,
+            seed,
+            ..
+        }) = req
+        else {
+            panic!("{req:?}");
+        };
+        assert_eq!(eps, DEFAULT_EPS);
+        assert_eq!(bdd_node_budget, relogic_estimate::DEFAULT_BDD_NODE_BUDGET);
+        assert_eq!((patterns, seed), (DEFAULT_PATTERNS, 1));
+
+        let (_, req) = parse_request(
+            r#"{"kind":"harden","netlist":"x","eps":0.02,"area_budget":3.5,"max_steps":4}"#,
+            &limits,
+        );
+        let Ok(req) = req else { panic!("{req:?}") };
+        assert!(req.needs_admission());
+        let Request::Harden {
+            eps,
+            area_budget,
+            max_steps,
+            ..
+        } = req
+        else {
+            panic!();
+        };
+        assert_eq!((eps, area_budget, max_steps), (0.02, 3.5, 4));
+
+        let (_, req) = parse_request(
+            r#"{"kind":"critical_eps","netlist":"x","threshold":0.2,"metric":"mean"}"#,
+            &limits,
+        );
+        let Ok(req) = req else { panic!("{req:?}") };
+        assert_eq!(req.kind(), "critical_eps");
+        assert!(req.needs_admission());
+        let Request::CriticalEps {
+            threshold,
+            metric,
+            max_steps,
+            ..
+        } = req
+        else {
+            panic!();
+        };
+        assert_eq!(
+            (threshold, metric, max_steps),
+            (0.2, CriticalMetric::Mean, 0)
+        );
+    }
+
+    #[test]
+    fn estimator_kind_field_validation() {
+        let limits = RequestLimits::default();
+        for line in [
+            r#"{"kind":"estimate","netlist":"x","bdd_node_budget":-1}"#,
+            r#"{"kind":"estimate","netlist":"x","patterns":99999999999}"#,
+            r#"{"kind":"harden","netlist":"x","area_budget":"big"}"#,
+            r#"{"kind":"critical_eps","netlist":"x","metric":"p99"}"#,
+            r#"{"kind":"critical_eps","netlist":"x","metric":7}"#,
+        ] {
+            let (_, req) = parse_request(line, &limits);
+            match req {
+                Err(ServeError::BadRequest(_)) => {}
+                other => panic!("{line} should be bad_request, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@ use crate::cache::{ArtifactCache, DiskTier};
 use crate::json::Json;
 use crate::proto::{self, Request, RequestLimits, Response, ServeError};
 use crate::stats::ServiceStats;
+use relogic::{GateEps, InputDistribution, ObservabilityMatrix, SweepTape};
+use relogic_estimate::EstimatorPolicy;
 use relogic_sim::MonteCarloConfig;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -391,6 +393,111 @@ impl Service {
                 result.push("cache", Json::from(outcome.tag()));
                 Ok(result)
             }
+            Request::Estimate {
+                circuit,
+                eps,
+                bdd_node_budget,
+                patterns,
+                seed,
+            } => {
+                let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
+                let counters = self.inner.cache.counters();
+                let gate_eps =
+                    GateEps::try_uniform(artifact.circuit(), *eps).map_err(ServeError::from)?;
+                let policy = EstimatorPolicy {
+                    bdd_node_budget: *bdd_node_budget,
+                    mc_patterns: *patterns,
+                    mc_seed: *seed,
+                    ..EstimatorPolicy::default()
+                };
+                let report = relogic_estimate::run_estimate(
+                    &policy,
+                    |budget| {
+                        // An already-materialized observability matrix is
+                        // the exact answer for free; a cold artifact runs
+                        // the *budgeted* build compute-and-drop, so a
+                        // budget trip can never poison the cache slot.
+                        if let Some(matrix) = artifact.observability_if_ready() {
+                            return Ok(matrix.closed_form(&gate_eps));
+                        }
+                        ObservabilityMatrix::try_compute_budgeted(
+                            artifact.circuit(),
+                            &InputDistribution::Uniform,
+                            self.inner.config.default_threads,
+                            budget,
+                        )
+                        .map(|m| m.closed_form(&gate_eps))
+                    },
+                    || {
+                        artifact
+                            .propagation_estimate(counters)
+                            .map(|est| est.closed_form(&gate_eps))
+                    },
+                    |mc_patterns, mc_seed| {
+                        let config = MonteCarloConfig {
+                            patterns: mc_patterns,
+                            seed: mc_seed,
+                            threads: self.inner.config.default_threads,
+                            ..MonteCarloConfig::default()
+                        };
+                        Ok(relogic_sim::try_estimate(
+                            artifact.circuit(),
+                            gate_eps.as_slice(),
+                            &config,
+                        )
+                        .map_err(relogic::RelogicError::from)?
+                        .per_output()
+                        .to_vec())
+                    },
+                )
+                .map_err(ServeError::from)?;
+                self.inner.stats.record_tiers(&report.diagnostics);
+                let mut result = api::estimate_result(artifact.circuit(), *eps, &report);
+                result.push("cache", Json::from(outcome.tag()));
+                Ok(result)
+            }
+            Request::Harden {
+                circuit,
+                eps,
+                area_budget,
+                max_steps,
+            } => {
+                let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
+                let report = relogic_estimate::harden(
+                    artifact.circuit(),
+                    &InputDistribution::Uniform,
+                    *eps,
+                    *area_budget,
+                    *max_steps,
+                )
+                .map_err(ServeError::from)?;
+                let mut result =
+                    api::harden_result(artifact.circuit(), *eps, *area_budget, &report);
+                result.push("cache", Json::from(outcome.tag()));
+                Ok(result)
+            }
+            Request::CriticalEps {
+                circuit,
+                threshold,
+                metric,
+                max_steps,
+            } => {
+                let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
+                let weights = artifact.weights(self.inner.cache.counters())?;
+                let tape =
+                    SweepTape::try_new(artifact.circuit(), weights).map_err(ServeError::from)?;
+                let report = relogic_estimate::critical_eps(
+                    artifact.circuit(),
+                    &tape,
+                    *metric,
+                    *threshold,
+                    *max_steps,
+                )
+                .map_err(ServeError::from)?;
+                let mut result = api::critical_eps_result(artifact.circuit(), &report);
+                result.push("cache", Json::from(outcome.tag()));
+                Ok(result)
+            }
             Request::Stats => Ok(self.stats_json()),
             Request::Health => Ok(self.health_json()),
         }
@@ -414,6 +521,10 @@ impl Service {
             ("max_inflight", Json::from(self.inner.config.max_inflight)),
             ("queue_depth", Json::from(queue_depth)),
             ("shed", Json::from(stats.shed.load(Ordering::Relaxed))),
+            (
+                "estimator_fallbacks",
+                Json::from(stats.estimator_fallbacks.load(Ordering::Relaxed)),
+            ),
             ("cache_dir", Json::from(self.cache_dir_state())),
             (
                 "connections_active",
@@ -502,8 +613,13 @@ impl Service {
                         "tapes_compiled",
                         Json::from(counters.tapes_compiled.load(Ordering::Relaxed)),
                     ),
+                    (
+                        "estimates_computed",
+                        Json::from(counters.estimates_computed.load(Ordering::Relaxed)),
+                    ),
                 ]),
             ),
+            ("estimator", stats.estimator_json()),
             ("cache_dir", Json::from(self.cache_dir_state())),
             ("disk", {
                 let snapshot = self
@@ -693,6 +809,116 @@ mod tests {
         let out = svc.handle_line(&analyze_frame(""));
         assert!(out.contains("\"ok\":true"), "{out}");
         assert_eq!(svc.stats().inflight.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn estimate_tiers_are_reported_and_fallbacks_are_never_silent() {
+        let svc = service();
+        // Default budget: the two-gate circuit fits the exact tier.
+        let out = svc.handle_line(&format!(
+            r#"{{"kind":"estimate","netlist":"{SMALL}","eps":0.1,"id":1}}"#
+        ));
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"tier\":\"exact\""), "{out}");
+        // Budget 0 disables the exact tier: the answer degrades to the
+        // propagation tier and says so.
+        let out = svc.handle_line(&format!(
+            r#"{{"kind":"estimate","netlist":"{SMALL}","eps":0.1,"bdd_node_budget":0}}"#
+        ));
+        assert!(out.contains("\"tier\":\"propagation\""), "{out}");
+        assert!(out.contains("\"estimator_fallbacks\":1"), "{out}");
+        // The fallback is visible in stats and health.
+        let stats = svc.handle_line(r#"{"kind":"stats"}"#);
+        let doc = crate::json::parse(stats.trim()).unwrap();
+        let estimator = doc.get("result").unwrap().get("estimator").unwrap();
+        assert_eq!(estimator.get("tier_exact").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            estimator.get("tier_propagation").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(estimator.get("fallbacks").and_then(Json::as_u64), Some(1));
+        let requests = doc.get("result").unwrap().get("requests").unwrap();
+        assert_eq!(requests.get("estimate").and_then(Json::as_u64), Some(2));
+        let health = svc.handle_line(r#"{"kind":"health"}"#);
+        let doc = crate::json::parse(health.trim()).unwrap();
+        assert_eq!(
+            doc.get("result")
+                .unwrap()
+                .get("estimator_fallbacks")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn estimate_exact_tier_matches_observability_closed_form() {
+        let svc = service();
+        let obs = svc.handle_line(&format!(
+            r#"{{"kind":"observability","netlist":"{SMALL}","eps":0.1}}"#
+        ));
+        let est = svc.handle_line(&format!(
+            r#"{{"kind":"estimate","netlist":"{SMALL}","eps":0.1}}"#
+        ));
+        let delta_of = |line: &str| {
+            let doc = crate::json::parse(line.trim()).unwrap();
+            let result = doc.get("result").unwrap().clone();
+            match result.get("points") {
+                Some(points) => points.as_array().unwrap()[0].get("delta").unwrap().encode(),
+                None => result.get("delta").unwrap().encode(),
+            }
+        };
+        assert_eq!(delta_of(&obs), delta_of(&est));
+    }
+
+    #[test]
+    fn harden_round_trip_reports_a_front() {
+        let svc = service();
+        let out = svc.handle_line(&format!(
+            r#"{{"kind":"harden","netlist":"{SMALL}","eps":0.1,"area_budget":20}}"#
+        ));
+        let doc = crate::json::parse(out.trim()).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{out}");
+        let result = doc.get("result").unwrap();
+        let baseline = result.get("baseline").unwrap();
+        assert_eq!(baseline.get("protected").and_then(Json::as_u64), Some(0));
+        let front = result.get("front").and_then(Json::as_array).unwrap();
+        assert!(!front.is_empty());
+        assert!(!result
+            .get("evaluated")
+            .and_then(Json::as_array)
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            result
+                .get("ranking")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(2),
+            "both gates ranked"
+        );
+    }
+
+    #[test]
+    fn critical_eps_bisects_the_two_gate_chain() {
+        let svc = service();
+        let frame = format!(
+            r#"{{"kind":"critical_eps","netlist":"{SMALL}","threshold":0.2,"metric":"max"}}"#
+        );
+        let out = svc.handle_line(&frame);
+        let doc = crate::json::parse(out.trim()).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true), "{out}");
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("crossed").and_then(Json::as_bool), Some(true));
+        // Two noisy gates in series: δ(ε) = ½(1 − (1−2ε)²) = 0.2 at
+        // ε = (1 − √0.6)/2.
+        let expected = 0.5 * (1.0 - 0.6f64.sqrt());
+        let critical = result.get("critical").and_then(Json::as_f64).unwrap();
+        assert!((critical - expected).abs() < 1e-9, "critical = {critical}");
+        // Deterministic across repeats (modulo the cache tag).
+        assert_eq!(
+            out.replace("\"cache\":\"miss\"", ""),
+            svc.handle_line(&frame).replace("\"cache\":\"hit\"", "")
+        );
     }
 
     #[test]

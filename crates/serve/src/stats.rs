@@ -113,6 +113,12 @@ pub struct ServiceStats {
     pub observability: AtomicU64,
     /// `monte_carlo` requests received.
     pub monte_carlo: AtomicU64,
+    /// `estimate` requests received.
+    pub estimate: AtomicU64,
+    /// `harden` requests received.
+    pub harden: AtomicU64,
+    /// `critical_eps` requests received.
+    pub critical_eps: AtomicU64,
     /// `stats` requests received.
     pub stats: AtomicU64,
     /// `health` requests received.
@@ -135,6 +141,16 @@ pub struct ServiceStats {
     pub connections_active: AtomicU64,
     /// Service-time histogram over every answered frame.
     pub latency: LatencyHistogram,
+    /// `estimate` requests answered by the exact BDD tier.
+    pub tier_exact: AtomicU64,
+    /// `estimate` requests answered by the propagation tier.
+    pub tier_propagation: AtomicU64,
+    /// `estimate` requests refined by the Monte Carlo tier.
+    pub tier_mc: AtomicU64,
+    /// Exact-tier abandonments (budget trips and backend failures). A
+    /// nonzero count here is the "never degrade silently" signal: every
+    /// fallback is visible in `stats` and `health`.
+    pub estimator_fallbacks: AtomicU64,
 }
 
 impl ServiceStats {
@@ -144,10 +160,46 @@ impl ServiceStats {
             "analyze" => &self.analyze,
             "observability" => &self.observability,
             "monte_carlo" => &self.monte_carlo,
+            "estimate" => &self.estimate,
+            "harden" => &self.harden,
+            "critical_eps" => &self.critical_eps,
             "health" => &self.health,
             _ => &self.stats,
         }
         .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one estimate's tier outcome into the service-wide counters.
+    pub fn record_tiers(&self, diagnostics: &relogic::Diagnostics) {
+        self.tier_exact
+            .fetch_add(diagnostics.tier_exact(), Ordering::Relaxed);
+        self.tier_propagation
+            .fetch_add(diagnostics.tier_propagation(), Ordering::Relaxed);
+        self.tier_mc
+            .fetch_add(diagnostics.tier_mc(), Ordering::Relaxed);
+        self.estimator_fallbacks
+            .fetch_add(diagnostics.estimator_fallbacks(), Ordering::Relaxed);
+    }
+
+    /// The `estimator` sub-object: which tier answered `estimate`
+    /// requests, and how often the exact tier was abandoned.
+    #[must_use]
+    pub fn estimator_json(&self) -> Json {
+        Json::obj([
+            (
+                "tier_exact",
+                Json::from(self.tier_exact.load(Ordering::Relaxed)),
+            ),
+            (
+                "tier_propagation",
+                Json::from(self.tier_propagation.load(Ordering::Relaxed)),
+            ),
+            ("tier_mc", Json::from(self.tier_mc.load(Ordering::Relaxed))),
+            (
+                "fallbacks",
+                Json::from(self.estimator_fallbacks.load(Ordering::Relaxed)),
+            ),
+        ])
     }
 
     /// The `requests` sub-object.
@@ -162,6 +214,15 @@ impl ServiceStats {
             (
                 "monte_carlo",
                 Json::from(self.monte_carlo.load(Ordering::Relaxed)),
+            ),
+            (
+                "estimate",
+                Json::from(self.estimate.load(Ordering::Relaxed)),
+            ),
+            ("harden", Json::from(self.harden.load(Ordering::Relaxed))),
+            (
+                "critical_eps",
+                Json::from(self.critical_eps.load(Ordering::Relaxed)),
             ),
             ("stats", Json::from(self.stats.load(Ordering::Relaxed))),
             ("health", Json::from(self.health.load(Ordering::Relaxed))),
@@ -195,11 +256,31 @@ mod tests {
         s.count_kind("analyze");
         s.count_kind("analyze");
         s.count_kind("monte_carlo");
+        s.count_kind("estimate");
+        s.count_kind("harden");
+        s.count_kind("critical_eps");
         s.count_kind("stats");
         s.count_kind("health");
         let j = s.requests_json();
         assert_eq!(j.get("analyze").and_then(Json::as_u64), Some(2));
         assert_eq!(j.get("monte_carlo").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("estimate").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("harden").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("critical_eps").and_then(Json::as_u64), Some(1));
         assert_eq!(j.get("health").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn tier_counters_fold_diagnostics() {
+        let s = ServiceStats::default();
+        let mut d = relogic::Diagnostics::new();
+        d.record_estimator_fallback();
+        d.record_tier_propagation();
+        s.record_tiers(&d);
+        s.record_tiers(&d);
+        let j = s.estimator_json();
+        assert_eq!(j.get("tier_exact").and_then(Json::as_u64), Some(0));
+        assert_eq!(j.get("tier_propagation").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("fallbacks").and_then(Json::as_u64), Some(2));
     }
 }

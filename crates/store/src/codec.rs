@@ -13,6 +13,7 @@
 
 use crate::container::ContainerError;
 use relogic::{BddEngineStats, Diagnostics, ObservabilityMatrix, Weights};
+use relogic_estimate::PropagationEstimate;
 use relogic_netlist::GateKind;
 use relogic_sim::{CircuitTape, OwnedTapeParts};
 
@@ -350,6 +351,41 @@ pub fn decode_observability(payload: &[u8]) -> Result<ObservabilityMatrix, Conta
         .map_err(ContainerError::Malformed)
 }
 
+/// Encodes a propagation estimate (signal probabilities + per-output and
+/// any-output observability estimates).
+#[must_use]
+pub fn encode_estimate(estimate: &PropagationEstimate) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.f64_slice(estimate.signal_probs());
+    w.u64(estimate.per_output_rows().len() as u64);
+    for row in estimate.per_output_rows() {
+        w.f64_slice(row);
+    }
+    w.f64_slice(estimate.any_output_values());
+    w.buf
+}
+
+/// Decodes a propagation estimate, revalidating via
+/// [`PropagationEstimate::from_parts`].
+///
+/// # Errors
+///
+/// [`ContainerError::Malformed`] on truncation, a violated estimate
+/// invariant (shape mismatch, non-probability value), or trailing bytes.
+pub fn decode_estimate(payload: &[u8]) -> Result<PropagationEstimate, ContainerError> {
+    let mut r = Reader::new(payload);
+    let signal_probs = r.f64_vec()?;
+    let n = r.count(8)?;
+    let mut per_output = Vec::with_capacity(n);
+    for _ in 0..n {
+        per_output.push(r.f64_vec()?);
+    }
+    let any_output = r.f64_vec()?;
+    r.finish()?;
+    PropagationEstimate::from_parts(signal_probs, per_output, any_output)
+        .map_err(ContainerError::Malformed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +420,33 @@ mod tests {
         assert!(decode_weights(&bytes).is_err());
         assert!(decode_tape(&bytes).is_err());
         assert!(decode_observability(&bytes).is_err());
+        assert!(decode_estimate(&bytes).is_err());
+    }
+
+    #[test]
+    fn estimate_round_trips_bit_exactly() {
+        let est = PropagationEstimate::from_parts(
+            vec![0.5, 0.25, 1.0],
+            vec![vec![1.0, 0.0], vec![0.5, 0.125], vec![0.0, 1.0]],
+            vec![1.0, 0.5625, 1.0],
+        )
+        .unwrap();
+        let decoded = decode_estimate(&encode_estimate(&est)).unwrap();
+        assert_eq!(decoded, est);
+    }
+
+    #[test]
+    fn truncated_estimate_is_malformed_not_a_panic() {
+        let est = PropagationEstimate::from_parts(
+            vec![0.5, 0.25],
+            vec![vec![1.0], vec![0.5]],
+            vec![1.0, 0.5],
+        )
+        .unwrap();
+        let bytes = encode_estimate(&est);
+        for cut in 0..bytes.len() {
+            assert!(decode_estimate(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

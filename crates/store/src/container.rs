@@ -42,15 +42,19 @@ pub enum ArtifactKind {
     Weights,
     /// `relogic::ObservabilityMatrix` (+ its run diagnostics).
     Observability,
+    /// A `relogic_estimate::PropagationEstimate` (signal probabilities +
+    /// per-output and any-output observability estimates).
+    Estimator,
 }
 
 impl ArtifactKind {
     /// Every kind, in wire-code order.
-    pub const ALL: [ArtifactKind; 4] = [
+    pub const ALL: [ArtifactKind; 5] = [
         ArtifactKind::Meta,
         ArtifactKind::Tape,
         ArtifactKind::Weights,
         ArtifactKind::Observability,
+        ArtifactKind::Estimator,
     ];
 
     /// Stable wire code stored in the container header.
@@ -61,6 +65,7 @@ impl ArtifactKind {
             ArtifactKind::Tape => 1,
             ArtifactKind::Weights => 2,
             ArtifactKind::Observability => 3,
+            ArtifactKind::Estimator => 4,
         }
     }
 
@@ -72,6 +77,7 @@ impl ArtifactKind {
             1 => Some(ArtifactKind::Tape),
             2 => Some(ArtifactKind::Weights),
             3 => Some(ArtifactKind::Observability),
+            4 => Some(ArtifactKind::Estimator),
             _ => None,
         }
     }
@@ -84,6 +90,7 @@ impl ArtifactKind {
             ArtifactKind::Tape => "tape",
             ArtifactKind::Weights => "wts",
             ArtifactKind::Observability => "obs",
+            ArtifactKind::Estimator => "est",
         }
     }
 
@@ -95,6 +102,7 @@ impl ArtifactKind {
             "tape" => Some(ArtifactKind::Tape),
             "wts" => Some(ArtifactKind::Weights),
             "obs" => Some(ArtifactKind::Observability),
+            "est" => Some(ArtifactKind::Estimator),
             _ => None,
         }
     }
@@ -107,6 +115,7 @@ impl ArtifactKind {
             ArtifactKind::Tape => "tape",
             ArtifactKind::Weights => "weights",
             ArtifactKind::Observability => "observability",
+            ArtifactKind::Estimator => "estimator",
         }
     }
 }
@@ -237,7 +246,7 @@ mod tests {
             assert_eq!(ArtifactKind::from_code(kind.code()), Some(kind));
             assert_eq!(ArtifactKind::from_extension(kind.extension()), Some(kind));
         }
-        assert_eq!(ArtifactKind::from_code(4), None);
+        assert_eq!(ArtifactKind::from_code(5), None);
         assert_eq!(ArtifactKind::from_extension("corrupt"), None);
     }
 

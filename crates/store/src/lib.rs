@@ -33,8 +33,8 @@ mod key;
 mod store;
 
 pub use codec::{
-    decode_meta, decode_observability, decode_tape, decode_weights, encode_meta,
-    encode_observability, encode_tape, encode_weights, ArtifactMeta,
+    decode_estimate, decode_meta, decode_observability, decode_tape, decode_weights,
+    encode_estimate, encode_meta, encode_observability, encode_tape, encode_weights, ArtifactMeta,
 };
 pub use container::{open, seal, ArtifactKind, ContainerError, FORMAT_VERSION, HEADER_LEN, MAGIC};
 pub use key::StoreKey;

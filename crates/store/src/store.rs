@@ -10,12 +10,13 @@
 //! counter is bumped, one line goes to stderr, and the caller recomputes.
 
 use crate::codec::{
-    decode_meta, decode_observability, decode_tape, decode_weights, encode_meta,
-    encode_observability, encode_tape, encode_weights, ArtifactMeta,
+    decode_estimate, decode_meta, decode_observability, decode_tape, decode_weights,
+    encode_estimate, encode_meta, encode_observability, encode_tape, encode_weights, ArtifactMeta,
 };
 use crate::container::{self, ArtifactKind, ContainerError};
 use crate::key::StoreKey;
 use relogic::{ObservabilityMatrix, Weights};
+use relogic_estimate::PropagationEstimate;
 use relogic_sim::CircuitTape;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Write};
@@ -284,6 +285,19 @@ impl Store {
         )
     }
 
+    /// Persists a propagation estimate.
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::save_meta`].
+    pub fn save_estimate(
+        &self,
+        key: StoreKey,
+        estimate: &PropagationEstimate,
+    ) -> Result<(), StoreError> {
+        self.save(key, ArtifactKind::Estimator, &encode_estimate(estimate))
+    }
+
     fn save(&self, key: StoreKey, kind: ArtifactKind, payload: &[u8]) -> Result<(), StoreError> {
         let bytes = container::seal(kind, payload);
         let final_path = self.path_of(key, kind);
@@ -418,6 +432,15 @@ impl Store {
         self.load(key, ArtifactKind::Observability, decode_observability)
     }
 
+    /// Loads a propagation estimate.
+    ///
+    /// # Errors
+    ///
+    /// See [`Store::load_meta`].
+    pub fn load_estimate(&self, key: StoreKey) -> Result<Loaded<PropagationEstimate>, StoreError> {
+        self.load(key, ArtifactKind::Estimator, decode_estimate)
+    }
+
     fn load<T>(
         &self,
         key: StoreKey,
@@ -547,6 +570,7 @@ impl Store {
                 ArtifactKind::Tape => discard(self.load_tape(entry.key)?),
                 ArtifactKind::Weights => discard(self.load_weights(entry.key)?),
                 ArtifactKind::Observability => discard(self.load_observability(entry.key)?),
+                ArtifactKind::Estimator => discard(self.load_estimate(entry.key)?),
             };
             match outcome {
                 Loaded::Hit(()) => report.ok += 1,

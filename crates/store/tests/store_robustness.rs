@@ -19,10 +19,12 @@
 use proptest::collection;
 use proptest::prelude::*;
 use relogic::{Backend, InputDistribution, ObservabilityMatrix, Weights};
+use relogic_estimate::PropagationEstimate;
 use relogic_netlist::{Circuit, GateKind, NodeId};
 use relogic_sim::CircuitTape;
 use relogic_store::{
-    encode_observability, encode_tape, encode_weights, ArtifactMeta, Loaded, Store, StoreKey,
+    encode_estimate, encode_observability, encode_tape, encode_weights, ArtifactMeta, Loaded,
+    Store, StoreKey,
 };
 use std::fs;
 use std::path::PathBuf;
@@ -106,15 +108,16 @@ fn adder_key() -> StoreKey {
     StoreKey::digest("bench", "bdd", "synthetic-full-adder")
 }
 
-/// Writes a complete archive (meta + tape + weights + observability) for
-/// the full adder and returns the canonical encodings for bit-identity
-/// checks.
-fn populate(store: &Store) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+/// Writes a complete archive (meta + tape + weights + observability +
+/// estimator) for the full adder and returns the canonical encodings for
+/// bit-identity checks.
+fn populate(store: &Store) -> (Vec<u8>, Vec<u8>, Vec<u8>, Vec<u8>) {
     let circuit = full_adder();
     let key = adder_key();
     let tape = CircuitTape::compile(&circuit);
     let weights = Weights::compute(&circuit, &InputDistribution::Uniform, Backend::Bdd);
     let matrix = ObservabilityMatrix::compute(&circuit, &InputDistribution::Uniform, Backend::Bdd);
+    let estimate = PropagationEstimate::try_compute(&circuit, &InputDistribution::Uniform).unwrap();
     store
         .save_meta(
             key,
@@ -128,10 +131,12 @@ fn populate(store: &Store) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
     store.save_tape(key, &tape).unwrap();
     store.save_weights(key, &weights).unwrap();
     store.save_observability(key, &matrix).unwrap();
+    store.save_estimate(key, &estimate).unwrap();
     (
         encode_tape(&tape),
         encode_weights(&weights),
         encode_observability(&matrix),
+        encode_estimate(&estimate),
     )
 }
 
@@ -182,6 +187,20 @@ proptest! {
         prop_assert_eq!(loaded.diagnostics(), matrix.diagnostics());
         fs::remove_dir_all(&dir).unwrap();
     }
+
+    #[test]
+    fn estimate_round_trips_bit_identically(seed in arb_circuit()) {
+        let circuit = build_circuit(&seed);
+        let estimate =
+            PropagationEstimate::try_compute(&circuit, &InputDistribution::Uniform).unwrap();
+        let dir = temp_dir("est-prop");
+        let store = Store::open(&dir).unwrap().quiet();
+        let key = StoreKey::digest("bench", "bdd", &format!("{seed:?}"));
+        store.save_estimate(key, &estimate).unwrap();
+        let loaded = store.load_estimate(key).unwrap().hit().expect("hit");
+        prop_assert_eq!(encode_estimate(&estimate), encode_estimate(&loaded));
+        fs::remove_dir_all(&dir).unwrap();
+    }
 }
 
 #[test]
@@ -213,7 +232,7 @@ fn meta_round_trips_through_a_store() {
 fn every_single_byte_flip_is_quarantined_or_bit_identical() {
     let dir = temp_dir("fuzz");
     let store = Store::open(&dir).unwrap().quiet();
-    let (tape_enc, weights_enc, obs_enc) = populate(&store);
+    let (tape_enc, weights_enc, obs_enc, est_enc) = populate(&store);
     let key = adder_key();
 
     let files: Vec<PathBuf> = store
@@ -222,7 +241,11 @@ fn every_single_byte_flip_is_quarantined_or_bit_identical() {
         .iter()
         .map(|e| dir.join(format!("{}.{}", e.key.hex(), e.kind.extension())))
         .collect();
-    assert_eq!(files.len(), 4, "meta + tape + weights + observability");
+    assert_eq!(
+        files.len(),
+        5,
+        "meta + tape + weights + observability + estimator"
+    );
 
     let mut mutations = 0u64;
     let mut served_identical = 0u64;
@@ -258,6 +281,11 @@ fn every_single_byte_flip_is_quarantined_or_bit_identical() {
                     },
                     "obs" => match store.load_observability(key).unwrap() {
                         Loaded::Hit(o) => Some(encode_observability(&o) == obs_enc),
+                        Loaded::Quarantined(_) => None,
+                        Loaded::Miss => panic!("mutated file vanished"),
+                    },
+                    "est" => match store.load_estimate(key).unwrap() {
+                        Loaded::Hit(e) => Some(encode_estimate(&e) == est_enc),
                         Loaded::Quarantined(_) => None,
                         Loaded::Miss => panic!("mutated file vanished"),
                     },
@@ -310,16 +338,16 @@ fn ls_verify_and_gc_manage_a_mixed_directory() {
     populate(&store);
     let key = adder_key();
 
-    // ls sees exactly the four live containers and bytes_on_disk matches.
+    // ls sees exactly the five live containers and bytes_on_disk matches.
     let entries = store.ls().unwrap();
-    assert_eq!(entries.len(), 4);
+    assert_eq!(entries.len(), 5);
     let total: u64 = entries.iter().map(|e| e.bytes).sum();
     assert_eq!(store.bytes_on_disk().unwrap(), total);
     assert_eq!(store.meta_keys().unwrap(), vec![key]);
 
     // A clean archive verifies clean.
     let report = store.verify().unwrap();
-    assert_eq!(report.ok, 4);
+    assert_eq!(report.ok, 5);
     assert!(report.quarantined.is_empty());
 
     // Corrupt one file: verify finds it, quarantines it, and reports why.
@@ -329,7 +357,7 @@ fn ls_verify_and_gc_manage_a_mixed_directory() {
     bytes[last] ^= 0xff;
     fs::write(&victim, &bytes).unwrap();
     let report = store.verify().unwrap();
-    assert_eq!(report.ok, 3);
+    assert_eq!(report.ok, 4);
     assert_eq!(report.quarantined.len(), 1);
     assert_eq!(report.quarantined[0].0, victim);
     assert!(!victim.exists());
@@ -340,7 +368,7 @@ fn ls_verify_and_gc_manage_a_mixed_directory() {
     let report = store.gc().unwrap();
     assert_eq!(report.removed, 1);
     assert!(report.bytes_freed > 0);
-    assert_eq!(store.ls().unwrap().len(), 3);
+    assert_eq!(store.ls().unwrap().len(), 4);
     assert!(dir.join("unrelated.txt").exists());
     fs::remove_dir_all(&dir).unwrap();
 }
