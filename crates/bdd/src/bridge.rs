@@ -189,6 +189,31 @@ impl std::fmt::Display for BuildBudgetExceeded {
 
 impl std::error::Error for BuildBudgetExceeded {}
 
+/// Why an interruptible budgeted build stopped early.
+///
+/// The crate stays dependency-free of the cancellation layer: callers hand
+/// [`CircuitBdds::try_build_interruptible`] a polling closure and get this
+/// back, mapping `Interrupted` onto their own typed cancellation error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildInterrupt {
+    /// The live-node budget tripped (deterministic per circuit/order).
+    Budget(BuildBudgetExceeded),
+    /// The caller's interrupt poll returned `true` (deadline, disconnect,
+    /// drain — whatever the caller's token encodes).
+    Interrupted,
+}
+
+impl std::fmt::Display for BuildInterrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildInterrupt::Budget(e) => write!(f, "{e}"),
+            BuildInterrupt::Interrupted => write!(f, "BDD build interrupted by caller"),
+        }
+    }
+}
+
+impl std::error::Error for BuildInterrupt {}
+
 /// Symbolic representation of a circuit: one BDD per node, over the
 /// primary-input variables.
 #[derive(Debug)]
@@ -251,6 +276,40 @@ impl CircuitBdds {
         order: &VarOrder,
         budget: usize,
     ) -> Result<Self, BuildBudgetExceeded> {
+        match Self::try_build_interruptible(manager, circuit, order, budget, &mut || false) {
+            Ok(bdds) => Ok(bdds),
+            Err(BuildInterrupt::Budget(e)) => Err(e),
+            Err(BuildInterrupt::Interrupted) => unreachable!("the never-interrupt poll"),
+        }
+    }
+
+    /// [`CircuitBdds::try_build_budgeted`] with a caller-supplied interrupt
+    /// poll, consulted at the same per-gate point as the live-node budget —
+    /// the allocation/ite hot path's existing bookkeeping stop, so the
+    /// added cost is one predictable branch per gate.
+    ///
+    /// The poll must be cheap (the cancellation layer's `is_cancelled()`
+    /// is a couple of relaxed atomic loads) and *read-only*: interrupting
+    /// never changes what a completed build produces, only whether it
+    /// completes.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildInterrupt::Budget`] as soon as the live-node count passes
+    /// `budget`, [`BuildInterrupt::Interrupted`] as soon as `interrupt`
+    /// returns `true`; the partially-built functions are dropped either
+    /// way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager has fewer variables than the order requires.
+    pub fn try_build_interruptible(
+        manager: &mut BddManager,
+        circuit: &Circuit,
+        order: &VarOrder,
+        budget: usize,
+        interrupt: &mut dyn FnMut() -> bool,
+    ) -> Result<Self, BuildInterrupt> {
         assert!(manager.var_count() >= order.len());
         let mut funcs: Vec<BddRef> = Vec::with_capacity(circuit.len());
         for (id, node) in circuit.iter() {
@@ -266,10 +325,13 @@ impl CircuitBdds {
             funcs.push(f);
             let live = manager.live_node_count();
             if live > budget {
-                return Err(BuildBudgetExceeded {
+                return Err(BuildInterrupt::Budget(BuildBudgetExceeded {
                     live_nodes: live,
                     budget,
-                });
+                }));
+            }
+            if interrupt() {
+                return Err(BuildInterrupt::Interrupted);
             }
         }
         Ok(CircuitBdds {
@@ -520,6 +582,33 @@ mod tests {
         c.add_output("sum", sum);
         c.add_output("cout", cout);
         c
+    }
+
+    #[test]
+    fn interruptible_build_stops_at_the_per_gate_check() {
+        let c = full_adder();
+        let order = VarOrder::natural(&c);
+        // Interrupt poll fires on the very first gate check.
+        let mut m = BddManager::new(order.len());
+        let err =
+            CircuitBdds::try_build_interruptible(&mut m, &c, &order, usize::MAX, &mut || true)
+                .unwrap_err();
+        assert_eq!(err, BuildInterrupt::Interrupted);
+        // A never-firing poll builds the identical functions as the plain
+        // budgeted build (interruption is read-only).
+        let mut m1 = BddManager::new(order.len());
+        let a = CircuitBdds::try_build_budgeted(&mut m1, &c, &order, usize::MAX).unwrap();
+        let mut m2 = BddManager::new(order.len());
+        let b =
+            CircuitBdds::try_build_interruptible(&mut m2, &c, &order, usize::MAX, &mut || false)
+                .unwrap();
+        assert_eq!(a.funcs(), b.funcs());
+        // The budget branch still wins its own error type through the
+        // interruptible path.
+        let mut m3 = BddManager::new(order.len());
+        let err = CircuitBdds::try_build_interruptible(&mut m3, &c, &order, 0, &mut || false)
+            .unwrap_err();
+        assert!(matches!(err, BuildInterrupt::Budget(_)), "{err:?}");
     }
 
     #[test]

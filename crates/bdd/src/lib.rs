@@ -46,5 +46,5 @@
 mod bridge;
 mod manager;
 
-pub use bridge::{BuildBudgetExceeded, CircuitBdds, VarOrder};
+pub use bridge::{BuildBudgetExceeded, BuildInterrupt, CircuitBdds, VarOrder};
 pub use manager::{BddManager, BddOp, BddRef, BddStats, Var};

@@ -50,6 +50,10 @@ pub enum CliError {
     /// `critical-eps`) rejected the request or failed past the point
     /// where escalation could save it. Exit code 8.
     Estimator(relogic::RelogicError),
+    /// The `--deadline-ms` budget expired before the command completed;
+    /// the work stopped at its next cooperative check and no partial
+    /// result was printed. Exit code 9.
+    Deadline(relogic::Cancelled),
 }
 
 impl CliError {
@@ -65,6 +69,7 @@ impl CliError {
             CliError::Sim(_) => 6,
             CliError::Store(_) => 7,
             CliError::Estimator(_) => 8,
+            CliError::Deadline(_) => 9,
         }
     }
 }
@@ -85,6 +90,7 @@ impl fmt::Display for CliError {
             CliError::Sim(e) => write!(f, "simulation error: {e}"),
             CliError::Store(m) => write!(f, "store error: {m}"),
             CliError::Estimator(e) => write!(f, "estimator error: {e}"),
+            CliError::Deadline(c) => write!(f, "deadline exceeded: {c}"),
         }
     }
 }
@@ -99,19 +105,28 @@ impl Error for CliError {
             CliError::Sim(e) => Some(e),
             CliError::Store(_) => None,
             CliError::Estimator(e) => Some(e),
+            CliError::Deadline(_) => None,
         }
     }
 }
 
 impl From<relogic::RelogicError> for CliError {
     fn from(e: relogic::RelogicError) -> Self {
-        CliError::Analysis(e)
+        match e {
+            // A fired deadline is its own exit-code class, whichever
+            // engine noticed the token.
+            relogic::RelogicError::Cancelled(c) => CliError::Deadline(c),
+            other => CliError::Analysis(other),
+        }
     }
 }
 
 impl From<relogic_sim::SimError> for CliError {
     fn from(e: relogic_sim::SimError) -> Self {
-        CliError::Sim(e)
+        match e {
+            relogic_sim::SimError::Cancelled(c) => CliError::Deadline(c),
+            other => CliError::Sim(other),
+        }
     }
 }
 
@@ -124,13 +139,57 @@ impl From<relogic_store::StoreError> for CliError {
 impl From<ServeError> for CliError {
     fn from(e: ServeError) -> Self {
         match e {
-            ServeError::Analysis(inner) => CliError::Analysis(inner),
-            ServeError::Sim(inner) => CliError::Sim(inner),
+            ServeError::Analysis(inner) => CliError::from(inner),
+            ServeError::Sim(inner) => CliError::from(inner),
+            ServeError::DeadlineExceeded { after_ms, site } => {
+                CliError::Deadline(relogic::Cancelled {
+                    after: std::time::Duration::from_millis(after_ms),
+                    checked_at: site,
+                })
+            }
             // The remaining variants are protocol-level and unreachable
             // from the one-shot JSON paths, but map them sensibly anyway.
             other => CliError::Usage(other.to_string()),
         }
     }
+}
+
+/// Maps a `RelogicError` from the estimator subsystem to its CLI class:
+/// a fired deadline keeps exit code 9, everything else is exit code 8.
+fn estimator_error(e: relogic::RelogicError) -> CliError {
+    match e {
+        relogic::RelogicError::Cancelled(c) => CliError::Deadline(c),
+        other => CliError::Estimator(other),
+    }
+}
+
+/// The command's cancel token: armed with `--deadline-ms` when set,
+/// inert otherwise. Completing under a deadline is bit-identical to
+/// running without one — the checks are read-only early exits.
+fn deadline_token(opts: &Options) -> relogic::CancelToken {
+    if opts.deadline_ms > 0 {
+        relogic::CancelToken::with_deadline(std::time::Duration::from_millis(opts.deadline_ms))
+    } else {
+        relogic::CancelToken::new()
+    }
+}
+
+/// One cooperative check between command phases (the fine-grained checks
+/// live inside the engines).
+fn checked(cancel: &relogic::CancelToken, site: &'static str) -> Result<(), CliError> {
+    cancel.check(site).map_err(CliError::Deadline)
+}
+
+/// The `--diagnostics` line accounting for an armed deadline.
+fn deadline_note(opts: &Options, cancel: &relogic::CancelToken) -> String {
+    if opts.deadline_ms == 0 {
+        return String::new();
+    }
+    format!(
+        "deadline: {} ms budget, used {} ms\n",
+        opts.deadline_ms,
+        cancel.elapsed().as_millis()
+    )
 }
 
 /// Runs a parsed command line, returning the text to print.
@@ -397,11 +456,13 @@ fn cached_weights(
     analysis_weights(&loaded.circuit, opts)
 }
 
-/// Observability through the optional disk cache.
+/// Observability through the optional disk cache, polling `cancel`
+/// while the backend builds (per output chunk and per node for BDD).
 fn cached_observability(
     loaded: &LoadedNetlist,
     opts: &Options,
     disk: Option<&DiskCache>,
+    cancel: &relogic::CancelToken,
 ) -> Result<ObservabilityMatrix, CliError> {
     if let Some(disk) = disk {
         if let Some(obs) =
@@ -409,10 +470,12 @@ fn cached_observability(
         {
             return Ok(obs);
         }
-        let obs = ObservabilityMatrix::try_compute(
+        let obs = ObservabilityMatrix::try_compute_threads_cancellable(
             &loaded.circuit,
             &InputDistribution::Uniform,
             opts.backend(),
+            opts.threads,
+            cancel,
         )?;
         disk.save_meta(loaded, opts);
         if let Err(err) = disk.store.save_observability(disk.key, &obs) {
@@ -420,10 +483,12 @@ fn cached_observability(
         }
         return Ok(obs);
     }
-    Ok(ObservabilityMatrix::try_compute(
+    Ok(ObservabilityMatrix::try_compute_threads_cancellable(
         &loaded.circuit,
         &InputDistribution::Uniform,
         opts.backend(),
+        opts.threads,
+        cancel,
     )?)
 }
 
@@ -499,7 +564,11 @@ impl AnalyzeRun {
 
 fn analyze(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
     let c = &loaded.circuit;
+    let cancel = deadline_token(opts);
     let disk = DiskCache::open(opts, loaded);
+    // The weights build itself is one uninterruptible backend run; the
+    // check guards entering it once the deadline has already fired.
+    checked(&cancel, "weights_build")?;
     let weights = cached_weights(loaded, opts, disk.as_ref())?;
     if opts.json {
         let request = AnalyzeRequestOptions {
@@ -507,9 +576,16 @@ fn analyze(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
             diagnostics: opts.diagnostics,
             per_node: opts.per_node,
         };
-        let result = relogic_serve::api::analyze_result(c, &weights, &[opts.eps], &request)?;
+        let result = relogic_serve::api::analyze_result_cancellable(
+            c,
+            &weights,
+            &[opts.eps],
+            &request,
+            &cancel,
+        )?;
         return Ok(json_line(result));
     }
+    checked(&cancel, "analyze_point")?;
     // The tape engine carries the uncorrelated recurrence only; the §4.1
     // correlation correction, the strict numeric policy, and the
     // any-output consolidation (which needs the graph result's joint
@@ -586,6 +662,7 @@ fn analyze(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
             }
         };
         out.push_str(&format!("\ndiagnostics:\n{engine_line}\n{diag}\n"));
+        out.push_str(&deadline_note(opts, &cancel));
         if let Some(disk) = &disk {
             out.push_str(&disk.provenance());
         }
@@ -595,8 +672,9 @@ fn analyze(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
 
 fn observability(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
     let c = &loaded.circuit;
+    let cancel = deadline_token(opts);
     let disk = DiskCache::open(opts, loaded);
-    let obs = cached_observability(loaded, opts, disk.as_ref())?;
+    let obs = cached_observability(loaded, opts, disk.as_ref(), &cancel)?;
     if opts.json {
         let result = relogic_serve::api::observability_result(c, &obs, &[opts.eps], opts.per_node)?;
         return Ok(json_line(result));
@@ -628,6 +706,7 @@ fn observability(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliEr
     }
     if opts.diagnostics {
         out.push_str(&format!("\ndiagnostics:\n{}\n", obs.diagnostics()));
+        out.push_str(&deadline_note(opts, &cancel));
         if let Some(disk) = &disk {
             out.push_str(&disk.provenance());
         }
@@ -727,6 +806,7 @@ fn sweep(c: &Circuit, opts: &Options) -> Result<String, CliError> {
 }
 
 fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
+    let cancel = deadline_token(opts);
     let config = MonteCarloConfig {
         patterns: opts.patterns,
         seed: opts.seed,
@@ -737,8 +817,11 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     if opts.json {
         let result = if use_tape {
             let tape = relogic_sim::CircuitTape::compile(c);
-            relogic_serve::api::monte_carlo_result_tape(c, &tape, opts.eps, &config)?
+            relogic_serve::api::monte_carlo_result_tape_cancellable(
+                c, &tape, opts.eps, &config, &cancel,
+            )?
         } else {
+            checked(&cancel, "mc_graph")?;
             relogic_serve::api::monte_carlo_result(c, opts.eps, &config)?
         };
         return Ok(json_line(result));
@@ -748,12 +831,13 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
         let start = std::time::Instant::now();
         let tape = relogic_sim::CircuitTape::compile(c);
         let compile_us = start.elapsed().as_micros();
-        let r = relogic_sim::try_estimate_tape(
+        let r = relogic_sim::try_estimate_tape_cancellable(
             c,
             &tape,
             eps.as_slice(),
             &config,
             relogic_sim::DEFAULT_LANES,
+            &cancel,
         )?;
         (
             r,
@@ -763,7 +847,7 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
             ),
         )
     } else {
-        let r = relogic_sim::try_estimate(c, eps.as_slice(), &config)?;
+        let r = relogic_sim::try_estimate_cancellable(c, eps.as_slice(), &config, &cancel)?;
         (r, "engine: graph".to_owned())
     };
     let mut out = format!(
@@ -786,14 +870,16 @@ fn monte_carlo(c: &Circuit, opts: &Options) -> Result<String, CliError> {
     ));
     if opts.diagnostics {
         out.push_str(&format!("\ndiagnostics:\n{engine_line}\n"));
+        out.push_str(&deadline_note(opts, &cancel));
     }
     Ok(out)
 }
 
 fn rank(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
     let c = &loaded.circuit;
+    let cancel = deadline_token(opts);
     let disk = DiskCache::open(opts, loaded);
-    let obs = cached_observability(loaded, opts, disk.as_ref())?;
+    let obs = cached_observability(loaded, opts, disk.as_ref(), &cancel)?;
     let eps = GateEps::try_uniform(c, opts.eps)?;
     let mut rows: Vec<(relogic_netlist::NodeId, f64)> = c
         .node_ids()
@@ -816,6 +902,7 @@ fn rank(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
     }
     if opts.diagnostics {
         out.push_str(&format!("\ndiagnostics:\n{}\n", obs.diagnostics()));
+        out.push_str(&deadline_note(opts, &cancel));
         if let Some(disk) = &disk {
             out.push_str(&disk.provenance());
         }
@@ -830,6 +917,7 @@ fn rank(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
 /// in-memory artifact cache.
 fn estimate(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
     let c = &loaded.circuit;
+    let cancel = deadline_token(opts);
     let disk = DiskCache::open(opts, loaded);
     let gate_eps = GateEps::try_uniform(c, opts.eps).map_err(CliError::Estimator)?;
     let policy = EstimatorPolicy {
@@ -847,11 +935,12 @@ fn estimate(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> 
                 return Ok(obs.closed_form(&gate_eps));
             }
         }
-        let obs = ObservabilityMatrix::try_compute_budgeted(
+        let obs = ObservabilityMatrix::try_compute_budgeted_cancellable(
             c,
             &InputDistribution::Uniform,
             opts.threads,
             budget,
+            &cancel,
         )?;
         if let Some(disk) = disk.as_ref() {
             disk.save_meta(loaded, opts);
@@ -886,12 +975,13 @@ fn estimate(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> 
             threads: opts.threads,
             ..MonteCarloConfig::default()
         };
-        let r = relogic_sim::try_estimate(c, gate_eps.as_slice(), &config)
+        let r = relogic_sim::try_estimate_cancellable(c, gate_eps.as_slice(), &config, &cancel)
             .map_err(relogic::RelogicError::from)?;
         Ok(r.per_output().to_vec())
     };
-    let report = relogic_estimate::run_estimate(&policy, exact, propagation, mc)
-        .map_err(CliError::Estimator)?;
+    let report =
+        relogic_estimate::run_estimate_cancellable(&policy, &cancel, exact, propagation, mc)
+            .map_err(estimator_error)?;
     if opts.json {
         return Ok(json_line(relogic_serve::api::estimate_result(
             c, opts.eps, &report,
@@ -920,6 +1010,7 @@ fn estimate(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> 
     }
     if opts.diagnostics {
         out.push_str(&format!("\ndiagnostics:\n{}\n", report.diagnostics));
+        out.push_str(&deadline_note(opts, &cancel));
         if let Some(disk) = &disk {
             out.push_str(&disk.provenance());
         }
@@ -932,14 +1023,16 @@ fn estimate(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> 
 /// the reliability-per-area Pareto front.
 fn harden(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
     let c = &loaded.circuit;
-    let report = relogic_estimate::harden(
+    let cancel = deadline_token(opts);
+    let report = relogic_estimate::harden_cancellable(
         c,
         &InputDistribution::Uniform,
         opts.eps,
         opts.area_budget,
         opts.max_steps,
+        &cancel,
     )
-    .map_err(CliError::Estimator)?;
+    .map_err(estimator_error)?;
     if opts.json {
         return Ok(json_line(relogic_serve::api::harden_result(
             c,
@@ -987,12 +1080,20 @@ fn harden(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
 /// compiled sweep tape.
 fn critical_eps(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliError> {
     let c = &loaded.circuit;
+    let cancel = deadline_token(opts);
     let disk = DiskCache::open(opts, loaded);
+    checked(&cancel, "weights_build")?;
     let weights = cached_weights(loaded, opts, disk.as_ref())?;
     let tape = relogic::SweepTape::try_new(c, &weights).map_err(CliError::Estimator)?;
-    let report =
-        relogic_estimate::critical_eps(c, &tape, opts.metric, opts.threshold, opts.max_steps)
-            .map_err(CliError::Estimator)?;
+    let report = relogic_estimate::critical_eps_cancellable(
+        c,
+        &tape,
+        opts.metric,
+        opts.threshold,
+        opts.max_steps,
+        &cancel,
+    )
+    .map_err(estimator_error)?;
     if opts.json {
         return Ok(json_line(relogic_serve::api::critical_eps_result(
             c, &report,
@@ -1022,8 +1123,13 @@ fn critical_eps(loaded: &LoadedNetlist, opts: &Options) -> Result<String, CliErr
         report.lo, report.hi, report.delta_lo, report.delta_hi
     ));
     if opts.diagnostics {
-        if let Some(disk) = &disk {
-            out.push_str(&format!("\ndiagnostics:\n{}", disk.provenance()));
+        let note = deadline_note(opts, &cancel);
+        if !note.is_empty() || disk.is_some() {
+            out.push_str("\ndiagnostics:\n");
+            out.push_str(&note);
+            if let Some(disk) = &disk {
+                out.push_str(&disk.provenance());
+            }
         }
     }
     Ok(out)
@@ -1690,6 +1796,68 @@ y = NOT(t)
         assert!(matches!(err, CliError::Estimator(_)), "{err}");
         assert_eq!(err.exit_code(), 8);
         assert!(err.to_string().contains("estimator error"), "{err}");
+    }
+
+    #[test]
+    fn generous_deadline_output_is_bit_identical_to_undeadlined() {
+        for (cmd, extra) in [
+            ("analyze", &["--eps", "0.1"][..]),
+            ("observability", &["--eps", "0.1"]),
+            ("mc", &["--patterns", "4096"]),
+            ("estimate", &["--eps", "0.1"]),
+            ("critical-eps", &["--threshold", "0.18"]),
+        ] {
+            let mut with_deadline = extra.to_vec();
+            with_deadline.extend(["--deadline-ms", "600000"]);
+            assert_eq!(
+                run_on_file(cmd, extra),
+                run_on_file(cmd, &with_deadline),
+                "{cmd}: a deadline that never fires must not change output"
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_exits_with_code_9() {
+        // An already-fired token maps to the deadline class at every
+        // conversion seam the commands use.
+        let c = relogic::Cancelled {
+            after: std::time::Duration::from_millis(7),
+            checked_at: "weights_build",
+        };
+        let err = CliError::from(relogic::RelogicError::Cancelled(c));
+        assert!(matches!(err, CliError::Deadline(_)), "{err}");
+        assert_eq!(err.exit_code(), 9);
+        assert!(err.to_string().contains("deadline exceeded"), "{err}");
+        let err = CliError::from(relogic_sim::SimError::Cancelled(c));
+        assert_eq!(err.exit_code(), 9);
+        let err = CliError::from(ServeError::DeadlineExceeded {
+            after_ms: 7,
+            site: "watchdog",
+        });
+        assert_eq!(err.exit_code(), 9);
+        let err = estimator_error(relogic::RelogicError::Cancelled(c));
+        assert_eq!(err.exit_code(), 9, "estimator seam must not remap to 8");
+    }
+
+    #[test]
+    fn deadline_note_appears_under_diagnostics() {
+        let out = run_on_file(
+            "mc",
+            &[
+                "--patterns",
+                "4096",
+                "--deadline-ms",
+                "600000",
+                "--diagnostics",
+            ],
+        );
+        assert!(out.contains("deadline: 600000 ms budget"), "{out}");
+        let out = run_on_file("mc", &["--patterns", "4096", "--diagnostics"]);
+        assert!(
+            !out.contains("deadline:"),
+            "no note without an armed deadline: {out}"
+        );
     }
 
     #[test]

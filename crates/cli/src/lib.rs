@@ -77,6 +77,13 @@ OPTIONS:
     --metric <max|mean>     delta summary for critical-eps   [default: max]
     --max-steps <N>         step cap for harden prefixes / critical-eps
                             bisection (0 = command default)  [default: 0]
+    --deadline-ms <N>       wall-clock budget for analyze, observability,
+                            mc, rank, estimate, harden, and critical-eps
+                            (0 = none). An exceeded deadline stops the
+                            work at its next cooperative check and exits
+                            with code 9 — never a partial result. A run
+                            that completes under its deadline prints
+                            bit-identical output to an undeadlined run.
     --cache-dir <DIR>       versioned, checksummed on-disk artifact store:
                             analyze/observability/rank read and write it,
                             serve persists its cache across restarts in it,
@@ -89,6 +96,8 @@ SERVE OPTIONS:
     --unix <PATH>           Unix-socket path
     --cache-bytes <N>       artifact-cache byte budget      [default: 268435456]
     --timeout-ms <N>        per-request timeout, 0 disables [default: 10000]
+                            (also caps each request's own `deadline_ms`;
+                            a bound deadline answers `deadline_exceeded`)
     --max-inflight <N>      cap concurrently executing analysis requests;
                             excess get `overloaded` + retry_after_ms
                             (0 = unlimited)                 [default: 0]
@@ -104,6 +113,7 @@ EXIT CODES:
     0 success    2 usage error    3 i/o error    4 netlist error
     5 analysis error    6 simulation error    7 store error/corruption
     8 estimator error (estimate / harden / critical-eps)
+    9 deadline exceeded (--deadline-ms expired before completion)
 
 EXAMPLES:
     relogic-cli gen b9 > b9.bench

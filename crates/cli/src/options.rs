@@ -86,6 +86,10 @@ pub struct Options {
     /// Step cap for `harden` prefixes / `critical-eps` bisection
     /// (0 = the command's default).
     pub max_steps: usize,
+    /// Wall-clock budget for the analysis commands, in milliseconds
+    /// (0 = no deadline). A run that exceeds it stops at the next
+    /// cooperative check and exits with code 9 — never a partial result.
+    pub deadline_ms: u64,
 }
 
 /// Which statistics backend the user asked for.
@@ -158,6 +162,7 @@ impl Default for Options {
             threshold: 0.1,
             metric: CriticalMetric::Max,
             max_steps: 0,
+            deadline_ms: 0,
         }
     }
 }
@@ -251,6 +256,7 @@ impl ParsedArgs {
                     });
                 }
                 "--bdd-node-budget" => options.bdd_node_budget = parse_value(&arg, iter.next())?,
+                "--deadline-ms" => options.deadline_ms = parse_value(&arg, iter.next())?,
                 "--area-budget" => options.area_budget = parse_value(&arg, iter.next())?,
                 "--threshold" => options.threshold = parse_value(&arg, iter.next())?,
                 "--max-steps" => options.max_steps = parse_value(&arg, iter.next())?,
@@ -488,6 +494,16 @@ mod tests {
         let err = ParsedArgs::parse(["critical-eps", "x.bench", "--metric", "median"]).unwrap_err();
         assert!(err.to_string().contains("unknown metric"), "{err}");
         assert!(ParsedArgs::parse(["estimate", "x.bench", "--bdd-node-budget"]).is_err());
+    }
+
+    #[test]
+    fn deadline_option() {
+        let p = ParsedArgs::parse(["analyze", "x.bench"]).unwrap();
+        assert_eq!(p.options.deadline_ms, 0, "default is no deadline");
+        let p = ParsedArgs::parse(["observability", "x.bench", "--deadline-ms", "500"]).unwrap();
+        assert_eq!(p.options.deadline_ms, 500);
+        assert!(ParsedArgs::parse(["analyze", "x.bench", "--deadline-ms", "soon"]).is_err());
+        assert!(ParsedArgs::parse(["analyze", "x.bench", "--deadline-ms"]).is_err());
     }
 
     #[test]

@@ -103,6 +103,7 @@ pub struct Diagnostics {
     tier_propagation: u64,
     tier_mc: u64,
     estimator_fallbacks: u64,
+    cancellations: u64,
 }
 
 impl Diagnostics {
@@ -242,6 +243,20 @@ impl Diagnostics {
         self.estimator_fallbacks += 1;
     }
 
+    /// Times a computation under this accumulator was cancelled (deadline
+    /// or explicit cancel) before it completed. Cancelled work never
+    /// produces a partial result; this counter is how the abandonment
+    /// stays visible.
+    #[must_use]
+    pub fn cancellations(&self) -> u64 {
+        self.cancellations
+    }
+
+    /// Records one cancelled computation.
+    pub fn record_cancellation(&mut self) {
+        self.cancellations += 1;
+    }
+
     /// Symbolic-engine statistics, present when the run used the BDD
     /// backend.
     #[must_use]
@@ -268,6 +283,7 @@ impl Diagnostics {
         self.tier_propagation += other.tier_propagation;
         self.tier_mc += other.tier_mc;
         self.estimator_fallbacks += other.estimator_fallbacks;
+        self.cancellations += other.cancellations;
         if let Some(stats) = &other.bdd {
             self.record_bdd_stats(*stats);
         }
@@ -358,6 +374,9 @@ impl fmt::Display for Diagnostics {
                 "\nestimator tiers:          exact {} / propagation {} / mc {} (fallbacks {})",
                 self.tier_exact, self.tier_propagation, self.tier_mc, self.estimator_fallbacks
             )?;
+        }
+        if self.cancellations > 0 {
+            write!(f, "\ncancellations:            {}", self.cancellations)?;
         }
         if let Some(stats) = &self.bdd {
             write!(f, "\n{stats}")?;
@@ -458,6 +477,22 @@ mod tests {
         let text = d.to_string();
         assert!(text.contains("peak live BDD nodes:      2000"));
         assert!(text.contains("op-cache hit rate"));
+    }
+
+    #[test]
+    fn cancellations_count_merge_and_display() {
+        let mut d = Diagnostics::new();
+        assert_eq!(d.cancellations(), 0);
+        assert!(!d.to_string().contains("cancellations"));
+        d.record_cancellation();
+        let mut other = Diagnostics::new();
+        other.record_cancellation();
+        d.merge(&other);
+        assert_eq!(d.cancellations(), 2);
+        assert!(d.to_string().contains("cancellations:            2"));
+        // Informational like BDD stats: cancellations don't dirty a run's
+        // numeric cleanliness.
+        assert!(d.is_clean());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `Display` text on violation).
 
 use relogic_netlist::NodeId;
-use relogic_sim::SimError;
+use relogic_sim::{Cancelled, SimError};
 use std::error::Error;
 use std::fmt;
 
@@ -107,6 +107,11 @@ pub enum RelogicError {
         /// The configured live-node budget.
         budget: usize,
     },
+    /// The run's [`relogic_sim::CancelToken`] fired (deadline or explicit
+    /// cancel) before the work completed; no partial result escapes.
+    /// Unlike [`RelogicError::BddBudgetExceeded`], this is *not* a
+    /// fall-back signal — the caller asked the whole computation to stop.
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for RelogicError {
@@ -164,6 +169,7 @@ impl fmt::Display for RelogicError {
                 f,
                 "exact BDD analysis exceeded its live-node budget ({live_nodes} live nodes > {budget})"
             ),
+            RelogicError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -179,7 +185,19 @@ impl Error for RelogicError {
 
 impl From<SimError> for RelogicError {
     fn from(e: SimError) -> Self {
-        RelogicError::Sim(e)
+        match e {
+            // Keep cancellation typed across the layer boundary: callers
+            // match `RelogicError::Cancelled` regardless of which engine
+            // (graph MC, tape, sweep, BDD) noticed the token.
+            SimError::Cancelled(c) => RelogicError::Cancelled(c),
+            other => RelogicError::Sim(other),
+        }
+    }
+}
+
+impl From<Cancelled> for RelogicError {
+    fn from(c: Cancelled) -> Self {
+        RelogicError::Cancelled(c)
     }
 }
 
@@ -214,6 +232,18 @@ mod tests {
         let e = RelogicError::from(SimError::ZeroPatternBudget);
         assert!(e.to_string().contains("pattern budget"));
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn sim_cancellation_stays_typed_across_the_boundary() {
+        let c = Cancelled {
+            after: std::time::Duration::from_millis(52),
+            checked_at: "mc_chunk",
+        };
+        let e = RelogicError::from(SimError::Cancelled(c));
+        assert_eq!(e, RelogicError::Cancelled(c));
+        assert!(e.to_string().contains("cancelled after"), "{e}");
+        assert!(e.to_string().contains("mc_chunk"), "{e}");
     }
 
     #[test]

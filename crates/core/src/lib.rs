@@ -69,6 +69,7 @@ pub use diagnostics::{BddEngineStats, Diagnostics};
 pub use epsilon::GateEps;
 pub use error::RelogicError;
 pub use observability::ObservabilityMatrix;
+pub use relogic_sim::{CancelToken, Cancelled};
 pub use single_pass::{CorrCoeffs, ErrorEvent, SinglePass, SinglePassOptions, SinglePassResult};
 pub use tape::{SweepPoint, SweepTape};
 pub use weights::{joint_value_distribution, Weights, MAX_ANALYSIS_ARITY};

@@ -14,9 +14,10 @@
 //! are improbable.
 
 use crate::{Backend, BddEngineStats, Diagnostics, GateEps, InputDistribution, RelogicError};
-use relogic_bdd::{BddManager, BddRef, CircuitBdds, VarOrder};
+use relogic_bdd::{BddManager, BddRef, BuildInterrupt, CircuitBdds, VarOrder};
 use relogic_netlist::{Circuit, NodeId};
 use relogic_sim::exec::ChunkExecutor;
+use relogic_sim::{CancelToken, Cancelled};
 use std::collections::HashMap;
 
 /// Number of output columns handed to a worker at a time. Workers fan out
@@ -239,10 +240,35 @@ impl ObservabilityMatrix {
         backend: Backend,
         threads: usize,
     ) -> Result<Self, RelogicError> {
+        let never = CancelToken::new();
+        Self::try_compute_threads_cancellable(circuit, dist, backend, threads, &never)
+    }
+
+    /// Like [`ObservabilityMatrix::try_compute_threads`], checking `cancel`
+    /// while it works.
+    ///
+    /// The BDD backend checks per output chunk and per node of each
+    /// backward sweep; the simulation backend checks once before the
+    /// pattern run. A run that completes before the token fires returns
+    /// values bit-identical to an uncancelled run — the checks are
+    /// read-only early exits that never perturb the computation.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::Cancelled`] once the token fires, otherwise as
+    /// [`ObservabilityMatrix::try_compute`].
+    pub fn try_compute_threads_cancellable(
+        circuit: &Circuit,
+        dist: &InputDistribution,
+        backend: Backend,
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Result<Self, RelogicError> {
         let _ = dist.try_position_probs(circuit)?;
         match backend {
-            Backend::Bdd => Self::compute_bdd(circuit, dist, threads),
+            Backend::Bdd => Self::compute_bdd(circuit, dist, threads, cancel),
             Backend::Simulation { patterns, seed } => {
+                cancel.check("obs_sim")?;
                 let sampler = relogic_sim::InputSampler::independent(&dist.position_probs(circuit));
                 let est = relogic_sim::observabilities_biased(circuit, &sampler, patterns, seed);
                 let per_output = circuit
@@ -285,6 +311,26 @@ impl ObservabilityMatrix {
         threads: usize,
         budget: usize,
     ) -> Result<Self, RelogicError> {
+        let never = CancelToken::new();
+        Self::try_compute_budgeted_cancellable(circuit, dist, threads, budget, &never)
+    }
+
+    /// Like [`ObservabilityMatrix::try_compute_budgeted`], checking
+    /// `cancel` while it works: the probe build polls the token at the
+    /// same per-gate point as the budget check (one extra branch), and
+    /// the subsequent sweep checks per chunk and per node.
+    ///
+    /// # Errors
+    ///
+    /// [`RelogicError::Cancelled`] once the token fires, otherwise as
+    /// [`ObservabilityMatrix::try_compute_budgeted`].
+    pub fn try_compute_budgeted_cancellable(
+        circuit: &Circuit,
+        dist: &InputDistribution,
+        threads: usize,
+        budget: usize,
+        cancel: &CancelToken,
+    ) -> Result<Self, RelogicError> {
         let _ = dist.try_position_probs(circuit)?;
         let order_len = circuit.input_count();
         let _aux =
@@ -294,14 +340,20 @@ impl ObservabilityMatrix {
         let order = VarOrder::dfs(circuit);
         let mut manager = BddManager::new(order.len() + 1);
         manager.place_var_at_top(key32(order.len()));
-        CircuitBdds::try_build_budgeted(&mut manager, circuit, &order, budget).map_err(|e| {
-            RelogicError::BddBudgetExceeded {
-                live_nodes: e.live_nodes,
-                budget: e.budget,
-            }
-        })?;
+        let mut poll = || cancel.is_cancelled();
+        CircuitBdds::try_build_interruptible(&mut manager, circuit, &order, budget, &mut poll)
+            .map_err(|e| match e {
+                BuildInterrupt::Budget(b) => RelogicError::BddBudgetExceeded {
+                    live_nodes: b.live_nodes,
+                    budget: b.budget,
+                },
+                BuildInterrupt::Interrupted => RelogicError::Cancelled(Cancelled {
+                    after: cancel.elapsed(),
+                    checked_at: "bdd_gate",
+                }),
+            })?;
         drop(manager);
-        Self::compute_bdd(circuit, dist, threads)
+        Self::compute_bdd(circuit, dist, threads, cancel)
     }
 
     fn build_worker(circuit: &Circuit, dist: &InputDistribution) -> BddWorker {
@@ -364,7 +416,8 @@ impl ObservabilityMatrix {
         plan: &ObsPlan,
         cols: &[usize],
         include_any: bool,
-    ) -> Vec<Vec<f64>> {
+        cancel: &CancelToken,
+    ) -> Result<Vec<Vec<f64>>, Cancelled> {
         let n = circuit.len();
         let width = cols.len() + usize::from(include_any);
         let out_nodes: Vec<usize> = circuit.outputs().iter().map(|o| o.node().index()).collect();
@@ -372,6 +425,9 @@ impl ObservabilityMatrix {
         let mut rows: Vec<Option<Vec<BddRef>>> = vec![None; n];
         let mut pending: Vec<u32> = plan.readers.clone();
         for i in (0..n).rev() {
+            // Per-node check: a stem splice can dwarf everything else in
+            // the sweep, so finer granularity buys nothing.
+            cancel.check("obs_node")?;
             let id = NodeId::from_index(i);
             let preds: Vec<BddRef> = match plan.mode[i] {
                 NodeMode::Dead => vec![BddRef::FALSE; width],
@@ -462,13 +518,14 @@ impl ObservabilityMatrix {
                 worker.gc_floor = worker.manager.live_node_count() + GC_HEADROOM_NODES;
             }
         }
-        vals
+        Ok(vals)
     }
 
     fn compute_bdd(
         circuit: &Circuit,
         dist: &InputDistribution,
         threads: usize,
+        cancel: &CancelToken,
     ) -> Result<Self, RelogicError> {
         let order_len = circuit.input_count();
         let _aux =
@@ -493,23 +550,25 @@ impl ObservabilityMatrix {
                 m.div_ceil(OUTPUTS_PER_CHUNK) + 1,
             )
         };
-        let (chunk_vals, workers) = exec.map_chunks_with_state(
+        let (chunk_vals, workers) = exec.try_map_chunks_with_state(
             chunks,
+            cancel,
+            "obs_chunk",
             || Self::build_worker(circuit, dist),
             |worker, chunk| {
                 if out_chunks == 0 {
                     let cols: Vec<usize> = (0..m).collect();
-                    Self::sweep(worker, circuit, &plan, &cols, true)
+                    Self::sweep(worker, circuit, &plan, &cols, true, cancel)
                 } else if chunk == out_chunks {
-                    Self::sweep(worker, circuit, &plan, &[], true)
+                    Self::sweep(worker, circuit, &plan, &[], true, cancel)
                 } else {
                     let cols: Vec<usize> = (chunk * OUTPUTS_PER_CHUNK
                         ..m.min((chunk + 1) * OUTPUTS_PER_CHUNK))
                         .collect();
-                    Self::sweep(worker, circuit, &plan, &cols, false)
+                    Self::sweep(worker, circuit, &plan, &cols, false, cancel)
                 }
             },
-        );
+        )?;
         let mut per_output: Vec<Vec<f64>> = vec![Vec::with_capacity(m); n];
         let mut any_output: Vec<f64> = vec![0.0; n];
         for (chunk, vals) in chunk_vals.into_iter().enumerate() {
@@ -829,6 +888,70 @@ mod tests {
         assert!(ranked[0].1 >= ranked[1].1);
         // Noise-free inputs have zero criticality.
         assert_eq!(ranked.last().unwrap().1, 0.0);
+    }
+
+    #[test]
+    fn pre_fired_token_cancels_bdd_and_budgeted_compute() {
+        let c = aoi();
+        let fired = CancelToken::new();
+        fired.cancel();
+        for &threads in &[1usize, 4] {
+            let err = ObservabilityMatrix::try_compute_threads_cancellable(
+                &c,
+                &InputDistribution::Uniform,
+                Backend::Bdd,
+                threads,
+                &fired,
+            )
+            .expect_err("fired token must cancel the compute");
+            assert!(matches!(err, RelogicError::Cancelled(_)), "{err}");
+        }
+        // The budgeted probe build polls at the per-gate check: the
+        // cancellation surfaces there, before any sweep work starts.
+        let err = ObservabilityMatrix::try_compute_budgeted_cancellable(
+            &c,
+            &InputDistribution::Uniform,
+            1,
+            1 << 20,
+            &fired,
+        )
+        .expect_err("fired token must cancel the probe build");
+        match err {
+            RelogicError::Cancelled(cc) => assert_eq!(cc.checked_at, "bdd_gate"),
+            other => panic!("expected Cancelled, got {other}"),
+        }
+        // A budget trip still reports as a budget trip, not a cancel.
+        let err = ObservabilityMatrix::try_compute_budgeted_cancellable(
+            &c,
+            &InputDistribution::Uniform,
+            1,
+            0,
+            &CancelToken::new(),
+        )
+        .expect_err("zero budget must trip");
+        assert!(
+            matches!(err, RelogicError::BddBudgetExceeded { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn completed_compute_under_deadline_is_bit_identical() {
+        let c = aoi();
+        let plain = ObservabilityMatrix::compute(&c, &InputDistribution::Uniform, Backend::Bdd);
+        for &threads in &[1usize, 2, 8] {
+            let generous = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+            let under = ObservabilityMatrix::try_compute_threads_cancellable(
+                &c,
+                &InputDistribution::Uniform,
+                Backend::Bdd,
+                threads,
+                &generous,
+            )
+            .expect("generous deadline must not fire");
+            assert_eq!(under.per_output_rows(), plain.per_output_rows());
+            assert_eq!(under.any_output_values(), plain.any_output_values());
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::sweep::DeltaCurves;
 use crate::weights::MAX_ANALYSIS_ARITY;
 use crate::{Diagnostics, GateEps, RelogicError, Weights};
 use relogic_netlist::{Circuit, NodeId};
-use relogic_sim::{ChunkExecutor, CircuitTape};
+use relogic_sim::{CancelToken, ChunkExecutor, CircuitTape};
 
 /// Grid points carried per traversal (the vector width of the value
 /// rows). A chunk of this many ε values shares one pass; the lanes are
@@ -346,6 +346,26 @@ impl SweepTape {
         eps_values: &[f64],
         threads: usize,
     ) -> Result<DeltaCurves, RelogicError> {
+        self.try_run_grid_cancellable(eps_values, threads, &CancelToken::new())
+    }
+
+    /// [`SweepTape::try_run_grid`] under a [`CancelToken`]: the token is
+    /// polled at every grid-chunk hand-out ([`GRID_LANES`] grid points,
+    /// the check-interval granularity of the sweep engine). A fired token
+    /// returns [`RelogicError::Cancelled`] — never a partial curve. A
+    /// sweep that completes before the token fires is bit-identical to an
+    /// undeadlined sweep at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SweepTape::try_run_grid`] returns, plus
+    /// [`RelogicError::Cancelled`] when `cancel` fires mid-sweep.
+    pub fn try_run_grid_cancellable(
+        &self,
+        eps_values: &[f64],
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Result<DeltaCurves, RelogicError> {
         for &e in eps_values {
             if !e.is_finite() || !(0.0..=1.0).contains(&e) {
                 return Err(RelogicError::InvalidEpsilon {
@@ -356,8 +376,10 @@ impl SweepTape {
             }
         }
         let chunks = eps_values.len().div_ceil(GRID_LANES);
-        let rows = ChunkExecutor::new(threads).map_chunks_with(
+        let (rows, _) = ChunkExecutor::new(threads).try_map_chunks_with_state(
             chunks,
+            cancel,
+            "sweep_grid_chunk",
             || vec![0.0f64; self.n_slots * 4 * GRID_LANES],
             |vals, chunk| {
                 let grid = &eps_values[chunk * GRID_LANES..];
@@ -369,9 +391,9 @@ impl SweepTape {
                     vals,
                     &mut diag,
                 );
-                (deltas, diag)
+                Ok((deltas, diag))
             },
-        );
+        )?;
         let mut delta = Vec::with_capacity(eps_values.len());
         let mut diagnostics = Diagnostics::new();
         for (rows, diag) in rows {
@@ -620,6 +642,33 @@ mod tests {
         for threads in [2, 3, 8] {
             let multi = tape.try_run_grid(&grid, threads).unwrap();
             assert_eq!(one.delta, multi.delta, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn cancelled_grid_returns_typed_error_and_completed_grid_is_identical() {
+        let c = reconvergent();
+        let w = weights(&c);
+        let tape = SweepTape::try_new(&c, &w).unwrap();
+        let grid = crate::sweep::epsilon_grid(19, 0.0, 0.4);
+        // Pre-fired token: typed cancellation, no partial curve.
+        let fired = CancelToken::new();
+        fired.cancel();
+        for threads in [1, 4] {
+            assert!(matches!(
+                tape.try_run_grid_cancellable(&grid, threads, &fired),
+                Err(RelogicError::Cancelled(_))
+            ));
+        }
+        // Generous deadline: bit-identical to the undeadlined sweep at
+        // every thread count.
+        let plain = tape.try_run_grid(&grid, 1).unwrap();
+        for threads in [1, 2, 8] {
+            let token = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+            let under = tape
+                .try_run_grid_cancellable(&grid, threads, &token)
+                .unwrap();
+            assert_eq!(plain.delta, under.delta, "{threads} threads");
         }
     }
 

@@ -9,7 +9,7 @@
 //! crossing of the final bracket even where the tape's δ is only
 //! approximately monotone.
 
-use relogic::{GateEps, RelogicError, SweepTape};
+use relogic::{CancelToken, GateEps, RelogicError, SweepTape};
 use relogic_netlist::Circuit;
 
 /// Default bisection depth. 60 halvings of `[0, ½]` put the bracket width
@@ -105,6 +105,27 @@ pub fn critical_eps(
     threshold: f64,
     max_steps: usize,
 ) -> Result<CriticalEpsReport, RelogicError> {
+    let never = CancelToken::new();
+    critical_eps_cancellable(circuit, tape, metric, threshold, max_steps, &never)
+}
+
+/// Like [`critical_eps`], checking `cancel` before every tape point
+/// evaluation (each bisection step is one point). A search that completes
+/// before the token fires returns a report bit-identical to an
+/// uncancelled search.
+///
+/// # Errors
+///
+/// [`RelogicError::Cancelled`] once the token fires, otherwise as
+/// [`critical_eps`].
+pub fn critical_eps_cancellable(
+    circuit: &Circuit,
+    tape: &SweepTape,
+    metric: CriticalMetric,
+    threshold: f64,
+    max_steps: usize,
+    cancel: &CancelToken,
+) -> Result<CriticalEpsReport, RelogicError> {
     if !threshold.is_finite() || threshold <= 0.0 || threshold >= 0.5 {
         return Err(RelogicError::NumericRange {
             context: "critical-eps threshold",
@@ -119,6 +140,7 @@ pub fn critical_eps(
         max_steps
     };
     let eval = |e: f64| -> Result<f64, RelogicError> {
+        cancel.check("critical_step")?;
         let point = tape.try_run_point(&GateEps::try_uniform(circuit, e)?)?;
         Ok(metric.apply(point.per_output()))
     };
@@ -252,6 +274,26 @@ mod tests {
         let report = critical_eps(&c, &tape, CriticalMetric::Max, 0.15, 8).unwrap();
         assert_eq!(report.steps, 8);
         assert!(report.hi - report.lo <= 0.5 / 256.0 + 1e-15);
+    }
+
+    #[test]
+    fn cancelled_search_returns_typed_error_and_completed_search_is_identical() {
+        let c = xor_chain(4);
+        let tape = tape_for(&c);
+        let fired = CancelToken::new();
+        fired.cancel();
+        let err =
+            critical_eps_cancellable(&c, &tape, CriticalMetric::Max, 0.15, 0, &fired).unwrap_err();
+        assert!(matches!(err, RelogicError::Cancelled(_)), "{err}");
+        let plain = critical_eps(&c, &tape, CriticalMetric::Max, 0.15, 0).unwrap();
+        let generous = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        let under =
+            critical_eps_cancellable(&c, &tape, CriticalMetric::Max, 0.15, 0, &generous).unwrap();
+        assert_eq!(plain, under);
+        assert_eq!(
+            plain.critical.map(f64::to_bits),
+            under.critical.map(f64::to_bits)
+        );
     }
 
     #[test]

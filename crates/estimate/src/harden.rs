@@ -23,7 +23,7 @@
 //! front trades true area against hardened-voter reliability.
 
 use crate::PropagationEstimate;
-use relogic::{GateEps, InputDistribution, RelogicError};
+use relogic::{CancelToken, GateEps, InputDistribution, RelogicError};
 use relogic_gen::tmr_selected;
 use relogic_netlist::{Circuit, NodeId};
 
@@ -89,6 +89,28 @@ pub fn harden(
     area_budget: f64,
     max_steps: usize,
 ) -> Result<HardenReport, RelogicError> {
+    let never = CancelToken::new();
+    harden_cancellable(circuit, dist, eps, area_budget, max_steps, &never)
+}
+
+/// Like [`harden`], checking `cancel` before the estimator pass and before
+/// every protection-prefix evaluation (each prefix pays a full
+/// [`tmr_selected`] transform plus a closed-form rescore). A sweep that
+/// completes before the token fires returns a report identical to an
+/// uncancelled sweep.
+///
+/// # Errors
+///
+/// [`RelogicError::Cancelled`] once the token fires, otherwise as
+/// [`harden`].
+pub fn harden_cancellable(
+    circuit: &Circuit,
+    dist: &InputDistribution,
+    eps: f64,
+    area_budget: f64,
+    max_steps: usize,
+    cancel: &CancelToken,
+) -> Result<HardenReport, RelogicError> {
     if !area_budget.is_finite() || area_budget < 1.0 {
         return Err(RelogicError::NumericRange {
             context: "harden area budget",
@@ -97,6 +119,7 @@ pub fn harden(
             hi: f64::INFINITY,
         });
     }
+    cancel.check("harden_estimate")?;
     let est = PropagationEstimate::try_compute(circuit, dist)?;
     let gate_eps = GateEps::try_uniform(circuit, eps)?;
     let (mean_delta, max_delta) = score(&est, &gate_eps);
@@ -131,6 +154,7 @@ pub fn harden(
     let mut evaluated: Vec<ParetoPoint> = Vec::new();
     let mut k = 1usize;
     while k <= ranking.len() && (max_steps == 0 || evaluated.len() < max_steps) {
+        cancel.check("harden_prefix")?;
         let protect: Vec<NodeId> = ranking[..k].iter().map(|&(id, _)| id).collect();
         let transformed = tmr_selected(circuit, &protect);
         let area_ratio = transformed.gate_count() as f64 / baseline.gates.max(1) as f64;
@@ -258,6 +282,21 @@ mod tests {
         let a = harden(&c, &InputDistribution::Uniform, 0.01, 4.0, 0).unwrap();
         let b = harden(&c, &InputDistribution::Uniform, 0.01, 4.0, 0).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cancelled_sweep_returns_typed_error_and_completed_sweep_is_identical() {
+        let c = and_chain();
+        let fired = CancelToken::new();
+        fired.cancel();
+        let err =
+            harden_cancellable(&c, &InputDistribution::Uniform, 0.01, 4.0, 0, &fired).unwrap_err();
+        assert!(matches!(err, RelogicError::Cancelled(_)), "{err}");
+        let plain = harden(&c, &InputDistribution::Uniform, 0.01, 4.0, 0).unwrap();
+        let generous = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+        let under =
+            harden_cancellable(&c, &InputDistribution::Uniform, 0.01, 4.0, 0, &generous).unwrap();
+        assert_eq!(plain, under);
     }
 
     #[test]

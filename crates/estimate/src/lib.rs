@@ -30,11 +30,14 @@ mod harden;
 mod policy;
 mod propagation;
 
-pub use critical::{critical_eps, CriticalEpsReport, CriticalMetric, DEFAULT_BISECTION_STEPS};
-pub use harden::{harden, HardenReport, ParetoPoint};
+pub use critical::{
+    critical_eps, critical_eps_cancellable, CriticalEpsReport, CriticalMetric,
+    DEFAULT_BISECTION_STEPS,
+};
+pub use harden::{harden, harden_cancellable, HardenReport, ParetoPoint};
 pub use policy::{
-    run_estimate, EstimateReport, EstimatorPolicy, EstimatorTier, DEFAULT_BDD_NODE_BUDGET,
-    DEFAULT_MC_DELTA_THRESHOLD,
+    run_estimate, run_estimate_cancellable, EstimateReport, EstimatorPolicy, EstimatorTier,
+    DEFAULT_BDD_NODE_BUDGET, DEFAULT_MC_DELTA_THRESHOLD,
 };
 pub use propagation::{
     PropagationEstimate, PROPAGATION_VS_MC_BOUND_EPS, PROPAGATION_VS_MC_MEAN_ABS_BOUND,

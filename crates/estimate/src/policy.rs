@@ -15,7 +15,7 @@
 //! report; the diagnostics tier counters feed the serve daemon's
 //! `stats`/`health` surfaces.
 
-use relogic::{Diagnostics, RelogicError};
+use relogic::{CancelToken, Diagnostics, RelogicError};
 
 /// Default BDD live-node budget for the exact tier. Roomy enough for every
 /// gen-suite circuit (c499's base build peaks well below it) while
@@ -123,8 +123,37 @@ where
     P: FnOnce() -> Result<Vec<f64>, RelogicError>,
     M: FnOnce(u64, u64) -> Result<Vec<f64>, RelogicError>,
 {
+    let never = CancelToken::new();
+    run_estimate_cancellable(policy, &never, exact, propagation, mc)
+}
+
+/// Like [`run_estimate`], checking `cancel` before entering each tier.
+///
+/// Cancellation is *not* an escalation trigger: an exact tier that stops
+/// on the token returns [`RelogicError::Cancelled`] outright instead of
+/// falling back — the caller asked the whole request to stop, and running
+/// a cheaper tier would only burn time past the deadline. Only genuine
+/// exact-tier failures (budget trips, arity limits …) escalate.
+///
+/// # Errors
+///
+/// [`RelogicError::Cancelled`] once the token fires, otherwise as
+/// [`run_estimate`].
+pub fn run_estimate_cancellable<X, P, M>(
+    policy: &EstimatorPolicy,
+    cancel: &CancelToken,
+    exact: X,
+    propagation: P,
+    mc: M,
+) -> Result<EstimateReport, RelogicError>
+where
+    X: FnOnce(usize) -> Result<Vec<f64>, RelogicError>,
+    P: FnOnce() -> Result<Vec<f64>, RelogicError>,
+    M: FnOnce(u64, u64) -> Result<Vec<f64>, RelogicError>,
+{
     let mut diagnostics = Diagnostics::new();
 
+    cancel.check("estimate_exact_tier")?;
     let exact_failure = if policy.bdd_node_budget == 0 {
         "exact tier disabled (budget 0)".to_owned()
     } else {
@@ -142,14 +171,17 @@ where
                     diagnostics,
                 });
             }
+            Err(e @ RelogicError::Cancelled(_)) => return Err(e),
             Err(e) => format!("exact tier failed: {e}"),
         }
     };
     diagnostics.record_estimator_fallback();
 
+    cancel.check("estimate_propagation_tier")?;
     let prop = propagation()?;
     let worst = prop.iter().fold(0.0f64, |a, &d| a.max(d));
     if worst >= policy.mc_delta_threshold {
+        cancel.check("estimate_mc_tier")?;
         let refined = mc(policy.mc_patterns, policy.mc_seed)?;
         diagnostics.record_tier_mc();
         return Ok(EstimateReport {
@@ -265,6 +297,44 @@ mod tests {
         assert_eq!(report.tier, EstimatorTier::Propagation);
         assert!(report.reason.contains("disabled"));
         assert_eq!(report.diagnostics.estimator_fallbacks(), 1);
+    }
+
+    #[test]
+    fn cancelled_exact_tier_does_not_fall_back() {
+        // A cancelled exact tier must return the cancellation, not
+        // escalate to the cheaper tiers.
+        let err = run_estimate_cancellable(
+            &EstimatorPolicy::default(),
+            &CancelToken::new(),
+            |_| {
+                Err(RelogicError::Cancelled(relogic::Cancelled {
+                    after: std::time::Duration::from_millis(7),
+                    checked_at: "obs_node",
+                }))
+            },
+            || panic!("cancelled exact tier must not fall back to propagation"),
+            |_, _| panic!("cancelled exact tier must not fall back to mc"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelogicError::Cancelled(_)), "{err}");
+    }
+
+    #[test]
+    fn pre_fired_token_stops_before_any_tier_runs() {
+        let fired = CancelToken::new();
+        fired.cancel();
+        let err = run_estimate_cancellable(
+            &EstimatorPolicy::default(),
+            &fired,
+            |_| panic!("exact must not run under a fired token"),
+            || panic!("propagation must not run under a fired token"),
+            |_, _| panic!("mc must not run under a fired token"),
+        )
+        .unwrap_err();
+        match err {
+            RelogicError::Cancelled(c) => assert_eq!(c.checked_at, "estimate_exact_tier"),
+            other => panic!("expected Cancelled, got {other}"),
+        }
     }
 
     #[test]

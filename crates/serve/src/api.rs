@@ -9,7 +9,7 @@
 
 use crate::json::Json;
 use crate::proto::{AnalyzeRequestOptions, ServeError};
-use relogic::{GateEps, ObservabilityMatrix, SinglePass, Weights};
+use relogic::{CancelToken, GateEps, ObservabilityMatrix, SinglePass, Weights};
 use relogic_estimate::{CriticalEpsReport, EstimateReport, HardenReport, ParetoPoint};
 use relogic_netlist::Circuit;
 use relogic_sim::MonteCarloConfig;
@@ -54,11 +54,33 @@ pub fn analyze_result(
     eps: &[f64],
     options: &AnalyzeRequestOptions,
 ) -> Result<Json, ServeError> {
+    analyze_result_cancellable(circuit, weights, eps, options, &CancelToken::new())
+}
+
+/// Like [`analyze_result`], but polls `cancel` between ε points so a
+/// multi-point sweep unwinds promptly on a fired deadline. A run that
+/// completes produces exactly the same object as [`analyze_result`].
+///
+/// # Errors
+///
+/// Engine errors, plus [`ServeError::DeadlineExceeded`] when the token
+/// fires between points (site `"analyze_point"`) or inside the engine.
+pub fn analyze_result_cancellable(
+    circuit: &Circuit,
+    weights: &Weights,
+    eps: &[f64],
+    options: &AnalyzeRequestOptions,
+    cancel: &CancelToken,
+) -> Result<Json, ServeError> {
     let engine = SinglePass::try_new(circuit, weights, options.single_pass.clone())
         .map_err(ServeError::from)?;
     let mut diagnostics = relogic::Diagnostics::new();
     let mut points = Vec::with_capacity(eps.len());
     for &e in eps {
+        cancel
+            .check("analyze_point")
+            .map_err(relogic::RelogicError::from)
+            .map_err(ServeError::from)?;
         let gate_eps = GateEps::try_uniform(circuit, e).map_err(ServeError::from)?;
         let result = engine.try_run(&gate_eps).map_err(ServeError::from)?;
         let mut point = Json::obj([
@@ -166,13 +188,33 @@ pub fn monte_carlo_result_tape(
     eps: f64,
     config: &MonteCarloConfig,
 ) -> Result<Json, ServeError> {
+    monte_carlo_result_tape_cancellable(circuit, tape, eps, config, &CancelToken::new())
+}
+
+/// Like [`monte_carlo_result_tape`], but the tape engine polls `cancel`
+/// at every chunk hand-out. Completed runs are bit-identical to
+/// [`monte_carlo_result_tape`] — the token never alters the RNG stream or
+/// the merge order, only whether an answer is produced.
+///
+/// # Errors
+///
+/// Validation errors, plus [`ServeError::DeadlineExceeded`] when the
+/// token fires mid-simulation.
+pub fn monte_carlo_result_tape_cancellable(
+    circuit: &Circuit,
+    tape: &relogic_sim::CircuitTape,
+    eps: f64,
+    config: &MonteCarloConfig,
+    cancel: &CancelToken,
+) -> Result<Json, ServeError> {
     let gate_eps = GateEps::try_uniform(circuit, eps).map_err(ServeError::from)?;
-    let estimate = relogic_sim::try_estimate_tape(
+    let estimate = relogic_sim::try_estimate_tape_cancellable(
         circuit,
         tape,
         gate_eps.as_slice(),
         config,
         relogic_sim::DEFAULT_LANES,
+        cancel,
     )
     .map_err(ServeError::from)?;
     monte_carlo_json(circuit, eps, config, &estimate)

@@ -16,9 +16,12 @@
 //! * **Laziness** — parsing happens on first use of a netlist; weight
 //!   vectors and the observability matrix are materialized on the first
 //!   request that needs them (a Monte Carlo-only client never pays for
-//!   BDDs). `OnceLock` gives single-flight semantics for free: concurrent
-//!   requests for the same artifact's weights block on one computation
-//!   instead of racing duplicates.
+//!   BDDs). Each fallible slot is a [`LazySlot`]: single-flight like a
+//!   `OnceLock` (concurrent requests block on one computation instead of
+//!   racing duplicates), but a **cancelled** materialization releases the
+//!   slot instead of freezing the error — the next request recomputes,
+//!   so one client's deadline can never poison the artifact for everyone
+//!   else. Non-cancellation failures stay sticky, as before.
 //! * **Eviction** — least-recently-used, under a configurable byte budget.
 //!   Entry sizes are charged up front from circuit structure
 //!   ([`Weights::projected_heap_bytes`] plus netlist text and projected
@@ -31,7 +34,7 @@
 //! in-flight request drops its reference.
 
 use crate::proto::{BackendSpec, CircuitPayload, ServeError};
-use relogic::{InputDistribution, ObservabilityMatrix, RelogicError, Weights};
+use relogic::{CancelToken, InputDistribution, ObservabilityMatrix, RelogicError, Weights};
 use relogic_estimate::PropagationEstimate;
 use relogic_netlist::structure::CircuitStats;
 use relogic_netlist::Circuit;
@@ -259,6 +262,137 @@ impl DiskTier {
     }
 }
 
+/// A lazily materialized, single-flight artifact slot that **never caches
+/// a cancellation**.
+///
+/// `OnceLock<Result<…>>` slots have one failure mode under deadlines: a
+/// request whose token fires mid-materialization would freeze its
+/// `Cancelled` error into the slot, poisoning the artifact for every
+/// later request. This slot keeps the same single-flight economics (one
+/// builder, waiters block) with three sticky outcomes instead of two:
+///
+/// * success — the value is frozen in a `OnceLock`, exactly as before;
+/// * non-cancellation failure (budget trip, backend error) — cached so a
+///   doomed compute is not re-run per request;
+/// * cancellation — the slot **resets to empty** and waiters are woken;
+///   the next request recomputes from scratch.
+#[derive(Debug)]
+struct LazySlot<T> {
+    /// The materialized value; written once, by the builder that completes.
+    value: OnceLock<T>,
+    state: Mutex<SlotState>,
+    /// Signalled whenever a builder finishes (any outcome).
+    done: Condvar,
+}
+
+// Derived `Default` would demand `T: Default`; an empty slot needs no
+// value at all.
+impl<T> Default for LazySlot<T> {
+    fn default() -> Self {
+        LazySlot {
+            value: OnceLock::new(),
+            state: Mutex::new(SlotState::default()),
+            done: Condvar::new(),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SlotState {
+    /// A builder is running right now; waiters block on `done`.
+    building: bool,
+    /// Sticky non-cancellation failure.
+    failed: Option<RelogicError>,
+}
+
+/// Clears `building` and wakes waiters on every builder exit — success,
+/// typed failure, cancellation, or panic — so a waiter can never block on
+/// a builder that is gone.
+struct BuildGuard<'a> {
+    state: &'a Mutex<SlotState>,
+    done: &'a Condvar,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        state.building = false;
+        drop(state);
+        self.done.notify_all();
+    }
+}
+
+impl<T> LazySlot<T> {
+    fn lock(&self) -> MutexGuard<'_, SlotState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The value if it is already materialized; never builds.
+    fn peek(&self) -> Option<&T> {
+        self.value.get()
+    }
+
+    /// Returns the materialized value, building it if this call is first.
+    /// Concurrent callers block until the builder finishes; a cancelled
+    /// build leaves the slot empty so the next caller rebuilds.
+    fn get_or_build(
+        &self,
+        build: impl FnOnce() -> Result<T, RelogicError>,
+    ) -> Result<&T, RelogicError> {
+        if let Some(v) = self.value.get() {
+            return Ok(v);
+        }
+        let mut state = self.lock();
+        loop {
+            if let Some(v) = self.value.get() {
+                return Ok(v);
+            }
+            if let Some(e) = &state.failed {
+                return Err(e.clone());
+            }
+            if !state.building {
+                break;
+            }
+            state = match self.done.wait(state) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        state.building = true;
+        drop(state);
+        let guard = BuildGuard {
+            state: &self.state,
+            done: &self.done,
+        };
+        match build() {
+            Ok(v) => {
+                let _ = self.value.set(v);
+                drop(guard);
+                match self.value.get() {
+                    Some(v) => Ok(v),
+                    None => unreachable!("the sole builder just set the value"),
+                }
+            }
+            Err(e) => {
+                // A cancellation is the caller's deadline, not the
+                // artifact's fault: leave the slot empty for the next
+                // request. Anything else is cached as before.
+                if !matches!(e, RelogicError::Cancelled(_)) {
+                    self.lock().failed = Some(e.clone());
+                }
+                drop(guard);
+                Err(e)
+            }
+        }
+    }
+}
+
 /// A compiled circuit: the parsed netlist plus lazily materialized,
 /// ε-independent analysis state (weight vectors, correlation-seed inputs,
 /// observability matrix).
@@ -269,14 +403,14 @@ pub struct Artifact {
     backend: BackendSpec,
     key: ArtifactKey,
     /// The persistent tier, when the service runs with `--cache-dir`.
-    /// Read-through and write-through happen inside the `OnceLock`
-    /// initializers below, so disk I/O inherits their single-flight
-    /// semantics for free.
+    /// Read-through and write-through happen inside the slot builders
+    /// below, so disk I/O inherits their single-flight semantics for
+    /// free.
     disk: Option<Arc<DiskTier>>,
-    weights: OnceLock<Result<Weights, RelogicError>>,
-    observability: OnceLock<Result<ObservabilityMatrix, RelogicError>>,
+    weights: LazySlot<Weights>,
+    observability: LazySlot<ObservabilityMatrix>,
     tape: OnceLock<CircuitTape>,
-    estimate: OnceLock<Result<PropagationEstimate, RelogicError>>,
+    estimate: LazySlot<PropagationEstimate>,
 }
 
 impl Artifact {
@@ -308,10 +442,10 @@ impl Artifact {
             backend: payload.backend,
             key,
             disk,
-            weights: OnceLock::new(),
-            observability: OnceLock::new(),
+            weights: LazySlot::default(),
+            observability: LazySlot::default(),
             tape: OnceLock::new(),
-            estimate: OnceLock::new(),
+            estimate: LazySlot::default(),
         })
     }
 
@@ -336,7 +470,24 @@ impl Artifact {
     /// Propagates the weight backend's [`RelogicError`] (also for callers
     /// arriving after a failed first materialization).
     pub fn weights(&self, counters: &CacheCounters) -> Result<&Weights, ServeError> {
-        let slot = self.weights.get_or_init(|| {
+        self.weights_cancellable(counters, &CancelToken::new())
+    }
+
+    /// Like [`Artifact::weights`], checking `cancel` before the backend
+    /// runs. A cancelled materialization leaves the slot empty — the next
+    /// request recomputes instead of observing a frozen `Cancelled`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Artifact::weights`], plus the deadline error once the token
+    /// has fired.
+    pub fn weights_cancellable(
+        &self,
+        counters: &CacheCounters,
+        cancel: &CancelToken,
+    ) -> Result<&Weights, ServeError> {
+        let slot = self.weights.get_or_build(|| {
+            cancel.check("weights_build")?;
             // Read-through: a verified disk artifact is bit-identical to
             // a recompute by the store's contract, so it short-circuits
             // the backend entirely. Misses, quarantines, and I/O errors
@@ -357,10 +508,7 @@ impl Artifact {
             }
             weights
         });
-        match slot {
-            Ok(w) => Ok(w),
-            Err(e) => Err(ServeError::from(e.clone())),
-        }
+        slot.map_err(ServeError::from)
     }
 
     /// The compiled instruction tape (see [`CircuitTape`]), materialized
@@ -393,7 +541,25 @@ impl Artifact {
         &self,
         counters: &CacheCounters,
     ) -> Result<&ObservabilityMatrix, ServeError> {
-        let slot = self.observability.get_or_init(|| {
+        self.observability_cancellable(counters, &CancelToken::new())
+    }
+
+    /// Like [`Artifact::observability`], threading `cancel` into the §3
+    /// engine (per-output-chunk and per-node checks; see `relogic`). A
+    /// cancelled materialization leaves the slot empty, never poisoned:
+    /// the next request recomputes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Artifact::observability`], plus the deadline error once the
+    /// token has fired.
+    pub fn observability_cancellable(
+        &self,
+        counters: &CacheCounters,
+        cancel: &CancelToken,
+    ) -> Result<&ObservabilityMatrix, ServeError> {
+        let slot = self.observability.get_or_build(|| {
+            cancel.check("obs_build")?;
             if let Some(disk) = &self.disk {
                 if let Some(m) = disk.load_observability(self.key.store_key()) {
                     // Persisted diagnostics ride along, but the engine
@@ -404,10 +570,12 @@ impl Artifact {
             counters
                 .observability_computed
                 .fetch_add(1, Ordering::Relaxed);
-            let matrix = ObservabilityMatrix::try_compute(
+            let matrix = ObservabilityMatrix::try_compute_threads_cancellable(
                 &self.circuit,
                 &InputDistribution::Uniform,
                 self.backend.backend(),
+                0,
+                cancel,
             );
             if let Ok(m) = &matrix {
                 if let Some(stats) = m.diagnostics().bdd_stats() {
@@ -419,10 +587,7 @@ impl Artifact {
             }
             matrix
         });
-        match slot {
-            Ok(o) => Ok(o),
-            Err(e) => Err(ServeError::from(e.clone())),
-        }
+        slot.map_err(ServeError::from)
     }
 
     /// The observability matrix **only if it is already materialized and
@@ -432,10 +597,7 @@ impl Artifact {
     /// build instead (which must not poison this slot on a budget trip).
     #[must_use]
     pub fn observability_if_ready(&self) -> Option<&ObservabilityMatrix> {
-        match self.observability.get() {
-            Some(Ok(m)) => Some(m),
-            _ => None,
-        }
+        self.observability.peek()
     }
 
     /// The propagation estimate (signal probabilities + per-output
@@ -455,7 +617,25 @@ impl Artifact {
         &self,
         counters: &CacheCounters,
     ) -> Result<&PropagationEstimate, RelogicError> {
-        let slot = self.estimate.get_or_init(|| {
+        self.propagation_estimate_cancellable(counters, &CancelToken::new())
+    }
+
+    /// Like [`Artifact::propagation_estimate`], checking `cancel` before
+    /// the estimator runs (the estimator itself is linear-time, so one
+    /// up-front check is the right granularity). A cancelled
+    /// materialization leaves the slot empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`Artifact::propagation_estimate`], plus
+    /// [`RelogicError::Cancelled`] once the token has fired.
+    pub fn propagation_estimate_cancellable(
+        &self,
+        counters: &CacheCounters,
+        cancel: &CancelToken,
+    ) -> Result<&PropagationEstimate, RelogicError> {
+        self.estimate.get_or_build(|| {
+            cancel.check("estimate_build")?;
             if let Some(disk) = &self.disk {
                 if let Some(e) = disk.load_estimate(self.key.store_key()) {
                     return Ok(e);
@@ -468,11 +648,7 @@ impl Artifact {
                 disk.save_estimate(self.key.store_key(), e);
             }
             estimate
-        });
-        match slot {
-            Ok(e) => Ok(e),
-            Err(e) => Err(e.clone()),
-        }
+        })
     }
 
     /// Up-front byte charge for this artifact: netlist-scale circuit
@@ -1009,6 +1185,55 @@ mod tests {
         );
         let _ = a.observability(cache.counters()).unwrap();
         assert!(a.observability_if_ready().is_some());
+    }
+
+    #[test]
+    fn cancelled_materialization_does_not_poison_the_slot() {
+        // Request A's deadline fires mid-materialization; request B on the
+        // same artifact must recompute and succeed instead of observing a
+        // frozen `Cancelled`.
+        let cache = ArtifactCache::new(1 << 20);
+        let (a, _) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        let fired = CancelToken::new();
+        fired.cancel();
+
+        let err = a
+            .observability_cancellable(cache.counters(), &fired)
+            .unwrap_err();
+        assert_eq!(err.code(), "deadline_exceeded", "{err}");
+        assert!(a.observability_if_ready().is_none(), "slot must stay empty");
+        assert!(a.observability(cache.counters()).is_ok());
+        assert!(a.observability_if_ready().is_some());
+
+        let err = a.weights_cancellable(cache.counters(), &fired).unwrap_err();
+        assert_eq!(err.code(), "deadline_exceeded", "{err}");
+        assert!(a.weights(cache.counters()).is_ok());
+
+        let err = a
+            .propagation_estimate_cancellable(cache.counters(), &fired)
+            .unwrap_err();
+        assert!(matches!(err, RelogicError::Cancelled(_)), "{err}");
+        assert!(a.propagation_estimate(cache.counters()).is_ok());
+    }
+
+    #[test]
+    fn waiters_on_a_cancelled_builder_recompute_instead_of_hanging() {
+        // A holds the slot's build with a fired token while B waits; when
+        // A unwinds with `Cancelled`, B must take over and succeed.
+        let cache = Arc::new(ArtifactCache::new(1 << 20));
+        let (a, _) = cache.get_or_compile(&payload(SMALL)).unwrap();
+        let artifact = Arc::clone(&a);
+        let cache2 = Arc::clone(&cache);
+        let fired = CancelToken::new();
+        fired.cancel();
+        // Sequential stand-in for the race: the cancelled builder runs
+        // first, then the "waiter". The interleaved case is covered by
+        // BuildGuard + the Empty reset; this pins the observable contract.
+        assert!(artifact
+            .observability_cancellable(cache2.counters(), &fired)
+            .is_err());
+        let fresh = std::thread::spawn(move || artifact.observability(cache2.counters()).is_ok());
+        assert!(fresh.join().unwrap());
     }
 
     #[test]

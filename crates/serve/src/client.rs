@@ -219,6 +219,13 @@ fn classify_reply(line: &str) -> Attempt {
             floor_ms: 0,
             reconnect: true,
         },
+        // Deliberately non-retryable: the deadline is the *caller's*
+        // budget, and the work was cancelled because that budget ran out.
+        // Re-submitting the same request with the same deadline would
+        // just burn a second deadline's worth of server compute to reach
+        // the same outcome — the caller must decide to raise the deadline
+        // (or drop the request), not the retry loop.
+        "deadline_exceeded" => Attempt::Fatal { code, message },
         _ => Attempt::Fatal { code, message },
     }
 }
@@ -572,6 +579,14 @@ mod tests {
         match classify_reply(r#"{"ok":false,"error":{"code":"bad_request","message":"nope"}}"#) {
             Attempt::Fatal { code, .. } => assert_eq!(code, "bad_request"),
             _ => panic!("expected Fatal"),
+        }
+        // A blown deadline is the caller's budget running out — retrying
+        // the identical request would only spend it again.
+        match classify_reply(
+            r#"{"ok":false,"error":{"code":"deadline_exceeded","message":"m","after_ms":51}}"#,
+        ) {
+            Attempt::Fatal { code, .. } => assert_eq!(code, "deadline_exceeded"),
+            _ => panic!("deadline_exceeded must be fatal, not retried"),
         }
         match classify_reply(r#"{"ok":false,"error":{"code":"#) {
             Attempt::Transient { reconnect, .. } => assert!(reconnect),

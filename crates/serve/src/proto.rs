@@ -153,6 +153,8 @@ pub enum Request {
         eps: Vec<f64>,
         /// Engine and reporting options.
         options: AnalyzeRequestOptions,
+        /// Cooperative deadline in milliseconds (0 = none requested).
+        deadline_ms: u64,
     },
     /// Observability closed form (§3) at one or many ε points.
     Observability {
@@ -162,6 +164,8 @@ pub enum Request {
         eps: Vec<f64>,
         /// Include per-gate any-output observabilities.
         per_gate: bool,
+        /// Cooperative deadline in milliseconds (0 = none requested).
+        deadline_ms: u64,
     },
     /// Deterministic chunk-seeded Monte Carlo reference run.
     MonteCarlo {
@@ -175,6 +179,8 @@ pub enum Request {
         seed: u64,
         /// Worker threads (0 = auto).
         threads: usize,
+        /// Cooperative deadline in milliseconds (0 = none requested).
+        deadline_ms: u64,
     },
     /// Tiered reliability estimate: exact BDD under a live-node budget,
     /// falling back to the propagation estimator, refined by Monte Carlo
@@ -190,6 +196,8 @@ pub enum Request {
         patterns: u64,
         /// RNG seed for the Monte Carlo refinement tier.
         seed: u64,
+        /// Cooperative deadline in milliseconds (0 = none requested).
+        deadline_ms: u64,
     },
     /// Selective-TMR hardening sweep: reliability-per-area Pareto front
     /// under a gate-count budget.
@@ -202,6 +210,8 @@ pub enum Request {
         area_budget: f64,
         /// Cap on evaluated protection prefixes (0 = no cap).
         max_steps: usize,
+        /// Cooperative deadline in milliseconds (0 = none requested).
+        deadline_ms: u64,
     },
     /// Deterministic bisection on ε for where output error δ crosses a
     /// threshold, evaluated on the compiled sweep tape.
@@ -214,6 +224,8 @@ pub enum Request {
         metric: CriticalMetric,
         /// Bisection step cap (0 = the library default).
         max_steps: usize,
+        /// Cooperative deadline in milliseconds (0 = none requested).
+        deadline_ms: u64,
     },
     /// Service counters: requests, cache, latency percentiles.
     Stats,
@@ -246,6 +258,22 @@ impl Request {
     #[must_use]
     pub fn needs_admission(&self) -> bool {
         !matches!(self, Request::Stats | Request::Health)
+    }
+
+    /// The client-requested cooperative deadline, when one was supplied.
+    /// `stats`/`health` are answered inline and never carry one.
+    #[must_use]
+    pub fn deadline_ms(&self) -> Option<u64> {
+        let ms = match self {
+            Request::Analyze { deadline_ms, .. }
+            | Request::Observability { deadline_ms, .. }
+            | Request::MonteCarlo { deadline_ms, .. }
+            | Request::Estimate { deadline_ms, .. }
+            | Request::Harden { deadline_ms, .. }
+            | Request::CriticalEps { deadline_ms, .. } => *deadline_ms,
+            Request::Stats | Request::Health => 0,
+        };
+        (ms > 0).then_some(ms)
     }
 }
 
@@ -300,6 +328,17 @@ pub enum ServeError {
         /// The configured timeout in milliseconds.
         ms: u64,
     },
+    /// The request's cooperative deadline fired and the compute path
+    /// observed the cancellation — no partial result survives. Code
+    /// `deadline_exceeded`.
+    DeadlineExceeded {
+        /// Elapsed time on the cancel token when the check fired, in
+        /// milliseconds.
+        after_ms: u64,
+        /// The check site that observed the cancellation (e.g.
+        /// `"obs_chunk"`), for operators correlating slow engines.
+        site: &'static str,
+    },
     /// The server is draining and no longer accepts work. Code
     /// `shutting_down`.
     ShuttingDown,
@@ -326,6 +365,7 @@ impl ServeError {
             ServeError::Analysis(_) => "analysis_error",
             ServeError::Sim(_) => "sim_error",
             ServeError::Timeout { .. } => "timeout",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
             ServeError::ShuttingDown => "shutting_down",
             ServeError::Overloaded { .. } => "overloaded",
             ServeError::Internal(_) => "internal",
@@ -361,6 +401,10 @@ impl ServeError {
             } => obj.push("line", Json::from(*line)),
             ServeError::TooLarge { limit } => obj.push("limit", Json::from(*limit)),
             ServeError::Timeout { ms } => obj.push("ms", Json::from(*ms)),
+            ServeError::DeadlineExceeded { after_ms, site } => {
+                obj.push("after_ms", Json::from(*after_ms));
+                obj.push("site", Json::from(*site));
+            }
             ServeError::Overloaded { retry_after_ms } => {
                 obj.push("retry_after_ms", Json::from(*retry_after_ms));
             }
@@ -385,6 +429,9 @@ impl fmt::Display for ServeError {
             ServeError::Analysis(e) => write!(f, "analysis error: {e}"),
             ServeError::Sim(e) => write!(f, "simulation error: {e}"),
             ServeError::Timeout { ms } => write!(f, "request exceeded the {ms} ms timeout"),
+            ServeError::DeadlineExceeded { after_ms, site } => {
+                write!(f, "deadline exceeded after {after_ms} ms (at {site})")
+            }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::Overloaded { retry_after_ms } => {
                 write!(f, "server is overloaded; retry after {retry_after_ms} ms")
@@ -407,8 +454,13 @@ impl std::error::Error for ServeError {
 impl From<RelogicError> for ServeError {
     fn from(e: RelogicError) -> Self {
         // Unwrap the core crate's Sim wrapper so the wire code reflects
-        // the originating subsystem.
+        // the originating subsystem. Cancellations map first: they are a
+        // deadline outcome, not an analysis failure.
         match e {
+            RelogicError::Cancelled(c) => ServeError::DeadlineExceeded {
+                after_ms: u64::try_from(c.after.as_millis()).unwrap_or(u64::MAX),
+                site: c.checked_at,
+            },
             RelogicError::Sim(s) => ServeError::Sim(s),
             other => ServeError::Analysis(other),
         }
@@ -417,7 +469,9 @@ impl From<RelogicError> for ServeError {
 
 impl From<SimError> for ServeError {
     fn from(e: SimError) -> Self {
-        ServeError::Sim(e)
+        // Route through the core ladder so `SimError::Cancelled` lands on
+        // the `deadline_exceeded` wire code, same as every other engine.
+        ServeError::from(RelogicError::from(e))
     }
 }
 
@@ -495,20 +549,24 @@ fn build_request(doc: &Json, limits: &RequestLimits) -> Result<Request, ServeErr
             let circuit = circuit_payload(doc)?;
             let eps = eps_list(doc, limits)?;
             let options = analyze_options(doc)?;
+            let deadline_ms = opt_u64(doc, "deadline_ms", 0)?;
             Ok(Request::Analyze {
                 circuit,
                 eps,
                 options,
+                deadline_ms,
             })
         }
         "observability" => {
             let circuit = circuit_payload(doc)?;
             let eps = eps_list(doc, limits)?;
             let per_gate = opt_bool(doc, "per_gate", false)?;
+            let deadline_ms = opt_u64(doc, "deadline_ms", 0)?;
             Ok(Request::Observability {
                 circuit,
                 eps,
                 per_gate,
+                deadline_ms,
             })
         }
         "monte_carlo" => {
@@ -530,12 +588,14 @@ fn build_request(doc: &Json, limits: &RequestLimits) -> Result<Request, ServeErr
                     limits.max_threads
                 )));
             }
+            let deadline_ms = opt_u64(doc, "deadline_ms", 0)?;
             Ok(Request::MonteCarlo {
                 circuit,
                 eps,
                 patterns,
                 seed,
                 threads,
+                deadline_ms,
             })
         }
         "estimate" => {
@@ -555,12 +615,14 @@ fn build_request(doc: &Json, limits: &RequestLimits) -> Result<Request, ServeErr
                 )));
             }
             let seed = opt_u64(doc, "seed", 1)?;
+            let deadline_ms = opt_u64(doc, "deadline_ms", 0)?;
             Ok(Request::Estimate {
                 circuit,
                 eps,
                 bdd_node_budget,
                 patterns,
                 seed,
+                deadline_ms,
             })
         }
         "harden" => {
@@ -569,11 +631,13 @@ fn build_request(doc: &Json, limits: &RequestLimits) -> Result<Request, ServeErr
             let area_budget = opt_f64(doc, "area_budget", DEFAULT_AREA_BUDGET)?;
             let max_steps = usize::try_from(opt_u64(doc, "max_steps", 0)?)
                 .map_err(|_| bad("`max_steps` out of range"))?;
+            let deadline_ms = opt_u64(doc, "deadline_ms", 0)?;
             Ok(Request::Harden {
                 circuit,
                 eps,
                 area_budget,
                 max_steps,
+                deadline_ms,
             })
         }
         "critical_eps" => {
@@ -592,11 +656,13 @@ fn build_request(doc: &Json, limits: &RequestLimits) -> Result<Request, ServeErr
             };
             let max_steps = usize::try_from(opt_u64(doc, "max_steps", 0)?)
                 .map_err(|_| bad("`max_steps` out of range"))?;
+            let deadline_ms = opt_u64(doc, "deadline_ms", 0)?;
             Ok(Request::CriticalEps {
                 circuit,
                 threshold,
                 metric,
                 max_steps,
+                deadline_ms,
             })
         }
         "stats" => Ok(Request::Stats),
@@ -747,6 +813,7 @@ mod tests {
             circuit,
             eps,
             options,
+            deadline_ms,
         }) = req
         else {
             panic!("expected analyze: {req:?}");
@@ -757,6 +824,7 @@ mod tests {
         assert_eq!(eps, vec![DEFAULT_EPS]);
         assert_eq!(options.single_pass.partner_cap, Some(64));
         assert!(!options.diagnostics);
+        assert_eq!(deadline_ms, 0);
     }
 
     #[test]
@@ -772,6 +840,7 @@ mod tests {
             circuit,
             eps,
             options,
+            ..
         }) = req
         else {
             panic!();
@@ -897,6 +966,52 @@ mod tests {
                 other => panic!("{line} should be bad_request, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn parses_deadline_ms_on_every_analysis_kind() {
+        let limits = RequestLimits::default();
+        for kind in [
+            "analyze",
+            "observability",
+            "monte_carlo",
+            "estimate",
+            "harden",
+            "critical_eps",
+        ] {
+            let line = format!(r#"{{"kind":"{kind}","netlist":"x","deadline_ms":250}}"#);
+            let (_, req) = parse_request(&line, &limits);
+            let req = req.unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(req.deadline_ms(), Some(250), "{kind}");
+            let line = format!(r#"{{"kind":"{kind}","netlist":"x"}}"#);
+            let (_, req) = parse_request(&line, &limits);
+            assert_eq!(req.unwrap().deadline_ms(), None, "{kind} default");
+        }
+        // A malformed deadline is a bad_request, and stats/health carry none.
+        let (_, req) = parse_request(
+            r#"{"kind":"monte_carlo","netlist":"x","deadline_ms":-5}"#,
+            &limits,
+        );
+        assert!(matches!(req, Err(ServeError::BadRequest(_))));
+        assert_eq!(Request::Stats.deadline_ms(), None);
+        assert_eq!(Request::Health.deadline_ms(), None);
+    }
+
+    #[test]
+    fn cancellation_maps_to_deadline_exceeded_wire_code() {
+        let c = relogic_sim::Cancelled {
+            after: std::time::Duration::from_millis(72),
+            checked_at: "obs_chunk",
+        };
+        let e = ServeError::from(RelogicError::Cancelled(c));
+        assert_eq!(e.code(), "deadline_exceeded");
+        let json = e.to_json();
+        assert_eq!(json.get("after_ms").and_then(Json::as_u64), Some(72));
+        assert_eq!(json.get("site").and_then(Json::as_str), Some("obs_chunk"));
+        assert!(e.to_string().contains("deadline exceeded after 72 ms"));
+        // The SimError route stays typed too.
+        let e = ServeError::from(RelogicError::from(SimError::Cancelled(c)));
+        assert_eq!(e.code(), "deadline_exceeded");
     }
 
     #[test]

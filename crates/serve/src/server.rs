@@ -14,6 +14,7 @@ use crate::service::{Service, ServiceConfig};
 use relogic_sim::exec::{Job, WorkerPool};
 use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
@@ -43,6 +44,12 @@ pub struct ServerConfig {
     /// Close a connection after this much idle time between frames; `0`
     /// disables the idle timeout.
     pub idle_timeout_ms: u64,
+    /// Graceful-drain grace period: after shutdown begins, in-flight
+    /// requests get this long to finish before their cancel tokens are
+    /// fired. `0` cancels immediately. Bounds how long a wedged-slow job
+    /// can delay shutdown to roughly the grace period plus one engine
+    /// check interval.
+    pub drain_grace_ms: u64,
     /// Transport-independent service settings.
     pub service: ServiceConfig,
 }
@@ -55,6 +62,7 @@ impl Default for ServerConfig {
             threads: 0,
             queue_capacity: 64,
             idle_timeout_ms: 30_000,
+            drain_grace_ms: 2_000,
             service: ServiceConfig::default(),
         }
     }
@@ -63,6 +71,7 @@ impl Default for ServerConfig {
 struct Shared {
     service: Service,
     idle_timeout: Duration,
+    drain_grace: Duration,
     max_request_bytes: usize,
 }
 
@@ -88,6 +97,7 @@ impl Server {
         let shared = Arc::new(Shared {
             service: Service::new(config.service),
             idle_timeout: Duration::from_millis(config.idle_timeout_ms),
+            drain_grace: Duration::from_millis(config.drain_grace_ms),
             max_request_bytes,
         });
         let pool = WorkerPool::new(config.threads, config.queue_capacity.max(1));
@@ -186,13 +196,22 @@ impl Server {
         self.shared.service.is_draining()
     }
 
-    /// Graceful shutdown: stop accepting, let in-flight frames finish,
-    /// join every thread, and unlink the Unix socket.
+    /// Graceful shutdown: stop accepting, give in-flight frames the
+    /// configured grace period to finish, then *fire* their cancel
+    /// tokens, join every thread, and unlink the Unix socket. A
+    /// wedged-slow job cannot hold shutdown hostage: past the grace
+    /// period it unwinds at its next engine check site and its client is
+    /// answered with `shutting_down`.
     pub fn shutdown(self) {
         self.shared.service.begin_drain();
         for handle in self.accept_threads {
             let _ = handle.join();
         }
+        let deadline = Instant::now() + self.shared.drain_grace;
+        while self.shared.service.inflight_token_count() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let _ = self.shared.service.cancel_inflight();
         // Queued connections still run; each notices the drain flag after
         // at most one poll interval and closes after its current frame.
         self.pool.shutdown();
@@ -337,11 +356,22 @@ impl Accept for UnixListener {
 trait Connection: Read + Write {
     /// Sets the read timeout used for drain-flag polling.
     fn set_poll_timeout(&self, timeout: Duration) -> std::io::Result<()>;
+
+    /// The raw socket descriptor for disconnect probing, when the stream
+    /// has one. `None` disables the probe (the request still runs under
+    /// its deadline, it just cannot notice a vanished client early).
+    fn probe_fd(&self) -> Option<RawFd> {
+        None
+    }
 }
 
 impl Connection for TcpStream {
     fn set_poll_timeout(&self, timeout: Duration) -> std::io::Result<()> {
         self.set_read_timeout(Some(timeout))
+    }
+
+    fn probe_fd(&self) -> Option<RawFd> {
+        Some(self.as_raw_fd())
     }
 }
 
@@ -349,6 +379,35 @@ impl Connection for UnixStream {
     fn set_poll_timeout(&self, timeout: Duration) -> std::io::Result<()> {
         self.set_read_timeout(Some(timeout))
     }
+
+    fn probe_fd(&self) -> Option<RawFd> {
+        Some(self.as_raw_fd())
+    }
+}
+
+/// Whether the peer of `fd` has closed the connection, observed without
+/// consuming any pipelined bytes: a non-blocking one-byte `MSG_PEEK`
+/// `recv(2)` returns 0 exactly at EOF, while a live-but-quiet peer yields
+/// `EAGAIN` (-1) and a pipelined frame yields the peeked byte (>0).
+///
+/// Note a client that half-closes its write side while still waiting to
+/// read the reply is indistinguishable from a vanished one here; the
+/// NDJSON protocol keeps the stream fully open for its lifetime, so a
+/// write-side EOF is treated as abandonment.
+fn peer_disconnected(fd: RawFd) -> bool {
+    const MSG_PEEK: i32 = 2;
+    const MSG_DONTWAIT: i32 = 0x40;
+    // Declared directly (see `signal.rs`) to avoid the `libc` crate;
+    // `recv` is in every libc the workspace targets.
+    unsafe extern "C" {
+        fn recv(fd: i32, buf: *mut u8, len: usize, flags: i32) -> isize;
+    }
+    let mut byte = 0u8;
+    // SAFETY: `fd` is a live socket owned by this connection's stream for
+    // the duration of the frame loop; the buffer is a valid one-byte
+    // write target; MSG_PEEK leaves the stream state untouched.
+    let n = unsafe { recv(fd, &raw mut byte, 1, MSG_PEEK | MSG_DONTWAIT) };
+    n == 0
 }
 
 /// A fault-injecting wrapper around a live connection stream. Reads can
@@ -413,6 +472,10 @@ impl<S: Connection> Connection for ChaosStream<S> {
     fn set_poll_timeout(&self, timeout: Duration) -> std::io::Result<()> {
         self.inner.set_poll_timeout(timeout)
     }
+
+    fn probe_fd(&self) -> Option<RawFd> {
+        self.inner.probe_fd()
+    }
 }
 
 /// Runs the NDJSON frame loop on one connection until EOF, idle timeout,
@@ -474,7 +537,17 @@ fn frame_loop<S: Connection>(stream: S, shared: &Arc<Shared>) {
                             buf.clear();
                             continue;
                         }
-                        shared.service.handle_line(text)
+                        // Probe the socket while the request computes: a
+                        // vanished client cancels the in-flight job and
+                        // frees this worker instead of computing a reply
+                        // nobody will read.
+                        match reader.get_ref().probe_fd() {
+                            Some(fd) => {
+                                let gone = move || peer_disconnected(fd);
+                                shared.service.handle_line_with_probe(text, Some(&gone))
+                            }
+                            None => shared.service.handle_line(text),
+                        }
                     }
                     Err(_) => Response {
                         id: None,

@@ -11,13 +11,20 @@ use crate::cache::{ArtifactCache, DiskTier};
 use crate::json::Json;
 use crate::proto::{self, Request, RequestLimits, Response, ServeError};
 use crate::stats::ServiceStats;
-use relogic::{GateEps, InputDistribution, ObservabilityMatrix, SweepTape};
+use relogic::{CancelToken, GateEps, InputDistribution, ObservabilityMatrix, SweepTape};
 use relogic_estimate::EstimatorPolicy;
 use relogic_sim::MonteCarloConfig;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, OnceLock};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
+
+/// How often the supervisor re-checks the client-disconnect probe while a
+/// request is in flight. Bounds how long a cancelled job can outlive its
+/// client: the worker is freed within one poll interval plus one engine
+/// check interval.
+const DISCONNECT_POLL: Duration = Duration::from_millis(100);
 
 /// Service configuration (transport-independent parts).
 #[derive(Clone, Debug)]
@@ -82,6 +89,37 @@ struct ServiceInner {
     /// the `health` kind (absent when the service runs without a server,
     /// e.g. in the CLI's one-shot mode).
     queue_probe: OnceLock<Box<dyn Fn() -> usize + Send + Sync>>,
+    /// Cancel token of every request currently executing, keyed by a
+    /// monotonic registration id. Graceful drain fires them all once the
+    /// grace period runs out, so a wedged-slow job cannot hold shutdown
+    /// hostage.
+    inflight_tokens: Mutex<HashMap<u64, CancelToken>>,
+    /// Next registration id for `inflight_tokens`.
+    next_token: AtomicU64,
+}
+
+impl ServiceInner {
+    /// The in-flight token registry; a poisoned lock is recovered (the
+    /// map's state is valid after any panic — inserts/removes are atomic).
+    fn tokens(&self) -> MutexGuard<'_, HashMap<u64, CancelToken>> {
+        match self.inflight_tokens.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// RAII registry entry: unregisters the request's cancel token on drop,
+/// whether the request completed, errored, or panicked.
+struct TokenRegistration<'a> {
+    inner: &'a ServiceInner,
+    id: u64,
+}
+
+impl Drop for TokenRegistration<'_> {
+    fn drop(&mut self) {
+        self.inner.tokens().remove(&self.id);
+    }
 }
 
 /// RAII admission permit: holds one slot of the in-flight gauge.
@@ -128,8 +166,38 @@ impl Service {
                 started: Instant::now(),
                 draining: AtomicBool::new(false),
                 queue_probe: OnceLock::new(),
+                inflight_tokens: Mutex::new(HashMap::new()),
+                next_token: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// Registers `token` as in flight until the returned guard drops.
+    fn register_token(&self, token: &CancelToken) -> TokenRegistration<'_> {
+        let id = self.inner.next_token.fetch_add(1, Ordering::Relaxed);
+        self.inner.tokens().insert(id, token.clone());
+        TokenRegistration {
+            inner: &self.inner,
+            id,
+        }
+    }
+
+    /// Fires the cancel token of every in-flight request and returns how
+    /// many were fired. Graceful drain calls this after its grace period:
+    /// outstanding work unwinds at the next engine check site with a typed
+    /// error instead of wedging shutdown.
+    pub fn cancel_inflight(&self) -> usize {
+        let tokens = self.inner.tokens();
+        for token in tokens.values() {
+            token.cancel();
+        }
+        tokens.len()
+    }
+
+    /// How many requests are currently registered as cancellable.
+    #[must_use]
+    pub fn inflight_token_count(&self) -> usize {
+        self.inner.tokens().len()
     }
 
     /// Marks the service as draining: `health` flips to not-ready and the
@@ -230,6 +298,20 @@ impl Service {
     /// input.
     #[must_use]
     pub fn handle_line(&self, line: &str) -> String {
+        self.handle_line_with_probe(line, None)
+    }
+
+    /// Like [`Service::handle_line`], with an optional client-liveness
+    /// probe. When the probe reports the client gone mid-request, the
+    /// in-flight job's cancel token is fired and the worker is freed
+    /// within [`DISCONNECT_POLL`] plus one engine check interval — the
+    /// (undeliverable) response is returned for the caller to discard.
+    #[must_use]
+    pub fn handle_line_with_probe(
+        &self,
+        line: &str,
+        client_gone: Option<&dyn Fn() -> bool>,
+    ) -> String {
         let started = Instant::now();
         let (id, parsed) = proto::parse_request(line, &self.inner.config.limits);
         let response = match parsed {
@@ -238,7 +320,7 @@ impl Service {
                 if request.needs_admission() {
                     match self.admit() {
                         Some(permit) => {
-                            let response = self.execute_with_timeout(id, request);
+                            let response = self.execute_supervised(id, request, client_gone);
                             drop(permit);
                             response
                         }
@@ -254,7 +336,7 @@ impl Service {
                         }
                     }
                 } else {
-                    self.execute_with_timeout(id, request)
+                    self.execute_supervised(id, request, client_gone)
                 }
             }
             Err(error) => Response {
@@ -271,11 +353,30 @@ impl Service {
     }
 
     /// Executes a parsed request with no timeout (used by the CLI's
-    /// one-shot JSON mode and by the timeout worker).
+    /// one-shot JSON mode and by the supervisor's runner thread).
     #[must_use]
     pub fn execute(&self, id: Option<Json>, request: Request) -> Response {
+        self.execute_cancellable(id, request, &CancelToken::new())
+    }
+
+    /// Executes a parsed request under `cancel`, threading the token
+    /// through every engine. A fired token surfaces as a typed
+    /// `deadline_exceeded` body (counted in `stats.cancelled`); a run that
+    /// completes is bit-identical to one executed with a fresh token.
+    #[must_use]
+    pub fn execute_cancellable(
+        &self,
+        id: Option<Json>,
+        request: Request,
+        cancel: &CancelToken,
+    ) -> Response {
         let kind = request.kind();
-        let body = self.execute_body(&request);
+        let body = self.execute_body(&request, cancel);
+        if matches!(body, Err(ServeError::DeadlineExceeded { .. })) {
+            // The compute path observed the fired token and unwound with
+            // a typed error — the "no zombie work" counter.
+            self.inner.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
         Response {
             id,
             kind: Some(kind),
@@ -283,29 +384,68 @@ impl Service {
         }
     }
 
-    /// Executes a parsed request, bounding analysis kinds by the
-    /// configured per-request timeout. `stats` requests always run inline
-    /// (they must stay responsive while workers are saturated).
+    /// Executes a parsed request under the tighter of the client's
+    /// `deadline_ms` and the server's `--timeout-ms` cap, watching the
+    /// client-liveness probe while the work runs. `stats`/`health` always
+    /// run inline (they must stay responsive while workers are saturated).
+    ///
+    /// Which bound fired decides the wire code: a binding *client*
+    /// deadline answers `deadline_exceeded`; the *server* cap keeps the
+    /// legacy `timeout` code. Either way the supervisor no longer merely
+    /// abandons the runner thread — the request token is armed with the
+    /// deadline, so the runner unwinds at its next engine check site.
     #[must_use]
-    pub fn execute_with_timeout(&self, id: Option<Json>, request: Request) -> Response {
-        let timeout_ms = self.inner.config.timeout_ms;
-        if timeout_ms == 0 || matches!(request, Request::Stats | Request::Health) {
+    pub fn execute_supervised(
+        &self,
+        id: Option<Json>,
+        request: Request,
+        client_gone: Option<&dyn Fn() -> bool>,
+    ) -> Response {
+        if matches!(request, Request::Stats | Request::Health) {
             return self.execute(id, request);
         }
+        let server_ms = self.inner.config.timeout_ms;
+        let request_ms = request.deadline_ms();
+        let effective_ms = match (request_ms, server_ms) {
+            (Some(r), 0) => Some(r),
+            (Some(r), s) => Some(r.min(s)),
+            (None, 0) => None,
+            (None, s) => Some(s),
+        };
+        // Whether the *client's* deadline is the binding constraint (it
+        // is at least as tight as the server cap).
+        let request_binding = match (request_ms, server_ms) {
+            (Some(_), 0) => true,
+            (Some(r), s) => r <= s,
+            (None, _) => false,
+        };
+        let token = match effective_ms {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::new(),
+        };
+        let registration = self.register_token(&token);
+        if effective_ms.is_none() && client_gone.is_none() {
+            // Nothing to supervise: run inline. The token stays
+            // registered so graceful drain can still fire it.
+            let response = self.execute_cancellable(id, request, &token);
+            drop(registration);
+            return self.finalize(response, &token, request_binding, server_ms);
+        }
         let kind = request.kind();
-        let timeout_id = id.clone();
+        let supervisor_id = id.clone();
         let service = self.clone();
+        let runner_token = token.clone();
         let (tx, rx) = mpsc::channel();
-        // The runner is detached on timeout: a runaway analysis finishes
-        // (or dies) on its own thread and its result is discarded. The
-        // thread count is bounded by the connection pool width times the
-        // rare timeout events, not by request volume. A panic inside the
-        // runner (a bug — or an injected chaos fault) is contained here:
-        // it bumps the panic counter and drops `tx`, which the receiver
-        // observes as a disconnect and answers with a typed `internal`.
+        // The runner is detached if the supervisor returns first, but the
+        // armed token means a runaway analysis now unwinds at its next
+        // check site instead of computing to completion for nobody. A
+        // panic inside the runner (a bug — or an injected chaos fault) is
+        // contained here: it bumps the panic counter and drops `tx`,
+        // which the supervisor observes as a disconnect and answers with
+        // a typed `internal`.
         std::thread::spawn(move || {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                service.execute(id, request)
+                service.execute_cancellable(id, request, &runner_token)
             }));
             match outcome {
                 Ok(response) => {
@@ -316,27 +456,114 @@ impl Service {
                 }
             }
         });
-        match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
-            Ok(response) => response,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                self.inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                Response {
-                    id: timeout_id,
-                    kind: Some(kind),
-                    body: Err(ServeError::Timeout { ms: timeout_ms }),
+        let started = Instant::now();
+        loop {
+            let until_fire =
+                effective_ms.map(|ms| Duration::from_millis(ms).saturating_sub(started.elapsed()));
+            let slice = match (until_fire, client_gone) {
+                (Some(remaining), Some(_)) => remaining.min(DISCONNECT_POLL),
+                (Some(remaining), None) => remaining,
+                (None, _) => DISCONNECT_POLL,
+            };
+            match rx.recv_timeout(slice) {
+                Ok(response) => {
+                    drop(registration);
+                    return self.finalize(response, &token, request_binding, server_ms);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some(gone) = client_gone {
+                        if gone() {
+                            // The reply is undeliverable; cancel the job
+                            // so the worker frees promptly, and hand back
+                            // a response the caller will fail to write.
+                            token.cancel();
+                            self.inner
+                                .stats
+                                .disconnect_cancels
+                                .fetch_add(1, Ordering::Relaxed);
+                            drop(registration);
+                            return Response {
+                                id: supervisor_id,
+                                kind: Some(kind),
+                                body: Err(ServeError::Internal(
+                                    "client disconnected; request cancelled".into(),
+                                )),
+                            };
+                        }
+                    }
+                    let deadline_fired = effective_ms
+                        .is_some_and(|ms| started.elapsed() >= Duration::from_millis(ms));
+                    if deadline_fired {
+                        // The deadline armed in the token has fired; the
+                        // runner unwinds on its own at the next check
+                        // site. Answer now with the code of whichever
+                        // bound was binding.
+                        drop(registration);
+                        let body = if request_binding {
+                            self.inner
+                                .stats
+                                .deadline_exceeded
+                                .fetch_add(1, Ordering::Relaxed);
+                            Err(ServeError::DeadlineExceeded {
+                                after_ms: effective_ms.unwrap_or(0),
+                                site: "watchdog",
+                            })
+                        } else {
+                            self.inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                            Err(ServeError::Timeout { ms: server_ms })
+                        };
+                        return Response {
+                            id: supervisor_id,
+                            kind: Some(kind),
+                            body,
+                        };
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    drop(registration);
+                    return Response {
+                        id: supervisor_id,
+                        kind: Some(kind),
+                        body: Err(ServeError::Internal(
+                            "request worker died before producing a response".into(),
+                        )),
+                    };
                 }
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => Response {
-                id: timeout_id,
-                kind: Some(kind),
-                body: Err(ServeError::Internal(
-                    "request worker died before producing a response".into(),
-                )),
-            },
         }
     }
 
-    fn execute_body(&self, request: &Request) -> Result<Json, ServeError> {
+    /// Attributes a `deadline_exceeded` body produced by the compute path
+    /// to its cause: drain cancellation remaps to `shutting_down` (the
+    /// request is retryable elsewhere), a binding client deadline keeps
+    /// the typed code and counts it, and a binding server cap remaps to
+    /// the legacy `timeout` code so pre-deadline clients see the same
+    /// wire contract as before.
+    fn finalize(
+        &self,
+        mut response: Response,
+        token: &CancelToken,
+        request_binding: bool,
+        server_ms: u64,
+    ) -> Response {
+        if matches!(response.body, Err(ServeError::DeadlineExceeded { .. })) {
+            let explicit = token.was_cancelled_explicitly();
+            if explicit && self.is_draining() {
+                response.body = Err(ServeError::ShuttingDown);
+            } else if request_binding || explicit {
+                self.inner
+                    .stats
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                response.body = Err(ServeError::Timeout { ms: server_ms });
+            }
+        }
+        response
+    }
+
+    fn execute_body(&self, request: &Request, cancel: &CancelToken) -> Result<Json, ServeError> {
         #[cfg(feature = "chaos")]
         if request.needs_admission() {
             if let Some(chaos) = &self.inner.config.chaos {
@@ -350,10 +577,17 @@ impl Service {
                 circuit,
                 eps,
                 options,
+                ..
             } => {
                 let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
-                let weights = artifact.weights(self.inner.cache.counters())?;
-                let mut result = api::analyze_result(artifact.circuit(), weights, eps, options)?;
+                let weights = artifact.weights_cancellable(self.inner.cache.counters(), cancel)?;
+                let mut result = api::analyze_result_cancellable(
+                    artifact.circuit(),
+                    weights,
+                    eps,
+                    options,
+                    cancel,
+                )?;
                 result.push("cache", Json::from(outcome.tag()));
                 Ok(result)
             }
@@ -361,9 +595,11 @@ impl Service {
                 circuit,
                 eps,
                 per_gate,
+                ..
             } => {
                 let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
-                let observability = artifact.observability(self.inner.cache.counters())?;
+                let observability =
+                    artifact.observability_cancellable(self.inner.cache.counters(), cancel)?;
                 let mut result =
                     api::observability_result(artifact.circuit(), observability, eps, *per_gate)?;
                 result.push("cache", Json::from(outcome.tag()));
@@ -375,6 +611,7 @@ impl Service {
                 patterns,
                 seed,
                 threads,
+                ..
             } => {
                 let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
                 let config = MonteCarloConfig {
@@ -388,8 +625,13 @@ impl Service {
                     ..MonteCarloConfig::default()
                 };
                 let tape = artifact.tape(self.inner.cache.counters());
-                let mut result =
-                    api::monte_carlo_result_tape(artifact.circuit(), tape, *eps, &config)?;
+                let mut result = api::monte_carlo_result_tape_cancellable(
+                    artifact.circuit(),
+                    tape,
+                    *eps,
+                    &config,
+                    cancel,
+                )?;
                 result.push("cache", Json::from(outcome.tag()));
                 Ok(result)
             }
@@ -399,6 +641,7 @@ impl Service {
                 bdd_node_budget,
                 patterns,
                 seed,
+                ..
             } => {
                 let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
                 let counters = self.inner.cache.counters();
@@ -410,8 +653,9 @@ impl Service {
                     mc_seed: *seed,
                     ..EstimatorPolicy::default()
                 };
-                let report = relogic_estimate::run_estimate(
+                let report = relogic_estimate::run_estimate_cancellable(
                     &policy,
+                    cancel,
                     |budget| {
                         // An already-materialized observability matrix is
                         // the exact answer for free; a cold artifact runs
@@ -420,17 +664,18 @@ impl Service {
                         if let Some(matrix) = artifact.observability_if_ready() {
                             return Ok(matrix.closed_form(&gate_eps));
                         }
-                        ObservabilityMatrix::try_compute_budgeted(
+                        ObservabilityMatrix::try_compute_budgeted_cancellable(
                             artifact.circuit(),
                             &InputDistribution::Uniform,
                             self.inner.config.default_threads,
                             budget,
+                            cancel,
                         )
                         .map(|m| m.closed_form(&gate_eps))
                     },
                     || {
                         artifact
-                            .propagation_estimate(counters)
+                            .propagation_estimate_cancellable(counters, cancel)
                             .map(|est| est.closed_form(&gate_eps))
                     },
                     |mc_patterns, mc_seed| {
@@ -440,10 +685,11 @@ impl Service {
                             threads: self.inner.config.default_threads,
                             ..MonteCarloConfig::default()
                         };
-                        Ok(relogic_sim::try_estimate(
+                        Ok(relogic_sim::try_estimate_cancellable(
                             artifact.circuit(),
                             gate_eps.as_slice(),
                             &config,
+                            cancel,
                         )
                         .map_err(relogic::RelogicError::from)?
                         .per_output()
@@ -461,14 +707,16 @@ impl Service {
                 eps,
                 area_budget,
                 max_steps,
+                ..
             } => {
                 let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
-                let report = relogic_estimate::harden(
+                let report = relogic_estimate::harden_cancellable(
                     artifact.circuit(),
                     &InputDistribution::Uniform,
                     *eps,
                     *area_budget,
                     *max_steps,
+                    cancel,
                 )
                 .map_err(ServeError::from)?;
                 let mut result =
@@ -481,17 +729,19 @@ impl Service {
                 threshold,
                 metric,
                 max_steps,
+                ..
             } => {
                 let (artifact, outcome) = self.inner.cache.get_or_compile(circuit)?;
-                let weights = artifact.weights(self.inner.cache.counters())?;
+                let weights = artifact.weights_cancellable(self.inner.cache.counters(), cancel)?;
                 let tape =
                     SweepTape::try_new(artifact.circuit(), weights).map_err(ServeError::from)?;
-                let report = relogic_estimate::critical_eps(
+                let report = relogic_estimate::critical_eps_cancellable(
                     artifact.circuit(),
                     &tape,
                     *metric,
                     *threshold,
                     *max_steps,
+                    cancel,
                 )
                 .map_err(ServeError::from)?;
                 let mut result = api::critical_eps_result(artifact.circuit(), &report);
@@ -521,6 +771,18 @@ impl Service {
             ("max_inflight", Json::from(self.inner.config.max_inflight)),
             ("queue_depth", Json::from(queue_depth)),
             ("shed", Json::from(stats.shed.load(Ordering::Relaxed))),
+            (
+                "cancelled",
+                Json::from(stats.cancelled.load(Ordering::Relaxed)),
+            ),
+            (
+                "deadline_exceeded",
+                Json::from(stats.deadline_exceeded.load(Ordering::Relaxed)),
+            ),
+            (
+                "disconnect_cancels",
+                Json::from(stats.disconnect_cancels.load(Ordering::Relaxed)),
+            ),
             (
                 "estimator_fallbacks",
                 Json::from(stats.estimator_fallbacks.load(Ordering::Relaxed)),
@@ -561,6 +823,7 @@ impl Service {
             ),
             ("shed", Json::from(stats.shed.load(Ordering::Relaxed))),
             ("panics", Json::from(stats.panics.load(Ordering::Relaxed))),
+            ("cancellation", stats.cancellation_json()),
             (
                 "inflight",
                 Json::from(stats.inflight.load(Ordering::Relaxed)),
@@ -759,6 +1022,172 @@ mod tests {
         ));
         assert!(out.contains("\"code\":\"timeout\""), "{out}");
         assert_eq!(svc.stats().timeouts.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn request_deadline_produces_deadline_exceeded_and_counters() {
+        // No server cap: the client's deadline is the binding bound.
+        let svc = service();
+        let out = svc.handle_line(&format!(
+            r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":400000000,"threads":1,"deadline_ms":1,"id":7}}"#
+        ));
+        assert!(out.contains("\"code\":\"deadline_exceeded\""), "{out}");
+        assert!(out.contains("\"id\":7"), "{out}");
+        assert_eq!(svc.stats().deadline_exceeded.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            svc.stats().timeouts.load(Ordering::Relaxed),
+            0,
+            "a client deadline must not masquerade as a server timeout"
+        );
+        // The runner observes the fired token and unwinds with a typed
+        // error — the cancelled counter ticks once the worker is free.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.stats().cancelled.load(Ordering::Relaxed) == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "runner never observed the cancel"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(svc.stats().cancelled.load(Ordering::Relaxed), 1);
+        // The counters surface in stats and health.
+        let stats = svc.handle_line(r#"{"kind":"stats"}"#);
+        let doc = crate::json::parse(stats.trim()).unwrap();
+        let cancellation = doc.get("result").unwrap().get("cancellation").unwrap();
+        assert_eq!(
+            cancellation.get("deadline_exceeded").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            cancellation.get("cancelled").and_then(Json::as_u64),
+            Some(1)
+        );
+        let health = svc.handle_line(r#"{"kind":"health"}"#);
+        let doc = crate::json::parse(health.trim()).unwrap();
+        let result = doc.get("result").unwrap();
+        assert_eq!(result.get("cancelled").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            result.get("deadline_exceeded").and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            result.get("disconnect_cancels").and_then(Json::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn deadline_tighter_than_server_cap_wins_and_keeps_its_code() {
+        let svc = Service::new(ServiceConfig {
+            timeout_ms: 60_000,
+            ..ServiceConfig::default()
+        });
+        let out = svc.handle_line(&format!(
+            r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":400000000,"threads":1,"deadline_ms":1}}"#
+        ));
+        assert!(out.contains("\"code\":\"deadline_exceeded\""), "{out}");
+        assert_eq!(svc.stats().timeouts.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn completed_under_deadline_is_bit_identical_to_undeadlined() {
+        // Same seed, different thread counts, one bounded by a generous
+        // deadline: all three answers must be byte-identical modulo the
+        // cache tag. The token is a read-only early-exit — it never
+        // perturbs the RNG stream or the merge order.
+        let svc = service();
+        let run = |threads: usize, deadline: &str| {
+            svc.handle_line(&format!(
+                r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":4096,"seed":5,"threads":{threads}{deadline}}}"#
+            ))
+            .replace("\"cache\":\"miss\"", "")
+            .replace("\"cache\":\"hit\"", "")
+        };
+        let plain = run(2, "");
+        let deadlined = run(2, r#","deadline_ms":60000"#);
+        let deadlined_wide = run(7, r#","deadline_ms":60000"#);
+        assert_eq!(plain, deadlined);
+        assert_eq!(plain, deadlined_wide);
+    }
+
+    #[test]
+    fn deadline_vs_completion_race_yields_exactly_one_outcome() {
+        // A deadline sized near the actual runtime: whichever side wins,
+        // the client sees exactly one of `ok` or `deadline_exceeded` —
+        // never a partial result, never a mixed frame.
+        let svc = service();
+        for round in 0..8u32 {
+            let out = svc.handle_line(&format!(
+                r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":300000,"threads":1,"deadline_ms":{}}}"#,
+                1 + round % 3
+            ));
+            let doc = crate::json::parse(out.trim()).unwrap();
+            let ok = doc.get("ok").and_then(Json::as_bool).unwrap();
+            if ok {
+                assert!(doc.get("result").unwrap().get("delta").is_some(), "{out}");
+            } else {
+                let code = doc
+                    .get("error")
+                    .unwrap()
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string();
+                assert_eq!(code, "deadline_exceeded", "{out}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_estimate_reports_deadline_not_a_fallback() {
+        // A fired token must unwind the estimator, not degrade it to a
+        // cheaper tier: cancellation is an answer's absence, not an
+        // approximation license.
+        let svc = service();
+        let (id, parsed) = proto::parse_request(
+            &format!(r#"{{"kind":"estimate","netlist":"{SMALL}","eps":0.1}}"#),
+            &RequestLimits::default(),
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let response = svc.execute_cancellable(id, parsed.unwrap(), &token);
+        match response.body {
+            Err(ServeError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected deadline_exceeded, got {other:?}"),
+        }
+        assert_eq!(svc.stats().tier_propagation.load(Ordering::Relaxed), 0);
+        assert_eq!(svc.stats().cancelled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drain_cancel_remaps_to_shutting_down_and_frees_the_worker() {
+        // A wedged-slow job under graceful drain: firing the in-flight
+        // tokens unwinds it promptly, and the reply says "shutting_down"
+        // (retryable elsewhere), not "deadline_exceeded".
+        let svc = service();
+        let worker = {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                svc.handle_line(&format!(
+                    r#"{{"kind":"monte_carlo","netlist":"{SMALL}","patterns":400000000,"threads":1}}"#
+                ))
+            })
+        };
+        // Wait for the request to register its token.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.inflight_token_count() == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "request never registered a token"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        svc.begin_drain();
+        assert_eq!(svc.cancel_inflight(), 1);
+        let out = worker.join().unwrap();
+        assert!(out.contains("\"code\":\"shutting_down\""), "{out}");
+        assert_eq!(svc.inflight_token_count(), 0, "token unregistered");
+        assert_eq!(svc.stats().cancelled.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -127,6 +127,16 @@ pub struct ServiceStats {
     pub errors: AtomicU64,
     /// Requests that hit the per-request timeout.
     pub timeouts: AtomicU64,
+    /// Compute paths that observed a fired cancel token and unwound with
+    /// a typed `Cancelled` error — no partial results, no zombie work.
+    /// Covers deadline fires, disconnect cancels, and drain cancels.
+    pub cancelled: AtomicU64,
+    /// Requests answered with the `deadline_exceeded` wire code (the
+    /// client-facing subset of `cancelled`).
+    pub deadline_exceeded: AtomicU64,
+    /// In-flight jobs cancelled because their client disconnected before
+    /// the reply was ready.
+    pub disconnect_cancels: AtomicU64,
     /// Requests shed under load: admission-control rejections plus
     /// connections turned away with an `overloaded` farewell because the
     /// worker-pool queue stayed full.
@@ -202,6 +212,28 @@ impl ServiceStats {
         ])
     }
 
+    /// The `cancellation` sub-object: cooperative-cancellation outcomes.
+    /// `cancelled` counts every compute path that unwound on a fired
+    /// token; `deadline_exceeded` and `disconnect_cancels` attribute the
+    /// fires to their cause.
+    #[must_use]
+    pub fn cancellation_json(&self) -> Json {
+        Json::obj([
+            (
+                "cancelled",
+                Json::from(self.cancelled.load(Ordering::Relaxed)),
+            ),
+            (
+                "deadline_exceeded",
+                Json::from(self.deadline_exceeded.load(Ordering::Relaxed)),
+            ),
+            (
+                "disconnect_cancels",
+                Json::from(self.disconnect_cancels.load(Ordering::Relaxed)),
+            ),
+        ])
+    }
+
     /// The `requests` sub-object.
     #[must_use]
     pub fn requests_json(&self) -> Json {
@@ -268,6 +300,18 @@ mod tests {
         assert_eq!(j.get("harden").and_then(Json::as_u64), Some(1));
         assert_eq!(j.get("critical_eps").and_then(Json::as_u64), Some(1));
         assert_eq!(j.get("health").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn cancellation_counters_serialize() {
+        let s = ServiceStats::default();
+        s.cancelled.fetch_add(3, Ordering::Relaxed);
+        s.deadline_exceeded.fetch_add(2, Ordering::Relaxed);
+        s.disconnect_cancels.fetch_add(1, Ordering::Relaxed);
+        let j = s.cancellation_json();
+        assert_eq!(j.get("cancelled").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("deadline_exceeded").and_then(Json::as_u64), Some(2));
+        assert_eq!(j.get("disconnect_cancels").and_then(Json::as_u64), Some(1));
     }
 
     #[test]

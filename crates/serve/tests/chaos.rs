@@ -326,3 +326,73 @@ fn a_panic_mid_monte_carlo_is_contained_to_one_request() {
         server.shutdown();
     }
 }
+
+/// Satellite: an injected worker latency spike plus a tight client
+/// deadline is deterministic per seed — running the same scenario twice
+/// with the same seed yields the same outcome codes, the delayed request
+/// answers `deadline_exceeded`, and once the injection budget is spent a
+/// generously-deadlined request completes bit-identical to the fault-free
+/// baseline.
+#[test]
+fn worker_latency_plus_tight_deadline_is_deterministic_per_seed() {
+    let netlist = small_bench();
+    let truth = baseline_delta(&netlist);
+    let tight = Json::obj([
+        ("kind", Json::from("monte_carlo")),
+        ("id", Json::from(1u64)),
+        ("netlist", Json::from(netlist.as_str())),
+        ("eps", Json::from(0.1)),
+        ("patterns", Json::from(4096u64)),
+        ("seed", Json::from(9u64)),
+        ("threads", Json::from(2u64)),
+        ("deadline_ms", Json::from(100u64)),
+    ])
+    .encode();
+    let generous = Json::obj([
+        ("kind", Json::from("monte_carlo")),
+        ("id", Json::from(2u64)),
+        ("netlist", Json::from(netlist.as_str())),
+        ("eps", Json::from(0.1)),
+        ("patterns", Json::from(4096u64)),
+        ("seed", Json::from(9u64)),
+        ("threads", Json::from(2u64)),
+        ("deadline_ms", Json::from(30_000u64)),
+    ])
+    .encode();
+    let run_scenario = |seed: u64| -> Vec<String> {
+        // One guaranteed latency spike an order of magnitude past the
+        // tight deadline, then the injection budget is spent.
+        let mut config =
+            ChaosConfig::quiet(seed).site(ChaosSite::ExecDelay, SitePolicy::limited(1.0, 1));
+        config.delay = Duration::from_millis(1000);
+        let chaos = Chaos::new(config);
+        let server = start_chaos_server(std::sync::Arc::clone(&chaos));
+        let first = call_once(&server, &tight).unwrap();
+        let second = call_once(&server, &generous).unwrap();
+        assert_eq!(chaos.fired(ChaosSite::ExecDelay), 1, "seed {seed}");
+        let code_of = |reply: &Json| {
+            reply
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str)
+                .unwrap_or("ok")
+                .to_owned()
+        };
+        assert_eq!(code_of(&first), "deadline_exceeded", "{}", first.encode());
+        assert_eq!(code_of(&second), "ok", "{}", second.encode());
+        assert_eq!(
+            delta_of(&second),
+            truth,
+            "completed-under-deadline must match baseline"
+        );
+        server.shutdown();
+        vec![code_of(&first), code_of(&second)]
+    };
+    for seed in SEEDS {
+        assert_eq!(
+            run_scenario(seed),
+            run_scenario(seed),
+            "seed {seed}: same seed must reproduce the same outcomes"
+        );
+    }
+}

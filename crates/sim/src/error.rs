@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::cancel::Cancelled;
+
 /// Errors returned by the fallible (`try_*`) simulation entry points.
 ///
 /// The infallible entry points ([`crate::estimate`] and friends) are thin
@@ -57,6 +59,9 @@ pub enum SimError {
         /// Number of outputs covered by the result.
         outputs: usize,
     },
+    /// The run's [`crate::CancelToken`] fired (deadline or explicit
+    /// cancel) before the work completed; no partial result escapes.
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for SimError {
@@ -87,11 +92,18 @@ impl fmt::Display for SimError {
                 f,
                 "output index {index} out of range ({outputs} outputs covered)"
             ),
+            SimError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
 
 impl Error for SimError {}
+
+impl From<Cancelled> for SimError {
+    fn from(c: Cancelled) -> Self {
+        SimError::Cancelled(c)
+    }
+}
 
 #[cfg(test)]
 mod tests {

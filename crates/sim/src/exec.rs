@@ -21,9 +21,11 @@
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+use crate::cancel::{CancelToken, Cancelled};
 
 /// Number of hardware threads available to this process (at least 1).
 #[must_use]
@@ -120,14 +122,69 @@ impl ChunkExecutor {
         I: Fn() -> S + Sync,
         F: Fn(&mut S, usize) -> T + Sync,
     {
+        let never = CancelToken::new();
+        match self.try_map_chunks_with_state(chunks, &never, "exec_chunk", init, |scratch, i| {
+            Ok(work(scratch, i))
+        }) {
+            Ok(out) => out,
+            Err(_) => unreachable!("a fresh token never fires"),
+        }
+    }
+
+    /// The cancellable core behind every `map_chunks*` variant.
+    ///
+    /// Workers poll `cancel` before claiming each chunk and stop claiming
+    /// once it fires; a chunk's `work` may also notice cancellation itself
+    /// mid-chunk and return `Err`. The call returns `Ok` **iff every chunk
+    /// completed** — a token that fires after the last chunk was already
+    /// claimed and finished does not retract the answer, so a run that
+    /// completes under its deadline is bit-identical to an undeadlined run
+    /// (the checks are read-only early-exits; no arithmetic changes).
+    ///
+    /// `site` labels the executor's own hand-out check in the returned
+    /// [`Cancelled`]; an error returned by `work` (with its own, more
+    /// precise site) takes precedence, lowest chunk index first.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token fired before all chunks completed. No
+    /// partial results escape.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker thread.
+    pub fn try_map_chunks_with_state<S, T, I, F>(
+        &self,
+        chunks: usize,
+        cancel: &CancelToken,
+        site: &'static str,
+        init: I,
+        work: F,
+    ) -> Result<(Vec<T>, Vec<S>), Cancelled>
+    where
+        T: Send,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> Result<T, Cancelled> + Sync,
+    {
         if self.threads <= 1 || chunks <= 1 {
             let mut scratch = init();
-            let results = (0..chunks).map(|i| work(&mut scratch, i)).collect();
-            return (results, vec![scratch]);
+            let mut results = Vec::with_capacity(chunks);
+            for i in 0..chunks {
+                cancel.check(site)?;
+                results.push(work(&mut scratch, i)?);
+            }
+            return Ok((results, vec![scratch]));
         }
 
         let workers = self.threads.min(chunks);
         let cursor = AtomicUsize::new(0);
+        // Set once any worker sees a fired token or a work error; the other
+        // workers stop claiming chunks at their next hand-out check.
+        let aborted = AtomicBool::new(false);
+        // First work-reported error, by lowest chunk index (deterministic
+        // pick when several workers trip in the same window).
+        let first_err: Mutex<Option<(usize, Cancelled)>> = Mutex::new(None);
         let (mut tagged, states): (Vec<(usize, T)>, Vec<S>) = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -135,11 +192,28 @@ impl ChunkExecutor {
                         let mut scratch = init();
                         let mut produced = Vec::new();
                         loop {
+                            if aborted.load(Ordering::Relaxed) || cancel.is_cancelled() {
+                                aborted.store(true, Ordering::Relaxed);
+                                break;
+                            }
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= chunks {
                                 break;
                             }
-                            produced.push((i, work(&mut scratch, i)));
+                            match work(&mut scratch, i) {
+                                Ok(t) => produced.push((i, t)),
+                                Err(e) => {
+                                    aborted.store(true, Ordering::Relaxed);
+                                    let mut slot = match first_err.lock() {
+                                        Ok(g) => g,
+                                        Err(poisoned) => poisoned.into_inner(),
+                                    };
+                                    if slot.is_none_or(|(j, _)| i < j) {
+                                        *slot = Some((i, e));
+                                    }
+                                    break;
+                                }
+                            }
                         }
                         (produced, scratch)
                     })
@@ -160,9 +234,23 @@ impl ChunkExecutor {
             }
             (tagged, states)
         });
-        tagged.sort_unstable_by_key(|&(i, _)| i);
-        debug_assert_eq!(tagged.len(), chunks);
-        (tagged.into_iter().map(|(_, t)| t).collect(), states)
+        // All chunks completed: the answer stands even if the token fired
+        // while the last chunks were in flight (completed under the wire).
+        if tagged.len() == chunks {
+            tagged.sort_unstable_by_key(|&(i, _)| i);
+            return Ok((tagged.into_iter().map(|(_, t)| t).collect(), states));
+        }
+        let work_err = match first_err.lock() {
+            Ok(g) => *g,
+            Err(poisoned) => *poisoned.into_inner(),
+        };
+        Err(match work_err {
+            Some((_, e)) => e,
+            None => Cancelled {
+                after: cancel.elapsed(),
+                checked_at: site,
+            },
+        })
     }
 }
 
@@ -586,6 +674,73 @@ mod tests {
         let exec = ChunkExecutor::new(16);
         let out = exec.map_chunks(4, |i| i + 1);
         assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pre_fired_token_yields_cancelled_before_any_chunk_runs() {
+        for threads in [1, 4] {
+            let exec = ChunkExecutor::new(threads);
+            let token = CancelToken::new();
+            token.cancel();
+            let ran = AtomicUsize::new(0);
+            let err = exec
+                .try_map_chunks_with_state(
+                    16,
+                    &token,
+                    "test_site",
+                    || (),
+                    |(), i| {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                        Ok(i)
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err.checked_at, "test_site");
+            assert_eq!(ran.load(Ordering::SeqCst), 0, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn mid_run_cancel_stops_hand_out_and_returns_no_partial_result() {
+        for threads in [1, 4] {
+            let exec = ChunkExecutor::new(threads);
+            let token = CancelToken::new();
+            let fire_at = 5usize;
+            let res = exec.try_map_chunks_with_state(
+                64,
+                &token,
+                "hand_out",
+                || (),
+                |(), i| {
+                    if i == fire_at {
+                        token.cancel();
+                        return Err(Cancelled {
+                            after: token.elapsed(),
+                            checked_at: "work_inner",
+                        });
+                    }
+                    Ok(i)
+                },
+            );
+            let err = res.unwrap_err();
+            assert!(
+                err.checked_at == "work_inner" || err.checked_at == "hand_out",
+                "threads={threads}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn completed_run_under_token_is_bit_identical_to_uncancelled_run() {
+        for threads in [1, 2, 8] {
+            let exec = ChunkExecutor::new(threads);
+            let plain = exec.map_chunks(33, |i| i * 7 + 1);
+            let token = CancelToken::with_deadline(Duration::from_secs(3600));
+            let (under_token, _) = exec
+                .try_map_chunks_with_state(33, &token, "site", || (), |(), i| Ok(i * 7 + 1))
+                .unwrap();
+            assert_eq!(plain, under_token, "threads={threads}");
+        }
     }
 
     #[test]

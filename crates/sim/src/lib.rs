@@ -33,6 +33,7 @@
 #![warn(clippy::all)]
 
 mod bits;
+pub mod cancel;
 #[cfg(any(test, feature = "chaos"))]
 pub mod chaos;
 mod error;
@@ -57,6 +58,7 @@ mod tape_exec;
 pub const CHAOS_FEATURE_GATED: () = ();
 
 pub use bits::{stats, BiasedBits, DEFAULT_RESOLUTION};
+pub use cancel::{CancelToken, Cancelled};
 pub use error::SimError;
 pub use estimate::{
     joint_input_counts, joint_input_counts_biased, observabilities, observabilities_biased,
@@ -65,9 +67,12 @@ pub use estimate::{
 pub use exec::{available_threads, ChunkExecutor, SubmitRejection};
 pub use exhaustive::{exact_reliability, flip_influence, ExactReliability};
 pub use monte_carlo::{
-    estimate, try_estimate, MonteCarloConfig, NodeErrorStats, ReliabilityEstimate,
+    estimate, try_estimate, try_estimate_cancellable, MonteCarloConfig, NodeErrorStats,
+    ReliabilityEstimate,
 };
 pub use packed::{exhaustive_block_count, exhaustive_lane_mask, exhaustive_word, PackedSim};
 pub use sampler::InputSampler;
 pub use tape::{CircuitTape, OwnedTapeParts, TapeParts};
-pub use tape_exec::{estimate_tape, try_estimate_tape, DEFAULT_LANES};
+pub use tape_exec::{
+    estimate_tape, try_estimate_tape, try_estimate_tape_cancellable, DEFAULT_LANES,
+};

@@ -291,6 +291,25 @@ pub fn try_estimate(
     node_eps: &[f64],
     config: &MonteCarloConfig,
 ) -> Result<ReliabilityEstimate, SimError> {
+    try_estimate_cancellable(circuit, node_eps, config, &crate::CancelToken::new())
+}
+
+/// [`try_estimate`] under a [`crate::CancelToken`]: the token is polled at
+/// every chunk hand-out ([`crate::parallel::CHUNK_PATTERNS`] patterns, the
+/// check-interval granularity of the graph engine). A fired token returns
+/// [`SimError::Cancelled`] — never a partial estimate. A run that completes
+/// before the token fires is bit-identical to an undeadlined run.
+///
+/// # Errors
+///
+/// Everything [`try_estimate`] returns, plus [`SimError::Cancelled`] when
+/// `cancel` fires mid-run.
+pub fn try_estimate_cancellable(
+    circuit: &Circuit,
+    node_eps: &[f64],
+    config: &MonteCarloConfig,
+    cancel: &crate::CancelToken,
+) -> Result<ReliabilityEstimate, SimError> {
     let outputs = validate_run(circuit, node_eps, config)?;
 
     let gens: Vec<Option<BiasedBits>> = node_eps
@@ -310,8 +329,9 @@ pub fn try_estimate(
     };
     let blocks = config.patterns.div_ceil(64).max(1);
     let total = blocks * 64;
-    let counts =
-        crate::parallel::fault_injection_counts(circuit, &gens, &sampler, &outputs, config, blocks);
+    let counts = crate::parallel::fault_injection_counts_cancellable(
+        circuit, &gens, &sampler, &outputs, config, blocks, cancel,
+    )?;
     Ok(finalize_counts(total, counts, &config.joint_pairs))
 }
 

@@ -20,6 +20,7 @@
 //! microseconds of simulation on mid-size circuits) yet fine enough to
 //! load-balance across many cores even for modest budgets.
 
+use crate::cancel::{CancelToken, Cancelled};
 use crate::exec::ChunkExecutor;
 use crate::monte_carlo::{MonteCarloConfig, NodeErrorStats};
 use crate::{BiasedBits, InputSampler, PackedSim};
@@ -100,29 +101,35 @@ impl Scratch {
     }
 }
 
-/// Runs chunked fault injection over `blocks` 64-pattern blocks and merges
-/// the per-chunk tallies in chunk order.
-pub(crate) fn fault_injection_counts(
+/// Runs chunked fault injection over `blocks` 64-pattern blocks, polling
+/// `cancel` at every chunk hand-out (every [`CHUNK_PATTERNS`] patterns),
+/// and merges the per-chunk tallies in chunk order. A run that completes
+/// is merged in chunk order regardless of the token, so
+/// completed-under-token results are bit-identical to token-free runs.
+pub(crate) fn fault_injection_counts_cancellable(
     circuit: &Circuit,
     gens: &[Option<BiasedBits>],
     sampler: &InputSampler,
     outputs: &[usize],
     config: &MonteCarloConfig,
     blocks: u64,
-) -> FaultCounts {
+    cancel: &CancelToken,
+) -> Result<FaultCounts, Cancelled> {
     // On 32-bit hosts a pattern budget beyond usize::MAX chunks is
     // unreachable in practice; saturate rather than panic.
     let chunks = usize::try_from(blocks.div_ceil(CHUNK_BLOCKS)).unwrap_or(usize::MAX);
     let executor = ChunkExecutor::new(config.threads);
-    let tallies = executor.map_chunks_with(
+    let (tallies, _) = executor.try_map_chunks_with_state(
         chunks,
+        cancel,
+        "mc_chunk",
         || Scratch::new(circuit),
         |scratch, chunk| {
-            run_chunk(
+            Ok(run_chunk(
                 circuit, gens, sampler, outputs, config, blocks, scratch, chunk,
-            )
+            ))
         },
-    );
+    )?;
 
     let mut merged = FaultCounts::new(
         outputs.len(),
@@ -132,7 +139,7 @@ pub(crate) fn fault_injection_counts(
     for tally in &tallies {
         merged.merge(tally);
     }
-    merged
+    Ok(merged)
 }
 
 /// Simulates one chunk's blocks from its own seeded stream.

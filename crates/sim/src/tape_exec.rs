@@ -38,6 +38,7 @@
 //! individually reproducible from its seed.
 
 use crate::bits::DEFAULT_RESOLUTION;
+use crate::cancel::{CancelToken, Cancelled};
 use crate::exec::ChunkExecutor;
 use crate::monte_carlo::{finalize_counts, validate_run, MonteCarloConfig, ReliabilityEstimate};
 use crate::parallel::{FaultCounts, CHUNK_BLOCKS};
@@ -305,20 +306,26 @@ impl TapeRun<'_> {
         )
     }
 
-    fn run<const L: usize>(&self, threads: usize) -> FaultCounts {
+    fn run<const L: usize>(
+        &self,
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Result<FaultCounts, Cancelled> {
         let chunks = usize::try_from(self.blocks.div_ceil(CHUNK_BLOCKS)).unwrap_or(usize::MAX);
         let executor = ChunkExecutor::new(threads);
         let n_slots = self.tape.n_slots();
-        let tallies = executor.map_chunks_with(
+        let (tallies, _) = executor.try_map_chunks_with_state(
             chunks,
+            cancel,
+            "tape_chunk",
             || TapeScratch::new(n_slots, L),
-            |scratch, chunk| self.run_chunk::<L>(scratch, chunk),
-        );
+            |scratch, chunk| Ok(self.run_chunk::<L>(scratch, chunk)),
+        )?;
         let mut merged = self.counts();
         for tally in &tallies {
             merged.merge(tally);
         }
-        merged
+        Ok(merged)
     }
 
     /// Simulates one chunk, routing through the AVX-512-compiled clone of
@@ -571,6 +578,33 @@ pub fn try_estimate_tape(
     config: &MonteCarloConfig,
     lanes: usize,
 ) -> Result<ReliabilityEstimate, SimError> {
+    try_estimate_tape_cancellable(circuit, tape, node_eps, config, lanes, &CancelToken::new())
+}
+
+/// [`try_estimate_tape`] under a [`CancelToken`]: the token is polled at
+/// every chunk hand-out ([`CHUNK_BLOCKS`] blocks, the check-interval
+/// granularity of the tape engine). A fired token returns
+/// [`SimError::Cancelled`] — never a partial estimate. The position-based
+/// stream protocol means a run that completes before the token fires is
+/// bit-identical to an undeadlined run at every thread count and lane
+/// width.
+///
+/// # Errors
+///
+/// Everything [`try_estimate_tape`] returns, plus [`SimError::Cancelled`]
+/// when `cancel` fires mid-run.
+///
+/// # Panics
+///
+/// Panics if `tape` was not compiled from `circuit`.
+pub fn try_estimate_tape_cancellable(
+    circuit: &Circuit,
+    tape: &CircuitTape,
+    node_eps: &[f64],
+    config: &MonteCarloConfig,
+    lanes: usize,
+    cancel: &CancelToken,
+) -> Result<ReliabilityEstimate, SimError> {
     assert_eq!(
         tape.n_slots(),
         circuit.len(),
@@ -635,11 +669,11 @@ pub fn try_estimate_tape(
         blocks,
     };
     let counts = match lanes {
-        1 => run.run::<1>(config.threads),
-        2 => run.run::<2>(config.threads),
-        4 => run.run::<4>(config.threads),
-        _ => run.run::<8>(config.threads),
-    };
+        1 => run.run::<1>(config.threads, cancel),
+        2 => run.run::<2>(config.threads, cancel),
+        4 => run.run::<4>(config.threads, cancel),
+        _ => run.run::<8>(config.threads, cancel),
+    }?;
     Ok(finalize_counts(total, counts, &config.joint_pairs))
 }
 
@@ -725,6 +759,46 @@ mod tests {
                 assert_eq!(r, reference, "lanes={lanes} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn completed_run_under_deadline_is_bit_identical_across_thread_counts() {
+        // The determinism contract pinned: a run that completes under a
+        // (generous) deadline must equal the undeadlined run bit for bit,
+        // at every thread count.
+        let c = chain();
+        let tape = CircuitTape::compile(&c);
+        let eps = [0.0, 0.1, 0.2];
+        let base_cfg = MonteCarloConfig {
+            patterns: 10_000,
+            track_nodes: true,
+            ..MonteCarloConfig::default()
+        };
+        let reference = try_estimate_tape(&c, &tape, &eps, &base_cfg, 4).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = MonteCarloConfig {
+                threads,
+                ..base_cfg.clone()
+            };
+            let token = CancelToken::with_deadline(std::time::Duration::from_secs(3600));
+            let under = try_estimate_tape_cancellable(&c, &tape, &eps, &cfg, 4, &token).unwrap();
+            assert_eq!(under, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fired_token_returns_typed_cancelled() {
+        let c = chain();
+        let tape = CircuitTape::compile(&c);
+        let cfg = MonteCarloConfig {
+            patterns: 1 << 16,
+            ..MonteCarloConfig::default()
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        let err = try_estimate_tape_cancellable(&c, &tape, &[0.0, 0.1, 0.1], &cfg, 4, &token)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Cancelled(_)), "{err:?}");
     }
 
     #[test]
